@@ -1,0 +1,197 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated substrate.
+//
+//	experiments -experiment all
+//	experiments -experiment fig8 -faults 5000
+//	experiments -experiment accuracy -workloads sha,qsort -faults 2000
+//
+// Experiments: table1 table3 table4 fig6..fig17 accuracy speedups theory
+// ablation all.
+// "accuracy" runs the shared heavy pass behind figs 6/7/14/15/16/17+theory;
+// "speedups" covers figs 8/9/10/12/13.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"merlin/internal/experiments"
+)
+
+// csvOut, when set, receives machine-readable copies of the results.
+var csvOut string
+
+func writeCSV(name, content string) {
+	if csvOut == "" {
+		return
+	}
+	if err := os.MkdirAll(csvOut, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: csv:", err)
+		return
+	}
+	path := filepath.Join(csvOut, name+".csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: csv:", err)
+	}
+}
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run")
+		faults     = flag.Int("faults", 2000, "initial fault list per campaign (paper: 60000)")
+		scale      = flag.Int("scale", 10, "fig13 list multiplier (paper: 10)")
+		workloads  = flag.String("workloads", "", "comma-separated workload subset (default: the suite's ten)")
+		seed       = flag.Int64("seed", 1, "fault sampling seed")
+		workers    = flag.Int("workers", 0, "injection parallelism (0 = all cores)")
+		fullBase   = flag.Bool("full-baseline", false, "inject ACE-pruned faults too in accuracy experiments")
+		quiet      = flag.Bool("quiet", false, "suppress progress lines")
+		csvDir     = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+	)
+	flag.Parse()
+
+	o := experiments.Options{
+		Faults:       *faults,
+		ScaleFactor:  *scale,
+		Seed:         *seed,
+		Workers:      *workers,
+		FullBaseline: *fullBase,
+	}
+	if *workloads != "" {
+		o.Workloads = strings.Split(*workloads, ",")
+	}
+	if !*quiet {
+		o.Log = os.Stderr
+	}
+	csvOut = *csvDir
+
+	if err := run(*experiment, o); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, o experiments.Options) error {
+	speedupFig := func(f func(experiments.Options) (*experiments.SpeedupResult, error)) error {
+		r, err := f(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+		writeCSV(strings.ToLower(strings.ReplaceAll(r.Figure, " ", "")), r.CSV())
+		return nil
+	}
+	accuracy := func(renders ...func(*experiments.AccuracyResult) string) error {
+		r, err := experiments.RunAccuracy(o)
+		if err != nil {
+			return err
+		}
+		for _, render := range renders {
+			fmt.Println(render(r))
+		}
+		writeCSV("accuracy", r.CSV())
+		return nil
+	}
+
+	switch name {
+	case "table1":
+		fmt.Println(experiments.Table1())
+	case "table3":
+		fmt.Println(experiments.Table3())
+	case "table4":
+		r, err := experiments.Table4(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	case "fig6":
+		return accuracy((*experiments.AccuracyResult).RenderFig6)
+	case "fig7":
+		return accuracy((*experiments.AccuracyResult).RenderFig7)
+	case "fig8":
+		return speedupFig(experiments.Fig8)
+	case "fig9":
+		return speedupFig(experiments.Fig9)
+	case "fig10":
+		return speedupFig(experiments.Fig10)
+	case "fig11":
+		r, err := experiments.Fig11(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	case "fig12":
+		return speedupFig(experiments.Fig12)
+	case "fig13":
+		r, err := experiments.Fig13(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+		writeCSV("fig13", r.CSV())
+	case "fig14":
+		return accuracy((*experiments.AccuracyResult).RenderFig14)
+	case "fig15":
+		return accuracy((*experiments.AccuracyResult).RenderFig15)
+	case "fig16":
+		return accuracy((*experiments.AccuracyResult).RenderFig16)
+	case "fig17":
+		return accuracy((*experiments.AccuracyResult).RenderFig17)
+	case "theory":
+		return accuracy((*experiments.AccuracyResult).RenderTheory)
+	case "ablation":
+		r, err := experiments.Ablation(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	case "speedups":
+		for _, f := range []func(experiments.Options) (*experiments.SpeedupResult, error){
+			experiments.Fig8, experiments.Fig9, experiments.Fig10, experiments.Fig12,
+		} {
+			if err := speedupFig(f); err != nil {
+				return err
+			}
+		}
+		r, err := experiments.Fig13(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+		return nil
+	case "accuracy":
+		return accuracy(
+			(*experiments.AccuracyResult).RenderFig6,
+			(*experiments.AccuracyResult).RenderFig7,
+			(*experiments.AccuracyResult).RenderFig14,
+			(*experiments.AccuracyResult).RenderFig15,
+			(*experiments.AccuracyResult).RenderFig16,
+			(*experiments.AccuracyResult).RenderFig17,
+			(*experiments.AccuracyResult).RenderTheory,
+		)
+	case "all":
+		fmt.Println(experiments.Table1())
+		fmt.Println(experiments.Table3())
+		if err := run("speedups", o); err != nil {
+			return err
+		}
+		if err := run("fig11", o); err != nil {
+			return err
+		}
+		if err := run("accuracy", o); err != nil {
+			return err
+		}
+		if err := run("table4", o); err != nil {
+			return err
+		}
+		if err := run("ablation", o); err != nil {
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+// Command merlin runs one fault-injection campaign — MeRLiN-reduced,
+// comprehensive baseline, or both — for a chosen workload, structure and
+// configuration, and prints the resulting fault-effect classification,
+// AVF, FIT and speedup.
+//
+// Examples:
+//
+//	merlin -workload qsort -structure RF -faults 2000
+//	merlin -workload bzip2 -structure L1D -l1d 16384 -faults 5000 -baseline
+//	merlin -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"merlin"
+
+	"merlin/internal/cpu"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "qsort", "workload name (see -list)")
+		structure = flag.String("structure", "RF", "injection target: RF, SQ, or L1D")
+		faults    = flag.Int("faults", 2000, "initial statistical fault list size (0 = derive from -confidence/-margin; the paper uses 60000)")
+		conf      = flag.Float64("confidence", 0.998, "statistical confidence level")
+		margin    = flag.Float64("margin", 0.0063, "statistical error margin")
+		seed      = flag.Int64("seed", 1, "fault sampling seed")
+		regs      = flag.Int("regs", 256, "physical integer registers (256/128/64)")
+		sq        = flag.Int("sq", 64, "store-queue (and load-queue) entries (64/32/16)")
+		l1d       = flag.Int("l1d", 32<<10, "L1 data cache bytes (65536/32768/16384)")
+		reps      = flag.Int("reps", 1, "representatives injected per final group")
+		baseline  = flag.Bool("baseline", false, "also run the comprehensive baseline campaign for comparison")
+		workers   = flag.Int("workers", 0, "injection parallelism (0 = all cores)")
+		ckpts     = flag.Int("checkpoints", 0, "replay injections from N mid-run snapshots (0 = from reset)")
+		list      = flag.Bool("list", false, "list available workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("mibench:", strings.Join(merlin.Workloads("mibench"), " "))
+		fmt.Println("spec:   ", strings.Join(merlin.Workloads("spec"), " "))
+		return
+	}
+
+	var target merlin.Structure
+	switch strings.ToUpper(*structure) {
+	case "RF":
+		target = merlin.RF
+	case "SQ":
+		target = merlin.SQ
+	case "L1D":
+		target = merlin.L1D
+	default:
+		fmt.Fprintf(os.Stderr, "unknown structure %q (want RF, SQ, or L1D)\n", *structure)
+		os.Exit(2)
+	}
+
+	cfg := merlin.Config{
+		Workload:     *workload,
+		CPU:          cpu.DefaultConfig().WithRF(*regs).WithSQ(*sq).WithL1D(*l1d),
+		Structure:    target,
+		Faults:       *faults,
+		Confidence:   *conf,
+		ErrorMargin:  *margin,
+		Seed:         *seed,
+		RepsPerGroup: *reps,
+		Workers:      *workers,
+		Checkpoints:  *ckpts,
+	}
+
+	rep, err := merlin.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "merlin:", err)
+		os.Exit(1)
+	}
+	fmt.Println(rep)
+	fmt.Printf("  golden run: %d cycles; MeRLiN injection wall %v (serial %v)\n",
+		rep.GoldenCycles, rep.Wall.Round(1000000), rep.Serial.Round(1000000))
+
+	if *baseline {
+		base, err := merlin.RunBaseline(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "merlin baseline:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("baseline (%d injections): %v\n  AVF %.4f FIT %.3f; wall %v (serial %v)\n",
+			base.Faults, base.Dist, base.AVF, base.FIT,
+			base.Wall.Round(1000000), base.Serial.Round(1000000))
+		fmt.Printf("observed speedup: %.1fx fewer injections, %.1fx less injection time\n",
+			float64(base.Faults)/float64(rep.Injected),
+			base.Serial.Seconds()/rep.Serial.Seconds())
+	}
+}

@@ -1,0 +1,33 @@
+// Quickstart: run one MeRLiN campaign end to end.
+//
+// The pipeline is the paper's Fig 2: a single fault-free profiling run
+// records the vulnerable intervals of the physical register file, a
+// statistical fault list is drawn, MeRLiN prunes and groups it, and only
+// the group representatives are injected.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"merlin"
+)
+
+func main() {
+	report, err := merlin.Run(merlin.Config{
+		Workload:  "qsort",   // MiBench-style quicksort kernel
+		Structure: merlin.RF, // inject the physical integer register file
+		Faults:    2000,      // initial statistical fault list (paper: 60000)
+		Seed:      42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(report)
+	fmt.Printf("\nMeRLiN injected %d of %d faults (%.0fx faster than the comprehensive campaign)\n",
+		report.Injected, report.InitialFaults, report.FinalSpeedup)
+	fmt.Printf("SDC probability per transient fault: %.2f%%\n", 100*report.Dist.Share(merlin.SDC))
+}

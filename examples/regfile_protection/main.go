@@ -1,0 +1,58 @@
+// Register-file protection study: the early design decision the paper's
+// introduction motivates. Sweeping the physical register file size, it
+// compares the FIT rate measured by MeRLiN-accelerated injection against
+// the pessimistic ACE-like bound, showing where ACE analysis alone would
+// overprovision protection (the paper reports ACE over-estimating AVF by
+// 3-7x vs injection).
+//
+//	go run ./examples/regfile_protection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"merlin"
+
+	"merlin/internal/cpu"
+)
+
+func main() {
+	const fitBudget = 5.0 // max FIT the design allocates to the RF
+
+	fmt.Println("Physical register file soft-error study (workload mix: sha, qsort, fft)")
+	fmt.Printf("%-8s %-10s %-12s %-12s %-14s %s\n",
+		"regs", "inj. AVF", "inj. FIT", "ACE-like FIT", "within budget", "injections")
+
+	for _, regs := range []int{256, 128, 64} {
+		var avf, fit, aceFit float64
+		injections := 0
+		for _, wl := range []string{"sha", "qsort", "fft"} {
+			rep, err := merlin.Run(merlin.Config{
+				Workload:  wl,
+				CPU:       cpu.DefaultConfig().WithRF(regs),
+				Structure: merlin.RF,
+				Faults:    2000,
+				Seed:      7,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			avf += rep.AVF / 3
+			fit += rep.FIT / 3
+			aceFit += rep.ACELikeFIT / 3
+			injections += rep.Injected
+		}
+		verdict := "yes - no ECC needed"
+		if fit > fitBudget {
+			verdict = "NO - protect"
+		}
+		fmt.Printf("%-8d %-10.4f %-12.3f %-12.3f %-14s %d\n",
+			regs, avf, fit, aceFit, verdict, injections)
+	}
+
+	fmt.Println("\nSmaller register files keep values live longer (higher AVF), while the")
+	fmt.Println("ACE-like bound is uniformly pessimistic: decisions taken from it alone")
+	fmt.Println("would overprovision protection, which is exactly the paper's motivation")
+	fmt.Println("for fast *injection-based* assessment.")
+}

@@ -1,0 +1,512 @@
+// Package asm implements a two-pass assembler for the µx64 ISA.
+//
+// Source syntax, one statement per line:
+//
+//	; comment            # comment
+//	label:
+//	.data                switch to the data segment
+//	.text                switch back to the text segment
+//	.word 1, 2, label    emit 64-bit little-endian words
+//	.byte 1, 2, 3        emit bytes
+//	.space 128           reserve zeroed bytes
+//	.ascii "text"        emit the bytes of a string
+//	add  r1, r2, r3      register ALU
+//	addi r1, r2, 42      immediate ALU (also andi/ori/xori/slli/...)
+//	li   r1, 0x1234      64-bit immediate (also: li r1, label)
+//	ld   r1, [r2+8]      loads; lw/lwu/lh/lhu/lb/lbu likewise
+//	sd   [r2+8], r1      stores; sw/sh/sb likewise
+//	ldadd r1, r3, [r2+8] r1 = mem[r2+8] + r3
+//	stadd [r2+8], r3     mem[r2+8] += r3
+//	beq  r1, r2, label   conditional branches (bne/blt/bge/bltu/bgeu
+//	                     plus pseudo bgt/ble/bgtu/bleu via operand swap)
+//	j    label           unconditional jump
+//	jal  r14, label      jump and link
+//	call label           jal using the link register r14
+//	ret                  jalr to r14
+//	jalr r1, r2, 0       indirect jump
+//	mv   r1, r2          pseudo: addi r1, r2, 0
+//	out  r1              append r1 to the output stream
+//	halt / nop
+//
+// Registers are r0..r15; sp is an alias for r15 and lr for r14.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"merlin/internal/isa"
+)
+
+// Error describes an assembly failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// fixup is a forward label reference to patch after pass one. Text labels
+// resolve to instruction indexes and data labels to absolute addresses;
+// the symbol table already stores the right value for either.
+type fixup struct {
+	inst  int // text index to patch
+	label string
+	line  int
+}
+
+type assembler struct {
+	text    []isa.Inst
+	data    []byte
+	symbols map[string]int64 // labels: text index or data address
+	inData  bool
+	fixups  []fixup
+}
+
+// Assemble translates source into a Program named name.
+func Assemble(name, source string) (*isa.Program, error) {
+	a := &assembler{symbols: make(map[string]int64)}
+	for i, raw := range strings.Split(source, "\n") {
+		if err := a.line(i+1, raw); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range a.fixups {
+		v, ok := a.symbols[f.label]
+		if !ok {
+			return nil, &Error{f.line, fmt.Sprintf("undefined label %q", f.label)}
+		}
+		a.text[f.inst].Imm = v
+	}
+	return &isa.Program{
+		Name:    name,
+		Text:    a.text,
+		Data:    a.data,
+		Symbols: a.symbols,
+	}, nil
+}
+
+// MustAssemble is Assemble for sources known at build time (workloads);
+// it panics on error.
+func MustAssemble(name, source string) *isa.Program {
+	p, err := Assemble(name, source)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (a *assembler) line(n int, raw string) error {
+	s := raw
+	if i := strings.IndexAny(s, ";#"); i >= 0 {
+		// Keep ; and # inside string literals.
+		if j := strings.IndexByte(s, '"'); j < 0 || i < j {
+			s = s[:i]
+		}
+	}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	// Labels; several may precede a statement on one line.
+	for {
+		i := strings.IndexByte(s, ':')
+		if i < 0 || strings.ContainsAny(s[:i], " \t\",[") {
+			break
+		}
+		label := s[:i]
+		if _, dup := a.symbols[label]; dup {
+			return &Error{n, fmt.Sprintf("duplicate label %q", label)}
+		}
+		if a.inData {
+			a.symbols[label] = isa.DataBase + int64(len(a.data))
+		} else {
+			a.symbols[label] = int64(len(a.text))
+		}
+		s = strings.TrimSpace(s[i+1:])
+		if s == "" {
+			return nil
+		}
+	}
+	if strings.HasPrefix(s, ".") {
+		return a.directive(n, s)
+	}
+	return a.instruction(n, s)
+}
+
+func (a *assembler) directive(n int, s string) error {
+	name, rest, _ := strings.Cut(s, " ")
+	rest = strings.TrimSpace(rest)
+	switch name {
+	case ".data":
+		a.inData = true
+	case ".text":
+		a.inData = false
+	case ".space":
+		v, err := strconv.ParseInt(rest, 0, 64)
+		if err != nil || v < 0 {
+			return &Error{n, fmt.Sprintf("bad .space size %q", rest)}
+		}
+		a.data = append(a.data, make([]byte, v)...)
+	case ".word":
+		for _, f := range splitOperands(rest) {
+			v, err := a.constant(f)
+			if err != nil {
+				return &Error{n, err.Error()}
+			}
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(v))
+			a.data = append(a.data, b[:]...)
+		}
+	case ".byte":
+		for _, f := range splitOperands(rest) {
+			v, err := a.constant(f)
+			if err != nil {
+				return &Error{n, err.Error()}
+			}
+			a.data = append(a.data, byte(v))
+		}
+	case ".ascii":
+		str, err := strconv.Unquote(rest)
+		if err != nil {
+			return &Error{n, fmt.Sprintf("bad .ascii string %s", rest)}
+		}
+		a.data = append(a.data, str...)
+	default:
+		return &Error{n, fmt.Sprintf("unknown directive %s", name)}
+	}
+	return nil
+}
+
+// constant evaluates a numeric literal or an already-defined label.
+func (a *assembler) constant(s string) (int64, error) {
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return v, nil
+	}
+	if v, ok := a.symbols[s]; ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("bad constant %q (labels used in data must be defined earlier)", s)
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (int8, bool) {
+	switch s {
+	case "sp":
+		return isa.RegSP, true
+	case "lr":
+		return isa.RegLR, true
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		v, err := strconv.Atoi(s[1:])
+		if err == nil && v >= 0 && v < isa.NumArchRegs {
+			return int8(v), true
+		}
+	}
+	return 0, false
+}
+
+// parseMem parses "[rN+off]" / "[rN-off]" / "[rN]" / "[label]".
+func (a *assembler) parseMem(s string) (base int8, off int64, label string, ok bool) {
+	if len(s) < 3 || s[0] != '[' || s[len(s)-1] != ']' {
+		return 0, 0, "", false
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	sep := strings.IndexAny(inner, "+-")
+	regPart, offPart := inner, ""
+	if sep > 0 {
+		regPart, offPart = strings.TrimSpace(inner[:sep]), strings.TrimSpace(inner[sep:])
+	}
+	r, isReg := parseReg(regPart)
+	if !isReg {
+		return 0, 0, "", false
+	}
+	if offPart == "" {
+		return r, 0, "", true
+	}
+	v, err := strconv.ParseInt(offPart, 0, 64)
+	if err != nil {
+		return 0, 0, "", false
+	}
+	return r, v, "", true
+}
+
+var aluRegOps = map[string]isa.Op{
+	"add": isa.ADD, "sub": isa.SUB, "and": isa.AND, "or": isa.OR,
+	"xor": isa.XOR, "sll": isa.SLL, "srl": isa.SRL, "sra": isa.SRA,
+	"mul": isa.MUL, "div": isa.DIV, "rem": isa.REM, "slt": isa.SLT,
+	"sltu": isa.SLTU,
+}
+
+var aluImmOps = map[string]isa.Op{
+	"addi": isa.ADDI, "andi": isa.ANDI, "ori": isa.ORI, "xori": isa.XORI,
+	"slli": isa.SLLI, "srli": isa.SRLI, "srai": isa.SRAI, "slti": isa.SLTI,
+	"muli": isa.MULI,
+}
+
+var loadOps = map[string]isa.Op{
+	"ld": isa.LD, "lw": isa.LW, "lwu": isa.LWU, "lh": isa.LH,
+	"lhu": isa.LHU, "lb": isa.LB, "lbu": isa.LBU,
+}
+
+var storeOps = map[string]isa.Op{
+	"sd": isa.SD, "sw": isa.SW, "sh": isa.SH, "sb": isa.SB,
+}
+
+var branchOps = map[string]isa.Op{
+	"beq": isa.BEQ, "bne": isa.BNE, "blt": isa.BLT, "bge": isa.BGE,
+	"bltu": isa.BLTU, "bgeu": isa.BGEU,
+}
+
+// swapped pseudo-branches: "bgt a,b" == "blt b,a" etc.
+var swapBranchOps = map[string]isa.Op{
+	"bgt": isa.BLT, "ble": isa.BGE, "bgtu": isa.BLTU, "bleu": isa.BGEU,
+}
+
+func (a *assembler) emit(in isa.Inst) { a.text = append(a.text, in) }
+
+func (a *assembler) emitFixup(in isa.Inst, label string, line int) {
+	a.fixups = append(a.fixups, fixup{inst: len(a.text), label: label, line: line})
+	a.text = append(a.text, in)
+}
+
+// immOrLabel resolves an immediate operand that may be a label; labels are
+// recorded as fixups so forward references work.
+func (a *assembler) immOrLabel(s string, in isa.Inst, line int) error {
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		in.Imm = v
+		a.emit(in)
+		return nil
+	}
+	if strings.HasPrefix(s, "-") || (s[0] >= '0' && s[0] <= '9') {
+		return &Error{line, fmt.Sprintf("bad immediate %q", s)}
+	}
+	a.emitFixup(in, s, line)
+	return nil
+}
+
+func (a *assembler) instruction(n int, s string) error {
+	if a.inData {
+		return &Error{n, "instruction in .data segment"}
+	}
+	mnemonic, rest, _ := strings.Cut(s, " ")
+	mnemonic = strings.ToLower(strings.TrimSpace(mnemonic))
+	ops := splitOperands(strings.TrimSpace(rest))
+
+	need := func(k int) error {
+		if len(ops) != k {
+			return &Error{n, fmt.Sprintf("%s expects %d operands, got %d", mnemonic, k, len(ops))}
+		}
+		return nil
+	}
+	reg := func(i int) (int8, error) {
+		r, ok := parseReg(ops[i])
+		if !ok {
+			return 0, &Error{n, fmt.Sprintf("bad register %q", ops[i])}
+		}
+		return r, nil
+	}
+
+	switch {
+	case mnemonic == "nop":
+		a.emit(isa.Inst{Op: isa.NOP, Rd: isa.NoReg, Rs1: isa.NoReg, Rs2: isa.NoReg})
+	case mnemonic == "halt":
+		a.emit(isa.Inst{Op: isa.HALT, Rd: isa.NoReg, Rs1: isa.NoReg, Rs2: isa.NoReg})
+	case mnemonic == "ret":
+		a.emit(isa.Inst{Op: isa.JALR, Rd: isa.NoReg, Rs1: isa.RegLR, Rs2: isa.NoReg})
+	case mnemonic == "out":
+		if err := need(1); err != nil {
+			return err
+		}
+		r, err := reg(0)
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.OUT, Rd: isa.NoReg, Rs1: r, Rs2: isa.NoReg})
+	case mnemonic == "mv":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rs, Rs2: isa.NoReg})
+	case mnemonic == "li":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		return a.immOrLabel(ops[1], isa.Inst{Op: isa.LI, Rd: rd, Rs1: isa.NoReg, Rs2: isa.NoReg}, n)
+	case mnemonic == "j":
+		if err := need(1); err != nil {
+			return err
+		}
+		return a.immOrLabel(ops[0], isa.Inst{Op: isa.JAL, Rd: isa.NoReg, Rs1: isa.NoReg, Rs2: isa.NoReg}, n)
+	case mnemonic == "call":
+		if err := need(1); err != nil {
+			return err
+		}
+		return a.immOrLabel(ops[0], isa.Inst{Op: isa.JAL, Rd: isa.RegLR, Rs1: isa.NoReg, Rs2: isa.NoReg}, n)
+	case mnemonic == "jal":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		return a.immOrLabel(ops[1], isa.Inst{Op: isa.JAL, Rd: rd, Rs1: isa.NoReg, Rs2: isa.NoReg}, n)
+	case mnemonic == "jalr":
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		v, perr := strconv.ParseInt(ops[2], 0, 64)
+		if perr != nil {
+			return &Error{n, fmt.Sprintf("bad jalr offset %q", ops[2])}
+		}
+		a.emit(isa.Inst{Op: isa.JALR, Rd: rd, Rs1: rs, Rs2: isa.NoReg, Imm: v})
+	case aluRegOps[mnemonic] != 0:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		r1, err := reg(1)
+		if err != nil {
+			return err
+		}
+		r2, err := reg(2)
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: aluRegOps[mnemonic], Rd: rd, Rs1: r1, Rs2: r2})
+	case aluImmOps[mnemonic] != 0:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		r1, err := reg(1)
+		if err != nil {
+			return err
+		}
+		v, perr := strconv.ParseInt(ops[2], 0, 64)
+		if perr != nil {
+			return &Error{n, fmt.Sprintf("bad immediate %q", ops[2])}
+		}
+		a.emit(isa.Inst{Op: aluImmOps[mnemonic], Rd: rd, Rs1: r1, Rs2: isa.NoReg, Imm: v})
+	case loadOps[mnemonic] != 0:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		base, off, _, ok := a.parseMem(ops[1])
+		if !ok {
+			return &Error{n, fmt.Sprintf("bad memory operand %q", ops[1])}
+		}
+		a.emit(isa.Inst{Op: loadOps[mnemonic], Rd: rd, Rs1: base, Rs2: isa.NoReg, Imm: off})
+	case storeOps[mnemonic] != 0:
+		if err := need(2); err != nil {
+			return err
+		}
+		base, off, _, ok := a.parseMem(ops[0])
+		if !ok {
+			return &Error{n, fmt.Sprintf("bad memory operand %q", ops[0])}
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: storeOps[mnemonic], Rd: isa.NoReg, Rs1: base, Rs2: rs, Imm: off})
+	case mnemonic == "ldadd" || mnemonic == "ldxor":
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs2, err := reg(1)
+		if err != nil {
+			return err
+		}
+		base, off, _, ok := a.parseMem(ops[2])
+		if !ok {
+			return &Error{n, fmt.Sprintf("bad memory operand %q", ops[2])}
+		}
+		op := isa.LDADD
+		if mnemonic == "ldxor" {
+			op = isa.LDXOR
+		}
+		a.emit(isa.Inst{Op: op, Rd: rd, Rs1: base, Rs2: rs2, Imm: off})
+	case mnemonic == "stadd":
+		if err := need(2); err != nil {
+			return err
+		}
+		base, off, _, ok := a.parseMem(ops[0])
+		if !ok {
+			return &Error{n, fmt.Sprintf("bad memory operand %q", ops[0])}
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.STADD, Rd: isa.NoReg, Rs1: base, Rs2: rs, Imm: off})
+	case branchOps[mnemonic] != 0 || swapBranchOps[mnemonic] != 0:
+		if err := need(3); err != nil {
+			return err
+		}
+		r1, err := reg(0)
+		if err != nil {
+			return err
+		}
+		r2, err := reg(1)
+		if err != nil {
+			return err
+		}
+		op := branchOps[mnemonic]
+		if op == 0 {
+			op = swapBranchOps[mnemonic]
+			r1, r2 = r2, r1
+		}
+		return a.immOrLabel(ops[2], isa.Inst{Op: op, Rd: isa.NoReg, Rs1: r1, Rs2: r2}, n)
+	default:
+		return &Error{n, fmt.Sprintf("unknown mnemonic %q", mnemonic)}
+	}
+	return nil
+}

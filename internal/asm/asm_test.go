@@ -1,0 +1,214 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"merlin/internal/isa"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble("t", `
+		; comment
+		li   r1, 10
+		li   r2, 0x20     # hex
+		add  r3, r1, r2
+		out  r3
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Text) != 5 {
+		t.Fatalf("got %d instructions, want 5", len(p.Text))
+	}
+	if p.Text[0].Op != isa.LI || p.Text[0].Imm != 10 {
+		t.Errorf("inst 0 = %v", p.Text[0])
+	}
+	if p.Text[1].Imm != 0x20 {
+		t.Errorf("hex immediate = %d", p.Text[1].Imm)
+	}
+	if p.Text[2].Op != isa.ADD || p.Text[2].Rd != 3 {
+		t.Errorf("inst 2 = %v", p.Text[2])
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p, err := Assemble("t", `
+		li r1, 0
+		li r2, 5
+	loop:
+		addi r1, r1, 1
+		blt  r1, r2, loop
+		j    done
+		nop
+	done:
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Text[3].Op != isa.BLT || p.Text[3].Imm != 2 {
+		t.Errorf("branch = %v, want target 2", p.Text[3])
+	}
+	if p.Text[4].Op != isa.JAL || p.Text[4].Imm != 6 {
+		t.Errorf("jump = %v, want target 6", p.Text[4])
+	}
+	if p.Symbols["loop"] != 2 || p.Symbols["done"] != 6 {
+		t.Errorf("symbols = %v", p.Symbols)
+	}
+}
+
+func TestDataSegment(t *testing.T) {
+	p, err := Assemble("t", `
+		.data
+	arr:	.word 1, 2, 3
+	bytes:	.byte 0xff, 1
+	buf:	.space 16
+	msg:	.ascii "hi"
+		.text
+		li r1, arr
+		ld r2, [r1+8]
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["arr"] != isa.DataBase {
+		t.Errorf("arr at %#x, want %#x", p.Symbols["arr"], isa.DataBase)
+	}
+	if p.Symbols["bytes"] != isa.DataBase+24 {
+		t.Errorf("bytes at %#x", p.Symbols["bytes"])
+	}
+	if p.Symbols["buf"] != isa.DataBase+26 {
+		t.Errorf("buf at %#x", p.Symbols["buf"])
+	}
+	if want := isa.DataBase + 42; p.Symbols["msg"] != int64(want) {
+		t.Errorf("msg at %#x, want %#x", p.Symbols["msg"], want)
+	}
+	if len(p.Data) != 44 {
+		t.Errorf("data length = %d, want 44", len(p.Data))
+	}
+	if p.Data[0] != 1 || p.Data[8] != 2 || p.Data[16] != 3 {
+		t.Errorf("word data wrong: % x", p.Data[:24])
+	}
+	if p.Data[24] != 0xff || p.Data[25] != 1 {
+		t.Errorf("byte data wrong: % x", p.Data[24:26])
+	}
+	if string(p.Data[42:44]) != "hi" {
+		t.Errorf("ascii data wrong: %q", p.Data[42:44])
+	}
+	// li of a data label resolves to its absolute address.
+	if p.Text[0].Imm != isa.DataBase {
+		t.Errorf("li arr = %d", p.Text[0].Imm)
+	}
+}
+
+func TestMemoryOperands(t *testing.T) {
+	p, err := Assemble("t", `
+		ld r1, [r2+8]
+		ld r1, [r2-8]
+		ld r1, [r2]
+		sd [sp-16], r1
+		sw [r2+4], r3
+		ldadd r1, r3, [r2+8]
+		stadd [r2+8], r3
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantImm := []int64{8, -8, 0, -16, 4, 8, 8}
+	for i, w := range wantImm {
+		if p.Text[i].Imm != w {
+			t.Errorf("inst %d imm = %d, want %d", i, p.Text[i].Imm, w)
+		}
+	}
+	if p.Text[3].Rs1 != isa.RegSP {
+		t.Errorf("sp alias: rs1 = %d", p.Text[3].Rs1)
+	}
+	if p.Text[5].Op != isa.LDADD || p.Text[6].Op != isa.STADD {
+		t.Errorf("rmw ops = %v, %v", p.Text[5].Op, p.Text[6].Op)
+	}
+}
+
+func TestPseudoOps(t *testing.T) {
+	p, err := Assemble("t", `
+	start:
+		mv   r1, r2
+		call fn
+		bgt  r1, r2, start
+		ble  r1, r2, start
+		ret
+	fn:
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Text[0].Op != isa.ADDI || p.Text[0].Imm != 0 {
+		t.Errorf("mv = %v", p.Text[0])
+	}
+	if p.Text[1].Op != isa.JAL || p.Text[1].Rd != isa.RegLR || p.Text[1].Imm != 5 {
+		t.Errorf("call = %v", p.Text[1])
+	}
+	// bgt r1,r2 swaps to blt r2,r1.
+	if p.Text[2].Op != isa.BLT || p.Text[2].Rs1 != 2 || p.Text[2].Rs2 != 1 {
+		t.Errorf("bgt = %v", p.Text[2])
+	}
+	if p.Text[3].Op != isa.BGE || p.Text[3].Rs1 != 2 || p.Text[3].Rs2 != 1 {
+		t.Errorf("ble = %v", p.Text[3])
+	}
+	if p.Text[4].Op != isa.JALR || p.Text[4].Rs1 != isa.RegLR {
+		t.Errorf("ret = %v", p.Text[4])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"bogus r1, r2", "unknown mnemonic"},
+		{"add r1, r2", "expects 3 operands"},
+		{"add r1, r2, r99", "bad register"},
+		{"ld r1, r2", "bad memory operand"},
+		{"j nowhere", "undefined label"},
+		{"x: halt\nx: halt", "duplicate label"},
+		{".data\nadd r1, r2, r3", "instruction in .data"},
+		{".bogus 3", "unknown directive"},
+		{"addi r1, r2, xyz", "bad immediate"},
+	}
+	for _, c := range cases {
+		_, err := Assemble("t", c.src)
+		if err == nil {
+			t.Errorf("source %q: expected error containing %q, got nil", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("source %q: error %q does not contain %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble should panic on bad source")
+		}
+	}()
+	MustAssemble("bad", "bogus")
+}
+
+func TestCommentsInsideStrings(t *testing.T) {
+	p, err := Assemble("t", `
+		.data
+	s:	.ascii "a;b#c"
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p.Data) != "a;b#c" {
+		t.Errorf("data = %q", p.Data)
+	}
+}

@@ -1,0 +1,304 @@
+// Package campaign runs fault-injection campaigns: a golden (fault-free)
+// reference run, followed by one deterministic re-execution per fault with
+// a single bit flipped at its cycle, classified against the golden run into
+// the paper's six fault-effect categories (Table 2).
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"merlin/internal/cpu"
+	"merlin/internal/fault"
+	"merlin/internal/isa"
+	"merlin/internal/lifetime"
+)
+
+// Outcome is a fault-effect class (paper Table 2, plus Unknown for the
+// truncated-run classification of Table 4).
+type Outcome uint8
+
+// Fault-effect classes.
+const (
+	Masked  Outcome = iota // output and exceptions identical to golden
+	SDC                    // output corrupted, no abnormal behaviour
+	DUE                    // output intact but extra/missing exceptions
+	Timeout                // execution exceeded 3x the golden cycle count
+	Crash                  // simulated process or simulator died
+	Assert                 // simulator stopped on an internal assertion
+	Unknown                // truncated run: fault still live at the cut
+	NumOutcomes
+)
+
+var outcomeNames = [NumOutcomes]string{"Masked", "SDC", "DUE", "Timeout", "Crash", "Assert", "Unknown"}
+
+// String returns the class name.
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return "?"
+}
+
+// Dist is a distribution of outcomes.
+type Dist [NumOutcomes]int
+
+// Add counts one outcome.
+func (d *Dist) Add(o Outcome) { d[o]++ }
+
+// AddN counts n occurrences of an outcome (used when a group
+// representative's outcome is extrapolated to the whole group).
+func (d *Dist) AddN(o Outcome, n int) { d[o] += n }
+
+// Total returns the number of classified faults.
+func (d *Dist) Total() int {
+	t := 0
+	for _, n := range d {
+		t += n
+	}
+	return t
+}
+
+// Share returns the fraction of outcome o.
+func (d *Dist) Share(o Outcome) float64 {
+	t := d.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(d[o]) / float64(t)
+}
+
+// AVF is the injection-based architectural vulnerability factor: the
+// non-masked fraction (§4.4.3.3).
+func (d *Dist) AVF() float64 {
+	t := d.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(t-d[Masked]) / float64(t)
+}
+
+// FIT converts the AVF into a failures-in-time rate given the structure's
+// bit count and the raw per-bit FIT rate (the paper uses 0.01 FIT/bit).
+func (d *Dist) FIT(bits int, rawFITPerBit float64) float64 {
+	return d.AVF() * rawFITPerBit * float64(bits)
+}
+
+// String formats the distribution as percentages.
+func (d Dist) String() string {
+	t := d.Total()
+	if t == 0 {
+		return "(empty)"
+	}
+	s := ""
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		if d[o] == 0 && o == Unknown {
+			continue
+		}
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%.2f%%", o, 100*float64(d[o])/float64(t))
+	}
+	return s
+}
+
+// Target describes one (workload, core configuration) combination. Init,
+// when non-nil, loads the workload's input data into fresh cores; it must
+// be deterministic.
+type Target struct {
+	Cfg  cpu.Config
+	Prog *isa.Program
+	Init func(*cpu.Core)
+}
+
+// NewCore builds a fresh initialised core for the target.
+func (t *Target) NewCore() *cpu.Core {
+	c := cpu.New(t.Cfg, t.Prog)
+	if t.Init != nil {
+		t.Init(c)
+	}
+	return c
+}
+
+// Golden is the reference run: the architectural outcome plus (optionally)
+// the lifetime tracer of the ACE-like analysis.
+type Golden struct {
+	Result cpu.RunResult
+	Tracer *lifetime.Tracer
+}
+
+// Runner executes injection campaigns for a target.
+type Runner struct {
+	Target
+	// TimeoutFactor bounds faulty runs at factor x golden cycles
+	// (the paper uses 3).
+	TimeoutFactor uint64
+	// Workers is the injection parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// GoldenBudget bounds the golden run itself.
+	GoldenBudget uint64
+}
+
+// NewRunner returns a Runner with the paper's 3x timeout and full host
+// parallelism.
+func NewRunner(t Target) *Runner {
+	return &Runner{Target: t, TimeoutFactor: 3, GoldenBudget: 500_000_000}
+}
+
+// RunGolden performs the fault-free reference run, tracking lifetimes of
+// the given structures (none for plain baseline campaigns).
+func (r *Runner) RunGolden(track ...lifetime.StructureID) (*Golden, error) {
+	c := r.NewCore()
+	var tr *lifetime.Tracer
+	if len(track) > 0 {
+		tr = lifetime.NewTracer(track...)
+		c.AttachTracer(tr)
+	}
+	res := c.Run(r.GoldenBudget)
+	if res.Halt != cpu.HaltOK {
+		return nil, fmt.Errorf("campaign: golden run of %q ended with %v after %d cycles", r.Prog.Name, res.Halt, res.Cycles)
+	}
+	return &Golden{Result: res, Tracer: tr}, nil
+}
+
+// RunFault re-executes the program with f injected and classifies the
+// outcome against the golden run. Simulator panics are converted to Crash,
+// internal assertion failures to Assert.
+func (r *Runner) RunFault(f fault.Fault, golden *cpu.RunResult) (out Outcome) {
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(*cpu.AssertError); ok {
+				out = Assert
+			} else {
+				out = Crash // simulator crash
+			}
+		}
+	}()
+	c := r.NewCore()
+	for c.Cycle()+1 < f.Cycle && c.Halted() == cpu.Running {
+		c.Step()
+	}
+	applyFault(c, f)
+	limit := r.TimeoutFactor * golden.Cycles
+	res := c.Run(limit)
+	return Classify(res, golden)
+}
+
+// applyFault flips every bit of the (possibly multi-bit) fault, clamped to
+// the entry width.
+func applyFault(c *cpu.Core, f fault.Fault) {
+	entryBits := c.StructureEntryBits(f.Structure)
+	for i := 0; i < f.Bits(); i++ {
+		bit := int(f.Bit) + i
+		if bit >= entryBits {
+			break
+		}
+		c.FlipBit(f.Structure, int(f.Entry), bit)
+	}
+}
+
+// Classify maps a completed faulty run to its fault-effect class.
+func Classify(res cpu.RunResult, golden *cpu.RunResult) Outcome {
+	switch res.Halt {
+	case cpu.HaltOK:
+		if !equalU64(res.Output, golden.Output) {
+			return SDC
+		}
+		if !equalU32(res.ExcLog, golden.ExcLog) {
+			return DUE
+		}
+		return Masked
+	case cpu.CycleLimit:
+		return Timeout
+	default:
+		return Crash
+	}
+}
+
+// Result aggregates a campaign.
+type Result struct {
+	Outcomes []Outcome
+	Dist     Dist
+	Wall     time.Duration // parallel wall-clock of the whole campaign
+	Serial   time.Duration // summed per-injection run time (single-machine equivalent)
+	Injected int
+}
+
+// RunAll injects every fault in faults (in parallel) and aggregates the
+// classification. The outcome order matches the fault order.
+func (r *Runner) RunAll(faults []fault.Fault, golden *cpu.RunResult) *Result {
+	res := &Result{Outcomes: make([]Outcome, len(faults)), Injected: len(faults)}
+	var serialNS atomic.Int64
+	start := time.Now()
+	parallelFor(r.Workers, len(faults), func(i int) {
+		t0 := time.Now()
+		res.Outcomes[i] = r.RunFault(faults[i], golden)
+		serialNS.Add(int64(time.Since(t0)))
+	})
+	res.Wall = time.Since(start)
+	res.Serial = time.Duration(serialNS.Load())
+	for _, o := range res.Outcomes {
+		res.Dist.Add(o)
+	}
+	return res
+}
+
+// parallelFor runs fn(0..n-1) across a worker pool.
+func parallelFor(workers, n int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

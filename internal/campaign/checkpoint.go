@@ -1,0 +1,92 @@
+package campaign
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"merlin/internal/cpu"
+	"merlin/internal/fault"
+)
+
+// CheckpointSet holds frozen machine snapshots at evenly spaced cycles of
+// the fault-free run. Injection runs clone the latest snapshot before
+// their fault cycle instead of replaying from reset — the run-acceleration
+// technique of Chatzidimitriou & Gizopoulos (ISPASS 2016), which the paper
+// notes is orthogonal to (and combinable with) MeRLiN.
+type CheckpointSet struct {
+	cycles []uint64
+	cores  []*cpu.Core // frozen; accessed read-only via Clone
+}
+
+// BuildCheckpoints replays the fault-free run once, freezing k snapshots
+// (plus the implicit reset state). The returned set is immutable and safe
+// for concurrent use.
+func (r *Runner) BuildCheckpoints(k int, goldenCycles uint64) *CheckpointSet {
+	set := &CheckpointSet{
+		cycles: []uint64{0},
+		cores:  []*cpu.Core{r.NewCore()},
+	}
+	c := r.NewCore()
+	for i := 1; i <= k; i++ {
+		target := goldenCycles * uint64(i) / uint64(k+1)
+		for c.Cycle() < target && c.Halted() == cpu.Running {
+			c.Step()
+		}
+		if c.Halted() != cpu.Running {
+			break
+		}
+		set.cycles = append(set.cycles, c.Cycle())
+		set.cores = append(set.cores, c.Clone())
+	}
+	return set
+}
+
+// before returns the latest snapshot strictly usable for a fault injected
+// at the start of cycle fc (its cycle must be <= fc-1).
+func (s *CheckpointSet) before(fc uint64) *cpu.Core {
+	i := sort.Search(len(s.cycles), func(i int) bool { return s.cycles[i] > fc-1 })
+	return s.cores[i-1]
+}
+
+// RunFaultFrom injects f starting from the nearest checkpoint and
+// classifies against the golden run. Results are bit-identical to
+// RunFault: the snapshot is exactly the state a from-reset replay reaches.
+func (r *Runner) RunFaultFrom(set *CheckpointSet, f fault.Fault, golden *cpu.RunResult) (out Outcome) {
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(*cpu.AssertError); ok {
+				out = Assert
+			} else {
+				out = Crash
+			}
+		}
+	}()
+	c := set.before(f.Cycle).Clone()
+	for c.Cycle()+1 < f.Cycle && c.Halted() == cpu.Running {
+		c.Step()
+	}
+	applyFault(c, f)
+	res := c.Run(r.TimeoutFactor * golden.Cycles)
+	return Classify(res, golden)
+}
+
+// RunAllCheckpointed is RunAll accelerated by k checkpoints. Outcomes are
+// identical to RunAll's; only wall-clock differs.
+func (r *Runner) RunAllCheckpointed(faults []fault.Fault, golden *cpu.RunResult, k int) *Result {
+	set := r.BuildCheckpoints(k, golden.Cycles)
+	res := &Result{Outcomes: make([]Outcome, len(faults)), Injected: len(faults)}
+	var serialNS atomic.Int64
+	start := time.Now()
+	parallelFor(r.Workers, len(faults), func(i int) {
+		t0 := time.Now()
+		res.Outcomes[i] = r.RunFaultFrom(set, faults[i], golden)
+		serialNS.Add(int64(time.Since(t0)))
+	})
+	res.Wall = time.Since(start)
+	res.Serial = time.Duration(serialNS.Load())
+	for _, o := range res.Outcomes {
+		res.Dist.Add(o)
+	}
+	return res
+}

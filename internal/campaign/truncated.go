@@ -1,0 +1,98 @@
+package campaign
+
+import (
+	"fmt"
+
+	"merlin/internal/cpu"
+	"merlin/internal/fault"
+	"merlin/internal/lifetime"
+)
+
+// TruncatedGolden is the fault-free reference for a run cut at a fixed
+// cycle, mirroring the paper's Simpoint-interval experiments (§4.4.3.4):
+// since the run does not finish, Masked/Unknown are decided by comparing
+// the complete reachable state at the cut.
+type TruncatedGolden struct {
+	Cut    uint64
+	Result cpu.RunResult
+	Hash   uint64
+	Tracer *lifetime.Tracer
+}
+
+// RunGoldenTruncated executes the fault-free run up to cut cycles and
+// captures its architectural state digest.
+func (r *Runner) RunGoldenTruncated(cut uint64, track ...lifetime.StructureID) (*TruncatedGolden, error) {
+	c := r.NewCore()
+	var tr *lifetime.Tracer
+	if len(track) > 0 {
+		tr = lifetime.NewTracer(track...)
+		c.AttachTracer(tr)
+	}
+	res := c.Run(cut)
+	if res.Halt != cpu.CycleLimit {
+		return nil, fmt.Errorf("campaign: truncated golden of %q ended early: %v after %d cycles", r.Prog.Name, res.Halt, res.Cycles)
+	}
+	c.FlushDataCaches()
+	return &TruncatedGolden{Cut: cut, Result: res, Hash: c.StateHash(), Tracer: tr}, nil
+}
+
+// RunFaultTruncated injects f, runs to the cut, and classifies with the
+// paper's truncated scheme: Masked / DUE / Crash / Assert / Unknown. SDCs
+// and Timeouts cannot be identified because the program never finishes;
+// any fault whose effects are still present in the machine state at the
+// cut is Unknown.
+func (r *Runner) RunFaultTruncated(f fault.Fault, tg *TruncatedGolden) (out Outcome) {
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(*cpu.AssertError); ok {
+				out = Assert
+			} else {
+				out = Crash
+			}
+		}
+	}()
+	c := r.NewCore()
+	for c.Cycle()+1 < f.Cycle && c.Halted() == cpu.Running {
+		c.Step()
+	}
+	applyFault(c, f)
+	res := c.Run(tg.Cut)
+	switch res.Halt {
+	case cpu.CycleLimit:
+		// Still running at the cut, as the golden run is.
+	case cpu.HaltOK:
+		// The fault steered execution to completion before the interval
+		// ended; its effect on the full program is undecidable here.
+		return Unknown
+	default:
+		return Crash
+	}
+	outputSame := equalU64(res.Output, tg.Result.Output)
+	excSame := equalU32(res.ExcLog, tg.Result.ExcLog)
+	if !outputSame {
+		return Unknown // corrupted output already visible; still "not finished"
+	}
+	c.FlushDataCaches()
+	if c.StateHash() == tg.Hash {
+		if !excSame {
+			return DUE
+		}
+		return Masked
+	}
+	if !excSame {
+		return DUE
+	}
+	return Unknown
+}
+
+// RunAllTruncated is the truncated-run analogue of RunAll.
+func (r *Runner) RunAllTruncated(faults []fault.Fault, tg *TruncatedGolden) *Result {
+	res := &Result{Outcomes: make([]Outcome, len(faults)), Injected: len(faults)}
+	parallelFor(r.Workers, len(faults), func(i int) {
+		res.Outcomes[i] = r.RunFaultTruncated(faults[i], tg)
+	})
+	for _, o := range res.Outcomes {
+		res.Dist.Add(o)
+	}
+	return res
+}

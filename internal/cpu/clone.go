@@ -1,0 +1,98 @@
+package cpu
+
+import (
+	"merlin/internal/lifetime"
+	"merlin/internal/mem"
+)
+
+// Clone returns a deep copy of the whole machine state: a snapshot that
+// can be stepped independently of the original. Campaigns use clones as
+// checkpoints so each injection run replays only from the nearest snapshot
+// before its fault cycle instead of from reset (the run-acceleration idea
+// of Chatzidimitriou & Gizopoulos [12], orthogonal to MeRLiN itself).
+//
+// The lifetime tracer is not cloned: snapshots serve injection runs, which
+// are never traced. Cloning a core with an attached tracer panics.
+func (c *Core) Clone() *Core {
+	assertf(c.tracer == nil, "Clone of a traced core")
+	n := &Core{
+		Cfg:     c.Cfg,
+		prog:    c.prog,
+		cracked: c.cracked, // immutable, shared
+
+		cycle:  c.cycle,
+		seqGen: c.seqGen,
+		halted: c.halted,
+
+		regVal:   append([]uint64(nil), c.regVal...),
+		regReady: append([]bool(nil), c.regReady...),
+		rat:      c.rat,
+		freeList: append([]int16(nil), c.freeList...),
+
+		rob:     append([]robEntry(nil), c.rob...),
+		robHead: c.robHead,
+		robLen:  c.robLen,
+		iq:      append([]int32(nil), c.iq...),
+
+		sq:             append([]sqEntry(nil), c.sq...),
+		sqHead:         c.sqHead,
+		sqLen:          c.sqLen,
+		lqLen:          c.lqLen,
+		drainBusyUntil: c.drainBusyUntil,
+
+		fetchPC:      c.fetchPC,
+		fetchHalted:  c.fetchHalted,
+		fetchReadyAt: c.fetchReadyAt,
+		chargedLine:  c.chargedLine,
+		decodeQ:      append([]pendingUop(nil), c.decodeQ...),
+		dqHead:       c.dqHead,
+		pred:         c.pred.clone(),
+
+		curTemps:     c.curTemps,
+		tempAcc:      c.tempAcc,
+		curTempCount: c.curTempCount,
+		lastSQ:       c.lastSQ,
+
+		output:         append([]uint64(nil), c.output...),
+		excLog:         append([]uint32(nil), c.excLog...),
+		committedInsts: c.committedInsts,
+		committedUops:  c.committedUops,
+		lastCommitAt:   c.lastCommitAt,
+
+		stats: c.stats,
+	}
+	n.dmem = c.dmem.Clone()
+	n.imem = c.imem.Clone()
+	n.l2 = c.l2.Clone(n.dmem)
+	n.l1d = c.l1d.Clone(n.l2)
+	n.l1i = c.l1i.Clone(n.imem)
+	// Event hooks fire only when a tracer is attached; clones are
+	// untraced, so the rewired hooks stay dormant but keep the invariant
+	// that every core's hooks point at itself.
+	n.l1d.OnFill = func(set, way int, cycle uint64) {
+		n.emitL1D(lifetime.EvWrite, set, way, ^uint64(0))
+	}
+	n.l1d.OnEvict = func(set, way int, kind mem.EvictKind, cycle uint64) {
+		if kind == mem.EvictDirty {
+			n.emitL1D(lifetime.EvWBRead, set, way, ^uint64(0))
+		} else {
+			n.emitL1D(lifetime.EvInvalidate, set, way, ^uint64(0))
+		}
+	}
+	return n
+}
+
+func (p *predictor) clone() *predictor {
+	return &predictor{
+		localHist:  append([]uint16(nil), p.localHist...),
+		localPred:  append([]uint8(nil), p.localPred...),
+		globalPred: append([]uint8(nil), p.globalPred...),
+		chooser:    append([]uint8(nil), p.chooser...),
+		ghr:        p.ghr,
+		commitGHR:  p.commitGHR,
+		btbTag:     append([]int64(nil), p.btbTag...),
+		btbTarget:  append([]int64(nil), p.btbTarget...),
+		ras:        append([]int64(nil), p.ras...),
+		rasTop:     p.rasTop,
+	}
+}

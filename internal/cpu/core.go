@@ -1,0 +1,547 @@
+package cpu
+
+import (
+	"fmt"
+	"io"
+
+	"merlin/internal/isa"
+	"merlin/internal/lifetime"
+	"merlin/internal/mem"
+)
+
+// HaltReason describes how a run ended.
+type HaltReason uint8
+
+// Run outcomes. The Crash* reasons model the simulated process dying
+// (paper Table 2, "Crash": abnormal termination of the simulated program).
+const (
+	Running        HaltReason = iota
+	HaltOK                    // program executed HALT
+	CrashPageFault            // committed access outside mapped memory
+	CrashBadFetch             // committed control transfer to invalid code
+	CrashDivZero              // committed division by zero
+	CycleLimit                // exceeded the caller's cycle budget
+)
+
+var haltNames = [...]string{"running", "halt", "crash-pagefault", "crash-badfetch", "crash-divzero", "cycle-limit"}
+
+func (h HaltReason) String() string {
+	if int(h) < len(haltNames) {
+		return haltNames[h]
+	}
+	return "?"
+}
+
+// ExcKind is a precise exception raised at commit.
+type ExcKind uint8
+
+// Exceptions. Misaligned accesses are fixed up by the simulated kernel and
+// logged (they surface as DUEs when the program output is still correct);
+// the others kill the simulated process.
+const (
+	ExcNone ExcKind = iota
+	ExcMisalign
+	ExcPageFault
+	ExcDivZero
+	ExcBadFetch
+)
+
+// AssertError is panicked by internal invariant checks; the campaign
+// classifies it as the paper's "Assert" outcome.
+type AssertError struct{ Msg string }
+
+func (e *AssertError) Error() string { return "cpu assert: " + e.Msg }
+
+func assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic(&AssertError{Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+type uopState uint8
+
+const (
+	stWaiting uopState = iota
+	stExecuting
+	stDone
+)
+
+// pendingRead is a speculative structure read buffered on a ROB entry and
+// published to the lifetime tracer only if the reader commits (squashed
+// reads must not end vulnerable intervals; paper Fig 3).
+type pendingRead struct {
+	structID lifetime.StructureID
+	entry    int32
+	mask     uint64
+	cycle    uint64
+	seq      uint64
+}
+
+type robEntry struct {
+	seq  uint64
+	rip  int64
+	uop  isa.Uop
+	last bool // final µop of its macro-instruction
+
+	state    uopState
+	doneAt   uint64
+	exc      ExcKind
+	physDest int16
+	oldPhys  int16
+	archDest int8
+	src1     int16
+	src2     int16
+	src1Val  uint64
+	src2Val  uint64
+	result   uint64
+
+	// Branch bookkeeping.
+	predTarget int64
+	actTarget  int64
+	actTaken   bool
+	isCond     bool
+	ghrSnap    uint64
+
+	// Memory bookkeeping.
+	addr   uint64
+	sqSlot int16
+
+	freeT1, freeT2 int16 // temp physical registers to release at commit
+
+	nReads uint8
+	reads  [4]pendingRead
+}
+
+type sqEntry struct {
+	valid  bool
+	seq    uint64
+	addr   uint64
+	size   uint8
+	addrOK bool
+	dataOK bool
+	data   uint64 // the injected "data field of the store queue" (§4.1)
+
+	// Post-commit drain state: a committed store occupies its slot until
+	// the data-cache write completes (one drain port, in order), which is
+	// when the SQ data field is finally read.
+	committed bool
+	drainRIP  int64
+	drainUPC  uint8
+	drainSeq  uint64
+}
+
+type pendingUop struct {
+	rip  int64
+	uop  isa.Uop
+	last bool
+	bad  bool // invalid-fetch pseudo µop
+
+	// Branch prediction made at fetch.
+	predTarget int64
+	ghrSnap    uint64
+	isCond     bool
+}
+
+// Stats counts pipeline activity over a run.
+type Stats struct {
+	Cycles         uint64
+	CommittedInsts uint64
+	CommittedUops  uint64
+	Branches       uint64
+	Mispredicts    uint64
+	Loads          uint64
+	Stores         uint64
+	SQForwards     uint64
+	SquashedUops   uint64
+	L1DStats       mem.CacheStats
+	L1IStats       mem.CacheStats
+	L2Stats        mem.CacheStats
+}
+
+// RunResult is the architectural outcome of a run: everything the campaign
+// needs to classify a fault's effect.
+type RunResult struct {
+	Halt   HaltReason
+	Cycles uint64
+	Output []uint64 // committed OUT values, in order
+	ExcLog []uint32 // committed recoverable exceptions (kind | rip<<3)
+	Stats  Stats
+}
+
+// Core is one instance of the simulated machine. It is single-goroutine;
+// campaigns parallelise by running independent Cores.
+type Core struct {
+	Cfg     Config
+	prog    *isa.Program
+	cracked [][]isa.Uop // per-RIP µop decomposition, computed once
+
+	dmem *mem.Memory
+	imem *mem.Memory
+	l1i  *mem.Cache
+	l1d  *mem.Cache
+	l2   *mem.Cache
+
+	cycle  uint64
+	seqGen uint64
+	halted HaltReason
+
+	// Physical register file (the injected RF) and rename state.
+	regVal   []uint64
+	regReady []bool
+	rat      [isa.NumArchRegs]int16
+	freeList []int16
+
+	rob     []robEntry
+	robHead int
+	robLen  int
+
+	iq []int32 // ROB slot indexes of waiting µops, program order
+
+	sq             []sqEntry
+	sqHead         int
+	sqLen          int
+	lqLen          int
+	drainBusyUntil uint64
+
+	// Frontend.
+	fetchPC      int64
+	fetchHalted  bool
+	fetchReadyAt uint64
+	chargedLine  int64
+	decodeQ      []pendingUop
+	dqHead       int
+	pred         *predictor
+
+	// Rename scratch: temps of the macro-instruction being renamed.
+	curTemps     [2]int16
+	tempAcc      [2]int16
+	curTempCount int
+	lastSQ       int16
+
+	output         []uint64
+	excLog         []uint32
+	committedInsts uint64
+	committedUops  uint64
+	lastCommitAt   uint64
+
+	tracer *lifetime.Tracer
+	traceW io.Writer
+	stats  Stats
+}
+
+// New builds a core for prog with the given configuration. The program's
+// data segment is loaded at isa.DataBase and the stack pointer initialised
+// to isa.StackTop.
+func New(cfg Config, prog *isa.Program) *Core {
+	assertf(cfg.PhysRegs > isa.NumArchRegs, "PhysRegs %d must exceed %d architectural registers", cfg.PhysRegs, isa.NumArchRegs)
+	c := &Core{
+		Cfg:  cfg,
+		prog: prog,
+		dmem: mem.NewMemory(isa.DataBase, isa.MemTop, cfg.MemLatency),
+		imem: mem.NewMemory(0, uint64(len(prog.Text)+1)*8, cfg.MemLatency),
+
+		regVal:   make([]uint64, cfg.PhysRegs),
+		regReady: make([]bool, cfg.PhysRegs),
+		rob:      make([]robEntry, cfg.ROBEntries),
+		sq:       make([]sqEntry, cfg.SQEntries),
+		iq:       make([]int32, 0, cfg.IQEntries),
+
+		fetchPC:     int64(prog.Entry),
+		chargedLine: -1,
+		lastSQ:      -1,
+		pred:        newPredictor(cfg),
+	}
+	c.cracked = crackedFor(prog)
+	c.l2 = mem.NewCache(cfg.L2, c.dmem)
+	c.l1d = mem.NewCache(cfg.L1D, c.l2)
+	c.l1i = mem.NewCache(cfg.L1I, c.imem)
+
+	c.l1d.OnFill = func(set, way int, cycle uint64) {
+		c.emitL1D(lifetime.EvWrite, set, way, ^uint64(0))
+	}
+	c.l1d.OnEvict = func(set, way int, kind mem.EvictKind, cycle uint64) {
+		if kind == mem.EvictDirty {
+			c.emitL1D(lifetime.EvWBRead, set, way, ^uint64(0))
+		} else {
+			c.emitL1D(lifetime.EvInvalidate, set, way, ^uint64(0))
+		}
+	}
+
+	c.dmem.WriteBytes(isa.DataBase, prog.Data)
+	for i := 0; i < isa.NumArchRegs; i++ {
+		c.rat[i] = int16(i)
+		c.regReady[i] = true
+	}
+	c.regVal[isa.RegSP] = isa.StackTop
+	c.freeList = make([]int16, 0, cfg.PhysRegs)
+	for p := cfg.PhysRegs - 1; p >= isa.NumArchRegs; p-- {
+		c.freeList = append(c.freeList, int16(p))
+	}
+	return c
+}
+
+// WriteData initialises simulated memory before the run starts (workload
+// inputs). It must not be called after Step.
+func (c *Core) WriteData(addr uint64, data []byte) {
+	assertf(c.cycle == 0, "WriteData after the run started")
+	assertf(c.dmem.InRange(addr, len(data)), "WriteData outside mapped memory: %#x+%d", addr, len(data))
+	c.dmem.WriteBytes(addr, data)
+}
+
+// AttachTracer enables lifetime tracking for the golden ACE-like run. The
+// initial architectural register values count as cycle-0 writes.
+func (c *Core) AttachTracer(t *lifetime.Tracer) {
+	assertf(c.cycle == 0, "AttachTracer after the run started")
+	c.tracer = t
+	if l := t.Log(lifetime.StructRF); l != nil {
+		for p := 0; p < isa.NumArchRegs; p++ {
+			l.Append(lifetime.Event{Seq: t.NextSeq(), Cycle: 0, Entry: int32(p), Mask: 0xff, Kind: lifetime.EvWrite})
+		}
+	}
+}
+
+// Cycle returns the current cycle number.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Halted returns the current halt state.
+func (c *Core) Halted() HaltReason { return c.halted }
+
+// Step advances the machine one cycle. Stages run in reverse pipeline
+// order so same-cycle structural effects flow oldest-first.
+func (c *Core) Step() {
+	if c.halted != Running {
+		return
+	}
+	c.cycle++
+	c.drainStage()
+	c.commitStage()
+	if c.halted != Running {
+		return
+	}
+	c.writebackStage()
+	c.issueStage()
+	c.renameStage()
+	c.fetchStage()
+	if c.cycle-c.lastCommitAt > c.Cfg.CommitWatchdog {
+		assertf(false, "commit starvation: no commit since cycle %d", c.lastCommitAt)
+	}
+}
+
+// Run executes until the program halts, crashes, or maxCycles elapses.
+func (c *Core) Run(maxCycles uint64) RunResult {
+	for c.halted == Running && c.cycle < maxCycles {
+		c.Step()
+	}
+	if c.halted == Running {
+		c.halted = CycleLimit
+	}
+	return c.Result()
+}
+
+// Result snapshots the architectural outcome so far.
+func (c *Core) Result() RunResult {
+	s := c.stats
+	s.Cycles = c.cycle
+	s.CommittedInsts = c.committedInsts
+	s.CommittedUops = c.committedUops
+	s.L1DStats = c.l1d.Stats
+	s.L1IStats = c.l1i.Stats
+	s.L2Stats = c.l2.Stats
+	if c.tracer != nil {
+		c.tracer.Cycles = c.cycle
+	}
+	return RunResult{Halt: c.halted, Cycles: c.cycle, Output: c.output, ExcLog: c.excLog, Stats: s}
+}
+
+// StructureEntries returns how many injectable entries structure s has
+// under this core's configuration.
+func (c *Core) StructureEntries(s lifetime.StructureID) int {
+	switch s {
+	case lifetime.StructRF:
+		return c.Cfg.PhysRegs
+	case lifetime.StructSQ:
+		return c.Cfg.SQEntries
+	case lifetime.StructL1D:
+		return c.l1d.Entries()
+	}
+	return 0
+}
+
+// StructureEntryBits returns the entry width in bits of structure s.
+func (c *Core) StructureEntryBits(s lifetime.StructureID) int {
+	switch s {
+	case lifetime.StructRF, lifetime.StructSQ:
+		return 64
+	case lifetime.StructL1D:
+		return c.l1d.LineSize() * 8
+	}
+	return 0
+}
+
+// FlipBit injects a single-bit transient fault into structure s: entry
+// selects the physical slot (register, SQ slot, or cache (set,way) line)
+// and bit the flipped bit. The flip lands in the physical storage
+// regardless of the slot's current architectural meaning, exactly like a
+// particle strike.
+func (c *Core) FlipBit(s lifetime.StructureID, entry, bit int) {
+	switch s {
+	case lifetime.StructRF:
+		c.regVal[entry] ^= 1 << uint(bit)
+	case lifetime.StructSQ:
+		c.sq[entry].data ^= 1 << uint(bit)
+	case lifetime.StructL1D:
+		c.l1d.FlipBit(entry, bit)
+	default:
+		assertf(false, "FlipBit: unknown structure %d", s)
+	}
+}
+
+// FlushDataCaches writes all dirty cached data back to memory without
+// emitting lifetime events (used for end-state comparison of truncated
+// runs, Table 4).
+func (c *Core) FlushDataCaches() {
+	evict, fill := c.l1d.OnEvict, c.l1d.OnFill
+	c.l1d.OnEvict, c.l1d.OnFill = nil, nil
+	c.l1d.FlushAll(c.cycle)
+	c.l2.FlushAll(c.cycle)
+	c.l1d.OnEvict, c.l1d.OnFill = evict, fill
+}
+
+// StateHash returns a deterministic FNV-1a digest of the architecturally
+// reachable state: mapped data memory (call FlushDataCaches first), the
+// architectural registers, resident cache lines, and valid store-queue
+// data. Table 4's truncated-run classification compares it against the
+// golden run at the same cut cycle: equal means the fault vanished
+// (Masked), different means it is still live (Unknown).
+func (c *Core) StateHash() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	byteIn := func(b byte) { h = (h ^ uint64(b)) * prime }
+	u64In := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			byteIn(byte(v >> (8 * i)))
+		}
+	}
+	buf := make([]byte, 4096)
+	for addr := uint64(isa.DataBase); addr < isa.MemTop; addr += uint64(len(buf)) {
+		c.dmem.ReadBytes(addr, buf)
+		for _, b := range buf {
+			byteIn(b)
+		}
+	}
+	for a := 0; a < isa.NumArchRegs; a++ {
+		u64In(c.regVal[c.rat[a]])
+	}
+	for _, cache := range []*mem.Cache{c.l1d, c.l2} {
+		for e := 0; e < cache.Entries(); e++ {
+			if !cache.Valid(e) {
+				continue
+			}
+			u64In(uint64(e))
+			for _, b := range cache.EntryData(e) {
+				byteIn(b)
+			}
+		}
+	}
+	for i := 0; i < c.sqLen; i++ {
+		s := &c.sq[(c.sqHead+i)%len(c.sq)]
+		if s.dataOK {
+			u64In(s.data)
+		}
+	}
+	return h
+}
+
+// --- lifetime event plumbing ---
+
+func (c *Core) emitWrite(s lifetime.StructureID, entry int32, mask uint64) {
+	if c.tracer == nil {
+		return
+	}
+	l := c.tracer.Log(s)
+	if l == nil {
+		return
+	}
+	l.Append(lifetime.Event{Seq: c.tracer.NextSeq(), Cycle: c.cycle, Entry: entry, Mask: mask, Kind: lifetime.EvWrite})
+}
+
+func (c *Core) emitL1D(kind lifetime.EventKind, set, way int, mask uint64) {
+	if c.tracer == nil {
+		return
+	}
+	l := c.tracer.Log(lifetime.StructL1D)
+	if l == nil {
+		return
+	}
+	entry := int32(set*c.l1d.Cfg.Ways + way)
+	rip := int32(0)
+	if kind == lifetime.EvWBRead {
+		rip = lifetime.WBRip
+	}
+	l.Append(lifetime.Event{Seq: c.tracer.NextSeq(), Cycle: c.cycle, Entry: entry, Mask: mask, Kind: kind, RIP: rip})
+}
+
+// emitInvalidate records that an entry's contents left the structure
+// unread: a freed physical register (no future µop can read it before the
+// next producer overwrites it) or a drained / squashed store-queue slot.
+// Without these events, truncated-run analysis (Table 4) would treat dead
+// storage as live at the cut.
+func (c *Core) emitInvalidate(s lifetime.StructureID, entry int32, mask uint64) {
+	if c.tracer == nil {
+		return
+	}
+	l := c.tracer.Log(s)
+	if l == nil {
+		return
+	}
+	l.Append(lifetime.Event{Seq: c.tracer.NextSeq(), Cycle: c.cycle, Entry: entry, Mask: mask, Kind: lifetime.EvInvalidate})
+}
+
+// freePhys returns a physical register to the free list, closing its
+// lifetime.
+func (c *Core) freePhys(p int16) {
+	c.freeList = append(c.freeList, p)
+	c.emitInvalidate(lifetime.StructRF, int32(p), 0xff)
+}
+
+// pendRead buffers a structure read on the reading µop; it is published at
+// commit and dropped on squash.
+func (c *Core) pendRead(e *robEntry, s lifetime.StructureID, entry int32, mask uint64) {
+	if c.tracer == nil || c.tracer.Log(s) == nil {
+		return
+	}
+	assertf(int(e.nReads) < len(e.reads), "too many pending reads on one µop")
+	e.reads[e.nReads] = pendingRead{structID: s, entry: entry, mask: mask, cycle: c.cycle, seq: c.tracer.NextSeq()}
+	e.nReads++
+}
+
+func (c *Core) flushReads(e *robEntry) {
+	if c.tracer == nil || e.nReads == 0 {
+		return
+	}
+	for i := uint8(0); i < e.nReads; i++ {
+		r := &e.reads[i]
+		l := c.tracer.Log(r.structID)
+		if l == nil {
+			continue
+		}
+		rip := int32(e.rip)
+		l.Append(lifetime.Event{
+			Seq: r.seq, Cycle: r.cycle, CommitSeq: e.seq, Entry: r.entry,
+			Mask: r.mask, Kind: lifetime.EvRead, RIP: rip, UPC: e.uop.UPC,
+		})
+	}
+}
+
+// SetCommitTrace streams one line per committed macro-instruction to w:
+// cycle, sequence number, RIP and disassembly. Intended for debugging
+// workloads and the pipeline itself (uxrun -trace); unset (nil) in
+// campaigns.
+func (c *Core) SetCommitTrace(w io.Writer) { c.traceW = w }
+
+func (c *Core) traceCommit(e *robEntry) {
+	if c.traceW == nil || !e.last {
+		return
+	}
+	fmt.Fprintf(c.traceW, "%8d  #%-6d %4d: %s\n", c.cycle, e.seq, e.rip, c.prog.Text[e.rip])
+}

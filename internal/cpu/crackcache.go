@@ -1,0 +1,24 @@
+package cpu
+
+import (
+	"sync"
+
+	"merlin/internal/isa"
+)
+
+// Programs are immutable once assembled, and injection campaigns build
+// thousands of Cores for the same program; cache the µop decomposition per
+// program so the fetch path never allocates.
+var crackCache sync.Map // *isa.Program -> [][]isa.Uop
+
+func crackedFor(p *isa.Program) [][]isa.Uop {
+	if v, ok := crackCache.Load(p); ok {
+		return v.([][]isa.Uop)
+	}
+	cracked := make([][]isa.Uop, len(p.Text))
+	for i, in := range p.Text {
+		cracked[i] = isa.Crack(in)
+	}
+	v, _ := crackCache.LoadOrStore(p, cracked)
+	return v.([][]isa.Uop)
+}

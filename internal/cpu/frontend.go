@@ -1,0 +1,219 @@
+package cpu
+
+import "merlin/internal/isa"
+
+// fetchStage fetches macro-instructions at fetchPC, predicts control flow,
+// cracks into µops and appends them to the decode queue. Instruction cache
+// latency is charged once per fetched line.
+func (c *Core) fetchStage() {
+	if c.fetchHalted || c.cycle < c.fetchReadyAt {
+		return
+	}
+	if c.dqHead == len(c.decodeQ) {
+		c.decodeQ = c.decodeQ[:0]
+		c.dqHead = 0
+	}
+	fetched := 0
+	for fetched < c.Cfg.FetchWidth {
+		if len(c.decodeQ)-c.dqHead+4 > c.Cfg.DecodeQCap {
+			return
+		}
+		pc := c.fetchPC
+		if pc < 0 || pc >= int64(len(c.prog.Text)) {
+			// Control flow left the text segment. Emit a poisoned µop
+			// that crashes the process if it commits; if it is on the
+			// wrong path the squash will clean it up.
+			c.decodeQ = append(c.decodeQ, pendingUop{rip: pc, bad: true, last: true})
+			c.fetchHalted = true
+			return
+		}
+		line := pc * 8 / int64(c.Cfg.L1I.LineSize)
+		if line != c.chargedLine {
+			_, lat := c.l1i.Access(uint64(pc)*8, 8, false, c.cycle)
+			c.chargedLine = line
+			if lat > c.Cfg.L1I.HitLatency {
+				c.fetchReadyAt = c.cycle + uint64(lat)
+				return
+			}
+		}
+
+		inst := c.prog.Text[pc]
+		uops := c.cracked[pc]
+		nextPC := pc + 1
+		stop := false
+
+		var pred pendingUop // branch prediction metadata for the branch µop
+		switch {
+		case isa.IsCondBranch(inst.Op):
+			taken, snap := c.pred.predictCond(pc)
+			pred.isCond = true
+			pred.ghrSnap = snap
+			if taken {
+				pred.predTarget = inst.Imm
+				nextPC = inst.Imm
+				stop = true
+			} else {
+				pred.predTarget = pc + 1
+			}
+		case inst.Op == isa.JAL:
+			pred.predTarget = inst.Imm
+			nextPC = inst.Imm
+			stop = true
+			if inst.Rd == isa.RegLR {
+				c.pred.push(pc + 1)
+			}
+		case inst.Op == isa.JALR:
+			var target int64
+			if inst.Rs1 == isa.RegLR && inst.Rd == isa.NoReg {
+				target = c.pred.pop()
+			} else if t, ok := c.pred.predictIndirect(pc); ok {
+				target = t
+			} else {
+				target = pc + 1
+			}
+			pred.predTarget = target
+			nextPC = target
+			stop = true
+		case inst.Op == isa.HALT:
+			c.fetchHalted = true
+			stop = true
+		}
+
+		for i, u := range uops {
+			pu := pendingUop{rip: pc, uop: u, last: i == len(uops)-1}
+			if u.Kind == isa.UopBr || u.Kind == isa.UopJmp {
+				pu.predTarget = pred.predTarget
+				pu.ghrSnap = pred.ghrSnap
+				pu.isCond = pred.isCond
+			}
+			c.decodeQ = append(c.decodeQ, pu)
+		}
+		c.fetchPC = nextPC
+		fetched++
+		if stop {
+			return
+		}
+	}
+}
+
+func needsIssue(k isa.UopKind) bool {
+	return k != isa.UopNop && k != isa.UopHalt
+}
+
+// renameStage moves µops from the decode queue into the ROB, renaming
+// architectural and temp registers onto the physical register file and
+// allocating LSQ slots.
+func (c *Core) renameStage() {
+	for n := 0; n < c.Cfg.RenameWidth && c.dqHead < len(c.decodeQ); n++ {
+		pu := &c.decodeQ[c.dqHead]
+		if c.robLen == len(c.rob) {
+			return
+		}
+		u := pu.uop
+		if !pu.bad {
+			if needsIssue(u.Kind) && len(c.iq) >= c.Cfg.IQEntries {
+				return
+			}
+			if (u.Rd >= 0 || u.TempDst >= 0) && len(c.freeList) == 0 {
+				return
+			}
+			if u.Kind == isa.UopSTA && c.sqLen == len(c.sq) {
+				return
+			}
+			if u.Kind == isa.UopLoad && c.lqLen >= c.Cfg.LQEntries {
+				return
+			}
+		}
+
+		c.seqGen++
+		idx := (c.robHead + c.robLen) % len(c.rob)
+		c.robLen++
+		e := &c.rob[idx]
+		*e = robEntry{
+			seq:      c.seqGen,
+			rip:      pu.rip,
+			uop:      u,
+			last:     pu.last,
+			physDest: -1, oldPhys: -1, archDest: -1,
+			src1: -1, src2: -1, sqSlot: -1,
+			freeT1: -1, freeT2: -1,
+			predTarget: pu.predTarget,
+			isCond:     pu.isCond,
+			ghrSnap:    pu.ghrSnap,
+		}
+
+		if pu.bad {
+			e.state = stDone
+			e.exc = ExcBadFetch
+			c.dqHead++
+			continue
+		}
+
+		if u.UPC == 0 {
+			c.curTempCount = 0
+		}
+		// Rename sources before allocating the destination: an
+		// instruction may read and write the same architectural register.
+		if u.TempSrc >= 0 {
+			e.src1 = c.curTemps[u.TempSrc]
+		} else if u.Rs1 >= 0 {
+			e.src1 = c.rat[u.Rs1]
+		}
+		if u.Rs2 >= 0 {
+			e.src2 = c.rat[u.Rs2]
+		}
+
+		if u.Rd >= 0 {
+			p := c.allocPhys()
+			e.physDest = p
+			e.oldPhys = c.rat[u.Rd]
+			e.archDest = u.Rd
+			c.rat[u.Rd] = p
+		} else if u.TempDst >= 0 {
+			p := c.allocPhys()
+			e.physDest = p
+			c.curTemps[u.TempDst] = p
+			assertf(c.curTempCount < len(c.tempAcc), "macro-op with more than %d temps", len(c.tempAcc))
+			c.tempAcc[c.curTempCount] = p
+			c.curTempCount++
+		}
+		if pu.last && c.curTempCount > 0 {
+			e.freeT1 = c.tempAcc[0]
+			if c.curTempCount > 1 {
+				e.freeT2 = c.tempAcc[1]
+			}
+			c.curTempCount = 0
+		}
+
+		switch u.Kind {
+		case isa.UopSTA:
+			slot := int16((c.sqHead + c.sqLen) % len(c.sq))
+			c.sqLen++
+			c.sq[slot] = sqEntry{valid: true, seq: e.seq, size: u.MemSize}
+			e.sqSlot = slot
+			c.lastSQ = slot
+		case isa.UopSTD:
+			assertf(c.lastSQ >= 0, "STD with no preceding STA")
+			e.sqSlot = c.lastSQ
+		case isa.UopLoad:
+			c.lqLen++
+		}
+
+		if needsIssue(u.Kind) {
+			e.state = stWaiting
+			c.iq = append(c.iq, int32(idx))
+		} else {
+			e.state = stDone
+			e.doneAt = c.cycle
+		}
+		c.dqHead++
+	}
+}
+
+func (c *Core) allocPhys() int16 {
+	assertf(len(c.freeList) > 0, "free list underflow")
+	p := c.freeList[len(c.freeList)-1]
+	c.freeList = c.freeList[:len(c.freeList)-1]
+	c.regReady[p] = false
+	return p
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"merlin/internal/campaign"
+)
+
+// CSV renders the speedup cells as comma-separated values for plotting.
+func (r *SpeedupResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("size,workload,initial,post_ace,injected,ace_speedup,final_speedup\n")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%.3f,%.3f\n",
+			c.Size, c.Workload, c.Initial, c.PostACE, c.Injected, c.ACE, c.Final)
+	}
+	return b.String()
+}
+
+// CSV renders every accuracy campaign as comma-separated values: one row
+// per (workload, size) with the ground-truth and extrapolated class
+// shares, homogeneity and injection counts.
+func (r *AccuracyResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("size,workload,structure,initial,ace_masked,post_ace,merlin_injected," +
+		"homog_fine,homog_coarse,perfect_share")
+	for _, m := range []string{"full", "merlin", "relyzer"} {
+		for o := campaign.Outcome(0); o < campaign.Unknown; o++ {
+			fmt.Fprintf(&b, ",%s_%s", m, strings.ToLower(o.String()))
+		}
+	}
+	b.WriteString(",baseline_fit,merlin_fit,acelike_fit\n")
+	for _, c := range r.Campaigns {
+		fmt.Fprintf(&b, "%s,%s,%s,%d,%d,%d,%d,%.4f,%.4f,%.4f",
+			c.Size, c.Workload, c.Struct, c.InitialFaults, c.ACEMasked, c.PostACE,
+			c.MerlinInjected, c.Homog.Fine, c.Homog.Coarse, c.Homog.PerfectShare)
+		for _, d := range []campaign.Dist{c.FullPostACE, c.MerlinPostACE, c.RelyzerPostACE} {
+			for o := campaign.Outcome(0); o < campaign.Unknown; o++ {
+				fmt.Fprintf(&b, ",%.5f", d.Share(o))
+			}
+		}
+		fmt.Fprintf(&b, ",%.4f,%.4f,%.4f\n", c.BaselineFIT, c.MerlinFIT, c.ACELikeFIT)
+	}
+	return b.String()
+}
+
+// CSV renders the scaling study rows.
+func (r *ScalingResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("size,base_faults,base_ace,base_final,big_faults,big_ace,big_final,speedup_scale,injected_scale\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%d,%.3f,%.3f,%d,%.3f,%.3f,%.3f,%.3f\n",
+			row.Size, row.BaseFaults, row.BaseACE, row.BaseFinal,
+			row.BigList, row.BigACE, row.BigFinal, row.SpeedupScale, row.InjectedScale)
+	}
+	return b.String()
+}

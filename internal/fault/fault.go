@@ -1,0 +1,42 @@
+// Package fault defines the transient-fault model: a single bit flip in a
+// physical storage location (register, store-queue slot, or cache line) at
+// a specific execution cycle, matching the GeFIN injector the paper builds
+// on.
+package fault
+
+import (
+	"fmt"
+
+	"merlin/internal/lifetime"
+)
+
+// Fault is one transient fault: a flip of Width adjacent bits (Width 0 or
+// 1 means the paper's single-bit model; larger widths model multi-bit
+// upsets from a single strike, the extension studied by e.g. MACAU [20]).
+type Fault struct {
+	Structure lifetime.StructureID
+	Entry     int32  // physical slot index within the structure
+	Bit       int32  // first flipped bit within the entry (0 .. entryBits-1)
+	Cycle     uint64 // flip applied at the start of this cycle
+	Width     uint8  // number of adjacent bits flipped; 0 means 1
+}
+
+// Bits returns the number of flipped bits (at least 1).
+func (f Fault) Bits() int {
+	if f.Width <= 1 {
+		return 1
+	}
+	return int(f.Width)
+}
+
+// Byte returns the byte position of the flipped bit within its entry — the
+// sub-grouping key of MeRLiN's second step (§3.2.2).
+func (f Fault) Byte() int { return int(f.Bit) / 8 }
+
+// String formats the fault for logs.
+func (f Fault) String() string {
+	if f.Bits() > 1 {
+		return fmt.Sprintf("%s[%d] bits %d..%d @ cycle %d", f.Structure, f.Entry, f.Bit, int(f.Bit)+f.Bits()-1, f.Cycle)
+	}
+	return fmt.Sprintf("%s[%d] bit %d @ cycle %d", f.Structure, f.Entry, f.Bit, f.Cycle)
+}

@@ -1,0 +1,240 @@
+// Package interp is a functional (architectural) interpreter for µx64: it
+// executes programs in order with no microarchitecture at all. Its sole
+// purpose is differential testing — the out-of-order core must produce the
+// same committed outputs, exceptions and halt cause for every program.
+package interp
+
+import (
+	"merlin/internal/isa"
+)
+
+// HaltReason mirrors the architectural subset of cpu.HaltReason.
+type HaltReason uint8
+
+// Architectural run outcomes.
+const (
+	HaltOK HaltReason = iota
+	CrashPageFault
+	CrashBadFetch
+	CrashDivZero
+	StepLimit
+)
+
+// Result is the architectural outcome of a run.
+type Result struct {
+	Halt   HaltReason
+	Output []uint64
+	ExcLog []uint32 // recoverable exceptions: kind | rip<<3 (same encoding as cpu)
+	Steps  uint64
+}
+
+// machine is the architectural state.
+type machine struct {
+	regs [isa.NumArchRegs]uint64
+	mem  map[uint64]byte
+	out  []uint64
+	exc  []uint32
+}
+
+func (m *machine) load(addr uint64, size int, signed bool) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.mem[addr+uint64(i)]) << (8 * i)
+	}
+	if signed && v&(1<<(uint(size)*8-1)) != 0 {
+		v |= ^uint64(0) << (uint(size) * 8)
+	}
+	return v
+}
+
+func (m *machine) store(addr uint64, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		m.mem[addr+uint64(i)] = byte(v >> (8 * i))
+	}
+}
+
+func inRange(addr uint64, size int) bool {
+	return addr >= isa.DataBase && addr+uint64(size) <= isa.MemTop && addr+uint64(size) >= addr
+}
+
+// Run executes prog architecturally for at most maxSteps instructions.
+func Run(prog *isa.Program, maxSteps uint64) Result {
+	m := &machine{mem: make(map[uint64]byte)}
+	for i, b := range prog.Data {
+		m.mem[isa.DataBase+uint64(i)] = b
+	}
+	m.regs[isa.RegSP] = isa.StackTop
+
+	pc := int64(prog.Entry)
+	var steps uint64
+	for ; steps < maxSteps; steps++ {
+		if pc < 0 || pc >= int64(len(prog.Text)) {
+			return Result{Halt: CrashBadFetch, Output: m.out, ExcLog: m.exc, Steps: steps}
+		}
+		in := prog.Text[pc]
+		next := pc + 1
+		switch {
+		case in.Op == isa.HALT:
+			return Result{Halt: HaltOK, Output: m.out, ExcLog: m.exc, Steps: steps}
+		case in.Op == isa.NOP:
+		case in.Op == isa.OUT:
+			m.out = append(m.out, m.regs[in.Rs1])
+		case in.Op == isa.LI:
+			m.regs[in.Rd] = uint64(in.Imm)
+		case in.Op == isa.DIV || in.Op == isa.REM:
+			s1, s2 := m.regs[in.Rs1], m.regs[in.Rs2]
+			if s2 == 0 {
+				return Result{Halt: CrashDivZero, Output: m.out, ExcLog: m.exc, Steps: steps}
+			}
+			if in.Op == isa.DIV {
+				m.regs[in.Rd] = uint64(int64(s1) / int64(s2))
+			} else {
+				m.regs[in.Rd] = uint64(int64(s1) % int64(s2))
+			}
+		case isa.IsCondBranch(in.Op):
+			if condTaken(in.Op, m.regs[in.Rs1], m.regs[in.Rs2]) {
+				next = in.Imm
+			}
+		case in.Op == isa.JAL:
+			if in.Rd >= 0 {
+				m.regs[in.Rd] = uint64(pc + 1)
+			}
+			next = in.Imm
+		case in.Op == isa.JALR:
+			target := int64(m.regs[in.Rs1]) + in.Imm
+			if in.Rd >= 0 {
+				m.regs[in.Rd] = uint64(pc + 1)
+			}
+			next = target
+		case isa.IsStore(in.Op) && in.Op != isa.STADD:
+			size := int(isa.MemSizeOf(in.Op))
+			addr := m.regs[in.Rs1] + uint64(in.Imm)
+			if !inRange(addr, size) {
+				return Result{Halt: CrashPageFault, Output: m.out, ExcLog: m.exc, Steps: steps}
+			}
+			if addr%uint64(size) != 0 {
+				m.exc = append(m.exc, uint32(pc)<<3|1) // ExcMisalign
+			}
+			m.store(addr, size, m.regs[in.Rs2])
+		case in.Op == isa.STADD:
+			addr := m.regs[in.Rs1] + uint64(in.Imm)
+			if !inRange(addr, 8) {
+				return Result{Halt: CrashPageFault, Output: m.out, ExcLog: m.exc, Steps: steps}
+			}
+			if addr%8 != 0 {
+				// load µop then STA µop both fault; two log entries.
+				m.exc = append(m.exc, uint32(pc)<<3|1, uint32(pc)<<3|1)
+			}
+			m.store(addr, 8, m.load(addr, 8, false)+m.regs[in.Rs2])
+		case in.Op == isa.LDADD || in.Op == isa.LDXOR:
+			addr := m.regs[in.Rs1] + uint64(in.Imm)
+			if !inRange(addr, 8) {
+				return Result{Halt: CrashPageFault, Output: m.out, ExcLog: m.exc, Steps: steps}
+			}
+			if addr%8 != 0 {
+				m.exc = append(m.exc, uint32(pc)<<3|1)
+			}
+			v := m.load(addr, 8, false)
+			if in.Op == isa.LDADD {
+				m.regs[in.Rd] = v + m.regs[in.Rs2]
+			} else {
+				m.regs[in.Rd] = v ^ m.regs[in.Rs2]
+			}
+		case isa.IsLoad(in.Op):
+			size := int(isa.MemSizeOf(in.Op))
+			addr := m.regs[in.Rs1] + uint64(in.Imm)
+			if !inRange(addr, size) {
+				return Result{Halt: CrashPageFault, Output: m.out, ExcLog: m.exc, Steps: steps}
+			}
+			if addr%uint64(size) != 0 {
+				m.exc = append(m.exc, uint32(pc)<<3|1)
+			}
+			signed := in.Op == isa.LW || in.Op == isa.LH || in.Op == isa.LB
+			m.regs[in.Rd] = m.load(addr, size, signed)
+		default:
+			m.regs[in.Rd] = alu(in.Op, m.regs[in.Rs1], reg2(m, in), in.Imm)
+		}
+		pc = next
+	}
+	return Result{Halt: StepLimit, Output: m.out, ExcLog: m.exc, Steps: steps}
+}
+
+func reg2(m *machine, in isa.Inst) uint64 {
+	if in.Rs2 < 0 {
+		return 0
+	}
+	return m.regs[in.Rs2]
+}
+
+func alu(op isa.Op, s1, s2 uint64, imm int64) uint64 {
+	switch op {
+	case isa.ADD:
+		return s1 + s2
+	case isa.ADDI:
+		return s1 + uint64(imm)
+	case isa.SUB:
+		return s1 - s2
+	case isa.AND:
+		return s1 & s2
+	case isa.ANDI:
+		return s1 & uint64(imm)
+	case isa.OR:
+		return s1 | s2
+	case isa.ORI:
+		return s1 | uint64(imm)
+	case isa.XOR:
+		return s1 ^ s2
+	case isa.XORI:
+		return s1 ^ uint64(imm)
+	case isa.SLL:
+		return s1 << (s2 & 63)
+	case isa.SLLI:
+		return s1 << (uint64(imm) & 63)
+	case isa.SRL:
+		return s1 >> (s2 & 63)
+	case isa.SRLI:
+		return s1 >> (uint64(imm) & 63)
+	case isa.SRA:
+		return uint64(int64(s1) >> (s2 & 63))
+	case isa.SRAI:
+		return uint64(int64(s1) >> (uint64(imm) & 63))
+	case isa.MUL:
+		return s1 * s2
+	case isa.MULI:
+		return s1 * uint64(imm)
+	case isa.SLT:
+		if int64(s1) < int64(s2) {
+			return 1
+		}
+		return 0
+	case isa.SLTI:
+		if int64(s1) < imm {
+			return 1
+		}
+		return 0
+	case isa.SLTU:
+		if s1 < s2 {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+func condTaken(op isa.Op, s1, s2 uint64) bool {
+	switch op {
+	case isa.BEQ:
+		return s1 == s2
+	case isa.BNE:
+		return s1 != s2
+	case isa.BLT:
+		return int64(s1) < int64(s2)
+	case isa.BGE:
+		return int64(s1) >= int64(s2)
+	case isa.BLTU:
+		return s1 < s2
+	case isa.BGEU:
+		return s1 >= s2
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+package interp
+
+import (
+	"reflect"
+	"testing"
+
+	"merlin/internal/asm"
+)
+
+func run(t *testing.T, src string) Result {
+	t.Helper()
+	p, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run(p, 1_000_000)
+}
+
+func TestBasicExecution(t *testing.T) {
+	res := run(t, `
+		li r1, 6
+		li r2, 7
+		mul r3, r1, r2
+		out r3
+		halt
+	`)
+	if res.Halt != HaltOK || !reflect.DeepEqual(res.Output, []uint64{42}) {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestMemoryAndLoop(t *testing.T) {
+	res := run(t, `
+		.data
+	buf:	.space 64
+		.text
+		li r1, buf
+		li r2, 0
+		li r3, 8
+	fill:	sd [r1], r2
+		addi r1, r1, 8
+		addi r2, r2, 1
+		blt r2, r3, fill
+		li r1, buf
+		li r2, 0
+		li r4, 0
+	sum:	ld r5, [r1]
+		add r4, r4, r5
+		addi r1, r1, 8
+		addi r2, r2, 1
+		blt r2, r3, sum
+		out r4
+		halt
+	`)
+	if res.Halt != HaltOK || res.Output[0] != 28 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestCrashes(t *testing.T) {
+	cases := []struct {
+		src  string
+		want HaltReason
+	}{
+		{"li r1, 0\nld r2, [r1]\nhalt", CrashPageFault},
+		{"li r1, 99999\njalr r2, r1, 0\nhalt", CrashBadFetch},
+		{"li r1, 5\nli r2, 0\ndiv r3, r1, r2\nhalt", CrashDivZero},
+		{"spin: j spin", StepLimit},
+	}
+	for _, c := range cases {
+		if got := run(t, c.src); got.Halt != c.want {
+			t.Errorf("%q: halt = %v, want %v", c.src, got.Halt, c.want)
+		}
+	}
+}
+
+func TestMisalignLogged(t *testing.T) {
+	res := run(t, `
+		.data
+	buf:	.space 16
+		.text
+		li r1, buf
+		li r2, 0xbeef
+		sw [r1+1], r2
+		lw r3, [r1+1]
+		out r3
+		halt
+	`)
+	if res.Halt != HaltOK || len(res.ExcLog) != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Output[0] != 0xbeef {
+		t.Errorf("misaligned round trip = %#x", res.Output[0])
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	res := run(t, `
+		li r1, 20
+		call inc
+		out r1
+		halt
+	inc:	addi r1, r1, 1
+		ret
+	`)
+	if res.Halt != HaltOK || res.Output[0] != 21 {
+		t.Fatalf("res = %+v", res)
+	}
+}

@@ -1,0 +1,134 @@
+package isa
+
+import "testing"
+
+func TestCrackSingleUop(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		kind UopKind
+	}{
+		{Inst{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}, UopALU},
+		{Inst{Op: MUL, Rd: 1, Rs1: 2, Rs2: 3}, UopMul},
+		{Inst{Op: DIV, Rd: 1, Rs1: 2, Rs2: 3}, UopMul},
+		{Inst{Op: LD, Rd: 1, Rs1: 2, Imm: 8}, UopLoad},
+		{Inst{Op: BEQ, Rs1: 1, Rs2: 2, Imm: 10}, UopBr},
+		{Inst{Op: JAL, Rd: 14, Imm: 10}, UopBr},
+		{Inst{Op: JALR, Rd: NoReg, Rs1: 14}, UopJmp},
+		{Inst{Op: OUT, Rs1: 3}, UopOut},
+		{Inst{Op: HALT}, UopHalt},
+		{Inst{Op: NOP}, UopNop},
+	}
+	for _, tt := range tests {
+		uops := Crack(tt.in)
+		if len(uops) != 1 {
+			t.Fatalf("%v: got %d uops, want 1", tt.in, len(uops))
+		}
+		if uops[0].Kind != tt.kind {
+			t.Errorf("%v: kind = %v, want %v", tt.in, uops[0].Kind, tt.kind)
+		}
+		if uops[0].UPC != 0 {
+			t.Errorf("%v: uPC = %d, want 0", tt.in, uops[0].UPC)
+		}
+	}
+}
+
+func TestCrackStore(t *testing.T) {
+	uops := Crack(Inst{Op: SW, Rs1: 2, Rs2: 3, Imm: 4})
+	if len(uops) != 2 {
+		t.Fatalf("store cracked into %d uops, want 2", len(uops))
+	}
+	if uops[0].Kind != UopSTA || uops[1].Kind != UopSTD {
+		t.Fatalf("store uop kinds = %v, %v; want STA, STD", uops[0].Kind, uops[1].Kind)
+	}
+	if uops[0].UPC != 0 || uops[1].UPC != 1 {
+		t.Errorf("store uPCs = %d, %d; want 0, 1", uops[0].UPC, uops[1].UPC)
+	}
+	if uops[0].Rs1 != 2 {
+		t.Errorf("STA reads r%d, want r2", uops[0].Rs1)
+	}
+	if uops[1].Rs1 != 3 {
+		t.Errorf("STD reads r%d, want r3", uops[1].Rs1)
+	}
+	if uops[0].MemSize != 4 {
+		t.Errorf("STA size = %d, want 4", uops[0].MemSize)
+	}
+}
+
+func TestCrackLoadOp(t *testing.T) {
+	uops := Crack(Inst{Op: LDADD, Rd: 5, Rs1: 2, Rs2: 3, Imm: 16})
+	if len(uops) != 2 {
+		t.Fatalf("ldadd cracked into %d uops, want 2", len(uops))
+	}
+	if uops[0].Kind != UopLoad || uops[0].TempDst != 0 {
+		t.Fatalf("ldadd uop0 = %+v, want load writing temp 0", uops[0])
+	}
+	if uops[1].Kind != UopALU || uops[1].TempSrc != 0 || uops[1].Rd != 5 {
+		t.Fatalf("ldadd uop1 = %+v, want ALU reading temp 0 into r5", uops[1])
+	}
+}
+
+func TestCrackSTADD(t *testing.T) {
+	uops := Crack(Inst{Op: STADD, Rs1: 2, Rs2: 3, Imm: 16})
+	if len(uops) != 4 {
+		t.Fatalf("stadd cracked into %d uops, want 4", len(uops))
+	}
+	kinds := []UopKind{UopLoad, UopALU, UopSTA, UopSTD}
+	for i, k := range kinds {
+		if uops[i].Kind != k {
+			t.Errorf("stadd uop%d kind = %v, want %v", i, uops[i].Kind, k)
+		}
+		if int(uops[i].UPC) != i {
+			t.Errorf("stadd uop%d uPC = %d", i, uops[i].UPC)
+		}
+	}
+	if uops[3].TempSrc != 1 {
+		t.Errorf("STD must read the ALU temp, got TempSrc=%d", uops[3].TempSrc)
+	}
+}
+
+func TestNumUopsMatchesCrack(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		in := Inst{Op: op, Rd: 1, Rs1: 2, Rs2: 3}
+		if got, want := NumUops(op), len(Crack(in)); got != want {
+			t.Errorf("NumUops(%v) = %d, Crack gives %d", op, got, want)
+		}
+	}
+}
+
+func TestMemSizeOf(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want uint8
+	}{
+		{LD, 8}, {LW, 4}, {LH, 2}, {LB, 1}, {SD, 8}, {SW, 4}, {SH, 2},
+		{SB, 1}, {LWU, 4}, {LHU, 2}, {LBU, 1}, {STADD, 8}, {ADD, 0},
+	}
+	for _, tt := range tests {
+		if got := MemSizeOf(tt.op); got != tt.want {
+			t.Errorf("MemSizeOf(%v) = %d, want %d", tt.op, got, tt.want)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if ADD.String() != "add" || HALT.String() != "halt" {
+		t.Errorf("opcode names wrong: %s %s", ADD, HALT)
+	}
+	in := Inst{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}
+	if in.String() != "add r1, r2, r3" {
+		t.Errorf("disassembly wrong: %s", in)
+	}
+}
+
+func TestProgramSymbolPanics(t *testing.T) {
+	p := &Program{Name: "x", Symbols: map[string]int64{"a": 1}}
+	if p.Symbol("a") != 1 {
+		t.Fatal("Symbol lookup failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Symbol of missing label should panic")
+		}
+	}()
+	p.Symbol("missing")
+}

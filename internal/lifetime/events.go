@@ -1,0 +1,118 @@
+// Package lifetime implements MeRLiN's ACE-like analysis (paper §3.1.1):
+// it collects the raw write/read/invalidate event streams of the tracked
+// hardware structures during a fault-free run and derives the vulnerable
+// intervals of every (entry, byte), each annotated with the static
+// instruction (RIP) and micro-op (uPC) whose committed read ends it.
+package lifetime
+
+// StructureID names a fault-injection / lifetime-tracking target.
+type StructureID uint8
+
+// The three structures evaluated in the paper (§4.1).
+const (
+	StructRF  StructureID = iota // physical integer register file
+	StructSQ                     // store queue data field
+	StructL1D                    // L1 data cache data array
+	NumStructures
+)
+
+var structNames = [NumStructures]string{"RF", "SQ", "L1D"}
+
+// String returns the structure's short name.
+func (s StructureID) String() string {
+	if int(s) < len(structNames) {
+		return structNames[s]
+	}
+	return "?"
+}
+
+// EventKind classifies a lifetime event.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EvWrite: the masked bytes were (re)written. Opens a lifetime
+	// segment; any prior unread segment becomes non-vulnerable.
+	EvWrite EventKind = iota
+	// EvRead: a committed read consumed the masked bytes; ends a
+	// vulnerable interval attributed to (RIP, UPC).
+	EvRead
+	// EvWBRead: a dirty-line writeback read the bytes on their way to the
+	// next memory level; ends a vulnerable interval attributed to the
+	// WBRip pseudo-instruction.
+	EvWBRead
+	// EvInvalidate: the bytes left the structure unread (clean eviction,
+	// entry freed); closes the segment non-vulnerably.
+	EvInvalidate
+)
+
+// WBRip is the pseudo-RIP attributed to dirty-writeback reads, which have no
+// associated program instruction.
+const WBRip int32 = -1
+
+// Event is one lifetime event of an entry. Seq is the global occurrence
+// order (assigned when the bits were physically touched), which breaks ties
+// within a cycle deterministically.
+type Event struct {
+	Seq       uint64
+	Cycle     uint64
+	CommitSeq uint64 // program-order seq of the committing reader (EvRead)
+	Entry     int32
+	Mask      uint64 // byte mask within the entry (bit i = byte i)
+	RIP       int32  // reading instruction (EvRead) or WBRip (EvWBRead)
+	Kind      EventKind
+	UPC       uint8
+}
+
+// Log accumulates the events of one structure.
+type Log struct {
+	Events []Event
+}
+
+// Append adds an event.
+func (l *Log) Append(ev Event) { l.Events = append(l.Events, ev) }
+
+// BranchRec is one committed control-flow decision, recorded for the
+// Relyzer control-equivalence comparison (§4.4.4).
+type BranchRec struct {
+	CommitSeq uint64 // program-order seq of the branch µop
+	RIP       int32
+	Target    int32 // next RIP actually followed
+	Taken     bool
+}
+
+// Tracer collects the lifetime event logs of the structures tracked during
+// one fault-free run, plus the committed branch trace. A nil per-structure
+// log disables tracking of that structure.
+type Tracer struct {
+	seq      uint64
+	logs     [NumStructures]*Log
+	Branches []BranchRec
+	Cycles   uint64 // total run cycles; set by the run harness
+}
+
+// NewTracer returns a tracer tracking the listed structures.
+func NewTracer(track ...StructureID) *Tracer {
+	t := &Tracer{}
+	for _, s := range track {
+		t.logs[s] = &Log{}
+	}
+	return t
+}
+
+// Log returns the event log for s, or nil if s is untracked.
+func (t *Tracer) Log(s StructureID) *Log { return t.logs[s] }
+
+// NextSeq reserves the next global occurrence sequence number. The core
+// calls it at the moment bits are physically read or written, even when the
+// event itself is only appended later (committed reads are buffered until
+// the reader commits).
+func (t *Tracer) NextSeq() uint64 {
+	t.seq++
+	return t.seq
+}
+
+// RecordBranch appends a committed branch outcome.
+func (t *Tracer) RecordBranch(commitSeq uint64, rip, target int32, taken bool) {
+	t.Branches = append(t.Branches, BranchRec{CommitSeq: commitSeq, RIP: rip, Target: target, Taken: taken})
+}

@@ -1,0 +1,236 @@
+package lifetime
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Interval is one ACE-like vulnerable interval (paper §3.1.1): the bytes in
+// Mask of Entry are vulnerable in (Start, End] — a flip strictly after
+// Start and no later than End is consumed by the committed read at End.
+// The interval is attributed to the reading instruction (RIP, UPC); EndSeq
+// is the reader's program-order sequence, identifying the dynamic instance
+// (used by grouping step 2 and by the Relyzer comparison).
+type Interval struct {
+	Entry  int32
+	Mask   uint64
+	Start  uint64
+	End    uint64
+	EndSeq uint64
+	RIP    int32 // WBRip for dirty-writeback reads
+	UPC    uint8
+}
+
+// Analysis holds the vulnerable intervals of one structure for one program
+// run, with a per-(entry, byte) index for O(log n) fault lookup.
+type Analysis struct {
+	Structure  StructureID
+	Entries    int
+	EntryBytes int
+	Cycles     uint64
+	Intervals  []Interval
+
+	index [][]int32 // (entry*EntryBytes+byte) -> interval ids, End ascending
+}
+
+// EOFRip is the pseudo-RIP attributed to lifetimes still open when a
+// truncated run is cut (Table 4): a fault inside one is still live at the
+// cut, so it groups separately from any real reader.
+const EOFRip int32 = -2
+
+// Build derives the vulnerable intervals of structure s from its event log.
+// Events are replayed in occurrence order; a per-(entry, byte) state machine
+// opens a segment at each write, emits a vulnerable interval at each
+// committed read (chaining read-to-read intervals, per the paper's
+// modified ACE definition), and discards unread segments at overwrites,
+// invalidations and end of run.
+func Build(log *Log, s StructureID, entries, entryBytes int, cycles uint64) *Analysis {
+	return build(log, s, entries, entryBytes, cycles, false)
+}
+
+// BuildTruncated is Build for a run cut at cycles: segments still open at
+// the cut become intervals ending at the cut attributed to EOFRip, since a
+// fault in them is live (Unknown) rather than provably masked.
+func BuildTruncated(log *Log, s StructureID, entries, entryBytes int, cycles uint64) *Analysis {
+	return build(log, s, entries, entryBytes, cycles, true)
+}
+
+func build(log *Log, s StructureID, entries, entryBytes int, cycles uint64, openAsEOF bool) *Analysis {
+	a := &Analysis{
+		Structure:  s,
+		Entries:    entries,
+		EntryBytes: entryBytes,
+		Cycles:     cycles,
+	}
+	events := make([]Event, len(log.Events))
+	copy(events, log.Events)
+	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+
+	n := entries * entryBytes
+	openStart := make([]uint64, n)
+	valid := make([]bool, n)
+
+	// Scratch for merging bytes of one read event that share a segment start.
+	var starts [64]uint64
+	var masks [64]uint64
+
+	for _, ev := range events {
+		base := int(ev.Entry) * entryBytes
+		switch ev.Kind {
+		case EvWrite:
+			m := ev.Mask
+			for m != 0 {
+				b := bits.TrailingZeros64(m)
+				m &= m - 1
+				openStart[base+b] = ev.Cycle
+				valid[base+b] = true
+			}
+		case EvInvalidate:
+			m := ev.Mask
+			for m != 0 {
+				b := bits.TrailingZeros64(m)
+				m &= m - 1
+				valid[base+b] = false
+			}
+		case EvRead, EvWBRead:
+			groups := 0
+			m := ev.Mask
+			for m != 0 {
+				b := bits.TrailingZeros64(m)
+				m &= m - 1
+				i := base + b
+				if !valid[i] {
+					continue // byte never written; nothing vulnerable
+				}
+				st := openStart[i]
+				openStart[i] = ev.Cycle // chain the next read-to-read interval
+				g := -1
+				for j := 0; j < groups; j++ {
+					if starts[j] == st {
+						g = j
+						break
+					}
+				}
+				if g < 0 {
+					g = groups
+					groups++
+					starts[g] = st
+					masks[g] = 0
+				}
+				masks[g] |= uint64(1) << b
+			}
+			for j := 0; j < groups; j++ {
+				if starts[j] >= ev.Cycle {
+					continue // zero-length (same-cycle write+read); not injectable
+				}
+				a.Intervals = append(a.Intervals, Interval{
+					Entry:  ev.Entry,
+					Mask:   masks[j],
+					Start:  starts[j],
+					End:    ev.Cycle,
+					EndSeq: ev.CommitSeq,
+					RIP:    ev.RIP,
+					UPC:    ev.UPC,
+				})
+			}
+		}
+	}
+	if openAsEOF {
+		for e := 0; e < entries; e++ {
+			base := e * entryBytes
+			var starts [64]uint64
+			var masks [64]uint64
+			groups := 0
+			for b := 0; b < entryBytes; b++ {
+				if !valid[base+b] || openStart[base+b] >= cycles {
+					continue
+				}
+				st := openStart[base+b]
+				g := -1
+				for j := 0; j < groups; j++ {
+					if starts[j] == st {
+						g = j
+						break
+					}
+				}
+				if g < 0 {
+					g = groups
+					groups++
+					starts[g] = st
+					masks[g] = 0
+				}
+				masks[g] |= uint64(1) << b
+			}
+			for j := 0; j < groups; j++ {
+				a.Intervals = append(a.Intervals, Interval{
+					Entry: int32(e), Mask: masks[j], Start: starts[j],
+					End: cycles, EndSeq: ^uint64(0), RIP: EOFRip,
+				})
+			}
+		}
+	}
+	a.buildIndex()
+	return a
+}
+
+func (a *Analysis) buildIndex() {
+	a.index = make([][]int32, a.Entries*a.EntryBytes)
+	for id, iv := range a.Intervals {
+		base := int(iv.Entry) * a.EntryBytes
+		m := iv.Mask
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			m &= m - 1
+			a.index[base+b] = append(a.index[base+b], int32(id))
+		}
+	}
+	// Events were replayed in occurrence order, so each per-byte list is
+	// already End-ascending; verify the invariant in cheap builds.
+	for _, lst := range a.index {
+		for i := 1; i < len(lst); i++ {
+			if a.Intervals[lst[i-1]].End > a.Intervals[lst[i]].End {
+				sort.Slice(lst, func(x, y int) bool {
+					return a.Intervals[lst[x]].End < a.Intervals[lst[y]].End
+				})
+				break
+			}
+		}
+	}
+}
+
+// Find returns the id of the vulnerable interval covering a flip of the
+// given byte of entry at cycle, or ok=false when the flip is provably
+// masked (the ACE-like pruning of MeRLiN's first phase).
+func (a *Analysis) Find(entry int32, byteIdx int, cycle uint64) (id int32, ok bool) {
+	lst := a.index[int(entry)*a.EntryBytes+byteIdx]
+	lo := sort.Search(len(lst), func(i int) bool { return a.Intervals[lst[i]].End >= cycle })
+	if lo == len(lst) {
+		return 0, false
+	}
+	iv := &a.Intervals[lst[lo]]
+	if iv.Start < cycle && cycle <= iv.End {
+		return lst[lo], true
+	}
+	return 0, false
+}
+
+// VulnerableByteCycles sums (End-Start) x bytes over all intervals: the
+// total vulnerable byte-cycles of the structure.
+func (a *Analysis) VulnerableByteCycles() uint64 {
+	var total uint64
+	for _, iv := range a.Intervals {
+		total += (iv.End - iv.Start) * uint64(bits.OnesCount64(iv.Mask))
+	}
+	return total
+}
+
+// AVF returns the ACE-like architectural vulnerability factor: vulnerable
+// byte-cycles over total byte-cycles (paper §4.4.3.3, computed as in
+// Mukherjee et al. [15]).
+func (a *Analysis) AVF() float64 {
+	denom := float64(a.Entries) * float64(a.EntryBytes) * float64(a.Cycles)
+	if denom == 0 {
+		return 0
+	}
+	return float64(a.VulnerableByteCycles()) / denom
+}

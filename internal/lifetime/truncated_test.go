@@ -1,0 +1,54 @@
+package lifetime
+
+import "testing"
+
+func TestBuildTruncatedEmitsEOFIntervals(t *testing.T) {
+	log := mkLog(
+		Event{Kind: EvWrite, Entry: 0, Mask: 0xff, Cycle: 10},
+		Event{Kind: EvRead, Entry: 0, Mask: 0xff, Cycle: 20, RIP: 3},
+		// After the read the bytes stay live until the cut at 100.
+		Event{Kind: EvWrite, Entry: 1, Mask: 0x0f, Cycle: 50},
+		// Entry 2 written then invalidated: dead at the cut.
+		Event{Kind: EvWrite, Entry: 2, Mask: 0xff, Cycle: 30},
+		Event{Kind: EvInvalidate, Entry: 2, Mask: 0xff, Cycle: 40},
+	)
+	a := BuildTruncated(log, StructRF, 4, 8, 100)
+
+	// Entry 0: the real read interval plus an EOF interval (20,100].
+	if id, ok := a.Find(0, 0, 15); !ok || a.Intervals[id].RIP != 3 {
+		t.Error("read interval missing")
+	}
+	id, ok := a.Find(0, 0, 60)
+	if !ok {
+		t.Fatal("EOF interval missing for live entry 0")
+	}
+	if iv := a.Intervals[id]; iv.RIP != EOFRip || iv.End != 100 || iv.Start != 20 {
+		t.Errorf("EOF interval = %+v", iv)
+	}
+	// Entry 1: open write is live at the cut.
+	if id, ok := a.Find(1, 2, 70); !ok || a.Intervals[id].RIP != EOFRip {
+		t.Error("EOF interval missing for entry 1")
+	}
+	// Byte 7 of entry 1 was never written: no interval.
+	if _, ok := a.Find(1, 7, 70); ok {
+		t.Error("unwritten byte must stay uncovered")
+	}
+	// Entry 2 was invalidated: masked at the cut.
+	if _, ok := a.Find(2, 0, 60); ok {
+		t.Error("invalidated entry must have no EOF interval")
+	}
+
+	// Plain Build must not emit EOF intervals.
+	plain := Build(log, StructRF, 4, 8, 100)
+	if _, ok := plain.Find(0, 0, 60); ok {
+		t.Error("Build must not cover open segments")
+	}
+}
+
+func TestBuildTruncatedZeroLengthOpenSkipped(t *testing.T) {
+	log := mkLog(Event{Kind: EvWrite, Entry: 0, Mask: 0xff, Cycle: 100})
+	a := BuildTruncated(log, StructRF, 1, 8, 100)
+	if len(a.Intervals) != 0 {
+		t.Errorf("write at the cut produced %d intervals", len(a.Intervals))
+	}
+}

@@ -1,0 +1,252 @@
+package mem
+
+import "fmt"
+
+// CacheConfig sizes a set-associative cache.
+type CacheConfig struct {
+	Name       string
+	Size       int // total data bytes
+	LineSize   int // bytes per line
+	Ways       int
+	HitLatency int
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c CacheConfig) Sets() int { return c.Size / (c.LineSize * c.Ways) }
+
+// Validate reports a configuration error, if any.
+func (c CacheConfig) Validate() error {
+	switch {
+	case c.Size <= 0 || c.LineSize <= 0 || c.Ways <= 0:
+		return fmt.Errorf("mem: cache %s: non-positive geometry", c.Name)
+	case c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("mem: cache %s: line size %d not a power of two", c.Name, c.LineSize)
+	case c.Size%(c.LineSize*c.Ways) != 0:
+		return fmt.Errorf("mem: cache %s: size %d not divisible by way size", c.Name, c.Size)
+	case c.Sets()&(c.Sets()-1) != 0:
+		return fmt.Errorf("mem: cache %s: sets %d not a power of two", c.Name, c.Sets())
+	}
+	return nil
+}
+
+// CacheStats counts cache events.
+type CacheStats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // last-touch stamp; larger = more recent
+}
+
+// EvictKind describes why a line left the cache.
+type EvictKind uint8
+
+// Eviction kinds reported to OnEvict.
+const (
+	EvictClean EvictKind = iota // line dropped, contents discarded
+	EvictDirty                  // line's bytes were read and written back
+)
+
+// Cache is one level of a write-back, write-allocate cache with true-LRU
+// replacement. The data array is physically modelled: Data()/FlipBit expose
+// the storage targeted by fault injection, and the OnFill/OnEvict hooks let
+// the lifetime tracker observe line turnover at (set, way) granularity.
+type Cache struct {
+	Cfg   CacheConfig
+	Stats CacheStats
+
+	sets     int
+	lineSz   int
+	ways     int
+	offBits  uint
+	idxBits  uint
+	lines    []line // sets*ways, way-major within a set
+	data     []byte // sets*ways*lineSize
+	below    Backend
+	lruClock uint64
+
+	// OnFill fires after a line is filled (whole line written), OnEvict
+	// when a victim leaves. Hooks may be nil.
+	OnFill  func(set, way int, cycle uint64)
+	OnEvict func(set, way int, kind EvictKind, cycle uint64)
+}
+
+// NewCache builds a cache over the given next level. It panics on invalid
+// geometry: configurations are static and produced by trusted code.
+func NewCache(cfg CacheConfig, below Backend) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{
+		Cfg:    cfg,
+		sets:   cfg.Sets(),
+		lineSz: cfg.LineSize,
+		ways:   cfg.Ways,
+		below:  below,
+		lines:  make([]line, cfg.Sets()*cfg.Ways),
+		data:   make([]byte, cfg.Size),
+	}
+	for c.offBits = 0; 1<<c.offBits < cfg.LineSize; c.offBits++ {
+	}
+	for c.idxBits = 0; 1<<c.idxBits < c.sets; c.idxBits++ {
+	}
+	return c
+}
+
+// Entries returns the number of (set, way) slots; the lifetime tracker and
+// fault injector address lines by entry = set*ways + way.
+func (c *Cache) Entries() int { return c.sets * c.ways }
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int { return c.lineSz }
+
+// EntryData returns the live data bytes of an entry (a (set, way) slot).
+// The returned slice aliases the cache's storage.
+func (c *Cache) EntryData(entry int) []byte {
+	return c.data[entry*c.lineSz : (entry+1)*c.lineSz]
+}
+
+// FlipBit flips one bit of the physical data array: entry selects the
+// (set, way) slot and bit indexes into its line (0 .. LineSize*8-1). This is
+// the L1D fault-injection primitive: the flip lands whether or not the slot
+// currently holds a valid line, just as a particle strike would.
+func (c *Cache) FlipBit(entry, bit int) {
+	c.data[entry*c.lineSz+bit/8] ^= 1 << (bit % 8)
+}
+
+// Valid reports whether the entry currently holds a valid line.
+func (c *Cache) Valid(entry int) bool { return c.lines[entry].valid }
+
+func (c *Cache) set(addr uint64) int    { return int(addr>>c.offBits) & (c.sets - 1) }
+func (c *Cache) tag(addr uint64) uint64 { return addr >> (c.offBits + c.idxBits) }
+func (c *Cache) lineAddr(set int, tag uint64) uint64 {
+	return tag<<(c.offBits+c.idxBits) | uint64(set)<<c.offBits
+}
+
+// lookup returns the way holding addr's line, or -1.
+func (c *Cache) lookup(set int, tag uint64) int {
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if ln := &c.lines[base+w]; ln.valid && ln.tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// victim picks the LRU way in a set, preferring invalid ways.
+func (c *Cache) victim(set int) int {
+	base := set * c.ways
+	best, bestLRU := 0, ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[base+w]
+		if !ln.valid {
+			return w
+		}
+		if ln.lru < bestLRU {
+			best, bestLRU = w, ln.lru
+		}
+	}
+	return best
+}
+
+// fill brings addr's line into (set, way), writing back a dirty victim.
+// It returns the accumulated latency.
+func (c *Cache) fill(set, way int, tag uint64, cycle uint64) int {
+	e := set*c.ways + way
+	ln := &c.lines[e]
+	lat := 0
+	if ln.valid {
+		c.Stats.Evictions++
+		kind := EvictClean
+		if ln.dirty {
+			kind = EvictDirty
+			c.Stats.Writebacks++
+			lat += c.below.WriteLine(c.lineAddr(set, ln.tag), c.EntryData(e), cycle)
+		}
+		if c.OnEvict != nil {
+			c.OnEvict(set, way, kind, cycle)
+		}
+	}
+	lat += c.below.ReadLine(c.lineAddr(set, tag), c.EntryData(e), cycle)
+	ln.valid, ln.dirty, ln.tag = true, false, tag
+	if c.OnFill != nil {
+		c.OnFill(set, way, cycle)
+	}
+	return lat
+}
+
+// Probe locates addr without touching cache state; it returns the entry
+// index and whether the line is resident.
+func (c *Cache) Probe(addr uint64) (entry int, hit bool) {
+	set, tag := c.set(addr), c.tag(addr)
+	w := c.lookup(set, tag)
+	if w < 0 {
+		return -1, false
+	}
+	return set*c.ways + w, true
+}
+
+// Access performs a read or write of size bytes at addr (which must not
+// cross a line boundary), allocating on miss. It returns the entry index
+// that served the access and the total latency. For writes the line is
+// marked dirty; data movement itself is done by the caller through
+// EntryData so it can observe exact byte positions.
+func (c *Cache) Access(addr uint64, size int, write bool, cycle uint64) (entry int, latency int) {
+	set, tag := c.set(addr), c.tag(addr)
+	way := c.lookup(set, tag)
+	lat := c.Cfg.HitLatency
+	if way < 0 {
+		c.Stats.Misses++
+		way = c.victim(set)
+		lat += c.fill(set, way, tag, cycle)
+	} else {
+		c.Stats.Hits++
+	}
+	e := set*c.ways + way
+	c.lruClock++
+	c.lines[e].lru = c.lruClock
+	if write {
+		c.lines[e].dirty = true
+	}
+	return e, lat
+}
+
+// Offset returns addr's byte offset within its line.
+func (c *Cache) Offset(addr uint64) int { return int(addr) & (c.lineSz - 1) }
+
+// ReadLine implements Backend, letting a Cache serve as the level below
+// another cache (e.g. L2 under L1).
+func (c *Cache) ReadLine(addr uint64, dst []byte, cycle uint64) int {
+	e, lat := c.Access(addr, c.lineSz, false, cycle)
+	copy(dst, c.EntryData(e))
+	return lat
+}
+
+// WriteLine implements Backend.
+func (c *Cache) WriteLine(addr uint64, src []byte, cycle uint64) int {
+	e, lat := c.Access(addr, c.lineSz, true, cycle)
+	copy(c.EntryData(e), src)
+	return lat
+}
+
+// FlushAll writes every dirty line back to the level below. Used at program
+// end so that memory holds the final architectural state.
+func (c *Cache) FlushAll(cycle uint64) {
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < c.ways; w++ {
+			e := s*c.ways + w
+			ln := &c.lines[e]
+			if ln.valid && ln.dirty {
+				c.below.WriteLine(c.lineAddr(s, ln.tag), c.EntryData(e), cycle)
+				ln.dirty = false
+			}
+		}
+	}
+}

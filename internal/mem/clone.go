@@ -1,0 +1,37 @@
+package mem
+
+// Clone returns a deep copy of the memory. Snapshots taken for
+// checkpoint-accelerated injection campaigns clone the page map so the
+// original can keep running (or stay frozen) independently.
+func (m *Memory) Clone() *Memory {
+	c := &Memory{
+		pages:   make(map[uint64]*[pageSize]byte, len(m.pages)),
+		lo:      m.lo,
+		hi:      m.hi,
+		Latency: m.Latency,
+	}
+	for pn, p := range m.pages {
+		cp := *p
+		c.pages[pn] = &cp
+	}
+	return c
+}
+
+// Clone returns a deep copy of the cache wired to the given next level.
+// Event hooks are not copied; the owner must re-attach them.
+func (c *Cache) Clone(below Backend) *Cache {
+	n := &Cache{
+		Cfg:      c.Cfg,
+		Stats:    c.Stats,
+		sets:     c.sets,
+		lineSz:   c.lineSz,
+		ways:     c.ways,
+		offBits:  c.offBits,
+		idxBits:  c.idxBits,
+		lines:    append([]line(nil), c.lines...),
+		data:     append([]byte(nil), c.data...),
+		below:    below,
+		lruClock: c.lruClock,
+	}
+	return n
+}

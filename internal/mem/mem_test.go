@@ -1,0 +1,267 @@
+package mem
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := NewMemory(0x1000, 0x10000, 80)
+	var buf [8]byte
+	m.ReadBytes(0x2000, buf[:])
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("untouched memory must read as zero")
+		}
+	}
+	binary.LittleEndian.PutUint64(buf[:], 0x1122334455667788)
+	m.WriteBytes(0x2000, buf[:])
+	var got [8]byte
+	m.ReadBytes(0x2000, got[:])
+	if got != buf {
+		t.Fatalf("read back % x, want % x", got, buf)
+	}
+}
+
+func TestMemoryCrossPage(t *testing.T) {
+	m := NewMemory(0, 1<<20, 80)
+	src := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	m.WriteBytes(pageSize-4, src) // straddles a page boundary
+	dst := make([]byte, 8)
+	m.ReadBytes(pageSize-4, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("cross-page read = % x", dst)
+		}
+	}
+}
+
+func TestMemoryInRange(t *testing.T) {
+	m := NewMemory(0x1000, 0x2000, 80)
+	tests := []struct {
+		addr uint64
+		size int
+		want bool
+	}{
+		{0x1000, 8, true},
+		{0x1ff8, 8, true},
+		{0x1ff9, 8, false},
+		{0xfff, 1, false},
+		{0x2000, 1, false},
+		{^uint64(0) - 3, 8, false}, // overflow
+	}
+	for _, tt := range tests {
+		if got := m.InRange(tt.addr, tt.size); got != tt.want {
+			t.Errorf("InRange(%#x, %d) = %v, want %v", tt.addr, tt.size, got, tt.want)
+		}
+	}
+}
+
+func TestMemoryRoundTripProperty(t *testing.T) {
+	m := NewMemory(0, 1<<24, 80)
+	f := func(addr uint32, val uint64) bool {
+		a := uint64(addr) % (1<<24 - 8)
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], val)
+		m.WriteBytes(a, b[:])
+		var r [8]byte
+		m.ReadBytes(a, r[:])
+		return r == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	good := CacheConfig{Name: "l1", Size: 32 << 10, LineSize: 64, Ways: 4, HitLatency: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if good.Sets() != 128 {
+		t.Errorf("sets = %d, want 128", good.Sets())
+	}
+	bad := []CacheConfig{
+		{Name: "z", Size: 0, LineSize: 64, Ways: 4},
+		{Name: "l", Size: 1 << 10, LineSize: 48, Ways: 4},
+		{Name: "s", Size: 3 << 10, LineSize: 64, Ways: 4}, // 12 sets: not a power of two
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", c)
+		}
+	}
+}
+
+func newTestHierarchy() (*Cache, *Cache, *Memory) {
+	m := NewMemory(0, 1<<22, 80)
+	l2 := NewCache(CacheConfig{Name: "l2", Size: 64 << 10, LineSize: 64, Ways: 16, HitLatency: 12}, m)
+	l1 := NewCache(CacheConfig{Name: "l1", Size: 4 << 10, LineSize: 64, Ways: 4, HitLatency: 2}, l2)
+	return l1, l2, m
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	l1, _, _ := newTestHierarchy()
+	_, lat1 := l1.Access(0x100, 8, false, 1)
+	if l1.Stats.Misses != 1 || l1.Stats.Hits != 0 {
+		t.Fatalf("first access: %+v", l1.Stats)
+	}
+	if lat1 <= l1.Cfg.HitLatency {
+		t.Errorf("miss latency %d should exceed hit latency", lat1)
+	}
+	_, lat2 := l1.Access(0x108, 8, false, 2) // same line
+	if l1.Stats.Hits != 1 {
+		t.Fatalf("second access should hit: %+v", l1.Stats)
+	}
+	if lat2 != l1.Cfg.HitLatency {
+		t.Errorf("hit latency = %d, want %d", lat2, l1.Cfg.HitLatency)
+	}
+}
+
+func TestCacheWriteBackPropagation(t *testing.T) {
+	l1, _, m := newTestHierarchy()
+	// Write a value through L1.
+	e, _ := l1.Access(0x200, 8, true, 1)
+	binary.LittleEndian.PutUint64(l1.EntryData(e)[l1.Offset(0x200):], 0xdeadbeef)
+	// Evict it by filling the set: 4 ways, lines mapping to the same set
+	// are 4KB apart (64 sets * 64B line).
+	setStride := uint64(l1.sets * l1.lineSz)
+	for i := 1; i <= 4; i++ {
+		l1.Access(0x200+uint64(i)*setStride, 8, false, uint64(i+1))
+	}
+	var buf [8]byte
+	// After eviction the dirty line must have reached L2; flush L2 to memory.
+	l1.FlushAll(100)
+	l2 := l1.below.(*Cache)
+	l2.FlushAll(100)
+	m.ReadBytes(0x200, buf[:])
+	if binary.LittleEndian.Uint64(buf[:]) != 0xdeadbeef {
+		t.Fatalf("writeback lost: memory holds % x", buf)
+	}
+	if l1.Stats.Writebacks == 0 {
+		t.Error("expected at least one writeback")
+	}
+}
+
+func TestCacheLRU(t *testing.T) {
+	l1, _, _ := newTestHierarchy()
+	setStride := uint64(l1.sets * l1.lineSz)
+	// Fill all 4 ways of set 0.
+	for i := 0; i < 4; i++ {
+		l1.Access(uint64(i)*setStride, 8, false, uint64(i+1))
+	}
+	// Touch line 0 to make it MRU, then bring in a 5th line.
+	l1.Access(0, 8, false, 10)
+	l1.Access(4*setStride, 8, false, 11)
+	// Line 0 must still be resident; line 1 (LRU) must be gone.
+	if _, hit := l1.Probe(0); !hit {
+		t.Error("MRU line was evicted")
+	}
+	if _, hit := l1.Probe(setStride); hit {
+		t.Error("LRU line was not evicted")
+	}
+}
+
+func TestCacheFlipBit(t *testing.T) {
+	l1, _, _ := newTestHierarchy()
+	e, _ := l1.Access(0x300, 8, true, 1)
+	l1.EntryData(e)[0] = 0x0f
+	l1.FlipBit(e, 3)
+	if l1.EntryData(e)[0] != 0x07 {
+		t.Errorf("bit flip: got %#x, want 0x07", l1.EntryData(e)[0])
+	}
+	l1.FlipBit(e, 3)
+	if l1.EntryData(e)[0] != 0x0f {
+		t.Errorf("double flip must restore: got %#x", l1.EntryData(e)[0])
+	}
+}
+
+func TestCacheEvictHooks(t *testing.T) {
+	l1, _, _ := newTestHierarchy()
+	var fills, cleanEv, dirtyEv int
+	l1.OnFill = func(set, way int, cycle uint64) { fills++ }
+	l1.OnEvict = func(set, way int, kind EvictKind, cycle uint64) {
+		if kind == EvictDirty {
+			dirtyEv++
+		} else {
+			cleanEv++
+		}
+	}
+	setStride := uint64(l1.sets * l1.lineSz)
+	l1.Access(0, 8, true, 1) // dirty line
+	for i := 1; i <= 4; i++ {
+		l1.Access(uint64(i)*setStride, 8, false, uint64(i+1))
+	}
+	if fills != 5 {
+		t.Errorf("fills = %d, want 5", fills)
+	}
+	if dirtyEv != 1 {
+		t.Errorf("dirty evictions = %d, want 1", dirtyEv)
+	}
+}
+
+func TestCacheReadSeesMemoryContents(t *testing.T) {
+	l1, _, m := newTestHierarchy()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], 42)
+	m.WriteBytes(0x400, b[:])
+	e, _ := l1.Access(0x400, 8, false, 1)
+	got := binary.LittleEndian.Uint64(l1.EntryData(e)[l1.Offset(0x400):])
+	if got != 42 {
+		t.Fatalf("cache fill read %d, want 42", got)
+	}
+}
+
+// TestCacheHierarchyMatchesFlatMemory drives a random access sequence
+// through the two-level hierarchy and a flat reference memory in parallel:
+// every read must return identical bytes, and after a full flush the
+// backing memory must equal the reference exactly.
+func TestCacheHierarchyMatchesFlatMemory(t *testing.T) {
+	l1, _, m := newTestHierarchy()
+	ref := NewMemory(0, 1<<22, 0)
+	rnd := uint64(0x1234567)
+	next := func(n uint64) uint64 {
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		return rnd % n
+	}
+	for i := 0; i < 5000; i++ {
+		addr := next(1 << 18)
+		size := []int{1, 2, 4, 8}[next(4)]
+		addr -= addr % uint64(size) // aligned, no line crossing
+		if next(2) == 0 {
+			val := next(1 << 62)
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], val)
+			e, _ := l1.Access(addr, size, true, uint64(i))
+			copy(l1.EntryData(e)[l1.Offset(addr):], b[:size])
+			ref.WriteBytes(addr, b[:size])
+		} else {
+			e, _ := l1.Access(addr, size, false, uint64(i))
+			got := make([]byte, size)
+			copy(got, l1.EntryData(e)[l1.Offset(addr):])
+			want := make([]byte, size)
+			ref.ReadBytes(addr, want)
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("step %d: read %#x size %d = % x, want % x", i, addr, size, got, want)
+				}
+			}
+		}
+	}
+	l1.FlushAll(9999)
+	l1.below.(*Cache).FlushAll(9999)
+	buf := make([]byte, 4096)
+	want := make([]byte, 4096)
+	for addr := uint64(0); addr < 1<<18; addr += 4096 {
+		m.ReadBytes(addr, buf)
+		ref.ReadBytes(addr, want)
+		for j := range buf {
+			if buf[j] != want[j] {
+				t.Fatalf("after flush: memory differs at %#x", addr+uint64(j))
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package mem models the memory system of the simulated machine: a sparse
+// main memory and parametric set-associative write-back caches whose data
+// arrays hold the program's actual bytes. Faults injected into the L1 data
+// cache flip bits in those arrays, so corruption propagates architecturally
+// through hits, store-to-cache writes and dirty-line writebacks, exactly as
+// in the paper's Gem5 substrate.
+package mem
+
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+// Memory is the simulated main memory: a sparse collection of 4KB pages
+// inside a mapped address range. Reads of untouched pages return zeros.
+type Memory struct {
+	pages   map[uint64]*[pageSize]byte
+	lo, hi  uint64 // mapped range [lo, hi)
+	Latency int    // access latency in cycles
+}
+
+// NewMemory returns memory mapping [lo, hi) with the given access latency.
+func NewMemory(lo, hi uint64, latency int) *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte), lo: lo, hi: hi, Latency: latency}
+}
+
+// InRange reports whether the size-byte access at addr is fully mapped.
+func (m *Memory) InRange(addr uint64, size int) bool {
+	return addr >= m.lo && addr+uint64(size) <= m.hi && addr+uint64(size) >= addr
+}
+
+func (m *Memory) page(addr uint64, alloc bool) *[pageSize]byte {
+	pn := addr >> pageBits
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// ReadBytes copies len(dst) bytes at addr into dst. The caller must have
+// checked InRange.
+func (m *Memory) ReadBytes(addr uint64, dst []byte) {
+	for i := 0; i < len(dst); {
+		p := m.page(addr+uint64(i), false)
+		off := int((addr + uint64(i)) & (pageSize - 1))
+		n := min(len(dst)-i, pageSize-off)
+		if p == nil {
+			for j := 0; j < n; j++ {
+				dst[i+j] = 0
+			}
+		} else {
+			copy(dst[i:i+n], p[off:off+n])
+		}
+		i += n
+	}
+}
+
+// WriteBytes stores src at addr. The caller must have checked InRange.
+func (m *Memory) WriteBytes(addr uint64, src []byte) {
+	for i := 0; i < len(src); {
+		p := m.page(addr+uint64(i), true)
+		off := int((addr + uint64(i)) & (pageSize - 1))
+		n := min(len(src)-i, pageSize-off)
+		copy(p[off:off+n], src[i:i+n])
+		i += n
+	}
+}
+
+// ReadLine implements Backend.
+func (m *Memory) ReadLine(addr uint64, dst []byte, cycle uint64) int {
+	m.ReadBytes(addr, dst)
+	return m.Latency
+}
+
+// WriteLine implements Backend.
+func (m *Memory) WriteLine(addr uint64, src []byte, cycle uint64) int {
+	m.WriteBytes(addr, src)
+	return m.Latency
+}
+
+// Backend is the interface a cache uses to talk to the next level: line
+// transfers returning their latency in cycles.
+type Backend interface {
+	ReadLine(addr uint64, dst []byte, cycle uint64) int
+	WriteLine(addr uint64, src []byte, cycle uint64) int
+}

@@ -1,0 +1,82 @@
+package merlin
+
+import "merlin/internal/campaign"
+
+// HomogeneityReport quantifies how uniform fault effects are inside
+// MeRLiN's final groups (paper §4.4.1). Fine uses the six classes of
+// Table 2 (Fig 6); Coarse collapses them to masked vs non-masked (Fig 7
+// top); PerfectShare is the fraction of groups whose members all have the
+// same coarse effect (Fig 7 bottom).
+type HomogeneityReport struct {
+	Fine         float64
+	Coarse       float64
+	PerfectShare float64
+	Groups       int
+	TotalFaults  int
+	AvgGroupSize float64
+	MaxGroupSize int
+}
+
+// Homogeneity evaluates equation (1) over the reduction's final groups.
+// outcomes must hold the actual injected outcome of every fault in the
+// initial list that hit a vulnerable interval (indexes aligned with
+// r.Faults; pruned faults' entries are ignored).
+func (r *Reduction) Homogeneity(outcomes []campaign.Outcome) HomogeneityReport {
+	rep := HomogeneityReport{Groups: len(r.Groups)}
+	var fineSum, coarseSum float64
+	perfect := 0
+	for _, g := range r.Groups {
+		var fine [campaign.NumOutcomes]int
+		nonMasked := 0
+		for _, fi := range g.Members {
+			o := outcomes[fi]
+			fine[o]++
+			if o != campaign.Masked {
+				nonMasked++
+			}
+		}
+		n := len(g.Members)
+		rep.TotalFaults += n
+		if n > rep.MaxGroupSize {
+			rep.MaxGroupSize = n
+		}
+		domFine := 0
+		for _, cnt := range fine {
+			if cnt > domFine {
+				domFine = cnt
+			}
+		}
+		domCoarse := nonMasked
+		if n-nonMasked > domCoarse {
+			domCoarse = n - nonMasked
+		}
+		fineSum += float64(domFine)
+		coarseSum += float64(domCoarse)
+		if domCoarse == n {
+			perfect++
+		}
+	}
+	if rep.TotalFaults > 0 {
+		rep.Fine = fineSum / float64(rep.TotalFaults)
+		rep.Coarse = coarseSum / float64(rep.TotalFaults)
+		rep.AvgGroupSize = float64(rep.TotalFaults) / float64(len(r.Groups))
+	}
+	if len(r.Groups) > 0 {
+		rep.PerfectShare = float64(perfect) / float64(len(r.Groups))
+	}
+	return rep
+}
+
+// Inaccuracy returns, per fault-effect class, the absolute difference in
+// percentile units between two distributions (paper Fig 17's metric).
+func Inaccuracy(a, b campaign.Dist) [campaign.NumOutcomes]float64 {
+	var out [campaign.NumOutcomes]float64
+	for o := campaign.Outcome(0); o < campaign.NumOutcomes; o++ {
+		d := 100 * (a.Share(o) - b.Share(o))
+		if d < 0 {
+			d = -d
+		}
+		out[o] = d
+	}
+	return out
+}

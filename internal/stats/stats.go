@@ -1,0 +1,93 @@
+// Package stats implements the theoretical analysis of paper §4.4.5: a
+// fault-injection campaign as a binomial experiment, and the mean/variance
+// of the AVF measured by the comprehensive campaign (k) versus MeRLiN's
+// group-extrapolated measurement (k_MeRLiN).
+//
+// With n groups of sizes s_i, per-group non-masking probability p_i and
+// F total faults (Σ s_i = (1-m)F after pruning the m·F guaranteed-masked):
+//
+//	E(k)          = Σ s_i p_i / F
+//	E(k_MeRLiN)   = Σ s_i p_i / F            (identical means)
+//	Var(k)        = Σ s_i p_i (1-p_i) / F²
+//	Var(k_MeRLiN) = Σ s_i² p_i (1-p_i) / F²  (inflated by group sizes)
+//
+// Both variances are negligible when groups are homogeneous (p_i near 0 or
+// 1) and small relative to F, which §4.4.1 establishes empirically.
+package stats
+
+import "math"
+
+// Campaign describes the grouped structure of a fault campaign.
+type Campaign struct {
+	F     int       // total faults in the initial statistical list
+	Sizes []int     // group sizes s_i (pruned faults form no group)
+	Ps    []float64 // per-group probability of non-masking p_i
+}
+
+// Mean returns E(k) = E(k_MeRLiN).
+func (c Campaign) Mean() float64 {
+	var sum float64
+	for i, s := range c.Sizes {
+		sum += float64(s) * c.Ps[i]
+	}
+	return sum / float64(c.F)
+}
+
+// VarBaseline returns Var(k) of the comprehensive campaign.
+func (c Campaign) VarBaseline() float64 {
+	var sum float64
+	for i, s := range c.Sizes {
+		sum += float64(s) * c.Ps[i] * (1 - c.Ps[i])
+	}
+	return sum / (float64(c.F) * float64(c.F))
+}
+
+// VarMerlin returns Var(k_MeRLiN) of the one-representative-per-group
+// measurement.
+func (c Campaign) VarMerlin() float64 {
+	var sum float64
+	for i, s := range c.Sizes {
+		sum += float64(s) * float64(s) * c.Ps[i] * (1 - c.Ps[i])
+	}
+	return sum / (float64(c.F) * float64(c.F))
+}
+
+// Report summarises the statistical equivalence argument.
+type Report struct {
+	Mean        float64
+	VarBaseline float64
+	VarMerlin   float64
+	// Orders of magnitude separating each variance from the mean
+	// (log10(mean/stddev^2) is what the paper argues is 8-10 for the
+	// baseline and 6-8 for MeRLiN).
+	OrdersBaseline float64
+	OrdersMerlin   float64
+}
+
+// Analyze builds the report.
+func (c Campaign) Analyze() Report {
+	r := Report{
+		Mean:        c.Mean(),
+		VarBaseline: c.VarBaseline(),
+		VarMerlin:   c.VarMerlin(),
+	}
+	if r.VarBaseline > 0 && r.Mean > 0 {
+		r.OrdersBaseline = math.Log10(r.Mean / r.VarBaseline)
+	}
+	if r.VarMerlin > 0 && r.Mean > 0 {
+		r.OrdersMerlin = math.Log10(r.Mean / r.VarMerlin)
+	}
+	return r
+}
+
+// FromObserved builds a Campaign from observed group sizes and per-group
+// non-masked counts (empirical p_i), e.g. out of a homogeneity experiment.
+func FromObserved(f int, sizes, nonMasked []int) Campaign {
+	ps := make([]float64, len(sizes))
+	for i := range sizes {
+		if sizes[i] > 0 {
+			ps[i] = float64(nonMasked[i]) / float64(sizes[i])
+		}
+	}
+	return Campaign{F: f, Sizes: sizes, Ps: ps}
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeansIdentical(t *testing.T) {
+	// E(k) == E(k_MeRLiN) is exact for any group structure: verify by
+	// construction over random campaigns.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		c := Campaign{F: 60000, Sizes: make([]int, n), Ps: make([]float64, n)}
+		for i := range c.Sizes {
+			c.Sizes[i] = 1 + rng.Intn(100)
+			c.Ps[i] = rng.Float64()
+		}
+		// Monte-Carlo check of the MeRLiN estimator's mean: pick one rep
+		// per group; estimate = sum(s_i * r_i)/F with r_i ~ Bern(p_i).
+		const trials = 20000
+		var acc float64
+		for tr := 0; tr < trials; tr++ {
+			var k float64
+			for i := range c.Sizes {
+				if rng.Float64() < c.Ps[i] {
+					k += float64(c.Sizes[i])
+				}
+			}
+			acc += k / float64(c.F)
+		}
+		mc := acc / trials
+		return math.Abs(mc-c.Mean()) < 0.01*c.Mean()+1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarianceOrdering(t *testing.T) {
+	// Var(k_MeRLiN) >= Var(k) always (s_i^2 >= s_i), with equality iff all
+	// groups have size 1 or p in {0,1}.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		c := Campaign{F: 60000, Sizes: make([]int, n), Ps: make([]float64, n)}
+		for i := range c.Sizes {
+			c.Sizes[i] = 1 + rng.Intn(100)
+			c.Ps[i] = rng.Float64()
+		}
+		return c.VarMerlin() >= c.VarBaseline()-1e-18
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+
+	allOnes := Campaign{F: 100, Sizes: []int{1, 1, 1}, Ps: []float64{0.3, 0.6, 0.9}}
+	if math.Abs(allOnes.VarMerlin()-allOnes.VarBaseline()) > 1e-18 {
+		t.Error("size-1 groups must have equal variances")
+	}
+}
+
+func TestHomogeneousGroupsZeroVariance(t *testing.T) {
+	c := Campaign{F: 60000, Sizes: []int{40, 80, 20}, Ps: []float64{0, 1, 1}}
+	if c.VarBaseline() != 0 || c.VarMerlin() != 0 {
+		t.Error("perfectly homogeneous groups must have zero variance")
+	}
+	if got := c.Mean(); math.Abs(got-100.0/60000) > 1e-12 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestPaperMagnitudes(t *testing.T) {
+	// §4.4.5: with F = 60K, group sizes 5-40 (avg < 100), and near-
+	// homogeneous groups, Var(k) is 8-10 orders below the mean and
+	// Var(k_MeRLiN) 6-8 orders below.
+	rng := rand.New(rand.NewSource(1))
+	var c Campaign
+	c.F = 60000
+	remaining := 4000 // post-ACE faults
+	for remaining > 0 {
+		s := 5 + rng.Intn(36)
+		if s > remaining {
+			s = remaining
+		}
+		remaining -= s
+		// Homogeneity ~0.97: p_i near 0 or 1 with small noise.
+		p := 0.03 * rng.Float64()
+		if rng.Float64() < 0.3 {
+			p = 1 - 0.03*rng.Float64()
+		}
+		c.Sizes = append(c.Sizes, s)
+		c.Ps = append(c.Ps, p)
+	}
+	r := c.Analyze()
+	if r.OrdersBaseline < 6 || r.OrdersBaseline > 12 {
+		t.Errorf("baseline variance orders below mean = %v, want ~8-10", r.OrdersBaseline)
+	}
+	if r.OrdersMerlin < 4 || r.OrdersMerlin > 10 {
+		t.Errorf("MeRLiN variance orders below mean = %v, want ~6-8", r.OrdersMerlin)
+	}
+	if r.OrdersMerlin > r.OrdersBaseline {
+		t.Error("MeRLiN variance must not be smaller than baseline variance")
+	}
+}
+
+func TestFromObserved(t *testing.T) {
+	c := FromObserved(1000, []int{10, 20}, []int{10, 0})
+	if c.Ps[0] != 1 || c.Ps[1] != 0 {
+		t.Errorf("ps = %v", c.Ps)
+	}
+	if got := c.Mean(); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("mean = %v", got)
+	}
+}

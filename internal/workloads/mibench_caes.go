@@ -1,0 +1,160 @@
+package workloads
+
+// caes: MiBench security/rijndael analogue — an AES-structured block
+// cipher: 10 rounds of SubBytes (256-byte S-box lookup), ShiftRows (fixed
+// byte permutation) and a MixColumns-style xor/shift diffusion plus round
+// key addition, over eight 16-byte blocks.
+
+const (
+	caesBlocks = 8
+	caesRounds = 10
+)
+
+func caesSbox() []byte {
+	// A deterministic permutation of 0..255 (Fisher-Yates under xorshift).
+	s := make([]byte, 256)
+	for i := range s {
+		s[i] = byte(i)
+	}
+	rng := xorshift64(0x53424F58)
+	for i := 255; i > 0; i-- {
+		j := int(rng() % uint64(i+1))
+		s[i], s[j] = s[j], s[i]
+	}
+	return s
+}
+
+// caesShift is AES's ShiftRows on a column-major 4x4 byte state.
+func caesShift() []byte {
+	p := make([]byte, 16)
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			p[c*4+r] = byte(((c+r)%4)*4 + r)
+		}
+	}
+	return p
+}
+
+func caesPlain() []byte { return genBytes(0x504C41494E, caesBlocks*16) }
+
+func caesKeys() []byte { return genBytes(0x4B455953, caesRounds*16) }
+
+func caesSource() string {
+	s := "\t.data\n"
+	s += byteData("state", caesPlain())
+	s += byteData("sbox", caesSbox())
+	s += byteData("shiftp", caesShift())
+	s += byteData("rkeys", caesKeys())
+	s += "tmp:\t.space 16\n"
+	s += `	.text
+	li r11, 0          ; block
+cblk:
+	li r12, 0          ; round
+crnd:
+	; tmp[i] = sbox[state[shiftp[i]]]
+	li r1, 0
+csub:
+	li r2, shiftp
+	add r2, r2, r1
+	lbu r3, [r2]       ; source index
+	li r2, state
+	slli r4, r11, 4
+	add r2, r2, r4
+	add r2, r2, r3
+	lbu r3, [r2]
+	li r2, sbox
+	add r2, r2, r3
+	lbu r3, [r2]
+	li r2, tmp
+	add r2, r2, r1
+	sb [r2], r3
+	addi r1, r1, 1
+	li r2, 16
+	blt r1, r2, csub
+	; state[i] = tmp[i] ^ tmp[(i+4)&15] ^ ((tmp[(i+8)&15]<<1)&0xff) ^ rk[r][i]
+	li r1, 0
+cmix:
+	li r2, tmp
+	add r3, r2, r1
+	lbu r4, [r3]
+	addi r5, r1, 4
+	andi r5, r5, 15
+	add r3, r2, r5
+	lbu r6, [r3]
+	xor r4, r4, r6
+	addi r5, r1, 8
+	andi r5, r5, 15
+	add r3, r2, r5
+	lbu r6, [r3]
+	slli r6, r6, 1
+	andi r6, r6, 255
+	xor r4, r4, r6
+	li r3, rkeys
+	slli r5, r12, 4
+	add r3, r3, r5
+	add r3, r3, r1
+	lbu r6, [r3]
+	xor r4, r4, r6
+	li r3, state
+	slli r5, r11, 4
+	add r3, r3, r5
+	add r3, r3, r1
+	sb [r3], r4
+	addi r1, r1, 1
+	li r2, 16
+	blt r1, r2, cmix
+	addi r12, r12, 1
+	li r2, ` + itoa(caesRounds) + `
+	blt r12, r2, crnd
+	addi r11, r11, 1
+	li r2, ` + itoa(caesBlocks) + `
+	blt r11, r2, cblk
+	; ciphertext checksum
+	li r1, 1
+	li r2, 0
+	li r3, state
+cchk:
+	lbu r4, [r3]
+	muli r1, r1, 31
+	add r1, r1, r4
+	addi r3, r3, 1
+	addi r2, r2, 1
+	li r5, ` + itoa(caesBlocks*16) + `
+	blt r2, r5, cchk
+	out r1
+	halt
+`
+	return s
+}
+
+func caesRef() []uint64 {
+	state := caesPlain()
+	sbox := caesSbox()
+	shiftp := caesShift()
+	keys := caesKeys()
+	tmp := make([]byte, 16)
+	for b := 0; b < caesBlocks; b++ {
+		blk := state[b*16 : b*16+16]
+		for r := 0; r < caesRounds; r++ {
+			for i := 0; i < 16; i++ {
+				tmp[i] = sbox[blk[shiftp[i]]]
+			}
+			for i := 0; i < 16; i++ {
+				blk[i] = tmp[i] ^ tmp[(i+4)&15] ^ (tmp[(i+8)&15] << 1) ^ keys[r*16+i]
+			}
+		}
+	}
+	h := uint64(1)
+	for _, v := range state {
+		h = mix(h, uint64(v))
+	}
+	return []uint64{h}
+}
+
+var _ = register(&Workload{
+	Name:        "caes",
+	Suite:       "mibench",
+	Description: "AES-structured 10-round cipher over 8 blocks",
+	source:      caesSource,
+	ref:         caesRef,
+})

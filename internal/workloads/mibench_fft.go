@@ -1,0 +1,221 @@
+package workloads
+
+import "math"
+
+// fft: MiBench telecomm/fft analogue — an in-place radix-2
+// decimation-in-time FFT over 64 fixed-point (Q12) samples with baked-in
+// twiddle and bit-reversal tables, as embedded integer FFTs do.
+
+const (
+	fftN    = 64
+	fftLogN = 6
+	fftQ    = 12
+)
+
+func fftInput() []uint64 {
+	raw := genWords(0x46465431, fftN, 4096)
+	for i, v := range raw {
+		raw[i] = uint64(int64(v) - 2048) // signed Q12 sample in [-2048, 2048)
+	}
+	return raw
+}
+
+func fftTwiddles() (cos, sin []uint64) {
+	cos = make([]uint64, fftN/2)
+	sin = make([]uint64, fftN/2)
+	for i := range cos {
+		ang := 2 * math.Pi * float64(i) / fftN
+		cos[i] = uint64(int64(math.Round(math.Cos(ang) * (1 << fftQ))))
+		sin[i] = uint64(int64(math.Round(math.Sin(ang) * (1 << fftQ))))
+	}
+	return cos, sin
+}
+
+func fftBitrev() []uint64 {
+	out := make([]uint64, fftN)
+	for i := 0; i < fftN; i++ {
+		r := 0
+		for b := 0; b < fftLogN; b++ {
+			if i&(1<<b) != 0 {
+				r |= 1 << (fftLogN - 1 - b)
+			}
+		}
+		out[i] = uint64(r)
+	}
+	return out
+}
+
+func fftSource() string {
+	cos, sin := fftTwiddles()
+	s := "\t.data\n"
+	s += wordData("fre", fftInput())
+	s += "fim:\t.space " + itoa(fftN*8) + "\n"
+	s += wordData("fcos", cos)
+	s += wordData("fsin", sin)
+	s += wordData("fbr", fftBitrev())
+	s += `	.text
+	; bit-reversal permutation (swap when i < rev(i))
+	li r1, 0
+fbrl:
+	li r2, fbr
+	slli r3, r1, 3
+	add r2, r2, r3
+	ld r4, [r2]        ; j = rev(i)
+	bge r1, r4, fbrskip
+	li r2, fre
+	slli r5, r4, 3
+	add r5, r5, r2
+	add r6, r3, r2
+	ld r7, [r5]
+	ld r8, [r6]
+	sd [r5], r8
+	sd [r6], r7
+fbrskip:
+	addi r1, r1, 1
+	li r2, ` + itoa(fftN) + `
+	blt r1, r2, fbrl
+
+	li r13, 2          ; len
+fstage:
+	srli r12, r13, 1   ; half = len/2
+	li r11, ` + itoa(fftN) + `
+	div r11, r11, r13  ; step = N/len
+	li r10, 0          ; i (block base)
+fblock:
+	li r9, 0           ; j within block
+fbfly:
+	; twiddle: wr = cos[j*step], wi = -sin[j*step]
+	mul r8, r9, r11
+	slli r8, r8, 3
+	li r7, fcos
+	add r7, r7, r8
+	ld r5, [r7]
+	li r7, fsin
+	add r7, r7, r8
+	ld r6, [r7]
+	li r7, 0
+	sub r6, r7, r6
+	; element offsets: a = (i+j)*8, b = a + half*8
+	add r4, r10, r9
+	slli r4, r4, 3
+	slli r8, r12, 3
+	add r8, r8, r4
+	; xb = (r2, r3)
+	li r7, fre
+	add r7, r7, r8
+	ld r2, [r7]
+	li r7, fim
+	add r7, r7, r8
+	ld r3, [r7]
+	; t = w * xb in Q12: tr = r0, ti = r1
+	mul r0, r5, r2
+	mul r1, r6, r3
+	sub r0, r0, r1
+	srai r0, r0, ` + itoa(fftQ) + `
+	mul r1, r5, r3
+	mul r3, r6, r2
+	add r1, r1, r3
+	srai r1, r1, ` + itoa(fftQ) + `
+	; xa = (r2, r3); write x[a] = xa + t, x[b] = xa - t
+	li r7, fre
+	add r7, r7, r4
+	ld r2, [r7]
+	li r5, fim
+	add r5, r5, r4
+	ld r3, [r5]
+	add r6, r2, r0
+	sd [r7], r6
+	add r6, r3, r1
+	sd [r5], r6
+	li r7, fre
+	add r7, r7, r8
+	sub r6, r2, r0
+	sd [r7], r6
+	li r7, fim
+	add r7, r7, r8
+	sub r6, r3, r1
+	sd [r7], r6
+	addi r9, r9, 1
+	blt r9, r12, fbfly
+	add r10, r10, r13
+	li r7, ` + itoa(fftN) + `
+	blt r10, r7, fblock
+	slli r13, r13, 1
+	li r7, ` + itoa(fftN) + `
+	ble r13, r7, fstage
+
+	; checksum over the spectrum
+	li r1, 1
+	li r2, 0
+	li r3, fre
+	li r4, fim
+fchk:
+	ld r5, [r3]
+	muli r1, r1, 31
+	add r1, r1, r5
+	ld r5, [r4]
+	muli r1, r1, 31
+	add r1, r1, r5
+	addi r3, r3, 8
+	addi r4, r4, 8
+	addi r2, r2, 1
+	li r5, ` + itoa(fftN) + `
+	blt r2, r5, fchk
+	out r1
+	li r3, fre
+	ld r5, [r3]
+	out r5
+	li r4, fim
+	ld r5, [r4+256]
+	out r5
+	halt
+`
+	return s
+}
+
+func fftRef() []uint64 {
+	re := make([]int64, fftN)
+	im := make([]int64, fftN)
+	for i, v := range fftInput() {
+		re[i] = int64(v)
+	}
+	br := fftBitrev()
+	for i := 0; i < fftN; i++ {
+		j := int(br[i])
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	cosT, sinT := fftTwiddles()
+	for length := 2; length <= fftN; length <<= 1 {
+		half := length / 2
+		step := fftN / length
+		for i := 0; i < fftN; i += length {
+			for j := 0; j < half; j++ {
+				wr := int64(cosT[j*step])
+				wi := -int64(sinT[j*step])
+				a, b := i+j, i+j+half
+				tr := (wr*re[b] - wi*im[b]) >> fftQ
+				ti := (wr*im[b] + wi*re[b]) >> fftQ
+				xar, xai := re[a], im[a]
+				re[a], im[a] = xar+tr, xai+ti
+				re[b], im[b] = xar-tr, xai-ti
+			}
+		}
+	}
+	h := uint64(1)
+	for i := 0; i < fftN; i++ {
+		h = mix(h, uint64(re[i]))
+		h = mix(h, uint64(im[i]))
+	}
+	return []uint64{h, uint64(re[0]), uint64(im[32])}
+}
+
+var _ = register(&Workload{
+	Name:        "fft",
+	Suite:       "mibench",
+	Description: "radix-2 fixed-point FFT of 64 Q12 samples",
+	source:      fftSource,
+	ref:         fftRef,
+})

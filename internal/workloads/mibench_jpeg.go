@@ -1,0 +1,218 @@
+package workloads
+
+// djpeg / cjpeg: MiBench consumer jpeg analogues. Both kernels process
+// four 8x8 coefficient blocks with a separable 2D Walsh-Hadamard-style
+// butterfly transform (the integer add/sub/shift structure of a real
+// DCT/IDCT). djpeg dequantises then inverse-transforms; cjpeg transforms
+// then quantises. A shared wht8 subroutine exercises call/ret and strided
+// memory access.
+
+const (
+	jpegBlocks = 4
+	jpegBlockN = 64
+)
+
+func jpegCoeffs() []uint64 {
+	raw := genWords(0x4A504547, jpegBlocks*jpegBlockN, 256)
+	for i, v := range raw {
+		raw[i] = uint64(int64(v) - 128)
+	}
+	return raw
+}
+
+func jpegQuant() []uint64 {
+	q := make([]uint64, jpegBlockN)
+	for k := range q {
+		q[k] = uint64(1 + k%8 + k/8)
+	}
+	return q
+}
+
+// whtSub is the shared 8-point butterfly subroutine: transforms 8 elements
+// at base address r1 with byte stride r2. Clobbers r3-r9; r13 must be 0.
+const whtSub = `
+wht8:	; in-place 8-point butterfly cascade (strides 1, 2, 4)
+	li r3, 1
+wst:
+	li r4, 0
+wel:
+	and r5, r4, r3
+	bne r5, r13, wskip
+	mul r5, r4, r2
+	add r5, r5, r1
+	mul r6, r3, r2
+	add r6, r6, r5
+	ld r7, [r5]
+	ld r8, [r6]
+	add r9, r7, r8
+	sd [r5], r9
+	sub r9, r7, r8
+	sd [r6], r9
+wskip:
+	addi r4, r4, 1
+	li r9, 8
+	blt r4, r9, wel
+	slli r3, r3, 1
+	li r9, 8
+	blt r3, r9, wst
+	ret
+`
+
+// whtRef mirrors wht8 on a Go slice view with the given element stride.
+func whtRef(a []int64, base, stride int) {
+	for s := 1; s < 8; s <<= 1 {
+		for i := 0; i < 8; i++ {
+			if i&s != 0 {
+				continue
+			}
+			p, q := base+i*stride, base+(i+s)*stride
+			x, y := a[p], a[q]
+			a[p], a[q] = x+y, x-y
+		}
+	}
+}
+
+func jpegDriver(dequantFirst bool) string {
+	s := "\t.data\n"
+	s += wordData("coef", jpegCoeffs())
+	s += wordData("quant", jpegQuant())
+	s += "\t.text\n\tli r13, 0\n"
+	if dequantFirst {
+		s += `	; dequantise: coef[k] *= quant[k%64]
+	li r10, 0
+jdq:
+	li r5, coef
+	slli r6, r10, 3
+	add r5, r5, r6
+	andi r7, r10, 63
+	slli r7, r7, 3
+	li r8, quant
+	add r7, r7, r8
+	ld r8, [r5]
+	ld r9, [r7]
+	mul r8, r8, r9
+	sd [r5], r8
+	addi r10, r10, 1
+	li r9, ` + itoa(jpegBlocks*jpegBlockN) + `
+	blt r10, r9, jdq
+`
+	}
+	s += `	; per block: transform rows then columns
+	li r11, 0          ; block
+jblk:
+	li r12, 0          ; row
+jrow:
+	li r1, coef
+	slli r5, r11, 9    ; block * 64 words * 8 bytes
+	add r1, r1, r5
+	muli r5, r12, 64   ; row * 8 words * 8 bytes
+	add r1, r1, r5
+	li r2, 8
+	call wht8
+	addi r12, r12, 1
+	li r5, 8
+	blt r12, r5, jrow
+	li r12, 0          ; column
+jcol:
+	li r1, coef
+	slli r5, r11, 9
+	add r1, r1, r5
+	slli r5, r12, 3
+	add r1, r1, r5
+	li r2, 64
+	call wht8
+	addi r12, r12, 1
+	li r5, 8
+	blt r12, r5, jcol
+	addi r11, r11, 1
+	li r5, ` + itoa(jpegBlocks) + `
+	blt r11, r5, jblk
+`
+	if !dequantFirst {
+		s += `	; quantise: coef[k] /= quant[k%64] (signed)
+	li r10, 0
+jq:
+	li r5, coef
+	slli r6, r10, 3
+	add r5, r5, r6
+	andi r7, r10, 63
+	slli r7, r7, 3
+	li r8, quant
+	add r7, r7, r8
+	ld r8, [r5]
+	ld r9, [r7]
+	div r8, r8, r9
+	sd [r5], r8
+	addi r10, r10, 1
+	li r9, ` + itoa(jpegBlocks*jpegBlockN) + `
+	blt r10, r9, jq
+`
+	}
+	s += `	; checksum
+	li r1, 1
+	li r2, 0
+	li r3, coef
+jchk:
+	ld r4, [r3]
+	muli r1, r1, 31
+	add r1, r1, r4
+	addi r3, r3, 8
+	addi r2, r2, 1
+	li r5, ` + itoa(jpegBlocks*jpegBlockN) + `
+	blt r2, r5, jchk
+	out r1
+	li r3, coef
+	ld r4, [r3]
+	out r4
+	halt
+` + whtSub
+	return s
+}
+
+func jpegRef(dequantFirst bool) []uint64 {
+	a := make([]int64, jpegBlocks*jpegBlockN)
+	for i, v := range jpegCoeffs() {
+		a[i] = int64(v)
+	}
+	q := jpegQuant()
+	if dequantFirst {
+		for k := range a {
+			a[k] *= int64(q[k%jpegBlockN])
+		}
+	}
+	for b := 0; b < jpegBlocks; b++ {
+		base := b * jpegBlockN
+		for r := 0; r < 8; r++ {
+			whtRef(a, base+r*8, 1)
+		}
+		for c := 0; c < 8; c++ {
+			whtRef(a, base+c, 8)
+		}
+	}
+	if !dequantFirst {
+		for k := range a {
+			a[k] /= int64(q[k%jpegBlockN])
+		}
+	}
+	h := uint64(1)
+	for _, v := range a {
+		h = mix(h, uint64(v))
+	}
+	return []uint64{h, uint64(a[0])}
+}
+
+var _ = register(&Workload{
+	Name:        "djpeg",
+	Suite:       "mibench",
+	Description: "dequantise + inverse 2D butterfly transform of 4 blocks",
+	source:      func() string { return jpegDriver(true) },
+	ref:         func() []uint64 { return jpegRef(true) },
+})
+
+var _ = register(&Workload{
+	Name:        "cjpeg",
+	Suite:       "mibench",
+	Description: "forward 2D butterfly transform + quantisation of 4 blocks",
+	source:      func() string { return jpegDriver(false) },
+	ref:         func() []uint64 { return jpegRef(false) },
+})

@@ -1,0 +1,118 @@
+package workloads
+
+import "sort"
+
+// qsort: MiBench automotive/qsort analogue — iterative quicksort with an
+// explicit stack over 256 64-bit keys, followed by an order-sensitive
+// checksum of the sorted array.
+
+const qsortN = 256
+
+func qsortInput() []uint64 { return genWords(0x9E3779B97F4A7C15, qsortN, 0) }
+
+func qsortSource() string {
+	s := "\t.data\n"
+	s += wordData("arr", qsortInput())
+	s += "stk:\t.space 4096\n"
+	s += `	.text
+	li r13, arr
+	li r12, stk
+	li r14, 0          ; constant zero
+	; push (0, N-1)
+	li r11, 0          ; stack top byte offset
+	li r4, 0
+	li r5, 255
+	add r9, r12, r11
+	sd [r9], r4
+	sd [r9+8], r5
+qloop:
+	blt r11, r14, qdone
+	add r9, r12, r11
+	ld r4, [r9]        ; lo
+	ld r5, [r9+8]      ; hi
+	addi r11, r11, -16
+	bge r4, r5, qloop
+	; partition around pivot arr[hi]
+	slli r9, r5, 3
+	add r9, r9, r13
+	ld r6, [r9]        ; pivot
+	mv r7, r4          ; i = lo
+	mv r8, r4          ; j = lo
+qpart:
+	bge r8, r5, qpdone
+	slli r9, r8, 3
+	add r9, r9, r13
+	ld r10, [r9]       ; arr[j]
+	bgeu r10, r6, qnoswap
+	slli r2, r7, 3
+	add r2, r2, r13
+	ld r3, [r2]
+	sd [r2], r10
+	sd [r9], r3
+	addi r7, r7, 1
+qnoswap:
+	addi r8, r8, 1
+	j qpart
+qpdone:
+	; swap arr[i] <-> arr[hi]
+	slli r2, r7, 3
+	add r2, r2, r13
+	slli r9, r5, 3
+	add r9, r9, r13
+	ld r3, [r2]
+	ld r10, [r9]
+	sd [r2], r10
+	sd [r9], r3
+	; push (lo, i-1) and (i+1, hi)
+	addi r11, r11, 16
+	add r3, r12, r11
+	sd [r3], r4
+	addi r2, r7, -1
+	sd [r3+8], r2
+	addi r11, r11, 16
+	add r3, r12, r11
+	addi r2, r7, 1
+	sd [r3], r2
+	sd [r3+8], r5
+	j qloop
+qdone:
+	; checksum: h = h*31 + arr[k]
+	li r1, 1
+	li r2, 0
+	li r3, 256
+	li r5, arr
+qchk:
+	ld r4, [r5]
+	muli r1, r1, 31
+	add r1, r1, r4
+	addi r5, r5, 8
+	addi r2, r2, 1
+	blt r2, r3, qchk
+	out r1
+	li r5, arr
+	ld r4, [r5]
+	out r4
+	ld r4, [r5+2040]
+	out r4
+	halt
+`
+	return s
+}
+
+func qsortRef() []uint64 {
+	a := qsortInput()
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	h := uint64(1)
+	for _, v := range a {
+		h = mix(h, v)
+	}
+	return []uint64{h, a[0], a[qsortN-1]}
+}
+
+var _ = register(&Workload{
+	Name:        "qsort",
+	Suite:       "mibench",
+	Description: "iterative quicksort of 256 64-bit keys + checksum",
+	source:      qsortSource,
+	ref:         qsortRef,
+})

@@ -1,0 +1,214 @@
+package workloads
+
+// sha: MiBench security/sha analogue — a SHA-1-style compression over 4
+// blocks (256 bytes): 16 message words extended to 80 with rotate-xor
+// recurrence, 80 rounds of choice/parity/majority mixing on a 5-word
+// state. Words are little-endian (the paper's substitution note: same
+// round structure and operation mix, byte order simplified).
+
+const shaBlocks = 4
+
+func shaInput() []byte { return genBytes(0x53484131, shaBlocks*64) }
+
+func shaSource() string {
+	s := "\t.data\n"
+	s += wordData("hstate", []uint64{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0})
+	s += "w:\t.space 320\n"
+	s += byteData("msg", shaInput())
+	s += `	.text
+	li r1, 0            ; block index
+	li r14, 0xffffffff  ; 32-bit mask
+shblock:
+	; load w[0..15] from the message block
+	li r2, msg
+	slli r9, r1, 6
+	add r2, r2, r9      ; block base
+	li r3, w
+	li r12, 0
+shfill:
+	slli r9, r12, 2
+	add r9, r9, r2
+	lwu r10, [r9]
+	slli r9, r12, 2
+	add r9, r9, r3
+	sw [r9], r10
+	addi r12, r12, 1
+	li r9, 16
+	blt r12, r9, shfill
+	; extend to w[16..79]: w[i] = rotl1(w[i-3]^w[i-8]^w[i-14]^w[i-16])
+shext:
+	slli r9, r12, 2
+	add r9, r9, r3
+	lwu r10, [r9-12]
+	lwu r0, [r9-32]
+	xor r10, r10, r0
+	lwu r0, [r9-56]
+	xor r10, r10, r0
+	lwu r0, [r9-64]
+	xor r10, r10, r0
+	slli r0, r10, 1
+	srli r10, r10, 31
+	or r10, r10, r0
+	and r10, r10, r14
+	sw [r9], r10
+	addi r12, r12, 1
+	li r9, 80
+	blt r12, r9, shext
+	; load state a..e into r4..r8
+	li r2, hstate
+	ld r4, [r2]
+	ld r5, [r2+8]
+	ld r6, [r2+16]
+	ld r7, [r2+24]
+	ld r8, [r2+32]
+	li r12, 0
+shrounds:
+	li r9, 20
+	blt r12, r9, shf1
+	li r9, 40
+	blt r12, r9, shf2
+	li r9, 60
+	blt r12, r9, shf3
+	; f4 = parity, k4
+	xor r10, r5, r6
+	xor r10, r10, r7
+	li r11, 0xCA62C1D6
+	j shfdone
+shf1:	; choice: (b&c) | (~b & d)
+	and r10, r5, r6
+	xor r0, r5, r14
+	and r0, r0, r7
+	or r10, r10, r0
+	li r11, 0x5A827999
+	j shfdone
+shf2:	; parity
+	xor r10, r5, r6
+	xor r10, r10, r7
+	li r11, 0x6ED9EBA1
+	j shfdone
+shf3:	; majority
+	and r10, r5, r6
+	and r0, r5, r7
+	or r10, r10, r0
+	and r0, r6, r7
+	or r10, r10, r0
+	li r11, 0x8F1BBCDC
+shfdone:
+	; temp = rotl5(a) + f + e + k + w[i]
+	slli r9, r4, 5
+	srli r0, r4, 27
+	or r9, r9, r0
+	and r9, r9, r14
+	add r9, r9, r10
+	add r9, r9, r8
+	add r9, r9, r11
+	slli r0, r12, 2
+	add r0, r0, r3
+	lwu r10, [r0]
+	add r9, r9, r10
+	and r9, r9, r14
+	; rotate the working state
+	mv r8, r7
+	mv r7, r6
+	slli r10, r5, 30
+	srli r0, r5, 2
+	or r10, r10, r0
+	and r6, r10, r14
+	mv r5, r4
+	mv r4, r9
+	addi r12, r12, 1
+	li r9, 80
+	blt r12, r9, shrounds
+	; h[i] = (h[i] + worked) & mask
+	li r2, hstate
+	ld r9, [r2]
+	add r9, r9, r4
+	and r9, r9, r14
+	sd [r2], r9
+	ld r9, [r2+8]
+	add r9, r9, r5
+	and r9, r9, r14
+	sd [r2+8], r9
+	ld r9, [r2+16]
+	add r9, r9, r6
+	and r9, r9, r14
+	sd [r2+16], r9
+	ld r9, [r2+24]
+	add r9, r9, r7
+	and r9, r9, r14
+	sd [r2+24], r9
+	ld r9, [r2+32]
+	add r9, r9, r8
+	and r9, r9, r14
+	sd [r2+32], r9
+	addi r1, r1, 1
+	li r9, ` + itoa(shaBlocks) + `
+	blt r1, r9, shblock
+	; emit the digest
+	li r2, hstate
+	ld r9, [r2]
+	out r9
+	ld r9, [r2+8]
+	out r9
+	ld r9, [r2+16]
+	out r9
+	ld r9, [r2+24]
+	out r9
+	ld r9, [r2+32]
+	out r9
+	halt
+`
+	return s
+}
+
+func shaRef() []uint64 {
+	msg := shaInput()
+	h := [5]uint64{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0}
+	const mask = 0xffffffff
+	rotl := func(v uint64, n uint) uint64 { return (v<<n | v>>(32-n)) & mask }
+	var w [80]uint64
+	for b := 0; b < shaBlocks; b++ {
+		blk := msg[b*64:]
+		for i := 0; i < 16; i++ {
+			w[i] = uint64(blk[4*i]) | uint64(blk[4*i+1])<<8 |
+				uint64(blk[4*i+2])<<16 | uint64(blk[4*i+3])<<24
+		}
+		for i := 16; i < 80; i++ {
+			w[i] = rotl(w[i-3]^w[i-8]^w[i-14]^w[i-16], 1)
+		}
+		a, bb, c, d, e := h[0], h[1], h[2], h[3], h[4]
+		for i := 0; i < 80; i++ {
+			var f, k uint64
+			switch {
+			case i < 20:
+				f = (bb & c) | ((bb ^ mask) & d)
+				k = 0x5A827999
+			case i < 40:
+				f = bb ^ c ^ d
+				k = 0x6ED9EBA1
+			case i < 60:
+				f = (bb & c) | (bb & d) | (c & d)
+				k = 0x8F1BBCDC
+			default:
+				f = bb ^ c ^ d
+				k = 0xCA62C1D6
+			}
+			tmp := (rotl(a, 5) + f + e + k + w[i]) & mask
+			e, d, c, bb, a = d, c, rotl(bb, 30), a, tmp
+		}
+		h[0] = (h[0] + a) & mask
+		h[1] = (h[1] + bb) & mask
+		h[2] = (h[2] + c) & mask
+		h[3] = (h[3] + d) & mask
+		h[4] = (h[4] + e) & mask
+	}
+	return h[:]
+}
+
+var _ = register(&Workload{
+	Name:        "sha",
+	Suite:       "mibench",
+	Description: "SHA-1-style 80-round compression over 256 bytes",
+	source:      shaSource,
+	ref:         shaRef,
+})

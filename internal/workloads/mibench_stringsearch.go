@@ -1,0 +1,164 @@
+package workloads
+
+// stringsearch: MiBench office/stringsearch analogue — Boyer-Moore-Horspool
+// search of four 6-byte patterns over a 2KB text with planted occurrences.
+// Outputs the total match count and an order-sensitive checksum of match
+// positions.
+
+const (
+	ssTextLen = 2048
+	ssPatLen  = 6
+	ssPats    = 4
+)
+
+func ssText() []byte {
+	text := genBytes(0x535452494E47, ssTextLen)
+	for i := range text {
+		text[i] = 'a' + text[i]%26
+	}
+	// Plant each pattern a few times so matches exist.
+	pats := ssPatterns()
+	rng := xorshift64(0xBEEF)
+	for p := 0; p < ssPats; p++ {
+		for k := 0; k < 3; k++ {
+			pos := int(rng() % uint64(ssTextLen-ssPatLen))
+			copy(text[pos:], pats[p])
+		}
+	}
+	return text
+}
+
+func ssPatterns() [][]byte {
+	rng := xorshift64(0x50415453)
+	pats := make([][]byte, ssPats)
+	for p := range pats {
+		pat := make([]byte, ssPatLen)
+		for i := range pat {
+			pat[i] = 'a' + byte(rng()>>40)%26
+		}
+		pats[p] = pat
+	}
+	return pats
+}
+
+func ssSource() string {
+	s := "\t.data\n"
+	s += byteData("text", ssText())
+	flat := make([]byte, 0, ssPats*ssPatLen)
+	for _, p := range ssPatterns() {
+		flat = append(flat, p...)
+	}
+	s += byteData("pats", flat)
+	s += "shift:\t.space 256\n"
+	s += `	.text
+	li r1, 0            ; pattern index
+	li r2, 0            ; total matches
+	li r3, 1            ; position checksum
+ssnext:
+	li r9, ` + itoa(ssPats) + `
+	bge r1, r9, ssout
+	li r4, pats
+	muli r9, r1, ` + itoa(ssPatLen) + `
+	add r4, r4, r9      ; pattern base
+	; build the bad-character shift table: default = patlen
+	li r5, shift
+	li r9, 0
+	li r10, ` + itoa(ssPatLen) + `
+ssdflt:
+	add r0, r5, r9
+	sb [r0], r10
+	addi r9, r9, 1
+	li r0, 256
+	blt r9, r0, ssdflt
+	; tbl[pat[i]] = patlen-1-i for i in [0, patlen-1)
+	li r9, 0
+ssbc:
+	add r0, r4, r9
+	lbu r10, [r0]
+	add r10, r10, r5
+	li r0, ` + itoa(ssPatLen-1) + `
+	sub r0, r0, r9
+	sb [r10], r0
+	addi r9, r9, 1
+	li r0, ` + itoa(ssPatLen-1) + `
+	blt r9, r0, ssbc
+	; scan
+	li r6, 0            ; pos
+ssscan:
+	li r9, ` + itoa(ssTextLen-ssPatLen) + `
+	bgt r6, r9, ssdonepat
+	; compare pattern backwards
+	li r9, ` + itoa(ssPatLen-1) + `
+sscmp:
+	li r10, text
+	add r10, r10, r6
+	add r10, r10, r9
+	lbu r11, [r10]
+	add r10, r4, r9
+	lbu r12, [r10]
+	bne r11, r12, ssmiss
+	addi r9, r9, -1
+	li r10, 0
+	bge r9, r10, sscmp
+	; match at pos r6
+	addi r2, r2, 1
+	muli r3, r3, 31
+	add r3, r3, r6
+ssmiss:
+	; advance by shift[text[pos+patlen-1]]
+	li r10, text
+	add r10, r10, r6
+	lbu r11, [r10+` + itoa(ssPatLen-1) + `]
+	add r11, r11, r5
+	lbu r12, [r11]
+	add r6, r6, r12
+	j ssscan
+ssdonepat:
+	addi r1, r1, 1
+	j ssnext
+ssout:
+	out r2
+	out r3
+	halt
+`
+	return s
+}
+
+func ssRef() []uint64 {
+	text := ssText()
+	var matches, checksum uint64
+	checksum = 1
+	for _, pat := range ssPatterns() {
+		shift := [256]int{}
+		for i := range shift {
+			shift[i] = ssPatLen
+		}
+		for i := 0; i < ssPatLen-1; i++ {
+			shift[pat[i]] = ssPatLen - 1 - i
+		}
+		pos := 0
+		for pos <= ssTextLen-ssPatLen {
+			ok := true
+			for i := ssPatLen - 1; i >= 0; i-- {
+				if text[pos+i] != pat[i] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				matches++
+				checksum = mix(checksum, uint64(pos))
+			}
+			pos += shift[text[pos+ssPatLen-1]]
+		}
+	}
+	return []uint64{matches, checksum}
+}
+
+var _ = register(&Workload{
+	Name:        "stringsearch",
+	Suite:       "mibench",
+	Description: "Horspool search of 4 patterns over 2KB text",
+	source:      ssSource,
+	ref:         ssRef,
+})

@@ -1,0 +1,411 @@
+package workloads
+
+// The three susan kernels (MiBench automotive/susan: corners, smoothing,
+// edges) share one 32x32 greyscale test image and mirror the original's
+// behaviour: USAN-area corner response, 3x3 mean smoothing, and a
+// Sobel-style gradient edge detector.
+
+const susanDim = 32
+
+func susanImage() []byte { return genBytes(0x535553414E, susanDim*susanDim) }
+
+func susanAt(img []byte, y, x int) int64 { return int64(img[y*susanDim+x]) }
+
+// --- susan_s: 3x3 mean smoothing ---
+
+func susanSSource() string {
+	s := "\t.data\n"
+	s += byteData("img", susanImage())
+	s += "smap:\t.space " + itoa(susanDim*susanDim) + "\n"
+	s += `	.text
+	li r11, img
+	li r10, smap
+	li r3, 1           ; checksum
+	li r1, 1           ; y
+ssy:
+	li r2, 1           ; x
+ssx:
+	li r6, 0           ; sum
+	li r4, -1          ; dy
+ssdy:
+	li r5, -1          ; dx
+ssdx:
+	add r7, r1, r4
+	muli r7, r7, ` + itoa(susanDim) + `
+	add r7, r7, r2
+	add r7, r7, r5
+	add r7, r7, r11
+	lbu r8, [r7]
+	add r6, r6, r8
+	addi r5, r5, 1
+	li r9, 1
+	ble r5, r9, ssdx
+	addi r4, r4, 1
+	ble r4, r9, ssdy
+	li r9, 9
+	div r6, r6, r9
+	muli r3, r3, 31
+	add r3, r3, r6
+	; store the smoothed pixel to the output map
+	muli r7, r1, ` + itoa(susanDim) + `
+	add r7, r7, r2
+	add r7, r7, r10
+	sb [r7], r6
+	addi r2, r2, 1
+	li r9, ` + itoa(susanDim-1) + `
+	blt r2, r9, ssx
+	addi r1, r1, 1
+	blt r1, r9, ssy
+	; second pass: checksum the stored map by reading it back
+	li r4, 1
+	li r1, 1
+ss2y:
+	li r2, 1
+ss2x:
+	muli r7, r1, ` + itoa(susanDim) + `
+	add r7, r7, r2
+	add r7, r7, r10
+	lbu r6, [r7]
+	muli r4, r4, 31
+	add r4, r4, r6
+	addi r2, r2, 1
+	li r9, ` + itoa(susanDim-1) + `
+	blt r2, r9, ss2x
+	addi r1, r1, 1
+	blt r1, r9, ss2y
+	out r3
+	out r4
+	halt
+`
+	return s
+}
+
+func susanSRef() []uint64 {
+	img := susanImage()
+	smap := make([]byte, susanDim*susanDim)
+	h := uint64(1)
+	for y := 1; y < susanDim-1; y++ {
+		for x := 1; x < susanDim-1; x++ {
+			var sum int64
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					sum += susanAt(img, y+dy, x+dx)
+				}
+			}
+			h = mix(h, uint64(sum/9))
+			smap[y*susanDim+x] = byte(sum / 9)
+		}
+	}
+	h2 := uint64(1)
+	for y := 1; y < susanDim-1; y++ {
+		for x := 1; x < susanDim-1; x++ {
+			h2 = mix(h2, uint64(smap[y*susanDim+x]))
+		}
+	}
+	return []uint64{h, h2}
+}
+
+// --- susan_c: USAN-area corner detection ---
+
+const (
+	susanBrightThresh = 27
+	susanGeomThresh   = 18
+)
+
+func susanCSource() string {
+	s := "\t.data\n"
+	s += byteData("img", susanImage())
+	s += "cmap:\t.space " + itoa(susanDim*susanDim) + "\n"
+	s += `	.text
+	li r11, img
+	li r10, cmap
+	li r3, 1           ; checksum
+	li r12, 0          ; corner count
+	li r1, 2           ; y
+scy:
+	li r2, 2           ; x
+scx:
+	; centre brightness
+	muli r7, r1, ` + itoa(susanDim) + `
+	add r7, r7, r2
+	add r7, r7, r11
+	lbu r13, [r7]      ; c
+	li r6, 0           ; USAN count
+	li r4, -2          ; dy
+scdy:
+	li r5, -2          ; dx
+scdx:
+	bne r4, r5, scbody ; skip only the exact centre (dy==dx==0)
+	bne r4, r0, scbody
+	j scskip
+scbody:
+	add r7, r1, r4
+	muli r7, r7, ` + itoa(susanDim) + `
+	add r7, r7, r2
+	add r7, r7, r5
+	add r7, r7, r11
+	lbu r8, [r7]
+	sub r8, r8, r13
+	li r9, 0
+	bge r8, r9, scabs
+	sub r8, r9, r8
+scabs:
+	li r9, ` + itoa(susanBrightThresh) + `
+	bge r8, r9, scskip
+	addi r6, r6, 1
+scskip:
+	addi r5, r5, 1
+	li r9, 2
+	ble r5, r9, scdx
+	addi r4, r4, 1
+	ble r4, r9, scdy
+	; record the USAN area in the corner map
+	muli r9, r1, ` + itoa(susanDim) + `
+	add r9, r9, r2
+	add r9, r9, r10
+	sb [r9], r6
+	; corner response: USAN area below the geometric threshold
+	li r9, ` + itoa(susanGeomThresh) + `
+	bge r6, r9, scnot
+	addi r12, r12, 1
+	muli r3, r3, 31
+	muli r9, r1, ` + itoa(susanDim) + `
+	add r9, r9, r2
+	add r3, r3, r9
+scnot:
+	addi r2, r2, 1
+	li r9, ` + itoa(susanDim-2) + `
+	blt r2, r9, scx
+	addi r1, r1, 1
+	blt r1, r9, scy
+	; checksum the recorded USAN map
+	li r4, 1
+	li r1, 2
+sc2y:
+	li r2, 2
+sc2x:
+	muli r9, r1, ` + itoa(susanDim) + `
+	add r9, r9, r2
+	add r9, r9, r10
+	lbu r6, [r9]
+	muli r4, r4, 31
+	add r4, r4, r6
+	addi r2, r2, 1
+	li r9, ` + itoa(susanDim-2) + `
+	blt r2, r9, sc2x
+	addi r1, r1, 1
+	blt r1, r9, sc2y
+	out r12
+	out r3
+	out r4
+	halt
+`
+	return s
+}
+
+func susanCRef() []uint64 {
+	img := susanImage()
+	cmap := make([]byte, susanDim*susanDim)
+	h, corners := uint64(1), uint64(0)
+	for y := 2; y < susanDim-2; y++ {
+		for x := 2; x < susanDim-2; x++ {
+			c := susanAt(img, y, x)
+			n := int64(0)
+			for dy := -2; dy <= 2; dy++ {
+				for dx := -2; dx <= 2; dx++ {
+					if dy == 0 && dx == 0 {
+						continue
+					}
+					d := susanAt(img, y+dy, x+dx) - c
+					if d < 0 {
+						d = -d
+					}
+					if d < susanBrightThresh {
+						n++
+					}
+				}
+			}
+			cmap[y*susanDim+x] = byte(n)
+			if n < susanGeomThresh {
+				corners++
+				h = mix(h, uint64(y*susanDim+x))
+			}
+		}
+	}
+	h2 := uint64(1)
+	for y := 2; y < susanDim-2; y++ {
+		for x := 2; x < susanDim-2; x++ {
+			h2 = mix(h2, uint64(cmap[y*susanDim+x]))
+		}
+	}
+	return []uint64{corners, h, h2}
+}
+
+// --- susan_e: Sobel gradient edge detection ---
+
+const susanEdgeThresh = 96
+
+func susanESource() string {
+	s := "\t.data\n"
+	s += byteData("img", susanImage())
+	s += "emap:\t.space " + itoa(2*susanDim*susanDim) + "\n"
+	s += `	.text
+	li r11, img
+	li r10, emap
+	li r3, 1           ; checksum
+	li r12, 0          ; edge count
+	li r1, 1           ; y
+sey:
+	li r2, 1           ; x
+sex:
+	; gx = (row stencil on x+1) - (row stencil on x-1)
+	addi r4, r2, 1
+	call secol
+	mv r6, r5
+	addi r4, r2, -1
+	call secol
+	sub r6, r6, r5     ; gx
+	; gy = (col stencil on y+1) - (col stencil on y-1)
+	addi r4, r1, 1
+	call serow
+	mv r7, r5
+	addi r4, r1, -1
+	call serow
+	sub r7, r7, r5     ; gy
+	; mag = |gx| + |gy|
+	li r9, 0
+	bge r6, r9, seax
+	sub r6, r9, r6
+seax:
+	bge r7, r9, seay
+	sub r7, r9, r7
+seay:
+	add r6, r6, r7
+	muli r3, r3, 31
+	add r3, r3, r6
+	; store the magnitude in the edge map (16-bit)
+	muli r9, r1, ` + itoa(susanDim) + `
+	add r9, r9, r2
+	slli r9, r9, 1
+	add r9, r9, r10
+	sh [r9], r6
+	li r9, ` + itoa(susanEdgeThresh) + `
+	ble r6, r9, senoedge
+	addi r12, r12, 1
+senoedge:
+	addi r2, r2, 1
+	li r9, ` + itoa(susanDim-1) + `
+	blt r2, r9, sex
+	addi r1, r1, 1
+	blt r1, r9, sey
+	; checksum the stored edge map
+	li r4, 1
+	li r1, 1
+se2y:
+	li r2, 1
+se2x:
+	muli r9, r1, ` + itoa(susanDim) + `
+	add r9, r9, r2
+	slli r9, r9, 1
+	add r9, r9, r10
+	lhu r6, [r9]
+	muli r4, r4, 31
+	add r4, r4, r6
+	addi r2, r2, 1
+	li r9, ` + itoa(susanDim-1) + `
+	blt r2, r9, se2x
+	addi r1, r1, 1
+	blt r1, r9, se2y
+	out r12
+	out r3
+	out r4
+	halt
+
+secol:	; r5 = img[y-1][r4] + 2*img[y][r4] + img[y+1][r4]
+	addi r8, r1, -1
+	muli r8, r8, ` + itoa(susanDim) + `
+	add r8, r8, r4
+	add r8, r8, r11
+	lbu r5, [r8]
+	lbu r9, [r8+` + itoa(susanDim) + `]
+	slli r9, r9, 1
+	add r5, r5, r9
+	lbu r9, [r8+` + itoa(2*susanDim) + `]
+	add r5, r5, r9
+	ret
+
+serow:	; r5 = img[r4][x-1] + 2*img[r4][x] + img[r4][x+1]
+	muli r8, r4, ` + itoa(susanDim) + `
+	add r8, r8, r2
+	add r8, r8, r11
+	lbu r5, [r8-1]
+	lbu r9, [r8]
+	slli r9, r9, 1
+	add r5, r5, r9
+	lbu r9, [r8+1]
+	add r5, r5, r9
+	ret
+`
+	return s
+}
+
+func susanERef() []uint64 {
+	img := susanImage()
+	emap := make([]uint16, susanDim*susanDim)
+	h, edges := uint64(1), uint64(0)
+	for y := 1; y < susanDim-1; y++ {
+		for x := 1; x < susanDim-1; x++ {
+			col := func(cx int) int64 {
+				return susanAt(img, y-1, cx) + 2*susanAt(img, y, cx) + susanAt(img, y+1, cx)
+			}
+			row := func(ry int) int64 {
+				return susanAt(img, ry, x-1) + 2*susanAt(img, ry, x) + susanAt(img, ry, x+1)
+			}
+			gx := col(x+1) - col(x-1)
+			gy := row(y+1) - row(y-1)
+			if gx < 0 {
+				gx = -gx
+			}
+			if gy < 0 {
+				gy = -gy
+			}
+			mag := gx + gy
+			h = mix(h, uint64(mag))
+			emap[y*susanDim+x] = uint16(mag)
+			if mag > susanEdgeThresh {
+				edges++
+			}
+		}
+	}
+	h2 := uint64(1)
+	for y := 1; y < susanDim-1; y++ {
+		for x := 1; x < susanDim-1; x++ {
+			h2 = mix(h2, uint64(emap[y*susanDim+x]))
+		}
+	}
+	return []uint64{edges, h, h2}
+}
+
+var _ = register(&Workload{
+	Name:        "susan_s",
+	Suite:       "mibench",
+	Description: "3x3 mean smoothing of a 32x32 image",
+	source:      susanSSource,
+	ref:         susanSRef,
+})
+
+var _ = register(&Workload{
+	Name:        "susan_c",
+	Suite:       "mibench",
+	Description: "USAN-area corner detection on a 32x32 image",
+	source:      susanCSource,
+	ref:         susanCRef,
+})
+
+var _ = register(&Workload{
+	Name:        "susan_e",
+	Suite:       "mibench",
+	Description: "Sobel gradient edge detection on a 32x32 image",
+	source:      susanESource,
+	ref:         susanERef,
+})

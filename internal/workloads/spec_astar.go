@@ -1,0 +1,226 @@
+package workloads
+
+// astar: SPEC 473.astar analogue — A* grid pathfinding on a 16x16 obstacle
+// map with a Manhattan-distance heuristic and an open-set min-scan, the
+// data-dependent branch pattern of pathfinding workloads.
+
+const (
+	asDim  = 16
+	asInf  = int64(1) << 30
+	asGoal = asDim*asDim - 1 // bottom-right corner
+)
+
+func asObstacles() []byte {
+	rng := xorshift64(0x41535441)
+	grid := make([]byte, asDim*asDim)
+	for i := range grid {
+		if rng()%5 == 0 {
+			grid[i] = 1
+		}
+	}
+	// Clear a staircase so a path always exists.
+	for d := 0; d < asDim; d++ {
+		grid[d*asDim+d] = 0
+		if d+1 < asDim {
+			grid[d*asDim+d+1] = 0
+		}
+	}
+	grid[0] = 0
+	grid[asGoal] = 0
+	return grid
+}
+
+func asSource() string {
+	s := "\t.data\n"
+	s += byteData("grid", asObstacles())
+	s += "gsc:\t.space " + itoa(asDim*asDim*8) + "\n"
+	s += "closed:\t.space " + itoa(asDim*asDim) + "\n"
+	s += `	.text
+	li r11, grid
+	li r12, gsc
+	li r13, closed
+	; g[i] = INF, g[0] = 0
+	li r1, 0
+	li r2, ` + itoa(int(asInf)) + `
+ainit:
+	slli r3, r1, 3
+	add r3, r3, r12
+	sd [r3], r2
+	addi r1, r1, 1
+	li r9, ` + itoa(asDim*asDim) + `
+	blt r1, r9, ainit
+	li r1, 0
+	sd [r12], r1
+	li r0, 0           ; expanded count (r14 is the link register)
+aloop:
+	; select the open cell with the least f = g + manhattan-to-goal
+	li r4, -1          ; best cell
+	li r5, ` + itoa(int(asInf)*4) + ` ; best f
+	li r1, 0
+ascan:
+	add r3, r13, r1
+	lbu r6, [r3]
+	li r9, 0
+	bne r6, r9, asnext ; closed
+	slli r3, r1, 3
+	add r3, r3, r12
+	ld r6, [r3]
+	li r9, ` + itoa(int(asInf)) + `
+	bge r6, r9, asnext ; unreached
+	; manhattan distance to the goal corner
+	li r9, ` + itoa(asDim) + `
+	div r7, r1, r9
+	rem r8, r1, r9
+	li r9, ` + itoa(asDim-1) + `
+	sub r7, r9, r7
+	sub r8, r9, r8
+	add r7, r7, r8
+	add r6, r6, r7     ; f
+	bge r6, r5, asnext
+	mv r5, r6
+	mv r4, r1
+asnext:
+	addi r1, r1, 1
+	li r9, ` + itoa(asDim*asDim) + `
+	blt r1, r9, ascan
+	li r9, 0
+	blt r4, r9, adone  ; open set exhausted
+	li r9, ` + itoa(asGoal) + `
+	beq r4, r9, adone  ; goal expanded
+	; close it and relax the four neighbours
+	add r3, r13, r4
+	li r9, 1
+	sb [r3], r9
+	addi r0, r0, 1
+	slli r3, r4, 3
+	add r3, r3, r12
+	ld r10, [r3]
+	addi r10, r10, 1   ; candidate g for neighbours
+	; up
+	li r9, ` + itoa(asDim) + `
+	blt r4, r9, an1
+	addi r2, r4, -` + itoa(asDim) + `
+	call arelax
+an1:	; down
+	li r9, ` + itoa(asDim*asDim-asDim) + `
+	bge r4, r9, an2
+	addi r2, r4, ` + itoa(asDim) + `
+	call arelax
+an2:	; left
+	li r9, ` + itoa(asDim) + `
+	rem r8, r4, r9
+	li r9, 0
+	ble r8, r9, an3
+	addi r2, r4, -1
+	call arelax
+an3:	; right
+	li r9, ` + itoa(asDim) + `
+	rem r8, r4, r9
+	li r9, ` + itoa(asDim-1) + `
+	bge r8, r9, an4
+	addi r2, r4, 1
+	call arelax
+an4:
+	j aloop
+adone:
+	li r9, ` + itoa(asGoal*8) + `
+	add r9, r9, r12
+	ld r1, [r9]
+	out r1
+	out r0
+	; checksum of reached g values
+	li r5, 1
+	li r1, 0
+achk:
+	slli r3, r1, 3
+	add r3, r3, r12
+	ld r6, [r3]
+	li r9, ` + itoa(int(asInf)) + `
+	bge r6, r9, achkskip
+	muli r5, r5, 31
+	add r5, r5, r6
+achkskip:
+	addi r1, r1, 1
+	li r9, ` + itoa(asDim*asDim) + `
+	blt r1, r9, achk
+	out r5
+	halt
+
+arelax:	; relax neighbour r2 with candidate g in r10 (clobbers r3, r6, r9)
+	add r3, r11, r2
+	lbu r6, [r3]
+	li r9, 0
+	bne r6, r9, arelret ; obstacle
+	slli r3, r2, 3
+	add r3, r3, r12
+	ld r6, [r3]
+	bge r10, r6, arelret
+	sd [r3], r10
+arelret:
+	ret
+`
+	return s
+}
+
+func asRef() []uint64 {
+	grid := asObstacles()
+	n := asDim * asDim
+	g := make([]int64, n)
+	closed := make([]bool, n)
+	for i := range g {
+		g[i] = asInf
+	}
+	g[0] = 0
+	expanded := uint64(0)
+	for {
+		best, bestF := -1, asInf*4
+		for i := 0; i < n; i++ {
+			if closed[i] || g[i] >= asInf {
+				continue
+			}
+			y, x := i/asDim, i%asDim
+			f := g[i] + int64(asDim-1-y) + int64(asDim-1-x)
+			if f < bestF {
+				bestF, best = f, i
+			}
+		}
+		if best < 0 || best == asGoal {
+			break
+		}
+		closed[best] = true
+		expanded++
+		cand := g[best] + 1
+		relax := func(c int) {
+			if grid[c] == 0 && cand < g[c] {
+				g[c] = cand
+			}
+		}
+		if best >= asDim {
+			relax(best - asDim)
+		}
+		if best < n-asDim {
+			relax(best + asDim)
+		}
+		if best%asDim > 0 {
+			relax(best - 1)
+		}
+		if best%asDim < asDim-1 {
+			relax(best + 1)
+		}
+	}
+	h := uint64(1)
+	for i := 0; i < n; i++ {
+		if g[i] < asInf {
+			h = mix(h, uint64(g[i]))
+		}
+	}
+	return []uint64{uint64(g[asGoal]), expanded, h}
+}
+
+var _ = register(&Workload{
+	Name:        "astar",
+	Suite:       "spec",
+	Description: "A* pathfinding on a 16x16 obstacle grid",
+	source:      asSource,
+	ref:         asRef,
+})

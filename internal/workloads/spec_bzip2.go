@@ -1,0 +1,143 @@
+package workloads
+
+// bzip2: SPEC 401.bzip2 analogue — run-length encoding followed by
+// move-to-front coding over a 4KB low-entropy input, the heart of the
+// bzip2 pipeline's byte-shuffling behaviour.
+
+const bzInputLen = 4096
+
+func bzInput() []byte {
+	rng := xorshift64(0x425A4950)
+	out := make([]byte, bzInputLen)
+	i := 0
+	for i < bzInputLen {
+		sym := byte(rng() % 16)
+		run := int(rng()%12) + 1
+		for j := 0; j < run && i < bzInputLen; j++ {
+			out[i] = sym
+			i++
+		}
+	}
+	return out
+}
+
+func bzSource() string {
+	s := "\t.data\n"
+	s += byteData("bzin", bzInput())
+	s += "rle:\t.space " + itoa(2*bzInputLen+16) + "\n"
+	s += "mtf:\t.space 256\n"
+	s += `	.text
+	; --- RLE pass: emit (symbol, runlen<=255) pairs into rle ---
+	li r1, bzin
+	li r2, 0           ; input index
+	li r3, rle
+	li r4, 0           ; output length (bytes)
+brle:
+	li r9, ` + itoa(bzInputLen) + `
+	bge r2, r9, brledone
+	add r5, r1, r2
+	lbu r6, [r5]       ; current symbol
+	li r7, 1           ; run length
+brun:
+	add r8, r2, r7
+	bge r8, r9, bemit
+	add r5, r1, r8
+	lbu r10, [r5]
+	bne r10, r6, bemit
+	addi r7, r7, 1
+	li r10, 255
+	blt r7, r10, brun
+bemit:
+	add r5, r3, r4
+	sb [r5], r6
+	sb [r5+1], r7
+	addi r4, r4, 2
+	add r2, r2, r7
+	j brle
+brledone:
+	; --- init MTF table: mtf[i] = i ---
+	li r1, mtf
+	li r2, 0
+bmtfi:
+	add r5, r1, r2
+	sb [r5], r2
+	addi r2, r2, 1
+	li r9, 256
+	blt r2, r9, bmtfi
+	; --- MTF over the RLE bytes, checksumming the emitted indexes ---
+	li r12, 1          ; checksum
+	li r2, 0           ; rle index
+bmtf:
+	bge r2, r4, bdone
+	li r3, rle
+	add r5, r3, r2
+	lbu r6, [r5]       ; symbol to code
+	; find its position in the table
+	li r7, 0
+bfind:
+	add r5, r1, r7
+	lbu r8, [r5]
+	beq r8, r6, bfound
+	addi r7, r7, 1
+	j bfind
+bfound:
+	muli r12, r12, 31
+	add r12, r12, r7
+	; shift table entries [0, pos) up by one, put symbol at front
+	mv r8, r7
+bshift:
+	li r9, 0
+	ble r8, r9, bfront
+	add r5, r1, r8
+	lbu r10, [r5-1]
+	sb [r5], r10
+	addi r8, r8, -1
+	j bshift
+bfront:
+	sb [r1], r6
+	addi r2, r2, 1
+	j bmtf
+bdone:
+	out r4
+	out r12
+	halt
+`
+	return s
+}
+
+func bzRef() []uint64 {
+	in := bzInput()
+	var rle []byte
+	for i := 0; i < len(in); {
+		sym := in[i]
+		run := 1
+		for i+run < len(in) && in[i+run] == sym && run < 255 {
+			run++
+		}
+		rle = append(rle, sym, byte(run))
+		i += run
+	}
+	var table [256]byte
+	for i := range table {
+		table[i] = byte(i)
+	}
+	h := uint64(1)
+	for _, sym := range rle {
+		pos := 0
+		for table[pos] != sym {
+			pos++
+		}
+		h = mix(h, uint64(pos))
+		copy(table[1:pos+1], table[0:pos])
+		table[0] = sym
+	}
+	return []uint64{uint64(len(rle)), h}
+}
+
+var _ = register(&Workload{
+	Name:        "bzip2",
+	Suite:       "spec",
+	Description: "RLE + move-to-front coding over 4KB",
+	source:      bzSource,
+	ref:         bzRef,
+})

@@ -1,0 +1,220 @@
+package workloads
+
+// gcc: SPEC 403.gcc analogue — a lexer over synthetic C-like source with a
+// character-class table and an open-addressing identifier hash table
+// (linear probing), the pointer-chasing + branchy flavour of a compiler
+// front end.
+
+const (
+	gccTextLen  = 3072
+	gccHashSize = 256
+)
+
+// character classes
+const (
+	gccClsSpace = 0
+	gccClsAlpha = 1
+	gccClsDigit = 2
+	gccClsOp    = 3
+)
+
+func gccText() []byte {
+	rng := xorshift64(0x47434331)
+	out := make([]byte, 0, gccTextLen)
+	idents := []string{"if", "else", "while", "int", "ret", "x0", "y1", "tmp",
+		"count", "buf", "ptr", "node", "next", "val", "size", "len"}
+	for len(out) < gccTextLen-16 {
+		switch rng() % 4 {
+		case 0, 1:
+			out = append(out, idents[rng()%uint64(len(idents))]...)
+		case 2:
+			for n := int(rng()%4) + 1; n > 0; n-- {
+				out = append(out, byte('0'+rng()%10))
+			}
+		default:
+			out = append(out, "+-*/=<>(){};"[rng()%12])
+		}
+		out = append(out, ' ')
+	}
+	for len(out) < gccTextLen {
+		out = append(out, ' ')
+	}
+	return out[:gccTextLen]
+}
+
+func gccClassTable() []byte {
+	t := make([]byte, 256)
+	for c := 'a'; c <= 'z'; c++ {
+		t[c] = gccClsAlpha
+	}
+	for c := '0'; c <= '9'; c++ {
+		t[c] = gccClsDigit
+	}
+	for _, c := range "+-*/=<>(){};" {
+		t[c] = gccClsOp
+	}
+	return t
+}
+
+func gccSource() string {
+	s := "\t.data\n"
+	s += byteData("src", gccText())
+	s += byteData("cls", gccClassTable())
+	s += "htab:\t.space " + itoa(gccHashSize*8) + "\n"
+	s += `	.text
+	li r11, src
+	li r12, cls
+	li r13, htab
+	li r1, 0           ; position
+	li r2, 0           ; ident count
+	li r3, 0           ; number count
+	li r4, 0           ; op count
+	li r5, 0           ; probe count
+glex:
+	li r9, ` + itoa(gccTextLen) + `
+	bge r1, r9, gdone
+	add r6, r11, r1
+	lbu r6, [r6]
+	add r7, r12, r6
+	lbu r7, [r7]       ; class
+	li r9, ` + itoa(gccClsAlpha) + `
+	beq r7, r9, gident
+	li r9, ` + itoa(gccClsDigit) + `
+	beq r7, r9, gnumber
+	li r9, ` + itoa(gccClsOp) + `
+	beq r7, r9, gop
+	addi r1, r1, 1     ; whitespace
+	j glex
+gident:
+	; hash the identifier run: h = h*31 + c
+	li r8, 7
+gidloop:
+	add r6, r11, r1
+	lbu r6, [r6]
+	add r7, r12, r6
+	lbu r7, [r7]
+	li r9, ` + itoa(gccClsAlpha) + `
+	beq r7, r9, gidext
+	li r9, ` + itoa(gccClsDigit) + `
+	bne r7, r9, gidins
+gidext:
+	muli r8, r8, 31
+	add r8, r8, r6
+	addi r1, r1, 1
+	li r9, ` + itoa(gccTextLen) + `
+	blt r1, r9, gidloop
+gidins:
+	addi r2, r2, 1
+	; insert h into the open-addressing table (slot 0 means empty;
+	; store h|1 so zero hashes stay distinguishable)
+	ori r8, r8, 1
+	andi r6, r8, ` + itoa(gccHashSize-1) + `
+gprobe:
+	addi r5, r5, 1
+	slli r7, r6, 3
+	add r7, r7, r13
+	ld r9, [r7]
+	beq r9, r8, glex   ; already present
+	li r10, 0
+	beq r9, r10, gput
+	addi r6, r6, 1
+	andi r6, r6, ` + itoa(gccHashSize-1) + `
+	j gprobe
+gput:
+	sd [r7], r8
+	j glex
+gnumber:
+	addi r3, r3, 1
+gnumloop:
+	add r6, r11, r1
+	lbu r6, [r6]
+	add r7, r12, r6
+	lbu r7, [r7]
+	li r9, ` + itoa(gccClsDigit) + `
+	bne r7, r9, glex
+	addi r1, r1, 1
+	li r9, ` + itoa(gccTextLen) + `
+	blt r1, r9, gnumloop
+	j gdone
+gop:
+	addi r4, r4, 1
+	addi r1, r1, 1
+	j glex
+gdone:
+	; hash-table checksum
+	li r8, 1
+	li r6, 0
+gchk:
+	slli r7, r6, 3
+	add r7, r7, r13
+	ld r9, [r7]
+	muli r8, r8, 31
+	add r8, r8, r9
+	addi r6, r6, 1
+	li r9, ` + itoa(gccHashSize) + `
+	blt r6, r9, gchk
+	out r2
+	out r3
+	out r4
+	out r5
+	out r8
+	halt
+`
+	return s
+}
+
+func gccRef() []uint64 {
+	text := gccText()
+	cls := gccClassTable()
+	htab := make([]uint64, gccHashSize)
+	var idents, numbers, ops, probes uint64
+	pos := 0
+	for pos < gccTextLen {
+		c := text[pos]
+		switch cls[c] {
+		case gccClsAlpha:
+			h := uint64(7)
+			for pos < gccTextLen && (cls[text[pos]] == gccClsAlpha || cls[text[pos]] == gccClsDigit) {
+				h = mix(h, uint64(text[pos]))
+				pos++
+			}
+			idents++
+			h |= 1
+			slot := h & (gccHashSize - 1)
+			for {
+				probes++
+				if htab[slot] == h {
+					break
+				}
+				if htab[slot] == 0 {
+					htab[slot] = h
+					break
+				}
+				slot = (slot + 1) & (gccHashSize - 1)
+			}
+		case gccClsDigit:
+			numbers++
+			for pos < gccTextLen && cls[text[pos]] == gccClsDigit {
+				pos++
+			}
+		case gccClsOp:
+			ops++
+			pos++
+		default:
+			pos++
+		}
+	}
+	h := uint64(1)
+	for _, v := range htab {
+		h = mix(h, v)
+	}
+	return []uint64{idents, numbers, ops, probes, h}
+}
+
+var _ = register(&Workload{
+	Name:        "gcc",
+	Suite:       "spec",
+	Description: "lexer + identifier hash table over 3KB of C-like text",
+	source:      gccSource,
+	ref:         gccRef,
+})

@@ -1,0 +1,246 @@
+package workloads
+
+// gobmk: SPEC 445.gobmk analogue — Go-board analysis over a 19x19 board:
+// pseudo-liberty counting for both colours and a 5x5 influence sweep for
+// every empty point, the short-branchy board-scanning style of Go engines.
+
+const gobmkDim = 19
+
+func gobmkBoard() []byte {
+	rng := xorshift64(0x474F424D)
+	b := make([]byte, gobmkDim*gobmkDim)
+	for i := range b {
+		switch rng() % 8 {
+		case 0, 1, 2:
+			b[i] = 1 // black
+		case 3, 4:
+			b[i] = 2 // white
+		default:
+			b[i] = 0 // empty
+		}
+	}
+	return b
+}
+
+func gobmkSource() string {
+	s := "\t.data\n"
+	s += byteData("board", gobmkBoard())
+	s += "lmap:\t.space " + itoa(gobmkDim*gobmkDim) + "\n"
+	s += `	.text
+	li r11, board
+	li r10, lmap
+	li r12, 0          ; black pseudo-liberties
+	li r13, 0          ; white pseudo-liberties
+	li r14, 0          ; influence accumulator
+	; --- pseudo-liberties: for each stone, count empty orthogonal
+	;     neighbours (off-board neighbours don't count) ---
+	li r1, 0           ; y
+gly:
+	li r2, 0           ; x
+glx:
+	muli r3, r1, ` + itoa(gobmkDim) + `
+	add r3, r3, r2
+	add r3, r3, r11
+	lbu r4, [r3]       ; stone colour
+	li r9, 0
+	beq r4, r9, glnext ; empty point
+	li r5, 0           ; liberties of this stone
+	; up
+	li r9, 0
+	ble r1, r9, g1
+	lbu r6, [r3-` + itoa(gobmkDim) + `]
+	bne r6, r9, g1
+	addi r5, r5, 1
+g1:	; down
+	li r9, ` + itoa(gobmkDim-1) + `
+	bge r1, r9, g2
+	lbu r6, [r3+` + itoa(gobmkDim) + `]
+	li r9, 0
+	bne r6, r9, g2
+	addi r5, r5, 1
+g2:	; left
+	li r9, 0
+	ble r2, r9, g3
+	lbu r6, [r3-1]
+	bne r6, r9, g3
+	addi r5, r5, 1
+g3:	; right
+	li r9, ` + itoa(gobmkDim-1) + `
+	bge r2, r9, g4
+	lbu r6, [r3+1]
+	li r9, 0
+	bne r6, r9, g4
+	addi r5, r5, 1
+g4:
+	; record the liberty count in the map
+	muli r9, r1, ` + itoa(gobmkDim) + `
+	add r9, r9, r2
+	add r9, r9, r10
+	sb [r9], r5
+	li r9, 1
+	bne r4, r9, gwhite
+	add r12, r12, r5
+	j glnext
+gwhite:
+	add r13, r13, r5
+glnext:
+	addi r2, r2, 1
+	li r9, ` + itoa(gobmkDim) + `
+	blt r2, r9, glx
+	addi r1, r1, 1
+	blt r1, r9, gly
+	; --- influence: for each empty point, sum (3 - max(|dy|,|dx|)) for
+	;     stones in the 5x5 window, black positive, white negative ---
+	li r1, 2           ; y in [2, dim-2)
+giy:
+	li r2, 2           ; x
+gix:
+	muli r3, r1, ` + itoa(gobmkDim) + `
+	add r3, r3, r2
+	add r3, r3, r11
+	lbu r4, [r3]
+	li r9, 0
+	bne r4, r9, ginext ; only empty points accumulate influence
+	li r4, -2          ; dy
+gidy:
+	li r5, -2          ; dx
+gidx:
+	add r6, r1, r4
+	muli r6, r6, ` + itoa(gobmkDim) + `
+	add r6, r6, r2
+	add r6, r6, r5
+	add r6, r6, r11
+	lbu r6, [r6]
+	li r9, 0
+	beq r6, r9, giskip
+	; weight = 3 - max(|dy|, |dx|)
+	mv r7, r4
+	bge r7, r9, gia1
+	sub r7, r9, r7
+gia1:
+	mv r8, r5
+	bge r8, r9, gia2
+	sub r8, r9, r8
+gia2:
+	bge r7, r8, gia3
+	mv r7, r8
+gia3:
+	li r8, 3
+	sub r8, r8, r7
+	li r9, 1
+	bne r6, r9, giwht
+	add r14, r14, r8
+	j giskip
+giwht:
+	sub r14, r14, r8
+giskip:
+	addi r5, r5, 1
+	li r9, 2
+	ble r5, r9, gidx
+	addi r4, r4, 1
+	ble r4, r9, gidy
+ginext:
+	addi r2, r2, 1
+	li r9, ` + itoa(gobmkDim-2) + `
+	blt r2, r9, gix
+	addi r1, r1, 1
+	blt r1, r9, giy
+	; checksum the liberty map by reading it back
+	li r5, 1
+	li r1, 0
+glc:
+	add r9, r10, r1
+	lbu r6, [r9]
+	muli r5, r5, 31
+	add r5, r5, r6
+	addi r1, r1, 1
+	li r9, ` + itoa(gobmkDim*gobmkDim) + `
+	blt r1, r9, glc
+	out r12
+	out r13
+	out r14
+	out r5
+	halt
+`
+	return s
+}
+
+func gobmkRef() []uint64 {
+	b := gobmkBoard()
+	at := func(y, x int) byte { return b[y*gobmkDim+x] }
+	lmap := make([]byte, gobmkDim*gobmkDim)
+	var black, white int64
+	for y := 0; y < gobmkDim; y++ {
+		for x := 0; x < gobmkDim; x++ {
+			c := at(y, x)
+			if c == 0 {
+				continue
+			}
+			libs := int64(0)
+			if y > 0 && at(y-1, x) == 0 {
+				libs++
+			}
+			if y < gobmkDim-1 && at(y+1, x) == 0 {
+				libs++
+			}
+			if x > 0 && at(y, x-1) == 0 {
+				libs++
+			}
+			if x < gobmkDim-1 && at(y, x+1) == 0 {
+				libs++
+			}
+			lmap[y*gobmkDim+x] = byte(libs)
+			if c == 1 {
+				black += libs
+			} else {
+				white += libs
+			}
+		}
+	}
+	var infl int64
+	for y := 2; y < gobmkDim-2; y++ {
+		for x := 2; x < gobmkDim-2; x++ {
+			if at(y, x) != 0 {
+				continue
+			}
+			for dy := -2; dy <= 2; dy++ {
+				for dx := -2; dx <= 2; dx++ {
+					c := at(y+dy, x+dx)
+					if c == 0 {
+						continue
+					}
+					ady, adx := dy, dx
+					if ady < 0 {
+						ady = -ady
+					}
+					if adx < 0 {
+						adx = -adx
+					}
+					m := ady
+					if adx > m {
+						m = adx
+					}
+					wgt := int64(3 - m)
+					if c == 1 {
+						infl += wgt
+					} else {
+						infl -= wgt
+					}
+				}
+			}
+		}
+	}
+	h := uint64(1)
+	for _, v := range lmap {
+		h = mix(h, uint64(v))
+	}
+	return []uint64{uint64(black), uint64(white), uint64(infl), h}
+}
+
+var _ = register(&Workload{
+	Name:        "gobmk",
+	Suite:       "spec",
+	Description: "Go-board liberty counting + 5x5 influence sweep",
+	source:      gobmkSource,
+	ref:         gobmkRef,
+})

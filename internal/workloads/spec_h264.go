@@ -1,0 +1,151 @@
+package workloads
+
+// h264ref: SPEC 464.h264ref analogue — full-search motion estimation: the
+// sum-of-absolute-differences (SAD) of an 8x8 current block against every
+// position of a 24x24 reference window, tracking the best motion vector.
+// SAD loops dominate real encoder profiles.
+
+const (
+	h264Blk = 8
+	h264Win = 24
+)
+
+func h264Cur() []byte { return genBytes(0x48323634, h264Blk*h264Blk) }
+
+func h264Window() []byte {
+	win := genBytes(0x57494E44, h264Win*h264Win)
+	// Plant a noisy copy of the current block at offset (9, 5) so the
+	// search has a meaningful minimum.
+	cur := h264Cur()
+	for y := 0; y < h264Blk; y++ {
+		for x := 0; x < h264Blk; x++ {
+			v := cur[y*h264Blk+x]
+			if (x+y)%7 == 0 {
+				v ^= 3
+			}
+			win[(y+9)*h264Win+x+5] = v
+		}
+	}
+	return win
+}
+
+func h264Source() string {
+	s := "\t.data\n"
+	s += byteData("cur", h264Cur())
+	s += byteData("win", h264Window())
+	s += "sads:\t.space " + itoa(8*(h264Win-h264Blk+1)*(h264Win-h264Blk+1)) + "\n"
+	s += `	.text
+	li r11, cur
+	li r12, win
+	li r0, sads
+	li r13, 1000000    ; best SAD
+	li r14, 0          ; best motion vector (dy<<8 | dx)
+	li r10, 0          ; total SAD accumulator
+	li r1, 0           ; dy
+hdy:
+	li r2, 0           ; dx
+hdx:
+	li r3, 0           ; sad
+	li r4, 0           ; y
+hy:
+	li r5, 0           ; x
+hx:
+	muli r6, r4, ` + itoa(h264Blk) + `
+	add r6, r6, r5
+	add r6, r6, r11
+	lbu r7, [r6]       ; cur[y][x]
+	add r6, r4, r1
+	muli r6, r6, ` + itoa(h264Win) + `
+	add r6, r6, r5
+	add r6, r6, r2
+	add r6, r6, r12
+	lbu r8, [r6]       ; win[y+dy][x+dx]
+	sub r7, r7, r8
+	li r9, 0
+	bge r7, r9, habs
+	sub r7, r9, r7
+habs:
+	add r3, r3, r7
+	addi r5, r5, 1
+	li r9, ` + itoa(h264Blk) + `
+	blt r5, r9, hx
+	addi r4, r4, 1
+	blt r4, r9, hy
+	add r10, r10, r3
+	; record this candidate's SAD
+	muli r6, r1, ` + itoa(h264Win-h264Blk+1) + `
+	add r6, r6, r2
+	slli r6, r6, 3
+	add r6, r6, r0
+	sd [r6], r3
+	bge r3, r13, hnotbest
+	mv r13, r3
+	slli r14, r1, 8
+	or r14, r14, r2
+hnotbest:
+	addi r2, r2, 1
+	li r9, ` + itoa(h264Win-h264Blk+1) + `
+	blt r2, r9, hdx
+	addi r1, r1, 1
+	blt r1, r9, hdy
+	; checksum the SAD surface by reading it back
+	li r5, 1
+	li r1, 0
+hsc:
+	slli r6, r1, 3
+	add r6, r6, r0
+	ld r7, [r6]
+	muli r5, r5, 31
+	add r5, r5, r7
+	addi r1, r1, 1
+	li r9, ` + itoa((h264Win-h264Blk+1)*(h264Win-h264Blk+1)) + `
+	blt r1, r9, hsc
+	out r13
+	out r14
+	out r10
+	out r5
+	halt
+`
+	return s
+}
+
+func h264Ref() []uint64 {
+	cur := h264Cur()
+	win := h264Window()
+	best, bestMV, total := int64(1000000), int64(0), int64(0)
+	n := h264Win - h264Blk + 1
+	surface := make([]int64, n*n)
+	for dy := 0; dy <= h264Win-h264Blk; dy++ {
+		for dx := 0; dx <= h264Win-h264Blk; dx++ {
+			sad := int64(0)
+			for y := 0; y < h264Blk; y++ {
+				for x := 0; x < h264Blk; x++ {
+					d := int64(cur[y*h264Blk+x]) - int64(win[(y+dy)*h264Win+x+dx])
+					if d < 0 {
+						d = -d
+					}
+					sad += d
+				}
+			}
+			total += sad
+			surface[dy*n+dx] = sad
+			if sad < best {
+				best = sad
+				bestMV = int64(dy)<<8 | int64(dx)
+			}
+		}
+	}
+	h := uint64(1)
+	for _, v := range surface {
+		h = mix(h, uint64(v))
+	}
+	return []uint64{uint64(best), uint64(bestMV), uint64(total), h}
+}
+
+var _ = register(&Workload{
+	Name:        "h264ref",
+	Suite:       "spec",
+	Description: "full-search 8x8 SAD motion estimation in a 24x24 window",
+	source:      h264Source,
+	ref:         h264Ref,
+})

@@ -1,0 +1,175 @@
+package workloads
+
+// hmmer: SPEC 456.hmmer analogue — Viterbi dynamic programming over a
+// 12-state profile HMM and a 96-symbol observation sequence: the dense
+// max-plus inner loops that dominate hmmsearch.
+
+const (
+	hmmStates = 12
+	hmmSeqLen = 96
+	hmmSyms   = 8
+	hmmNegInf = -(int64(1) << 40)
+)
+
+func hmmObs() []byte {
+	o := genBytes(0x484D4D52, hmmSeqLen)
+	for i := range o {
+		o[i] %= hmmSyms
+	}
+	return o
+}
+
+func hmmEmit() []uint64 {
+	raw := genWords(0x454D4954, hmmStates*hmmSyms, 64)
+	for i, v := range raw {
+		raw[i] = uint64(int64(v) - 32)
+	}
+	return raw
+}
+
+func hmmTrans() []uint64 {
+	raw := genWords(0x5452414E, hmmStates*hmmStates, 32)
+	for i, v := range raw {
+		raw[i] = uint64(int64(v) - 24) // mostly negative transition scores
+	}
+	return raw
+}
+
+func hmmSource() string {
+	s := "\t.data\n"
+	s += byteData("obs", hmmObs())
+	s += wordData("emit", hmmEmit())
+	s += wordData("trans", hmmTrans())
+	s += "dpa:\t.space " + itoa(hmmStates*8) + "\n"
+	s += "dpb:\t.space " + itoa(hmmStates*8) + "\n"
+	s += `	.text
+	; dp[0][s] = emit[s][obs[0]]
+	li r11, dpa
+	li r1, obs
+	lbu r1, [r1]       ; obs[0]
+	li r2, 0           ; s
+hinit:
+	muli r3, r2, ` + itoa(hmmSyms) + `
+	add r3, r3, r1
+	slli r3, r3, 3
+	li r4, emit
+	add r3, r3, r4
+	ld r4, [r3]
+	slli r3, r2, 3
+	add r3, r3, r11
+	sd [r3], r4
+	addi r2, r2, 1
+	li r9, ` + itoa(hmmStates) + `
+	blt r2, r9, hinit
+	; iterate t = 1..T-1, ping-ponging dpa/dpb (r11 = prev, r12 = cur)
+	li r12, dpb
+	li r13, 1          ; t
+htime:
+	li r1, obs
+	add r1, r1, r13
+	lbu r14, [r1]      ; obs[t]
+	li r2, 0           ; s (current state)
+hstate:
+	li r5, ` + itoa(int(hmmNegInf)) + `
+	li r3, 0           ; s' (previous state)
+hprev:
+	slli r4, r3, 3
+	add r4, r4, r11
+	ld r6, [r4]        ; dp[t-1][s']
+	muli r4, r3, ` + itoa(hmmStates) + `
+	add r4, r4, r2
+	slli r4, r4, 3
+	li r7, trans
+	add r4, r4, r7
+	ld r7, [r4]        ; trans[s'][s]
+	add r6, r6, r7
+	ble r6, r5, hnomax
+	mv r5, r6
+hnomax:
+	addi r3, r3, 1
+	li r9, ` + itoa(hmmStates) + `
+	blt r3, r9, hprev
+	; add emission
+	muli r4, r2, ` + itoa(hmmSyms) + `
+	add r4, r4, r14
+	slli r4, r4, 3
+	li r7, emit
+	add r4, r4, r7
+	ld r7, [r4]
+	add r5, r5, r7
+	slli r4, r2, 3
+	add r4, r4, r12
+	sd [r4], r5
+	addi r2, r2, 1
+	li r9, ` + itoa(hmmStates) + `
+	blt r2, r9, hstate
+	; swap buffers
+	mv r4, r11
+	mv r11, r12
+	mv r12, r4
+	addi r13, r13, 1
+	li r9, ` + itoa(hmmSeqLen) + `
+	blt r13, r9, htime
+	; result: max over final states + checksum of the final row (in r11)
+	li r5, ` + itoa(int(hmmNegInf)) + `
+	li r6, 1           ; checksum
+	li r2, 0
+hfin:
+	slli r4, r2, 3
+	add r4, r4, r11
+	ld r7, [r4]
+	muli r6, r6, 31
+	add r6, r6, r7
+	ble r7, r5, hfskip
+	mv r5, r7
+hfskip:
+	addi r2, r2, 1
+	li r9, ` + itoa(hmmStates) + `
+	blt r2, r9, hfin
+	out r5
+	out r6
+	halt
+`
+	return s
+}
+
+func hmmRef() []uint64 {
+	obs := hmmObs()
+	emit := hmmEmit()
+	trans := hmmTrans()
+	prev := make([]int64, hmmStates)
+	cur := make([]int64, hmmStates)
+	for s := 0; s < hmmStates; s++ {
+		prev[s] = int64(emit[s*hmmSyms+int(obs[0])])
+	}
+	for t := 1; t < hmmSeqLen; t++ {
+		for s := 0; s < hmmStates; s++ {
+			best := hmmNegInf
+			for sp := 0; sp < hmmStates; sp++ {
+				v := prev[sp] + int64(trans[sp*hmmStates+s])
+				if v > best {
+					best = v
+				}
+			}
+			cur[s] = best + int64(emit[s*hmmSyms+int(obs[t])])
+		}
+		prev, cur = cur, prev
+	}
+	best := hmmNegInf
+	h := uint64(1)
+	for s := 0; s < hmmStates; s++ {
+		h = mix(h, uint64(prev[s]))
+		if prev[s] > best {
+			best = prev[s]
+		}
+	}
+	return []uint64{uint64(best), h}
+}
+
+var _ = register(&Workload{
+	Name:        "hmmer",
+	Suite:       "spec",
+	Description: "Viterbi DP over a 12-state HMM and 96 observations",
+	source:      hmmSource,
+	ref:         hmmRef,
+})

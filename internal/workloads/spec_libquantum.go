@@ -1,0 +1,189 @@
+package workloads
+
+// libquantum: SPEC 462.libquantum analogue — gate application sweeps over a
+// 256-amplitude (8-qubit) fixed-point state vector: Hadamard-style
+// butterflies on every qubit followed by a CNOT permutation, repeated for
+// several sweeps. The strided pair-wise state updates are the kernel of
+// quantum simulation.
+
+const (
+	lqQubits = 8
+	lqAmps   = 1 << lqQubits
+	lqSweeps = 4
+	lqScale  = 724 // ~1/sqrt(2) in Q10
+	lqQ      = 10
+)
+
+func lqInit() (re, im []uint64) {
+	re = genWords(0x4C515245, lqAmps, 2048)
+	im = genWords(0x4C51494D, lqAmps, 2048)
+	for i := range re {
+		re[i] = uint64(int64(re[i]) - 1024)
+		im[i] = uint64(int64(im[i]) - 1024)
+	}
+	return re, im
+}
+
+func lqSource() string {
+	re, im := lqInit()
+	s := "\t.data\n"
+	s += wordData("qre", re)
+	s += wordData("qim", im)
+	s += `	.text
+	li r13, 0          ; sweep
+lqsweep:
+	li r12, 0          ; qubit
+lqqubit:
+	li r11, 1
+	sll r11, r11, r12  ; bit = 1<<q
+	; Hadamard-like butterfly on every pair (i, i|bit)
+	li r1, 0
+lqh:
+	and r2, r1, r11
+	li r9, 0
+	bne r2, r9, lqhskip
+	or r2, r1, r11     ; partner j
+	; load pair
+	slli r3, r1, 3
+	slli r4, r2, 3
+	li r5, qre
+	add r6, r5, r3
+	add r7, r5, r4
+	ld r8, [r6]        ; ar
+	ld r9, [r7]        ; br
+	add r10, r8, r9
+	muli r10, r10, ` + itoa(lqScale) + `
+	srai r10, r10, ` + itoa(lqQ) + `
+	sd [r6], r10
+	sub r10, r8, r9
+	muli r10, r10, ` + itoa(lqScale) + `
+	srai r10, r10, ` + itoa(lqQ) + `
+	sd [r7], r10
+	li r5, qim
+	add r6, r5, r3
+	add r7, r5, r4
+	ld r8, [r6]        ; ai
+	ld r9, [r7]        ; bi
+	add r10, r8, r9
+	muli r10, r10, ` + itoa(lqScale) + `
+	srai r10, r10, ` + itoa(lqQ) + `
+	sd [r6], r10
+	sub r10, r8, r9
+	muli r10, r10, ` + itoa(lqScale) + `
+	srai r10, r10, ` + itoa(lqQ) + `
+	sd [r7], r10
+lqhskip:
+	addi r1, r1, 1
+	li r9, ` + itoa(lqAmps) + `
+	blt r1, r9, lqh
+	; CNOT: control q, target (q+3)&7 — swap amplitudes where the
+	; control bit is set and the target bit is clear
+	addi r2, r12, 3
+	andi r2, r2, 7
+	li r10, 1
+	sll r10, r10, r2   ; tbit
+	li r1, 0
+lqc:
+	and r2, r1, r11
+	li r9, 0
+	beq r2, r9, lqcskip ; control clear
+	and r2, r1, r10
+	bne r2, r9, lqcskip ; target already set
+	or r2, r1, r10      ; partner
+	slli r3, r1, 3
+	slli r4, r2, 3
+	li r5, qre
+	add r6, r5, r3
+	add r7, r5, r4
+	ld r8, [r6]
+	ld r9, [r7]
+	sd [r6], r9
+	sd [r7], r8
+	li r5, qim
+	add r6, r5, r3
+	add r7, r5, r4
+	ld r8, [r6]
+	ld r9, [r7]
+	sd [r6], r9
+	sd [r7], r8
+lqcskip:
+	addi r1, r1, 1
+	li r9, ` + itoa(lqAmps) + `
+	blt r1, r9, lqc
+	addi r12, r12, 1
+	li r9, ` + itoa(lqQubits) + `
+	blt r12, r9, lqqubit
+	addi r13, r13, 1
+	li r9, ` + itoa(lqSweeps) + `
+	blt r13, r9, lqsweep
+	; state checksum
+	li r1, 1
+	li r2, 0
+	li r3, qre
+	li r4, qim
+lqchk:
+	ld r5, [r3]
+	muli r1, r1, 31
+	add r1, r1, r5
+	ld r5, [r4]
+	muli r1, r1, 31
+	add r1, r1, r5
+	addi r3, r3, 8
+	addi r4, r4, 8
+	addi r2, r2, 1
+	li r9, ` + itoa(lqAmps) + `
+	blt r2, r9, lqchk
+	out r1
+	halt
+`
+	return s
+}
+
+func lqRef() []uint64 {
+	reU, imU := lqInit()
+	re := make([]int64, lqAmps)
+	im := make([]int64, lqAmps)
+	for i := range reU {
+		re[i], im[i] = int64(reU[i]), int64(imU[i])
+	}
+	for sweep := 0; sweep < lqSweeps; sweep++ {
+		for q := 0; q < lqQubits; q++ {
+			bit := 1 << q
+			for i := 0; i < lqAmps; i++ {
+				if i&bit != 0 {
+					continue
+				}
+				j := i | bit
+				ar, br := re[i], re[j]
+				re[i] = (ar + br) * lqScale >> lqQ
+				re[j] = (ar - br) * lqScale >> lqQ
+				ai, bi := im[i], im[j]
+				im[i] = (ai + bi) * lqScale >> lqQ
+				im[j] = (ai - bi) * lqScale >> lqQ
+			}
+			tbit := 1 << ((q + 3) & 7)
+			for i := 0; i < lqAmps; i++ {
+				if i&bit == 0 || i&tbit != 0 {
+					continue
+				}
+				j := i | tbit
+				re[i], re[j] = re[j], re[i]
+				im[i], im[j] = im[j], im[i]
+			}
+		}
+	}
+	h := uint64(1)
+	for i := 0; i < lqAmps; i++ {
+		h = mix(h, uint64(re[i]))
+		h = mix(h, uint64(im[i]))
+	}
+	return []uint64{h}
+}
+
+var _ = register(&Workload{
+	Name:        "libquantum",
+	Suite:       "spec",
+	Description: "gate sweeps over an 8-qubit fixed-point state vector",
+	source:      lqSource,
+	ref:         lqRef,
+})

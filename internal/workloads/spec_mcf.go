@@ -1,0 +1,142 @@
+package workloads
+
+// mcf: SPEC 429.mcf analogue — Bellman-Ford shortest-path relaxation over
+// a 64-node / 320-edge network, the irregular pointer-light memory access
+// pattern of network-simplex pricing sweeps.
+
+const (
+	mcfNodes = 64
+	mcfEdges = 320
+	mcfInf   = int64(1) << 40
+)
+
+func mcfGraph() (src, dst, w []uint64) {
+	rng := xorshift64(0x4D434631)
+	src = make([]uint64, mcfEdges)
+	dst = make([]uint64, mcfEdges)
+	w = make([]uint64, mcfEdges)
+	// A connected backbone plus random extra arcs.
+	for i := 0; i < mcfNodes-1; i++ {
+		src[i] = uint64(i)
+		dst[i] = uint64(i + 1)
+		w[i] = rng()%100 + 1
+	}
+	for i := mcfNodes - 1; i < mcfEdges; i++ {
+		src[i] = rng() % mcfNodes
+		dst[i] = rng() % mcfNodes
+		w[i] = rng()%100 + 1
+	}
+	return src, dst, w
+}
+
+func mcfSource() string {
+	src, dst, w := mcfGraph()
+	s := "\t.data\n"
+	s += wordData("esrc", src)
+	s += wordData("edst", dst)
+	s += wordData("ew", w)
+	s += "dist:\t.space " + itoa(mcfNodes*8) + "\n"
+	s += `	.text
+	; dist[0] = 0, dist[i>0] = INF
+	li r1, dist
+	li r2, 0
+	sd [r1], r2
+	li r3, ` + itoa(int(mcfInf)) + `
+	li r2, 1
+minit:
+	slli r4, r2, 3
+	add r4, r4, r1
+	sd [r4], r3
+	addi r2, r2, 1
+	li r9, ` + itoa(mcfNodes) + `
+	blt r2, r9, minit
+	; relax all edges N-1 times, with an early-exit change flag
+	li r10, 0          ; pass
+mpass:
+	li r11, 0          ; changed flag
+	li r2, 0           ; edge index
+medge:
+	slli r4, r2, 3
+	li r5, esrc
+	add r5, r5, r4
+	ld r6, [r5]        ; u
+	li r5, edst
+	add r5, r5, r4
+	ld r7, [r5]        ; v
+	li r5, ew
+	add r5, r5, r4
+	ld r8, [r5]        ; weight
+	slli r6, r6, 3
+	add r6, r6, r1
+	ld r6, [r6]        ; dist[u]
+	add r6, r6, r8     ; candidate
+	slli r7, r7, 3
+	add r7, r7, r1     ; &dist[v]
+	ld r9, [r7]
+	bge r6, r9, mskip
+	sd [r7], r6
+	li r11, 1
+mskip:
+	addi r2, r2, 1
+	li r9, ` + itoa(mcfEdges) + `
+	blt r2, r9, medge
+	li r9, 0
+	beq r11, r9, mdone ; no change: converged
+	addi r10, r10, 1
+	li r9, ` + itoa(mcfNodes-1) + `
+	blt r10, r9, mpass
+mdone:
+	; distance checksum
+	li r3, 1
+	li r2, 0
+mchk:
+	slli r4, r2, 3
+	add r4, r4, r1
+	ld r5, [r4]
+	muli r3, r3, 31
+	add r3, r3, r5
+	addi r2, r2, 1
+	li r9, ` + itoa(mcfNodes) + `
+	blt r2, r9, mchk
+	out r3
+	out r10
+	halt
+`
+	return s
+}
+
+func mcfRef() []uint64 {
+	src, dst, w := mcfGraph()
+	dist := make([]int64, mcfNodes)
+	for i := 1; i < mcfNodes; i++ {
+		dist[i] = mcfInf
+	}
+	passes := uint64(0)
+	for p := 0; p < mcfNodes-1; p++ {
+		changed := false
+		for e := 0; e < mcfEdges; e++ {
+			cand := dist[src[e]] + int64(w[e])
+			if cand < dist[dst[e]] {
+				dist[dst[e]] = cand
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		passes++
+	}
+	h := uint64(1)
+	for _, d := range dist {
+		h = mix(h, uint64(d))
+	}
+	return []uint64{h, passes}
+}
+
+var _ = register(&Workload{
+	Name:        "mcf",
+	Suite:       "spec",
+	Description: "Bellman-Ford relaxation over a 64-node network",
+	source:      mcfSource,
+	ref:         mcfRef,
+})

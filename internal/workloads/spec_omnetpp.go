@@ -1,0 +1,226 @@
+package workloads
+
+// omnetpp: SPEC 471.omnetpp analogue — a discrete-event simulator core: a
+// binary min-heap future-event set, with each processed event scheduling
+// pseudo-random follow-up events (the xorshift generator runs inside the
+// simulated program).
+
+const (
+	omHeapCap = 64
+	omEvents  = 2500
+	omSeed    = 0x4F4D4E45545050
+)
+
+func omSource() string {
+	s := "\t.data\n"
+	s += "heap:\t.space " + itoa(omHeapCap*8) + "\n"
+	s += `	.text
+	li r11, heap
+	li r12, 0          ; heap size
+	li r13, ` + itoa(omSeed) + ` ; xorshift state
+	li r0, 1           ; time checksum (r14 is the link register)
+	li r10, 0          ; processed count
+	; seed 8 initial events: key = (rng%1000)<<16 | id
+	li r1, 0
+oseed:
+	call orand
+	li r9, 1000
+	rem r2, r2, r9
+	slli r2, r2, 16
+	or r2, r2, r1
+	call opush
+	addi r1, r1, 1
+	li r9, 8
+	blt r1, r9, oseed
+oloop:
+	li r9, 0
+	ble r12, r9, odone ; heap empty
+	li r9, ` + itoa(omEvents) + `
+	bge r10, r9, odone
+	call opop          ; min key in r2
+	addi r10, r10, 1
+	srli r3, r2, 16    ; event time
+	muli r0, r0, 31
+	add r0, r0, r2
+	; schedule a follow-up: time += 1 + rng%50, id = processed & 0xffff
+	mv r4, r3
+	call orand
+	li r9, 50
+	rem r2, r2, r9
+	add r4, r4, r2
+	addi r4, r4, 1
+	slli r2, r4, 16
+	andi r5, r10, 0xffff
+	or r2, r2, r5
+	li r9, ` + itoa(omHeapCap) + `
+	bge r12, r9, onopush
+	call opush
+onopush:
+	; occasionally schedule a second event
+	call orand
+	andi r2, r2, 3
+	li r9, 0
+	bne r2, r9, oloop
+	li r9, ` + itoa(omHeapCap) + `
+	bge r12, r9, oloop
+	addi r4, r4, 7
+	slli r2, r4, 16
+	andi r5, r10, 0xffff
+	or r2, r2, r5
+	ori r2, r2, 32768
+	call opush
+	j oloop
+odone:
+	out r10
+	out r0
+	out r12
+	halt
+
+orand:	; xorshift64 on r13 -> r2 (positive 31-bit draw)
+	slli r2, r13, 13
+	xor r13, r13, r2
+	srli r2, r13, 7
+	xor r13, r13, r2
+	slli r2, r13, 17
+	xor r13, r13, r2
+	srli r2, r13, 33
+	ret
+
+opush:	; insert key r2 (clobbers r5-r9)
+	mv r5, r12         ; hole index
+	addi r12, r12, 1
+opup:
+	li r9, 0
+	ble r5, r9, opin
+	addi r6, r5, -1
+	srli r6, r6, 1     ; parent
+	slli r7, r6, 3
+	add r7, r7, r11
+	ld r8, [r7]
+	bleu r8, r2, opin  ; parent <= key: done
+	slli r9, r5, 3
+	add r9, r9, r11
+	sd [r9], r8
+	mv r5, r6
+	j opup
+opin:
+	slli r9, r5, 3
+	add r9, r9, r11
+	sd [r9], r2
+	ret
+
+opop:	; remove min into r2 (clobbers r3-r9)
+	ld r2, [r11]
+	addi r12, r12, -1
+	slli r9, r12, 3
+	add r9, r9, r11
+	ld r3, [r9]        ; last element
+	li r5, 0           ; hole
+opdn:
+	slli r6, r5, 1
+	addi r6, r6, 1     ; left child
+	bge r6, r12, opset
+	addi r7, r6, 1     ; right child
+	bge r7, r12, opleft
+	slli r8, r6, 3
+	add r8, r8, r11
+	ld r8, [r8]
+	slli r9, r7, 3
+	add r9, r9, r11
+	ld r9, [r9]
+	bleu r8, r9, opleft
+	mv r6, r7          ; right child smaller
+opleft:
+	slli r8, r6, 3
+	add r8, r8, r11
+	ld r8, [r8]
+	bleu r3, r8, opset ; last <= child: done
+	slli r9, r5, 3
+	add r9, r9, r11
+	sd [r9], r8
+	mv r5, r6
+	j opdn
+opset:
+	slli r9, r5, 3
+	add r9, r9, r11
+	sd [r9], r3
+	ret
+`
+	return s
+}
+
+func omRef() []uint64 {
+	var heap []uint64
+	push := func(k uint64) {
+		heap = append(heap, 0)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if heap[p] <= k {
+				break
+			}
+			heap[i] = heap[p]
+			i = p
+		}
+		heap[i] = k
+	}
+	pop := func() uint64 {
+		top := heap[0]
+		last := heap[len(heap)-1]
+		heap = heap[:len(heap)-1]
+		n := len(heap)
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if c+1 < n && heap[c+1] < heap[c] {
+				c++
+			}
+			if last <= heap[c] {
+				break
+			}
+			heap[i] = heap[c]
+			i = c
+		}
+		if n > 0 {
+			heap[i] = last
+		}
+		return top
+	}
+	state := uint64(omSeed)
+	rng := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state >> 33
+	}
+	for i := uint64(0); i < 8; i++ {
+		push((rng()%1000)<<16 | i)
+	}
+	h := uint64(1)
+	processed := uint64(0)
+	for len(heap) > 0 && processed < omEvents {
+		k := pop()
+		processed++
+		h = mix(h, k)
+		t := k >> 16
+		t += rng()%50 + 1
+		if len(heap) < omHeapCap {
+			push(t<<16 | (processed & 0xffff))
+		}
+		if rng()&3 == 0 && len(heap) < omHeapCap {
+			push((t+7)<<16 | (processed & 0xffff) | 32768)
+		}
+	}
+	return []uint64{processed, h, uint64(len(heap))}
+}
+
+var _ = register(&Workload{
+	Name:        "omnetpp",
+	Suite:       "spec",
+	Description: "binary-heap discrete-event simulation of 2500 events",
+	source:      omSource,
+	ref:         omRef,
+})

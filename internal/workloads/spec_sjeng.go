@@ -1,0 +1,129 @@
+package workloads
+
+// sjeng: SPEC 458.sjeng analogue — recursive negamax alpha-beta search
+// over a synthetic game tree (depth 6, branching 4) whose leaf values are
+// a deterministic hash of the move path. Exercises deep call/return
+// recursion through the simulated stack.
+
+const (
+	sjengDepth  = 6
+	sjengBranch = 4
+	sjengSeed   = 12345
+	sjengNegInf = -100000000
+)
+
+func sjengSource() string {
+	return `	.text
+	li r13, 0          ; node counter
+	li r1, ` + itoa(sjengDepth) + `
+	li r3, ` + itoa(sjengNegInf) + `
+	li r4, ` + itoa(-sjengNegInf) + `
+	li r5, ` + itoa(sjengSeed) + `
+	call nega
+	out r2
+	out r13
+	halt
+
+nega:	; r1=depth r3=alpha r4=beta r5=path-hash -> r2=score
+	addi r13, r13, 1
+	li r9, 0
+	bgt r1, r9, nrec
+	; leaf evaluation: Fibonacci-hash the path
+	li r9, 2654435761
+	mul r2, r5, r9
+	srli r2, r2, 20
+	andi r2, r2, 0xffff
+	li r9, 32768
+	sub r2, r2, r9
+	ret
+nrec:
+	addi sp, sp, -56
+	sd [sp], lr
+	sd [sp+8], r1
+	sd [sp+16], r3
+	sd [sp+24], r4
+	sd [sp+32], r5
+	li r9, ` + itoa(sjengNegInf) + `
+	sd [sp+40], r9     ; best
+	li r9, 0
+	sd [sp+48], r9     ; move index
+nloop:
+	; child hash = h*31 + m + 1
+	ld r5, [sp+32]
+	muli r5, r5, 31
+	ld r9, [sp+48]
+	add r5, r5, r9
+	addi r5, r5, 1
+	; recurse with (depth-1, -beta, -alpha)
+	ld r1, [sp+8]
+	addi r1, r1, -1
+	li r9, 0
+	ld r3, [sp+24]
+	sub r10, r9, r3
+	ld r4, [sp+16]
+	sub r4, r9, r4
+	mv r3, r10
+	call nega
+	li r9, 0
+	sub r2, r9, r2     ; v = -child
+	ld r9, [sp+40]
+	ble r2, r9, nb1
+	sd [sp+40], r2
+	mv r9, r2
+nb1:	; alpha = max(alpha, best)
+	ld r10, [sp+16]
+	ble r9, r10, nb2
+	sd [sp+16], r9
+	mv r10, r9
+nb2:	; beta cutoff
+	ld r11, [sp+24]
+	bge r10, r11, ncut
+	ld r9, [sp+48]
+	addi r9, r9, 1
+	sd [sp+48], r9
+	li r10, ` + itoa(sjengBranch) + `
+	blt r9, r10, nloop
+ncut:
+	ld r2, [sp+40]
+	ld lr, [sp]
+	addi sp, sp, 56
+	ret
+`
+}
+
+func sjengRef() []uint64 {
+	var nodes uint64
+	var nega func(depth int, alpha, beta, h int64) int64
+	nega = func(depth int, alpha, beta, h int64) int64 {
+		nodes++
+		if depth <= 0 {
+			v := uint64(h) * 2654435761
+			return int64((v>>20)&0xffff) - 32768
+		}
+		best := int64(sjengNegInf)
+		for m := int64(0); m < sjengBranch; m++ {
+			child := h*31 + m + 1
+			v := -nega(depth-1, -beta, -alpha, child)
+			if v > best {
+				best = v
+			}
+			if best > alpha {
+				alpha = best
+			}
+			if alpha >= beta {
+				break
+			}
+		}
+		return best
+	}
+	score := nega(sjengDepth, sjengNegInf, -sjengNegInf, sjengSeed)
+	return []uint64{uint64(score), nodes}
+}
+
+var _ = register(&Workload{
+	Name:        "sjeng",
+	Suite:       "spec",
+	Description: "negamax alpha-beta over a synthetic depth-6 game tree",
+	source:      sjengSource,
+	ref:         sjengRef,
+})

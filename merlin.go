@@ -1,0 +1,317 @@
+// Package merlin is a Go reproduction of "MeRLiN: Exploiting Dynamic
+// Instruction Behavior for Fast and Accurate Microarchitecture Level
+// Reliability Assessment" (Kaliorakis, Gizopoulos, Canal, Gonzalez —
+// ISCA 2017).
+//
+// It bundles a deterministic out-of-order core simulator with bit-accurate
+// physical register file, store queue and L1D data arrays (the substrate
+// the paper obtains from Gem5 + GeFIN), a statistical fault-injection
+// campaign engine, and the MeRLiN methodology itself: ACE-like vulnerable
+// interval pruning followed by (RIP, uPC, byte) fault grouping, so that
+// only a handful of representatives per group are injected.
+//
+// The three phases of the paper's Fig 2 map to Preprocess (golden run +
+// ACE-like analysis + initial fault list), Artifacts.Reduce (two-step
+// grouping) and Artifacts.Inject (representative injection + extrapolated
+// classification). Run chains all three.
+package merlin
+
+import (
+	"fmt"
+	"time"
+
+	"merlin/internal/campaign"
+	"merlin/internal/cpu"
+	"merlin/internal/fault"
+	"merlin/internal/lifetime"
+	reduction "merlin/internal/merlin"
+	"merlin/internal/sampling"
+	"merlin/internal/workloads"
+)
+
+// Structure identifies an injection target.
+type Structure = lifetime.StructureID
+
+// The structures evaluated in the paper.
+const (
+	RF  = lifetime.StructRF
+	SQ  = lifetime.StructSQ
+	L1D = lifetime.StructL1D
+)
+
+// Re-exported result types.
+type (
+	// Outcome is a fault-effect class (paper Table 2).
+	Outcome = campaign.Outcome
+	// Dist is a distribution over fault-effect classes.
+	Dist = campaign.Dist
+	// Fault is a single-bit transient fault.
+	Fault = fault.Fault
+	// Reduction is the output of MeRLiN's fault-list reduction.
+	Reduction = reduction.Reduction
+	// HomogeneityReport quantifies within-group effect uniformity.
+	HomogeneityReport = reduction.HomogeneityReport
+)
+
+// Fault-effect classes (paper Table 2, plus Unknown for truncated runs).
+const (
+	Masked  = campaign.Masked
+	SDC     = campaign.SDC
+	DUE     = campaign.DUE
+	Timeout = campaign.Timeout
+	Crash   = campaign.Crash
+	Assert  = campaign.Assert
+	Unknown = campaign.Unknown
+)
+
+// RawFITPerBit is the raw failure rate the paper assumes (§4.4.3.3).
+const RawFITPerBit = 0.01
+
+// Config describes one MeRLiN campaign.
+type Config struct {
+	// Workload names a registered benchmark (see Workloads).
+	Workload string
+	// CPU is the core configuration; zero value means the paper's
+	// baseline (Table 1).
+	CPU cpu.Config
+	// Structure is the injection target.
+	Structure Structure
+
+	// Faults sets the initial statistical fault list size directly.
+	// When 0, the size is derived from Confidence and ErrorMargin over
+	// the structure's (bits x cycles) population, per Leveugle et al.
+	Faults      int
+	Confidence  float64 // default 0.998
+	ErrorMargin float64 // default 0.0063 (the paper's 60K-fault setup)
+
+	// Seed drives fault sampling (and nothing else; the simulator is
+	// deterministic).
+	Seed int64
+
+	// RepsPerGroup >1 injects extra representatives per final group
+	// (accuracy/cost ablation); 0 or 1 reproduces the paper.
+	RepsPerGroup int
+	// DisableByteGrouping turns off step 2 of the grouping algorithm
+	// (ablation).
+	DisableByteGrouping bool
+
+	// Workers bounds injection parallelism; 0 = GOMAXPROCS.
+	Workers int
+
+	// Checkpoints > 0 accelerates injection runs by replaying from that
+	// many frozen mid-run snapshots instead of from reset (bit-identical
+	// outcomes; the orthogonal acceleration of the paper's ref. [12]).
+	Checkpoints int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CPU.PhysRegs == 0 {
+		c.CPU = cpu.DefaultConfig()
+	}
+	if c.Confidence == 0 {
+		c.Confidence = sampling.Baseline.Confidence
+	}
+	if c.ErrorMargin == 0 {
+		c.ErrorMargin = sampling.Baseline.ErrorMargin
+	}
+	if c.RepsPerGroup == 0 {
+		c.RepsPerGroup = 1
+	}
+	return c
+}
+
+// Artifacts carries the intermediate products of the pipeline between
+// phases, mirroring the repositories of the paper's Fig 2.
+type Artifacts struct {
+	Config   Config
+	Runner   *campaign.Runner
+	Golden   *campaign.Golden
+	Analysis *lifetime.Analysis
+	Faults   []fault.Fault
+	Red      *reduction.Reduction
+}
+
+// Workloads lists the registered benchmark names for a suite ("mibench",
+// "spec", or "" for all).
+func Workloads(suite string) []string { return workloads.Names(suite) }
+
+// Preprocess runs phase 1: the single fault-free profiling run that records
+// the structure's vulnerable intervals, plus the creation of the initial
+// statistical fault list.
+func Preprocess(cfg Config) (*Artifacts, error) {
+	cfg = cfg.withDefaults()
+	w, err := workloads.Get(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	runner := campaign.NewRunner(campaign.Target{Cfg: cfg.CPU, Prog: w.Program()})
+	runner.Workers = cfg.Workers
+	golden, err := runner.RunGolden(cfg.Structure)
+	if err != nil {
+		return nil, err
+	}
+
+	core := runner.NewCore()
+	entries := core.StructureEntries(cfg.Structure)
+	entryBits := core.StructureEntryBits(cfg.Structure)
+	cycles := golden.Result.Cycles
+
+	analysis := lifetime.Build(golden.Tracer.Log(cfg.Structure), cfg.Structure,
+		entries, entryBits/8, cycles)
+
+	n := cfg.Faults
+	if n == 0 {
+		p := sampling.Params{Confidence: cfg.Confidence, ErrorMargin: cfg.ErrorMargin}
+		n = p.SampleSize(sampling.Population(entries, entryBits, cycles))
+	}
+	faults := sampling.Generate(cfg.Structure, entries, entryBits, cycles, n, cfg.Seed)
+
+	return &Artifacts{
+		Config:   cfg,
+		Runner:   runner,
+		Golden:   golden,
+		Analysis: analysis,
+		Faults:   faults,
+	}, nil
+}
+
+// Reduce runs phase 2: ACE-like pruning plus the two-step grouping
+// algorithm, populating a.Red.
+func (a *Artifacts) Reduce() *reduction.Reduction {
+	opts := reduction.Options{
+		RepsPerGroup: a.Config.RepsPerGroup,
+		ByteGrouping: !a.Config.DisableByteGrouping,
+	}
+	a.Red = reduction.Reduce(a.Analysis, a.Faults, opts)
+	return a.Red
+}
+
+// Inject runs phase 3: the representatives of the reduced fault list are
+// injected and their outcomes extrapolated over the full initial list.
+func (a *Artifacts) Inject() *Report {
+	if a.Red == nil {
+		a.Reduce()
+	}
+	reduced := a.Red.Reduced()
+	var res *campaign.Result
+	if a.Config.Checkpoints > 0 {
+		res = a.Runner.RunAllCheckpointed(reduced, &a.Golden.Result, a.Config.Checkpoints)
+	} else {
+		res = a.Runner.RunAll(reduced, &a.Golden.Result)
+	}
+	dist := a.Red.Extrapolate(res.Outcomes)
+	core := a.Runner.NewCore()
+	bits := core.StructureEntries(a.Config.Structure) * core.StructureEntryBits(a.Config.Structure)
+	return &Report{
+		Workload:      a.Config.Workload,
+		Structure:     a.Config.Structure,
+		GoldenCycles:  a.Golden.Result.Cycles,
+		InitialFaults: len(a.Faults),
+		ACEMasked:     a.Red.ACEMasked,
+		PostACE:       len(a.Red.HitFaults),
+		Injected:      a.Red.ReducedCount(),
+		StepOneGroups: a.Red.StepOneGroups,
+		FinalGroups:   len(a.Red.Groups),
+		ACESpeedup:    a.Red.ACESpeedup(),
+		FinalSpeedup:  a.Red.FinalSpeedup(),
+		Dist:          dist,
+		AVF:           dist.AVF(),
+		FIT:           dist.FIT(bits, RawFITPerBit),
+		ACELikeAVF:    a.Analysis.AVF(),
+		ACELikeFIT:    a.Analysis.AVF() * RawFITPerBit * float64(bits),
+		RepOutcomes:   res.Outcomes,
+		Wall:          res.Wall,
+		Serial:        res.Serial,
+	}
+}
+
+// Run executes the full MeRLiN pipeline for one campaign.
+func Run(cfg Config) (*Report, error) {
+	a, err := Preprocess(cfg)
+	if err != nil {
+		return nil, err
+	}
+	a.Reduce()
+	return a.Inject(), nil
+}
+
+// RunBaseline injects the entire initial fault list (the comprehensive
+// campaign MeRLiN is compared against) and reports its distribution.
+func RunBaseline(cfg Config) (*BaselineReport, error) {
+	a, err := Preprocess(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var res *campaign.Result
+	if cfg.Checkpoints > 0 {
+		res = a.Runner.RunAllCheckpointed(a.Faults, &a.Golden.Result, cfg.Checkpoints)
+	} else {
+		res = a.Runner.RunAll(a.Faults, &a.Golden.Result)
+	}
+	core := a.Runner.NewCore()
+	bits := core.StructureEntries(cfg.Structure) * core.StructureEntryBits(cfg.Structure)
+	return &BaselineReport{
+		Workload:     a.Config.Workload,
+		Structure:    a.Config.Structure,
+		GoldenCycles: a.Golden.Result.Cycles,
+		Faults:       len(a.Faults),
+		Outcomes:     res.Outcomes,
+		Dist:         res.Dist,
+		AVF:          res.Dist.AVF(),
+		FIT:          res.Dist.FIT(bits, RawFITPerBit),
+		Wall:         res.Wall,
+		Serial:       res.Serial,
+		Artifacts:    a,
+	}, nil
+}
+
+// Report is the outcome of one MeRLiN campaign.
+type Report struct {
+	Workload      string
+	Structure     Structure
+	GoldenCycles  uint64
+	InitialFaults int
+	ACEMasked     int
+	PostACE       int
+	Injected      int
+	StepOneGroups int
+	FinalGroups   int
+	ACESpeedup    float64
+	FinalSpeedup  float64
+	Dist          Dist
+	AVF           float64
+	FIT           float64
+	ACELikeAVF    float64
+	ACELikeFIT    float64
+	RepOutcomes   []Outcome
+	Wall          time.Duration
+	Serial        time.Duration
+}
+
+// String renders a one-campaign summary.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"%s/%s: %d faults -> ACE-like %d masked (%.1fx) -> %d groups -> %d injected (%.1fx total)\n"+
+			"  dist: %v\n  AVF %.4f (ACE-like bound %.4f)  FIT %.3f (ACE-like %.3f)",
+		r.Workload, r.Structure, r.InitialFaults, r.ACEMasked, r.ACESpeedup,
+		r.FinalGroups, r.Injected, r.FinalSpeedup,
+		r.Dist, r.AVF, r.ACELikeAVF, r.FIT, r.ACELikeFIT)
+}
+
+// BaselineReport is the outcome of a comprehensive campaign.
+type BaselineReport struct {
+	Workload     string
+	Structure    Structure
+	GoldenCycles uint64
+	Faults       int
+	Outcomes     []Outcome
+	Dist         Dist
+	AVF          float64
+	FIT          float64
+	Wall         time.Duration
+	Serial       time.Duration
+
+	// Artifacts retains the preprocessing products so MeRLiN and the
+	// Relyzer heuristic can be evaluated on the identical fault list.
+	Artifacts *Artifacts
+}

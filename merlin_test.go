@@ -1,0 +1,158 @@
+package merlin
+
+import (
+	"math"
+	"testing"
+
+	"merlin/internal/campaign"
+)
+
+func TestPipelinePhases(t *testing.T) {
+	cfg := Config{Workload: "sha", Structure: RF, Faults: 400, Seed: 1}
+	a, err := Preprocess(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Faults) != 400 {
+		t.Fatalf("faults = %d", len(a.Faults))
+	}
+	if a.Analysis == nil || len(a.Analysis.Intervals) == 0 {
+		t.Fatal("no vulnerable intervals recorded")
+	}
+	red := a.Reduce()
+	if red.ACEMasked+len(red.HitFaults) != 400 {
+		t.Fatal("pruning does not partition the list")
+	}
+	if red.ReducedCount() > len(red.HitFaults) {
+		t.Fatal("grouping increased the fault count")
+	}
+	rep := a.Inject()
+	if rep.Dist.Total() != 400 {
+		t.Fatalf("extrapolated total = %d", rep.Dist.Total())
+	}
+	if rep.FinalSpeedup < rep.ACESpeedup {
+		t.Errorf("final speedup %.1f < ACE speedup %.1f", rep.FinalSpeedup, rep.ACESpeedup)
+	}
+	if rep.String() == "" {
+		t.Error("empty report rendering")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	rep, err := Run(Config{Workload: "fft", Structure: SQ, Faults: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InitialFaults != 300 || rep.Injected == 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.AVF < 0 || rep.AVF > 1 {
+		t.Errorf("AVF = %v", rep.AVF)
+	}
+	// The ACE-like AVF upper-bounds the injection AVF up to sampling
+	// noise (the paper's central conservative-bound observation).
+	if rep.AVF > rep.ACELikeAVF+0.1 {
+		t.Errorf("injection AVF %.4f exceeds ACE-like bound %.4f by too much", rep.AVF, rep.ACELikeAVF)
+	}
+}
+
+func TestDerivedSampleSize(t *testing.T) {
+	// With no explicit fault count, the Leveugle formula sizes the list.
+	cfg := Config{Workload: "fft", Structure: SQ, Confidence: 0.95, ErrorMargin: 0.05, Seed: 3}
+	a, err := Preprocess(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 95%/5% needs ~384 faults for large populations.
+	if n := len(a.Faults); n < 350 || n > 420 {
+		t.Errorf("derived sample size = %d, want ~384", n)
+	}
+}
+
+// TestACELikePruningSound samples pruned faults and verifies by actual
+// injection that every one of them is Masked: the guarantee MeRLiN's first
+// phase rests on.
+func TestACELikePruningSound(t *testing.T) {
+	for _, wl := range []string{"sha", "qsort"} {
+		for _, s := range []Structure{RF, SQ, L1D} {
+			cfg := Config{Workload: wl, Structure: s, Faults: 300, Seed: 9}
+			a, err := Preprocess(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			red := a.Reduce()
+			checked := 0
+			for i, f := range a.Faults {
+				if red.IntervalOf[i] >= 0 {
+					continue // not pruned
+				}
+				if checked++; checked > 25 {
+					break // bound the cost per combination
+				}
+				if got := a.Runner.RunFault(f, &a.Golden.Result); got != Masked {
+					t.Errorf("%s/%v: pruned fault %v injected as %v", wl, s, f, got)
+				}
+			}
+			if checked == 0 {
+				t.Errorf("%s/%v: no pruned faults to verify", wl, s)
+			}
+		}
+	}
+}
+
+// TestExtrapolationMatchesFullInjection is the accuracy claim in miniature
+// (paper Fig 14): injecting only representatives and extrapolating must
+// closely match injecting the entire post-ACE list.
+func TestExtrapolationMatchesFullInjection(t *testing.T) {
+	cfg := Config{Workload: "stringsearch", Structure: RF, Faults: 500, Seed: 4}
+	a, err := Preprocess(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := a.Reduce()
+
+	// Full injection of the post-ACE list.
+	full := make([]Fault, len(red.HitFaults))
+	for i, fi := range red.HitFaults {
+		full[i] = a.Faults[fi]
+	}
+	fullRes := a.Runner.RunAll(full, &a.Golden.Result)
+
+	// MeRLiN path.
+	repRes := a.Runner.RunAll(red.Reduced(), &a.Golden.Result)
+	extra := red.PostACEExtrapolate(repRes.Outcomes)
+
+	for o := Outcome(0); o < campaign.NumOutcomes; o++ {
+		diff := math.Abs(extra.Share(o) - fullRes.Dist.Share(o))
+		if diff > 0.10 {
+			t.Errorf("class %v: extrapolated %.3f vs full %.3f (diff %.3f)",
+				o, extra.Share(o), fullRes.Dist.Share(o), diff)
+		}
+	}
+	t.Logf("full: %v", fullRes.Dist)
+	t.Logf("merlin (%d of %d injected): %v", red.ReducedCount(), len(full), extra)
+
+	// Homogeneity per the paper's eq. (1): must be high.
+	outcomes := make([]Outcome, len(a.Faults))
+	for i, fi := range red.HitFaults {
+		outcomes[fi] = fullRes.Outcomes[i]
+	}
+	h := red.Homogeneity(outcomes)
+	if h.Fine < 0.75 {
+		t.Errorf("fine homogeneity %.3f implausibly low", h.Fine)
+	}
+	t.Logf("homogeneity: fine %.3f coarse %.3f perfect %.2f (%d groups, avg size %.1f)",
+		h.Fine, h.Coarse, h.PerfectShare, h.Groups, h.AvgGroupSize)
+}
+
+func TestWorkloadsList(t *testing.T) {
+	if len(Workloads("")) != 20 {
+		t.Errorf("workloads = %d, want 20", len(Workloads("")))
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := Run(Config{Workload: "nope", Structure: RF, Faults: 10}); err == nil {
+		t.Error("expected error for unknown workload")
+	}
+}
