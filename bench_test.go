@@ -289,6 +289,63 @@ func BenchmarkTheory_VarianceAnalysis(b *testing.B) {
 	}
 }
 
+// strategyArtifacts prepares the 1,000-fault RF campaign every strategy
+// benchmark replays, so Replay/Checkpointed/Forked are timed on an
+// identical fault list and golden run.
+func strategyArtifacts(b *testing.B) *merlin.Artifacts {
+	b.Helper()
+	a, err := merlin.Preprocess(merlin.Config{Workload: "sha", Structure: merlin.RF, Faults: 1000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+func benchStrategy(b *testing.B, s campaign.Strategy) {
+	a := strategyArtifacts(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := a.Runner.RunAllWith(s, a.Faults, &a.Golden.Result, campaign.DefaultCheckpoints)
+		if res.Dist.Total() != len(a.Faults) {
+			b.Fatal("missing outcomes")
+		}
+		b.ReportMetric(res.Wall.Seconds()*1000, "wall-ms")
+		b.ReportMetric(res.Serial.Seconds()*1000, "serial-ms")
+	}
+}
+
+// BenchmarkStrategy_Replay times the from-reset baseline scheduler.
+func BenchmarkStrategy_Replay(b *testing.B) { benchStrategy(b, campaign.Replay) }
+
+// BenchmarkStrategy_Checkpointed times the k-snapshot scheduler.
+func BenchmarkStrategy_Checkpointed(b *testing.B) { benchStrategy(b, campaign.Checkpointed) }
+
+// BenchmarkStrategy_Forked times the fork-on-fault scheduler.
+func BenchmarkStrategy_Forked(b *testing.B) { benchStrategy(b, campaign.Forked) }
+
+// BenchmarkStrategy_Speedup runs all three schedulers on the identical
+// campaign and reports Forked's and Checkpointed's wall-clock and
+// serial-equivalent speedups over Replay (and verifies the outcomes agree,
+// so the reported speedups are for bit-identical results).
+func BenchmarkStrategy_Speedup(b *testing.B) {
+	a := strategyArtifacts(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replay := a.Runner.RunAllWith(campaign.Replay, a.Faults, &a.Golden.Result, 0)
+		ckpt := a.Runner.RunAllWith(campaign.Checkpointed, a.Faults, &a.Golden.Result, campaign.DefaultCheckpoints)
+		forked := a.Runner.RunAllWith(campaign.Forked, a.Faults, &a.Golden.Result, 0)
+		for j := range replay.Outcomes {
+			if replay.Outcomes[j] != forked.Outcomes[j] || replay.Outcomes[j] != ckpt.Outcomes[j] {
+				b.Fatalf("fault %d: outcomes diverge across strategies", j)
+			}
+		}
+		b.ReportMetric(replay.Wall.Seconds()/ckpt.Wall.Seconds(), "ckpt-wall-x")
+		b.ReportMetric(replay.Serial.Seconds()/ckpt.Serial.Seconds(), "ckpt-serial-x")
+		b.ReportMetric(replay.Wall.Seconds()/forked.Wall.Seconds(), "forked-wall-x")
+		b.ReportMetric(replay.Serial.Seconds()/forked.Serial.Seconds(), "forked-serial-x")
+	}
+}
+
 // BenchmarkGoldenRun measures raw simulator throughput (cycles/second) on
 // the paper's baseline configuration.
 func BenchmarkGoldenRun_SimulatorThroughput(b *testing.B) {

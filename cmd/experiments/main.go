@@ -18,6 +18,8 @@ import (
 	"path/filepath"
 	"strings"
 
+	"merlin"
+
 	"merlin/internal/experiments"
 )
 
@@ -46,17 +48,25 @@ func main() {
 		workloads  = flag.String("workloads", "", "comma-separated workload subset (default: the suite's ten)")
 		seed       = flag.Int64("seed", 1, "fault sampling seed")
 		workers    = flag.Int("workers", 0, "injection parallelism (0 = all cores)")
+		strategy   = flag.String("strategy", "replay", "injection strategy for every campaign: replay, checkpointed, or forked")
 		fullBase   = flag.Bool("full-baseline", false, "inject ACE-pruned faults too in accuracy experiments")
 		quiet      = flag.Bool("quiet", false, "suppress progress lines")
 		csvDir     = flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	)
 	flag.Parse()
 
+	strat, err := merlin.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+
 	o := experiments.Options{
 		Faults:       *faults,
 		ScaleFactor:  *scale,
 		Seed:         *seed,
 		Workers:      *workers,
+		Strategy:     strat,
 		FullBaseline: *fullBase,
 	}
 	if *workloads != "" {

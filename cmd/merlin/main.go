@@ -7,7 +7,13 @@
 //
 //	merlin -workload qsort -structure RF -faults 2000
 //	merlin -workload bzip2 -structure L1D -l1d 16384 -faults 5000 -baseline
+//	merlin -workload sha -structure SQ -strategy forked
 //	merlin -list
+//
+// -strategy selects how injection runs reproduce the pre-fault execution
+// prefix: replay (from reset), checkpointed (from k frozen snapshots), or
+// forked (fork-on-fault scheduling off a single golden sweep). Outcomes
+// are bit-identical across strategies; only wall-clock differs.
 package main
 
 import (
@@ -35,7 +41,8 @@ func main() {
 		reps      = flag.Int("reps", 1, "representatives injected per final group")
 		baseline  = flag.Bool("baseline", false, "also run the comprehensive baseline campaign for comparison")
 		workers   = flag.Int("workers", 0, "injection parallelism (0 = all cores)")
-		ckpts     = flag.Int("checkpoints", 0, "replay injections from N mid-run snapshots (0 = from reset)")
+		strategy  = flag.String("strategy", "replay", "injection strategy: replay, checkpointed, or forked (bit-identical outcomes, different wall-clock)")
+		ckpts     = flag.Int("checkpoints", 0, "snapshot count for -strategy checkpointed (>0 also implies that strategy)")
 		list      = flag.Bool("list", false, "list available workloads and exit")
 	)
 	flag.Parse()
@@ -44,6 +51,12 @@ func main() {
 		fmt.Println("mibench:", strings.Join(merlin.Workloads("mibench"), " "))
 		fmt.Println("spec:   ", strings.Join(merlin.Workloads("spec"), " "))
 		return
+	}
+
+	strat, err := merlin.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	var target merlin.Structure
@@ -69,6 +82,7 @@ func main() {
 		Seed:         *seed,
 		RepsPerGroup: *reps,
 		Workers:      *workers,
+		Strategy:     strat,
 		Checkpoints:  *ckpts,
 	}
 

@@ -21,6 +21,10 @@ func main() {
 		Structure: merlin.RF, // inject the physical integer register file
 		Faults:    2000,      // initial statistical fault list (paper: 60000)
 		Seed:      42,
+		// Fork per-fault clones off a single golden sweep instead of
+		// replaying every injection from reset; replay, checkpointed and
+		// forked classify every fault identically.
+		Strategy: merlin.StrategyForked,
 	})
 	if err != nil {
 		log.Fatal(err)

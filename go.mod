@@ -1,0 +1,3 @@
+module merlin
+
+go 1.22

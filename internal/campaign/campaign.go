@@ -141,6 +141,9 @@ type Runner struct {
 	Workers int
 	// GoldenBudget bounds the golden run itself.
 	GoldenBudget uint64
+	// MaxForks caps the in-flight machine clones of the fork-on-fault
+	// scheduler (its memory bound); 0 means 2x Workers.
+	MaxForks int
 }
 
 // NewRunner returns a Runner with the paper's 3x timeout and full host

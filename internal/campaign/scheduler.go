@@ -1,0 +1,222 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"merlin/internal/cpu"
+	"merlin/internal/fault"
+)
+
+// Strategy selects how injection runs reproduce the pre-fault execution
+// prefix. All strategies are bit-identical in outcome; they differ only in
+// how much of the golden run is re-simulated per fault.
+type Strategy uint8
+
+const (
+	// Replay re-executes every injection run from reset: O(F x avg_cycle)
+	// pre-fault simulation. The comprehensive, assumption-free baseline.
+	Replay Strategy = iota
+	// Checkpointed replays each injection from the nearest of k frozen
+	// mid-run snapshots (Chatzidimitriou & Gizopoulos, ISPASS 2016):
+	// O(F x avg_cycle/(k+1)) pre-fault simulation.
+	Checkpointed
+	// Forked drives one sweep core through the golden run exactly once
+	// and forks a clone per fault at its injection cycle: O(golden_cycles
+	// + F x clone) pre-fault work, the fastest of the three.
+	Forked
+	numStrategies
+)
+
+var strategyNames = [numStrategies]string{"replay", "checkpointed", "forked"}
+
+// String returns the flag-style lowercase name.
+func (s Strategy) String() string {
+	if int(s) < len(strategyNames) {
+		return strategyNames[s]
+	}
+	return fmt.Sprintf("strategy(%d)", uint8(s))
+}
+
+// ParseStrategy maps a flag value to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	for s, n := range strategyNames {
+		if strings.EqualFold(name, n) {
+			return Strategy(s), nil
+		}
+	}
+	return Replay, fmt.Errorf("unknown injection strategy %q (want replay, checkpointed, or forked)", name)
+}
+
+// DefaultCheckpoints is the snapshot count RunAllWith uses when the
+// Checkpointed strategy is selected without an explicit k.
+const DefaultCheckpoints = 8
+
+// RunAllWith dispatches a campaign to the selected strategy. checkpoints
+// is only consulted by Checkpointed (<=0 means DefaultCheckpoints).
+func (r *Runner) RunAllWith(s Strategy, faults []fault.Fault, golden *cpu.RunResult, checkpoints int) *Result {
+	switch s {
+	case Checkpointed:
+		if checkpoints <= 0 {
+			checkpoints = DefaultCheckpoints
+		}
+		return r.RunAllCheckpointed(faults, golden, checkpoints)
+	case Forked:
+		return r.RunAllForked(faults, golden)
+	default:
+		return r.RunAll(faults, golden)
+	}
+}
+
+// ForkSyncPoints is the number of golden snapshots the fork-on-fault
+// scheduler freezes along the run. They serve double duty: the sweep
+// re-roots its copy-on-write lineage at each one, and faulty continuations
+// compare their state against them to exit early once a fault provably
+// converged back to the golden run.
+const ForkSyncPoints = 24
+
+// forkJob hands one fault plus its pre-fault machine snapshot to a worker.
+type forkJob struct {
+	idx  int
+	core *cpu.Core
+}
+
+// RunAllForked is the fork-on-fault scheduler. A single sweep core steps
+// forward through the golden run exactly once; at each fault's injection
+// cycle (visited in ascending order) it clones the machine state and hands
+// the clone to a bounded worker pool that applies the fault and runs the
+// faulty continuation to classification. The shared pre-fault prefix is
+// thus simulated once for the whole campaign instead of once per fault,
+// reducing total pre-fault work from O(F x avg_cycle/(k+1)) under
+// checkpointing to O(golden_cycles + F x clone).
+//
+// Faulty continuations additionally stop at the first golden sync
+// snapshot they are masked-equivalent to (see cpu.MaskedEquivalent):
+// state-identical up to provably dead storage, which guarantees the rest
+// of the run reproduces the golden outcome. Because the overwhelming
+// share of faults is masked, most continuations end at the next sync
+// point instead of simulating to program completion. Faults that never
+// re-converge run to their natural classification, so outcomes stay
+// bit-identical to RunAll's, in the input fault order.
+//
+// The number of live clones is capped at MaxForks (default 2x workers) so
+// campaigns whose faults cluster late in the run cannot hold thousands of
+// machine snapshots in memory: the sweep blocks until a worker retires a
+// clone.
+func (r *Runner) RunAllForked(faults []fault.Fault, golden *cpu.RunResult) *Result {
+	res := &Result{Outcomes: make([]Outcome, len(faults)), Injected: len(faults)}
+	start := time.Now()
+	if len(faults) == 0 {
+		res.Wall = time.Since(start)
+		return res
+	}
+
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(faults) {
+		workers = len(faults)
+	}
+	maxForks := r.MaxForks
+	if maxForks <= 0 {
+		maxForks = 2 * workers
+	}
+
+	// The golden sync ladder (a CheckpointSet: reset state + snapshots at
+	// evenly spaced cycles), built once per campaign. Like the sweep, the
+	// build is shared pre-fault work counted once in Wall and Serial.
+	var serialNS atomic.Int64
+	ladder := r.BuildCheckpoints(ForkSyncPoints, golden.Cycles)
+	serialNS.Add(int64(time.Since(start)))
+	live := make(chan struct{}, maxForks) // in-flight clone budget
+	jobs := make(chan forkJob)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				t0 := time.Now()
+				res.Outcomes[j.idx] = r.runForkedClone(j.core, faults[j.idx], golden, ladder)
+				serialNS.Add(int64(time.Since(t0)))
+				<-live
+			}
+		}()
+	}
+
+	// The sweep: advance the golden run once, forking at each fault
+	// cycle. Crossing a ladder snapshot, the sweep re-roots itself on a
+	// clone of it — bit-identical state by determinism — so the
+	// copy-on-write page pool the forks share with the ladder stays
+	// shallow and state comparisons skip everything the segment never
+	// wrote.
+	sweep := ladder.cores[0].Clone()
+	next := 1
+	t0 := time.Now()
+	for _, idx := range fault.SortedIndices(faults) {
+		fc := faults[idx].Cycle
+		root := -1
+		for next < len(ladder.cycles) && ladder.cycles[next] < fc {
+			root = next
+			next++
+		}
+		if root >= 0 {
+			sweep = ladder.cores[root].Clone()
+		}
+		for sweep.Cycle()+1 < fc && sweep.Halted() == cpu.Running {
+			sweep.Step()
+		}
+		live <- struct{}{}
+		jobs <- forkJob{idx: idx, core: sweep.Clone()}
+	}
+	close(jobs)
+	// The sweep is shared pre-fault work; count it once in the
+	// serial-equivalent total.
+	serialNS.Add(int64(time.Since(t0)))
+	wg.Wait()
+
+	res.Wall = time.Since(start)
+	res.Serial = time.Duration(serialNS.Load())
+	for _, o := range res.Outcomes {
+		res.Dist.Add(o)
+	}
+	return res
+}
+
+// runForkedClone finishes one faulty continuation: the clone already sits
+// at the fault's pre-injection cycle, so only apply-and-run remains. At
+// each golden sync snapshot past the injection cycle the continuation
+// pauses; if its complete machine state equals the fault-free state at
+// that cycle, the rest of the run provably replays the golden run and the
+// fault is Masked. Simulator panics classify exactly as in RunFault.
+func (r *Runner) runForkedClone(c *cpu.Core, f fault.Fault, golden *cpu.RunResult, ladder *CheckpointSet) (out Outcome) {
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(*cpu.AssertError); ok {
+				out = Assert
+			} else {
+				out = Crash
+			}
+		}
+	}()
+	applyFault(c, f)
+	for i := sort.Search(len(ladder.cycles), func(i int) bool { return ladder.cycles[i] > c.Cycle() }); i < len(ladder.cycles); i++ {
+		for c.Cycle() < ladder.cycles[i] && c.Halted() == cpu.Running {
+			c.Step()
+		}
+		if c.Halted() != cpu.Running {
+			break
+		}
+		if cpu.MaskedEquivalent(c, ladder.cores[i]) {
+			return Masked
+		}
+	}
+	res := c.Run(r.TimeoutFactor * golden.Cycles)
+	return Classify(res, golden)
+}

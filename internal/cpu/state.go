@@ -1,0 +1,124 @@
+package cpu
+
+import "slices"
+
+// StateEqual reports whether two cores of the same configuration and
+// program are in bit-identical machine states: every microarchitectural
+// structure (registers, rename state, ROB, IQ, SQ, frontend, predictor),
+// the full cache hierarchy including metadata and statistics, both
+// memories, and the architectural results so far (output, exception log).
+//
+// The simulator is deterministic, so two state-equal cores evolve
+// identically forever. Neither core may have a tracer attached.
+func StateEqual(a, b *Core) bool {
+	return controlEqual(a, b) &&
+		slices.Equal(a.regVal, b.regVal) &&
+		slices.Equal(a.sq, b.sq) &&
+		a.l1d.Equal(b.l1d) && a.l1i.Equal(b.l1i) && a.l2.Equal(b.l2) &&
+		a.dmem.Equal(b.dmem) && a.imem.Equal(b.imem)
+}
+
+// MaskedEquivalent reports whether faulty core c, compared against the
+// fault-free core g at the same cycle, is guaranteed to finish the run
+// with g's exact architectural outcome — i.e. the injected fault is
+// already Masked. It is StateEqual relaxed in exactly one way: bits are
+// allowed to differ inside storage that is provably dead, because the
+// machine always fully overwrites it before its next read:
+//
+//   - values of free physical registers: a register returns to the free
+//     list only when no in-flight µop references it, and its next
+//     allocation writes the whole word (gated by regReady) before any
+//     consumer issues;
+//   - the data field of invalid store-queue slots: drain/squash clear
+//     valid and dataOK together, forwarding and drain read data only when
+//     dataOK, and the next STD rewrites the whole field;
+//   - data bytes of invalid cache lines: lookup only hits valid lines and
+//     a fill overwrites the entire line before validating it.
+//
+// Dead bits are never read, so they influence neither timing nor
+// architectural results: both machines run on identically forever (dead
+// locations are later overwritten with identical values or stay dead).
+// The fork-on-fault scheduler uses this as its convergence early-exit.
+func MaskedEquivalent(c, g *Core) bool {
+	if !controlEqual(c, g) {
+		return false
+	}
+	// Physical registers: differences only in dead (free, unreferenced)
+	// registers.
+	for i := range c.regVal {
+		if c.regVal[i] != g.regVal[i] && !c.regDead(int16(i)) {
+			return false
+		}
+	}
+	// Store queue: data differences only in invalid slots.
+	for i := range c.sq {
+		a, b := c.sq[i], g.sq[i]
+		if a.data != b.data && !a.valid {
+			a.data, b.data = 0, 0
+		}
+		if a != b {
+			return false
+		}
+	}
+	return c.l1d.EqualLive(g.l1d) && c.l1i.EqualLive(g.l1i) && c.l2.EqualLive(g.l2) &&
+		c.dmem.Equal(g.dmem) && c.imem.Equal(g.imem)
+}
+
+// regDead reports whether physical register p holds no live value: it is
+// on the free list and no in-flight ROB entry or rename scratch register
+// references it. (The free-list check alone is sufficient under the
+// rename invariants; the reference scan is defence in depth.)
+func (c *Core) regDead(p int16) bool {
+	for _, a := range c.rat {
+		if a == p {
+			return false
+		}
+	}
+	if !slices.Contains(c.freeList, p) {
+		return false
+	}
+	for i := 0; i < c.robLen; i++ {
+		e := &c.rob[(c.robHead+i)%len(c.rob)]
+		if e.physDest == p || e.oldPhys == p || e.src1 == p || e.src2 == p ||
+			e.freeT1 == p || e.freeT2 == p {
+			return false
+		}
+	}
+	if c.curTemps[0] == p || c.curTemps[1] == p || c.tempAcc[0] == p || c.tempAcc[1] == p {
+		return false
+	}
+	return true
+}
+
+// controlEqual compares everything outside the fault-injectable data
+// arrays: all scalar pipeline state, rename tables, ROB/IQ/decode
+// contents, the predictor, and the architectural results so far. Cheap
+// scalar state is compared first so diverged machines fail fast.
+func controlEqual(a, b *Core) bool {
+	assertf(a.tracer == nil && b.tracer == nil, "state comparison of a traced core")
+	if a.cycle != b.cycle || a.seqGen != b.seqGen || a.halted != b.halted ||
+		a.robHead != b.robHead || a.robLen != b.robLen ||
+		a.sqHead != b.sqHead || a.sqLen != b.sqLen || a.lqLen != b.lqLen ||
+		a.drainBusyUntil != b.drainBusyUntil ||
+		a.fetchPC != b.fetchPC || a.fetchHalted != b.fetchHalted ||
+		a.fetchReadyAt != b.fetchReadyAt || a.chargedLine != b.chargedLine ||
+		a.dqHead != b.dqHead || a.rat != b.rat ||
+		a.curTemps != b.curTemps || a.tempAcc != b.tempAcc ||
+		a.curTempCount != b.curTempCount || a.lastSQ != b.lastSQ ||
+		a.committedInsts != b.committedInsts || a.committedUops != b.committedUops ||
+		a.lastCommitAt != b.lastCommitAt || a.stats != b.stats {
+		return false
+	}
+	if !slices.Equal(a.regReady, b.regReady) ||
+		!slices.Equal(a.freeList, b.freeList) || !slices.Equal(a.iq, b.iq) ||
+		!slices.Equal(a.output, b.output) || !slices.Equal(a.excLog, b.excLog) ||
+		!slices.Equal(a.rob, b.rob) || !slices.Equal(a.decodeQ, b.decodeQ) {
+		return false
+	}
+	p, q := a.pred, b.pred
+	return p.ghr == q.ghr && p.commitGHR == q.commitGHR && p.rasTop == q.rasTop &&
+		slices.Equal(p.localHist, q.localHist) && slices.Equal(p.localPred, q.localPred) &&
+		slices.Equal(p.globalPred, q.globalPred) && slices.Equal(p.chooser, q.chooser) &&
+		slices.Equal(p.btbTag, q.btbTag) && slices.Equal(p.btbTarget, q.btbTarget) &&
+		slices.Equal(p.ras, q.ras)
+}

@@ -1,0 +1,140 @@
+package cpu
+
+import (
+	"testing"
+
+	"merlin/internal/asm"
+	"merlin/internal/lifetime"
+)
+
+// stateTestCore assembles a store-heavy loop and steps it partway so every
+// structure (RF, SQ, caches, memory) holds meaningful state.
+func stateTestCore(t *testing.T) *Core {
+	t.Helper()
+	p, err := asm.Assemble("state", `
+		.data
+	buf:	.space 512
+		.text
+		li r1, 0
+		li r2, 1
+		li r3, 200
+		li r4, buf
+	loop:
+		add r1, r1, r2
+		sd [r4], r1
+		ld r5, [r4]
+		addi r2, r2, 1
+		ble r2, r3, loop
+		out r1
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(DefaultConfig(), p)
+	for i := 0; i < 400 && c.halted == Running; i++ {
+		c.Step()
+	}
+	if c.halted != Running {
+		t.Fatal("test program finished too early")
+	}
+	return c
+}
+
+func TestStateEqualClones(t *testing.T) {
+	c := stateTestCore(t)
+	a, b := c.Clone(), c.Clone()
+	if !StateEqual(a, b) || !MaskedEquivalent(a, b) {
+		t.Fatal("identical clones compare unequal")
+	}
+	a.Step()
+	if StateEqual(a, b) {
+		t.Fatal("cores one cycle apart compare equal")
+	}
+}
+
+func TestMaskedEquivalentDeadRegister(t *testing.T) {
+	c := stateTestCore(t)
+	a, b := c.Clone(), c.Clone()
+	dead := int16(-1)
+	for p := int16(0); int(p) < len(a.regVal); p++ {
+		if a.regDead(p) {
+			dead = p
+			break
+		}
+	}
+	if dead < 0 {
+		t.Fatal("no dead physical register mid-run")
+	}
+	a.FlipBit(lifetime.StructRF, int(dead), 17)
+	if StateEqual(a, b) {
+		t.Error("StateEqual must see the flipped bit")
+	}
+	if !MaskedEquivalent(a, b) {
+		t.Error("a flip in a free, unreferenced register is dead state")
+	}
+	// The claim MaskedEquivalent makes: the run still ends identically.
+	ra, rb := a.Run(2_000_000), b.Run(2_000_000)
+	if ra.Halt != rb.Halt || len(ra.Output) != len(rb.Output) || ra.Output[0] != rb.Output[0] {
+		t.Errorf("dead-state run diverged: %v vs %v", ra, rb)
+	}
+}
+
+func TestMaskedEquivalentLiveRegister(t *testing.T) {
+	c := stateTestCore(t)
+	a, b := c.Clone(), c.Clone()
+	live := a.rat[1] // physical register currently mapped to r1
+	a.FlipBit(lifetime.StructRF, int(live), 3)
+	if MaskedEquivalent(a, b) {
+		t.Error("a flip in a RAT-mapped register is live state")
+	}
+}
+
+func TestMaskedEquivalentInvalidCacheLine(t *testing.T) {
+	c := stateTestCore(t)
+	a, b := c.Clone(), c.Clone()
+	invalid, valid := -1, -1
+	for e := 0; e < a.l1d.Entries(); e++ {
+		if a.l1d.Valid(e) {
+			valid = e
+		} else {
+			invalid = e
+		}
+	}
+	if invalid < 0 || valid < 0 {
+		t.Fatal("need both a valid and an invalid L1D line mid-run")
+	}
+	a.FlipBit(lifetime.StructL1D, invalid, 5)
+	if StateEqual(a, b) {
+		t.Error("StateEqual must see the invalid-line flip")
+	}
+	if !MaskedEquivalent(a, b) {
+		t.Error("a flip behind an invalid line is dead state")
+	}
+	a.FlipBit(lifetime.StructL1D, valid, 5)
+	if MaskedEquivalent(a, b) {
+		t.Error("a flip in a valid line is live state")
+	}
+}
+
+func TestMaskedEquivalentInvalidSQSlot(t *testing.T) {
+	c := stateTestCore(t)
+	a, b := c.Clone(), c.Clone()
+	slot := -1
+	for i := range a.sq {
+		if !a.sq[i].valid {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		t.Skip("store queue full at the sampled cycle")
+	}
+	a.FlipBit(lifetime.StructSQ, slot, 9)
+	if StateEqual(a, b) {
+		t.Error("StateEqual must see the invalid-slot flip")
+	}
+	if !MaskedEquivalent(a, b) {
+		t.Error("a flip in an invalid SQ slot's data is dead state")
+	}
+}

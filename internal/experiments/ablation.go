@@ -68,6 +68,7 @@ func Ablation(o Options) (*AblationResult, error) {
 			Faults:    o.Faults,
 			Seed:      o.Seed,
 			Workers:   o.Workers,
+			Strategy:  o.Strategy,
 		}
 		a, err := merlin.Preprocess(cfg)
 		if err != nil {
@@ -78,7 +79,7 @@ func Ablation(o Options) (*AblationResult, error) {
 		for i, fi := range base.HitFaults {
 			full[i] = a.Faults[fi]
 		}
-		fullRes := a.Runner.RunAll(full, &a.Golden.Result)
+		fullRes := a.Runner.RunAllWith(o.Strategy, full, &a.Golden.Result, 0)
 		outcomes := make([]campaign.Outcome, len(a.Faults))
 		for i, fi := range base.HitFaults {
 			outcomes[fi] = fullRes.Outcomes[i]

@@ -67,6 +67,7 @@ func runAccuracy(o Options, wl string, z StructSize) (*AccuracyCampaign, error) 
 		Faults:    o.Faults,
 		Seed:      o.Seed,
 		Workers:   o.Workers,
+		Strategy:  o.Strategy,
 	}
 	a, err := merlin.Preprocess(cfg)
 	if err != nil {
@@ -79,7 +80,7 @@ func runAccuracy(o Options, wl string, z StructSize) (*AccuracyCampaign, error) 
 	for i, fi := range red.HitFaults {
 		full[i] = a.Faults[fi]
 	}
-	fullRes := a.Runner.RunAll(full, &a.Golden.Result)
+	fullRes := a.Runner.RunAllWith(o.Strategy, full, &a.Golden.Result, 0)
 
 	// Outcomes indexed by the initial fault list.
 	outcomes := make([]campaign.Outcome, len(a.Faults))
@@ -116,7 +117,7 @@ func runAccuracy(o Options, wl string, z StructSize) (*AccuracyCampaign, error) 
 				pruned = append(pruned, a.Faults[i])
 			}
 		}
-		prunedRes := a.Runner.RunAll(pruned, &a.Golden.Result)
+		prunedRes := a.Runner.RunAllWith(o.Strategy, pruned, &a.Golden.Result, 0)
 		ac.BaselineFull = fullRes.Dist
 		for _, oc := range prunedRes.Outcomes {
 			ac.BaselineFull.Add(oc)

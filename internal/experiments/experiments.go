@@ -33,6 +33,11 @@ type Options struct {
 	Workloads []string
 	// Workers bounds injection parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Strategy selects the injection scheduler every campaign of every
+	// table/figure uses: Replay (default), Checkpointed, or Forked.
+	// Outcomes are bit-identical across strategies, so any strategy
+	// reproduces the same tables; only wall-clock differs.
+	Strategy campaign.Strategy
 	// Seed drives fault sampling.
 	Seed int64
 	// FullBaseline injects even the ACE-pruned faults in accuracy

@@ -64,6 +64,7 @@ func reduceOnly(o Options, wl string, z StructSize, faults int) (SpeedupCell, er
 		Faults:    faults,
 		Seed:      o.Seed,
 		Workers:   o.Workers,
+		Strategy:  o.Strategy,
 	}
 	a, err := merlin.Preprocess(cfg)
 	if err != nil {
@@ -151,6 +152,7 @@ func Fig12(o Options) (*SpeedupResult, error) {
 				Faults:    o.Faults,
 				Seed:      o.Seed,
 				Workers:   o.Workers,
+				Strategy:  o.Strategy,
 			}
 			a, err := merlin.Preprocess(cfg)
 			if err != nil {
@@ -318,6 +320,7 @@ func Fig11(o Options) (*Fig11Result, error) {
 			Faults:    60,
 			Seed:      o.Seed,
 			Workers:   o.Workers,
+			Strategy:  o.Strategy,
 		}
 		br, err := merlin.RunBaseline(cfg)
 		if err != nil {

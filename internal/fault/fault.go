@@ -6,6 +6,7 @@ package fault
 
 import (
 	"fmt"
+	"sort"
 
 	"merlin/internal/lifetime"
 )
@@ -39,4 +40,46 @@ func (f Fault) String() string {
 		return fmt.Sprintf("%s[%d] bits %d..%d @ cycle %d", f.Structure, f.Entry, f.Bit, int(f.Bit)+f.Bits()-1, f.Cycle)
 	}
 	return fmt.Sprintf("%s[%d] bit %d @ cycle %d", f.Structure, f.Entry, f.Bit, f.Cycle)
+}
+
+// Equal reports whether two faults denote the identical flip. Width 0 and
+// Width 1 both encode the single-bit model, so they compare equal.
+func Equal(a, b Fault) bool {
+	if a.Bits() != b.Bits() {
+		return false
+	}
+	a.Width, b.Width = 0, 0
+	return a == b
+}
+
+// Less orders faults by injection cycle, breaking ties by structure, entry,
+// bit and width so any sort over faults is fully deterministic.
+func Less(a, b Fault) bool {
+	switch {
+	case a.Cycle != b.Cycle:
+		return a.Cycle < b.Cycle
+	case a.Structure != b.Structure:
+		return a.Structure < b.Structure
+	case a.Entry != b.Entry:
+		return a.Entry < b.Entry
+	case a.Bit != b.Bit:
+		return a.Bit < b.Bit
+	default:
+		return a.Bits() < b.Bits()
+	}
+}
+
+// SortedIndices returns the indices of faults in ascending Less order,
+// leaving the slice itself untouched: campaign outcomes are indexed by the
+// original fault order, so schedulers that sweep in cycle order (the
+// fork-on-fault scheduler) reorder indices, never the list.
+func SortedIndices(faults []Fault) []int {
+	order := make([]int, len(faults))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return Less(faults[order[i]], faults[order[j]])
+	})
+	return order
 }

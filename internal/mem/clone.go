@@ -1,20 +1,32 @@
 package mem
 
-// Clone returns a deep copy of the memory. Snapshots taken for
-// checkpoint-accelerated injection campaigns clone the page map so the
-// original can keep running (or stay frozen) independently.
+// Clone returns a copy-on-write snapshot of the memory. The current pages
+// are frozen into a shared pool referenced by both the original and the
+// clone; each side privatises a page only when it next writes it. A clone
+// costs O(resident pages) pointer copies when the original has written
+// since its last Clone (the merged pool is rebuilt) and O(1) when it has
+// not — never a deep copy of the mapped bytes. A frozen pool is never
+// mutated (later Clones build a fresh merged pool), which keeps snapshots
+// safe for concurrent readers in parallel injection campaigns.
 func (m *Memory) Clone() *Memory {
-	c := &Memory{
-		pages:   make(map[uint64]*[pageSize]byte, len(m.pages)),
+	if len(m.pages) > 0 || m.shared == nil {
+		merged := make(map[uint64]*[pageSize]byte, len(m.shared)+len(m.pages))
+		for pn, p := range m.shared {
+			merged[pn] = p
+		}
+		for pn, p := range m.pages {
+			merged[pn] = p
+		}
+		m.shared = merged
+		m.pages = make(map[uint64]*[pageSize]byte)
+	}
+	return &Memory{
+		pages:   make(map[uint64]*[pageSize]byte),
+		shared:  m.shared,
 		lo:      m.lo,
 		hi:      m.hi,
 		Latency: m.Latency,
 	}
-	for pn, p := range m.pages {
-		cp := *p
-		c.pages[pn] = &cp
-	}
-	return c
 }
 
 // Clone returns a deep copy of the cache wired to the given next level.

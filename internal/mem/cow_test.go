@@ -1,0 +1,47 @@
+package mem
+
+import "testing"
+
+func TestMemoryCloneCopyOnWrite(t *testing.T) {
+	m := NewMemory(0, 1<<20, 1)
+	m.WriteBytes(0x1000, []byte{1, 2, 3})
+
+	c := m.Clone()
+	if !m.Equal(c) || !c.Equal(m) {
+		t.Fatal("fresh clone not equal to original")
+	}
+
+	// Writes after the clone must not leak in either direction.
+	m.WriteBytes(0x1000, []byte{9})
+	c.WriteBytes(0x1001, []byte{8})
+	got := make([]byte, 3)
+	m.ReadBytes(0x1000, got)
+	if got[0] != 9 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("original after diverging writes: %v", got)
+	}
+	c.ReadBytes(0x1000, got)
+	if got[0] != 1 || got[1] != 8 || got[2] != 3 {
+		t.Errorf("clone after diverging writes: %v", got)
+	}
+	if m.Equal(c) {
+		t.Error("diverged memories compare equal")
+	}
+
+	// Converge again: Equal must see content, not page identity.
+	m.WriteBytes(0x1000, []byte{1, 8, 3})
+	if !m.Equal(c) {
+		t.Error("converged memories compare unequal")
+	}
+
+	// A grandchild chains through two frozen pools.
+	g := c.Clone().Clone()
+	if !g.Equal(c) {
+		t.Error("grandchild clone not equal to its ancestor")
+	}
+
+	// An explicitly written all-zero page equals an untouched one.
+	m.WriteBytes(0x40000, make([]byte, pageSize))
+	if !m.Equal(c) || !c.Equal(m) {
+		t.Error("all-zero page must equal an unmapped page")
+	}
+}

@@ -1,0 +1,86 @@
+package mem
+
+import "bytes"
+
+var zeroPage [pageSize]byte
+
+// Equal reports whether two memories hold identical contents over
+// identical mapped ranges. Pages frozen into a common copy-on-write pool
+// compare by pointer, so snapshots descending from a shared golden prefix
+// prove equality without rescanning bytes the runs never wrote.
+func (m *Memory) Equal(o *Memory) bool {
+	if m.lo != o.lo || m.hi != o.hi {
+		return false
+	}
+	seen := make(map[uint64]struct{}, len(m.pages)+len(m.shared))
+	eq := func(pn uint64) bool {
+		if _, done := seen[pn]; done {
+			return true
+		}
+		seen[pn] = struct{}{}
+		a, b := m.pageByNumber(pn), o.pageByNumber(pn)
+		switch {
+		case a == b: // same frozen page, or both unmapped (zeros)
+			return true
+		case a == nil:
+			return bytes.Equal(b[:], zeroPage[:])
+		case b == nil:
+			return bytes.Equal(a[:], zeroPage[:])
+		default:
+			return bytes.Equal(a[:], b[:])
+		}
+	}
+	for _, pages := range []map[uint64]*[pageSize]byte{m.pages, m.shared, o.pages, o.shared} {
+		for pn := range pages {
+			if !eq(pn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (m *Memory) pageByNumber(pn uint64) *[pageSize]byte {
+	if p := m.pages[pn]; p != nil {
+		return p
+	}
+	return m.shared[pn]
+}
+
+// Equal reports whether two caches of the same geometry are in identical
+// states: every line's tag/valid/dirty/LRU metadata, the full data array,
+// the replacement clock and the access statistics.
+func (c *Cache) Equal(o *Cache) bool {
+	return c.metaEqual(o) && bytes.Equal(c.data, o.data)
+}
+
+// EqualLive is Equal except that the data bytes of invalid lines are
+// ignored: lookups only ever hit valid lines and a fill rewrites the
+// whole line before validating it, so bytes behind an invalid tag are
+// dead storage that cannot influence the machine.
+func (c *Cache) EqualLive(o *Cache) bool {
+	if !c.metaEqual(o) {
+		return false
+	}
+	for e := 0; e < len(c.lines); e++ {
+		if c.lines[e].valid && !bytes.Equal(c.EntryData(e), o.EntryData(e)) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Cache) metaEqual(o *Cache) bool {
+	if c.Cfg != o.Cfg || c.Stats != o.Stats || c.lruClock != o.lruClock {
+		return false
+	}
+	if len(c.lines) != len(o.lines) {
+		return false
+	}
+	for i := range c.lines {
+		if c.lines[i] != o.lines[i] {
+			return false
+		}
+	}
+	return true
+}

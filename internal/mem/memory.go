@@ -11,10 +11,16 @@ const pageSize = 1 << pageBits
 
 // Memory is the simulated main memory: a sparse collection of 4KB pages
 // inside a mapped address range. Reads of untouched pages return zeros.
+//
+// Clones are copy-on-write: Clone freezes the current pages into a shared
+// pool referenced by both machines, and each machine privatises a page
+// only when it first writes it. Frozen pools are never mutated, so a
+// frozen snapshot may be read concurrently by many injection workers.
 type Memory struct {
-	pages   map[uint64]*[pageSize]byte
-	lo, hi  uint64 // mapped range [lo, hi)
-	Latency int    // access latency in cycles
+	pages   map[uint64]*[pageSize]byte // private, writable pages
+	shared  map[uint64]*[pageSize]byte // frozen pages, possibly shared with clones
+	lo, hi  uint64                     // mapped range [lo, hi)
+	Latency int                        // access latency in cycles
 }
 
 // NewMemory returns memory mapping [lo, hi) with the given access latency.
@@ -27,13 +33,28 @@ func (m *Memory) InRange(addr uint64, size int) bool {
 	return addr >= m.lo && addr+uint64(size) <= m.hi && addr+uint64(size) >= addr
 }
 
-func (m *Memory) page(addr uint64, alloc bool) *[pageSize]byte {
+// readPage returns the effective page for addr (nil = all zeros): the
+// private copy if this machine has written it, else the frozen shared one.
+func (m *Memory) readPage(addr uint64) *[pageSize]byte {
 	pn := addr >> pageBits
-	p := m.pages[pn]
-	if p == nil && alloc {
-		p = new([pageSize]byte)
-		m.pages[pn] = p
+	if p := m.pages[pn]; p != nil {
+		return p
 	}
+	return m.shared[pn]
+}
+
+// writePage returns a private, writable page for addr, privatising the
+// frozen copy on first write after a Clone.
+func (m *Memory) writePage(addr uint64) *[pageSize]byte {
+	pn := addr >> pageBits
+	if p := m.pages[pn]; p != nil {
+		return p
+	}
+	p := new([pageSize]byte)
+	if s := m.shared[pn]; s != nil {
+		*p = *s
+	}
+	m.pages[pn] = p
 	return p
 }
 
@@ -41,7 +62,7 @@ func (m *Memory) page(addr uint64, alloc bool) *[pageSize]byte {
 // checked InRange.
 func (m *Memory) ReadBytes(addr uint64, dst []byte) {
 	for i := 0; i < len(dst); {
-		p := m.page(addr+uint64(i), false)
+		p := m.readPage(addr + uint64(i))
 		off := int((addr + uint64(i)) & (pageSize - 1))
 		n := min(len(dst)-i, pageSize-off)
 		if p == nil {
@@ -58,7 +79,7 @@ func (m *Memory) ReadBytes(addr uint64, dst []byte) {
 // WriteBytes stores src at addr. The caller must have checked InRange.
 func (m *Memory) WriteBytes(addr uint64, src []byte) {
 	for i := 0; i < len(src); {
-		p := m.page(addr+uint64(i), true)
+		p := m.writePage(addr + uint64(i))
 		off := int((addr + uint64(i)) & (pageSize - 1))
 		n := min(len(src)-i, pageSize-off)
 		copy(p[off:off+n], src[i:i+n])

@@ -51,7 +51,24 @@ type (
 	Reduction = reduction.Reduction
 	// HomogeneityReport quantifies within-group effect uniformity.
 	HomogeneityReport = reduction.HomogeneityReport
+	// Strategy selects how injection runs reproduce the pre-fault
+	// execution prefix (bit-identical outcomes, different wall-clock).
+	Strategy = campaign.Strategy
 )
+
+// Injection strategies, fastest last.
+const (
+	// StrategyReplay re-executes every injection from reset.
+	StrategyReplay = campaign.Replay
+	// StrategyCheckpointed replays from the nearest of k frozen snapshots.
+	StrategyCheckpointed = campaign.Checkpointed
+	// StrategyForked forks per-fault clones off a single golden sweep.
+	StrategyForked = campaign.Forked
+)
+
+// ParseStrategy maps a flag value ("replay", "checkpointed", "forked") to
+// a Strategy.
+func ParseStrategy(name string) (Strategy, error) { return campaign.ParseStrategy(name) }
 
 // Fault-effect classes (paper Table 2, plus Unknown for truncated runs).
 const (
@@ -98,9 +115,14 @@ type Config struct {
 	// Workers bounds injection parallelism; 0 = GOMAXPROCS.
 	Workers int
 
-	// Checkpoints > 0 accelerates injection runs by replaying from that
-	// many frozen mid-run snapshots instead of from reset (bit-identical
-	// outcomes; the orthogonal acceleration of the paper's ref. [12]).
+	// Strategy selects the injection scheduler: StrategyReplay (default),
+	// StrategyCheckpointed, or StrategyForked. All three classify every
+	// fault identically; they differ only in how much of the pre-fault
+	// prefix is re-simulated.
+	Strategy Strategy
+	// Checkpoints > 0 sets the snapshot count of StrategyCheckpointed
+	// (and, for backward compatibility, selects that strategy when
+	// Strategy is left at the default).
 	Checkpoints int
 }
 
@@ -116,6 +138,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RepsPerGroup == 0 {
 		c.RepsPerGroup = 1
+	}
+	if c.Strategy == StrategyReplay && c.Checkpoints > 0 {
+		c.Strategy = StrategyCheckpointed
 	}
 	return c
 }
@@ -193,12 +218,7 @@ func (a *Artifacts) Inject() *Report {
 		a.Reduce()
 	}
 	reduced := a.Red.Reduced()
-	var res *campaign.Result
-	if a.Config.Checkpoints > 0 {
-		res = a.Runner.RunAllCheckpointed(reduced, &a.Golden.Result, a.Config.Checkpoints)
-	} else {
-		res = a.Runner.RunAll(reduced, &a.Golden.Result)
-	}
+	res := a.Runner.RunAllWith(a.Config.Strategy, reduced, &a.Golden.Result, a.Config.Checkpoints)
 	dist := a.Red.Extrapolate(res.Outcomes)
 	core := a.Runner.NewCore()
 	bits := core.StructureEntries(a.Config.Structure) * core.StructureEntryBits(a.Config.Structure)
@@ -242,12 +262,7 @@ func RunBaseline(cfg Config) (*BaselineReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	var res *campaign.Result
-	if cfg.Checkpoints > 0 {
-		res = a.Runner.RunAllCheckpointed(a.Faults, &a.Golden.Result, cfg.Checkpoints)
-	} else {
-		res = a.Runner.RunAll(a.Faults, &a.Golden.Result)
-	}
+	res := a.Runner.RunAllWith(a.Config.Strategy, a.Faults, &a.Golden.Result, a.Config.Checkpoints)
 	core := a.Runner.NewCore()
 	bits := core.StructureEntries(cfg.Structure) * core.StructureEntryBits(cfg.Structure)
 	return &BaselineReport{
