@@ -1,0 +1,99 @@
+package merlin
+
+import (
+	"testing"
+
+	"merlin/internal/cpu"
+)
+
+// TestCacheBitIdenticalReports: a campaign run cold (no cache), cache-miss
+// (populating), and cache-hit (served) must produce identical reports; the
+// hit must skip the golden run.
+func TestCacheBitIdenticalReports(t *testing.T) {
+	cfg := Config{
+		Workload:  "sha",
+		Structure: RF,
+		Faults:    300,
+		Seed:      11,
+		Strategy:  StrategyForked,
+	}
+
+	cold, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cache = cache
+
+	miss, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.CacheHit {
+		t.Fatal("first cached run reported a cache hit on an empty cache")
+	}
+	hit, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit {
+		t.Fatal("second cached run missed; golden run was repeated")
+	}
+
+	for _, r := range []*Report{miss, hit} {
+		if r.Dist != cold.Dist {
+			t.Fatalf("Dist diverged: cold %v vs %v (hit=%v)", cold.Dist, r.Dist, r.CacheHit)
+		}
+		if r.GoldenCycles != cold.GoldenCycles || r.InitialFaults != cold.InitialFaults ||
+			r.ACEMasked != cold.ACEMasked || r.Injected != cold.Injected ||
+			r.FinalGroups != cold.FinalGroups || r.AVF != cold.AVF || r.FIT != cold.FIT {
+			t.Fatalf("report diverged from cold run:\ncold %+v\ngot  %+v", cold, r)
+		}
+	}
+
+	st := cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("cache stats = %+v, want exactly 1 hit / 1 miss / 1 put", st)
+	}
+}
+
+// TestCacheKeySeparation: changing the core configuration must not reuse
+// another configuration's golden run.
+func TestCacheKeySeparation(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Workload: "sha", Structure: RF, Faults: 50, Seed: 3, Cache: cache}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.CPU = cpu.DefaultConfig().WithRF(128)
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheHit {
+		t.Fatal("campaign with a different core config was served another config's artifact")
+	}
+}
+
+// TestConfigValidation: negative knobs reach the user as errors, not as
+// silently applied defaults.
+func TestConfigValidation(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"negative workers": {Workload: "sha", Structure: RF, Faults: 10, Workers: -2},
+		"negative faults":  {Workload: "sha", Structure: RF, Faults: -1},
+		"negative reps":    {Workload: "sha", Structure: RF, Faults: 10, RepsPerGroup: -3},
+		"negative ckpts":   {Workload: "sha", Structure: RF, Faults: 10, Checkpoints: -1},
+		"bad confidence":   {Workload: "sha", Structure: RF, Confidence: 1.5},
+	} {
+		if _, err := Preprocess(cfg); err == nil {
+			t.Errorf("%s: Preprocess accepted invalid config", name)
+		}
+	}
+}

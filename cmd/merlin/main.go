@@ -8,12 +8,17 @@
 //	merlin -workload qsort -structure RF -faults 2000
 //	merlin -workload bzip2 -structure L1D -l1d 16384 -faults 5000 -baseline
 //	merlin -workload sha -structure SQ -strategy forked
+//	merlin -workload qsort -structure RF -cache ./merlind-cache
 //	merlin -list
 //
 // -strategy selects how injection runs reproduce the pre-fault execution
 // prefix: replay (from reset), checkpointed (from k frozen snapshots), or
 // forked (fork-on-fault scheduling off a single golden sweep). Outcomes
 // are bit-identical across strategies; only wall-clock differs.
+//
+// -cache points at a golden-run artifact cache directory (shareable with a
+// running merlind): repeated one-shot invocations on the same workload and
+// core configuration skip the golden run and ACE-like analysis entirely.
 package main
 
 import (
@@ -43,6 +48,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "injection parallelism (0 = all cores)")
 		strategy  = flag.String("strategy", "replay", "injection strategy: replay, checkpointed, or forked (bit-identical outcomes, different wall-clock)")
 		ckpts     = flag.Int("checkpoints", 0, "snapshot count for -strategy checkpointed (>0 also implies that strategy)")
+		cacheDir  = flag.String("cache", "", "golden-run artifact cache directory (empty disables; shareable with merlind)")
 		list      = flag.Bool("list", false, "list available workloads and exit")
 	)
 	flag.Parse()
@@ -85,6 +91,14 @@ func main() {
 		Strategy:     strat,
 		Checkpoints:  *ckpts,
 	}
+	if *cacheDir != "" {
+		cache, err := merlin.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "merlin:", err)
+			os.Exit(1)
+		}
+		cfg.Cache = cache
+	}
 
 	rep, err := merlin.Run(cfg)
 	if err != nil {
@@ -92,8 +106,12 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(rep)
-	fmt.Printf("  golden run: %d cycles; MeRLiN injection wall %v (serial %v)\n",
-		rep.GoldenCycles, rep.Wall.Round(1000000), rep.Serial.Round(1000000))
+	goldenSrc := ""
+	if rep.CacheHit {
+		goldenSrc = " (served from artifact cache)"
+	}
+	fmt.Printf("  golden run: %d cycles%s; MeRLiN injection wall %v (serial %v)\n",
+		rep.GoldenCycles, goldenSrc, rep.Wall.Round(1000000), rep.Serial.Round(1000000))
 
 	if *baseline {
 		base, err := merlin.RunBaseline(cfg)

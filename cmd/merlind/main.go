@@ -1,0 +1,74 @@
+// Command merlind is the MeRLiN campaign service: a long-running daemon
+// that accepts fault-injection campaigns over an HTTP+JSON API, runs them
+// on a sharded worker pool with bounded queues, streams per-fault progress
+// to clients, and amortizes golden runs across campaigns (and across
+// daemon restarts) through the on-disk golden-run artifact cache.
+//
+// Start it and submit a campaign:
+//
+//	merlind -addr :7411 -cache ./merlind-cache &
+//	curl -s localhost:7411/healthz
+//	curl -s -X POST localhost:7411/campaigns \
+//	    -d '{"workload":"qsort","structure":"RF","faults":2000,"strategy":"forked"}'
+//	curl -s localhost:7411/campaigns/c000001          # status + report
+//	curl -sN localhost:7411/campaigns/c000001/events  # live NDJSON progress
+//	curl -s localhost:7411/statsz                     # queues + cache hits/misses
+//
+// Campaigns that share (workload, core config, structure) reuse one golden
+// run: the first campaign pays for Preprocess, every later one — different
+// fault budget, seed, strategy, grouping ablation — skips it entirely.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os/signal"
+	"syscall"
+
+	"merlin"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":7411", "listen address")
+		cache  = flag.String("cache", "merlind-cache", "golden-run artifact cache directory (empty disables caching)")
+		shards = flag.Int("shards", 0, "independent campaign worker pools (0 = default 4)")
+		shardW = flag.Int("shard-workers", 0, "concurrent campaigns per shard (0 = default 1)")
+		queue  = flag.Int("queue", 0, "pending-campaign bound per shard, beyond which submissions get 429 (0 = default 64)")
+		retain = flag.Int("retain", 0, "finished campaigns kept queryable before the oldest are evicted (0 = default 1024)")
+	)
+	flag.Parse()
+
+	opt := merlin.ServeOptions{
+		Shards:          *shards,
+		WorkersPerShard: *shardW,
+		QueueDepth:      *queue,
+		RetainFinished:  *retain,
+	}
+	if *cache != "" {
+		c, err := merlin.OpenCache(*cache)
+		if err != nil {
+			log.Fatalf("merlind: %v", err)
+		}
+		opt.Cache = c
+		st := c.Stats()
+		log.Printf("artifact cache at %s (%d artifacts, %d bytes)", c.Dir(), st.Entries, st.Bytes)
+	} else {
+		log.Printf("artifact cache disabled; every campaign will repeat its golden run")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("merlind listening on %s", *addr)
+	if err := merlin.Serve(ctx, *addr, opt); err != nil {
+		log.Fatalf("merlind: %v", err)
+	}
+	if opt.Cache != nil {
+		st := opt.Cache.Stats()
+		log.Printf("shut down cleanly; cache served %d hits / %d misses this run", st.Hits, st.Misses)
+	} else {
+		log.Printf("shut down cleanly")
+	}
+}

@@ -6,6 +6,11 @@
 // the group representatives are injected.
 //
 //	go run ./examples/quickstart
+//
+// For many campaigns, run the service instead: cmd/merlind keeps a
+// golden-run artifact cache so campaigns sharing a (workload, core
+// config) pair skip the profiling run entirely — or set Config.Cache
+// (see merlin.OpenCache) to get the same amortization here.
 package main
 
 import (

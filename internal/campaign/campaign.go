@@ -131,25 +131,74 @@ type Golden struct {
 	Tracer *lifetime.Tracer
 }
 
-// Runner executes injection campaigns for a target.
+// Runner executes injection campaigns for a target. The zero value is not
+// usable (it would run a zero-cycle golden run and time out every fault);
+// start from NewRunner, which fills every default below. Negative knob
+// values are configuration errors — call Validate before running a Runner
+// built from untrusted input (e.g. a service request) instead of relying
+// on them behaving like 0.
 type Runner struct {
 	Target
-	// TimeoutFactor bounds faulty runs at factor x golden cycles
-	// (the paper uses 3).
+	// TimeoutFactor bounds each faulty run at TimeoutFactor x golden
+	// cycles, past which the fault classifies as Timeout. NewRunner sets
+	// the paper's 3; 0 is invalid (every run would time out immediately).
 	TimeoutFactor uint64
-	// Workers is the injection parallelism; 0 means GOMAXPROCS.
+	// Workers is the injection worker count of RunAll and the
+	// checkpointed/forked schedulers. NewRunner leaves it 0, which means
+	// runtime.GOMAXPROCS(0) (all host cores) at run time. Negative values
+	// are invalid.
 	Workers int
-	// GoldenBudget bounds the golden run itself.
+	// GoldenBudget bounds the fault-free reference run; a golden run
+	// that exceeds it is an error, not a campaign result. NewRunner sets
+	// DefaultGoldenBudget; 0 is invalid.
 	GoldenBudget uint64
 	// MaxForks caps the in-flight machine clones of the fork-on-fault
-	// scheduler (its memory bound); 0 means 2x Workers.
+	// scheduler (its memory bound). 0 means 2 x the *effective* worker
+	// count (i.e. 2 x GOMAXPROCS when Workers is also 0). Negative
+	// values are invalid.
 	MaxForks int
+	// OnOutcome, when non-nil, is called once per classified fault with
+	// the fault's index in the campaign's input list. All schedulers call
+	// it from worker goroutines, concurrently and in completion (not
+	// input) order; it must be safe for concurrent use and should return
+	// quickly — the campaign service uses it to stream per-fault progress.
+	OnOutcome func(idx int, f fault.Fault, o Outcome)
 }
 
-// NewRunner returns a Runner with the paper's 3x timeout and full host
-// parallelism.
+// DefaultGoldenBudget is NewRunner's bound on the fault-free reference
+// run: generous enough for every registered workload at every Table 1
+// configuration, small enough to catch a diverging program.
+const DefaultGoldenBudget = 500_000_000
+
+// NewRunner returns a Runner with the paper's 3x timeout factor,
+// DefaultGoldenBudget, and Workers 0 (= all host cores at run time).
 func NewRunner(t Target) *Runner {
-	return &Runner{Target: t, TimeoutFactor: 3, GoldenBudget: 500_000_000}
+	return &Runner{Target: t, TimeoutFactor: 3, GoldenBudget: DefaultGoldenBudget}
+}
+
+// Validate reports knob values the run methods would otherwise misread:
+// negative counts (which the "0 means default" convention would silently
+// treat as defaults) and zero budgets (which would classify every fault
+// Timeout or fail every golden run).
+func (r *Runner) Validate() error {
+	switch {
+	case r.Workers < 0:
+		return fmt.Errorf("campaign: Workers is %d; want >= 0 (0 = all host cores)", r.Workers)
+	case r.MaxForks < 0:
+		return fmt.Errorf("campaign: MaxForks is %d; want >= 0 (0 = 2x workers)", r.MaxForks)
+	case r.TimeoutFactor == 0:
+		return fmt.Errorf("campaign: TimeoutFactor is 0; every faulty run would classify Timeout (NewRunner sets 3)")
+	case r.GoldenBudget == 0:
+		return fmt.Errorf("campaign: GoldenBudget is 0; the golden run cannot make progress (NewRunner sets %d)", uint64(DefaultGoldenBudget))
+	}
+	return nil
+}
+
+// emit reports one classified fault to the OnOutcome hook, if any.
+func (r *Runner) emit(idx int, f fault.Fault, o Outcome) {
+	if r.OnOutcome != nil {
+		r.OnOutcome(idx, f, o)
+	}
 }
 
 // RunGolden performs the fault-free reference run, tracking lifetimes of
@@ -241,6 +290,7 @@ func (r *Runner) RunAll(faults []fault.Fault, golden *cpu.RunResult) *Result {
 		t0 := time.Now()
 		res.Outcomes[i] = r.RunFault(faults[i], golden)
 		serialNS.Add(int64(time.Since(t0)))
+		r.emit(i, faults[i], res.Outcomes[i])
 	})
 	res.Wall = time.Since(start)
 	res.Serial = time.Duration(serialNS.Load())

@@ -19,6 +19,20 @@ type CheckpointSet struct {
 	cores  []*cpu.Core // frozen; accessed read-only via Clone
 }
 
+// CheckpointSchedule returns the snapshot cycle schedule BuildCheckpoints
+// aims at for k snapshots over a goldenCycles-long run: the reset state at
+// cycle 0 plus k evenly spaced target cycles. The golden-run artifact
+// cache persists this schedule so operators can see where a campaign's
+// sync points sit without rebuilding the machine snapshots (which are not
+// serializable and are instead rebuilt deterministically in one pass).
+func CheckpointSchedule(k int, goldenCycles uint64) []uint64 {
+	s := make([]uint64, 1, k+1)
+	for i := 1; i <= k; i++ {
+		s = append(s, goldenCycles*uint64(i)/uint64(k+1))
+	}
+	return s
+}
+
 // BuildCheckpoints replays the fault-free run once, freezing k snapshots
 // (plus the reset state). The returned set is immutable and safe for
 // concurrent use. Every snapshot is cloned off the same replay core, so
@@ -30,8 +44,7 @@ func (r *Runner) BuildCheckpoints(k int, goldenCycles uint64) *CheckpointSet {
 		cycles: []uint64{0},
 		cores:  []*cpu.Core{c.Clone()},
 	}
-	for i := 1; i <= k; i++ {
-		target := goldenCycles * uint64(i) / uint64(k+1)
+	for _, target := range CheckpointSchedule(k, goldenCycles)[1:] {
 		for c.Cycle() < target && c.Halted() == cpu.Running {
 			c.Step()
 		}
@@ -42,6 +55,16 @@ func (r *Runner) BuildCheckpoints(k int, goldenCycles uint64) *CheckpointSet {
 		set.cores = append(set.cores, c.Clone())
 	}
 	return set
+}
+
+// Cycles returns a copy of the snapshot schedule (cycle 0 = reset state,
+// then the frozen mid-run cycles, ascending). The golden-run artifact
+// cache persists it so operators can inspect where a campaign's sync
+// points sit without rebuilding the snapshots.
+func (s *CheckpointSet) Cycles() []uint64 {
+	out := make([]uint64, len(s.cycles))
+	copy(out, s.cycles)
+	return out
 }
 
 // before returns the latest snapshot strictly usable for a fault injected
@@ -93,6 +116,7 @@ func (r *Runner) RunAllCheckpointed(faults []fault.Fault, golden *cpu.RunResult,
 		t0 := time.Now()
 		res.Outcomes[i] = r.RunFaultFrom(set, faults[i], golden)
 		serialNS.Add(int64(time.Since(t0)))
+		r.emit(i, faults[i], res.Outcomes[i])
 	})
 	res.Wall = time.Since(start)
 	res.Serial = time.Duration(serialNS.Load())

@@ -145,6 +145,7 @@ func (r *Runner) RunAllForked(faults []fault.Fault, golden *cpu.RunResult) *Resu
 				t0 := time.Now()
 				res.Outcomes[j.idx] = r.runForkedClone(j.core, faults[j.idx], golden, ladder)
 				serialNS.Add(int64(time.Since(t0)))
+				r.emit(j.idx, faults[j.idx], res.Outcomes[j.idx])
 				<-live
 			}
 		}()

@@ -100,6 +100,17 @@ func NewTracer(track ...StructureID) *Tracer {
 	return t
 }
 
+// RehydrateTracer reconstructs a Tracer from a cached golden trace (the
+// deserialization path of the artifact cache in internal/store): the event
+// log of one structure plus the committed branch trace. The result serves
+// every read-side Tracer use — Log, Branches, re-running Build — exactly
+// like the tracer that recorded the run.
+func RehydrateTracer(s StructureID, log *Log, branches []BranchRec, cycles uint64) *Tracer {
+	t := &Tracer{Branches: branches, Cycles: cycles}
+	t.logs[s] = log
+	return t
+}
+
 // Log returns the event log for s, or nil if s is untracked.
 func (t *Tracer) Log(s StructureID) *Log { return t.logs[s] }
 

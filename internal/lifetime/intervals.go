@@ -198,6 +198,22 @@ func (a *Analysis) buildIndex() {
 	}
 }
 
+// Rehydrate reconstructs an Analysis from previously derived intervals —
+// the deserialization path of the golden-run artifact cache
+// (internal/store). The per-byte lookup index is rebuilt; the result is
+// indistinguishable from the Build that originally produced the intervals.
+func Rehydrate(s StructureID, entries, entryBytes int, cycles uint64, intervals []Interval) *Analysis {
+	a := &Analysis{
+		Structure:  s,
+		Entries:    entries,
+		EntryBytes: entryBytes,
+		Cycles:     cycles,
+		Intervals:  intervals,
+	}
+	a.buildIndex()
+	return a
+}
+
 // Find returns the id of the vulnerable interval covering a flip of the
 // given byte of entry at cycle, or ok=false when the flip is provably
 // masked (the ACE-like pruning of MeRLiN's first phase).

@@ -1,0 +1,624 @@
+// Package server implements the campaign service behind cmd/merlind: an
+// HTTP+JSON API that accepts fault-injection campaigns, runs them on a
+// sharded worker pool over bounded job queues, and streams per-fault
+// progress to clients while campaigns execute.
+//
+// The package is deliberately pipeline-agnostic: it knows how to queue,
+// schedule, observe and serve campaigns, but the campaign itself is an
+// injected RunFunc (the root merlin package wires in Preprocess → Reduce →
+// Inject, plus the golden-run artifact cache). That keeps the dependency
+// direction clean — server never imports the simulator — and makes the
+// scheduling and streaming machinery testable with synthetic pipelines.
+//
+// Endpoints:
+//
+//	POST /campaigns             submit a campaign: 202 + {"id": ...}, or
+//	                            429 when the target shard's queue is full
+//	GET  /campaigns             list campaigns, most recent first
+//	GET  /campaigns/{id}        status, plus the report once finished
+//	GET  /campaigns/{id}/events the campaign's event log as NDJSON,
+//	                            following live progress until the campaign
+//	                            finishes (?from=N resumes after event N-1)
+//	GET  /healthz               liveness + campaign counts
+//	GET  /statsz                queue depths, campaign counts, cache stats
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Request is the wire form of one campaign submission (the JSON body of
+// POST /campaigns). Zero fields mean "use the pipeline default"; negative
+// values are rejected at submission time by the injected Validate hook.
+type Request struct {
+	// Workload is the registered benchmark name (required).
+	Workload string `json:"workload"`
+	// Structure is the injection target: "RF", "SQ" or "L1D" (required).
+	Structure string `json:"structure"`
+
+	// Faults sets the initial statistical fault list size; 0 derives it
+	// from Confidence and ErrorMargin.
+	Faults      int     `json:"faults,omitempty"`
+	Confidence  float64 `json:"confidence,omitempty"`
+	ErrorMargin float64 `json:"error_margin,omitempty"`
+	// Seed drives fault sampling.
+	Seed int64 `json:"seed,omitempty"`
+
+	// RepsPerGroup injects extra representatives per final group;
+	// DisableByteGrouping turns off grouping step 2 (ablations).
+	RepsPerGroup        int  `json:"reps_per_group,omitempty"`
+	DisableByteGrouping bool `json:"disable_byte_grouping,omitempty"`
+
+	// Workers bounds the campaign's injection parallelism.
+	Workers int `json:"workers,omitempty"`
+	// Strategy is "replay", "checkpointed" or "forked"; Checkpoints sets
+	// the snapshot count of "checkpointed".
+	Strategy    string `json:"strategy,omitempty"`
+	Checkpoints int    `json:"checkpoints,omitempty"`
+
+	// Core configuration knobs (paper Table 1 sweep points); 0 keeps the
+	// baseline configuration.
+	PhysRegs  int `json:"phys_regs,omitempty"`
+	SQEntries int `json:"sq_entries,omitempty"`
+	L1DBytes  int `json:"l1d_bytes,omitempty"`
+}
+
+// Event is one entry of a campaign's progress log. Seq is dense and
+// per-campaign, so streams resume exactly with ?from=N.
+type Event struct {
+	Seq  int       `json:"seq"`
+	Time time.Time `json:"time"`
+	// Type is "queued", "started", "preprocess", "reduce", "fault",
+	// "done" or "failed".
+	Type string `json:"type"`
+	// Msg is a human-readable summary (phase events).
+	Msg string `json:"msg,omitempty"`
+
+	// Fault events: the fault's index in the reduced list, its
+	// description, and its outcome class. Index is always serialized
+	// (index 0 is a valid fault, not an absent field).
+	Index   int    `json:"index"`
+	Fault   string `json:"fault,omitempty"`
+	Outcome string `json:"outcome,omitempty"`
+
+	// Preprocess events: whether the golden-run artifact cache served
+	// this campaign.
+	CacheHit *bool `json:"cache_hit,omitempty"`
+}
+
+// RunFunc executes one campaign: it returns the JSON-marshalable report,
+// emitting progress events along the way. emit is safe for concurrent use
+// and may be called from any goroutine until RunFunc returns. ctx is
+// cancelled when the server shuts down; a RunFunc should not start new
+// phases after that.
+type RunFunc func(ctx context.Context, req Request, emit func(Event)) (any, error)
+
+// Config configures a Server. Run is required; everything else defaults.
+type Config struct {
+	// Run executes campaigns (required).
+	Run RunFunc
+	// Validate, when non-nil, vets a request at submission time so
+	// malformed campaigns are rejected with 400 instead of failing
+	// asynchronously in the queue.
+	Validate func(Request) error
+	// CacheStats, when non-nil, is folded into GET /statsz (the daemon
+	// passes the artifact cache's stats).
+	CacheStats func() any
+
+	// Shards is the number of independent worker pools; campaigns are
+	// assigned by hash of their id. 0 means DefaultShards. Negative
+	// values are rejected by New.
+	Shards int
+	// WorkersPerShard is the number of campaigns one shard runs
+	// concurrently (each campaign additionally parallelizes its own
+	// injections). 0 means DefaultWorkersPerShard; negative values are
+	// rejected by New.
+	WorkersPerShard int
+	// QueueDepth is the pending-campaign bound per shard; submissions
+	// beyond it are refused with 429 so load sheds at the edge instead
+	// of accumulating unbounded memory. 0 means DefaultQueueDepth;
+	// negative values are rejected by New.
+	QueueDepth int
+	// RetainFinished bounds how many finished (done or failed) campaigns
+	// — records, reports and event logs — stay queryable: the oldest are
+	// evicted on submission once the bound is exceeded, keeping a
+	// long-running daemon's memory proportional to its active load, not
+	// its lifetime. Clients already streaming an evicted campaign's
+	// events are unaffected. 0 means DefaultRetainFinished; negative
+	// values are rejected by New.
+	RetainFinished int
+}
+
+// Defaults for Config. Small shard counts keep per-shard FIFO fairness
+// while letting unrelated campaigns overtake each other across shards.
+const (
+	DefaultShards          = 4
+	DefaultWorkersPerShard = 1
+	DefaultQueueDepth      = 64
+	DefaultRetainFinished  = 1024
+)
+
+// status values of a campaign.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// campaign is the server-side record of one submission.
+type campaign struct {
+	id        string
+	shard     int
+	req       Request
+	submitted time.Time
+
+	mu       sync.Mutex
+	status   string
+	started  time.Time
+	finished time.Time
+	events   []Event
+	report   any
+	errMsg   string
+	notify   chan struct{} // closed and replaced on every event append
+}
+
+// append stamps and stores one event and wakes all streamers.
+func (c *campaign) append(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ev.Seq = len(c.events)
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	c.events = append(c.events, ev)
+	close(c.notify)
+	c.notify = make(chan struct{})
+}
+
+// finish atomically records the campaign's terminal state and its final
+// event: streamers that observe a terminal status are guaranteed the
+// event log is already complete.
+func (c *campaign) finish(status string, report any, errMsg string, ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.finished = time.Now()
+	c.status = status
+	c.report = report
+	c.errMsg = errMsg
+	ev.Seq = len(c.events)
+	ev.Time = time.Now()
+	c.events = append(c.events, ev)
+	close(c.notify)
+	c.notify = make(chan struct{})
+}
+
+// snapshot returns the events from seq on, the current status, and a
+// channel closed at the next append (for blocking streamers).
+func (c *campaign) snapshot(from int) ([]Event, string, <-chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var evs []Event
+	if from < len(c.events) {
+		evs = append(evs, c.events[from:]...)
+	}
+	return evs, c.status, c.notify
+}
+
+// Server is the campaign service. Create with New, expose via Handler,
+// stop with Close.
+type Server struct {
+	cfg    Config
+	start  time.Time
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	queues []chan *campaign
+
+	mu        sync.Mutex
+	campaigns map[string]*campaign
+	order     []string // submission order, for listing
+	nextID    uint64
+}
+
+// New validates cfg, applies defaults, and starts the shard worker pools.
+func New(cfg Config) (*Server, error) {
+	if cfg.Run == nil {
+		return nil, fmt.Errorf("server: Config.Run is required")
+	}
+	switch {
+	case cfg.Shards < 0:
+		return nil, fmt.Errorf("server: Shards is %d; want >= 0 (0 = %d)", cfg.Shards, DefaultShards)
+	case cfg.WorkersPerShard < 0:
+		return nil, fmt.Errorf("server: WorkersPerShard is %d; want >= 0 (0 = %d)", cfg.WorkersPerShard, DefaultWorkersPerShard)
+	case cfg.QueueDepth < 0:
+		return nil, fmt.Errorf("server: QueueDepth is %d; want >= 0 (0 = %d)", cfg.QueueDepth, DefaultQueueDepth)
+	case cfg.RetainFinished < 0:
+		return nil, fmt.Errorf("server: RetainFinished is %d; want >= 0 (0 = %d)", cfg.RetainFinished, DefaultRetainFinished)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.WorkersPerShard == 0 {
+		cfg.WorkersPerShard = DefaultWorkersPerShard
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.RetainFinished == 0 {
+		cfg.RetainFinished = DefaultRetainFinished
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		start:     time.Now(),
+		ctx:       ctx,
+		cancel:    cancel,
+		queues:    make([]chan *campaign, cfg.Shards),
+		campaigns: make(map[string]*campaign),
+	}
+	for i := range s.queues {
+		s.queues[i] = make(chan *campaign, cfg.QueueDepth)
+		for w := 0; w < cfg.WorkersPerShard; w++ {
+			s.wg.Add(1)
+			go s.worker(s.queues[i])
+		}
+	}
+	return s, nil
+}
+
+// Close stops accepting campaigns, cancels the run context, and waits for
+// the workers to drain. Queued-but-unstarted campaigns stay "queued".
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// worker runs campaigns from one shard queue until shutdown.
+func (s *Server) worker(queue <-chan *campaign) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case c := <-queue:
+			s.run(c)
+		}
+	}
+}
+
+// run executes one campaign, converting RunFunc panics into failures so a
+// pipeline bug cannot take down the whole service.
+func (s *Server) run(c *campaign) {
+	c.mu.Lock()
+	c.status = StatusRunning
+	c.started = time.Now()
+	c.mu.Unlock()
+	c.append(Event{Type: "started", Msg: fmt.Sprintf("campaign %s running on shard %d", c.id, c.shard)})
+
+	report, err := func() (report any, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("campaign panicked: %v", p)
+			}
+		}()
+		return s.cfg.Run(s.ctx, c.req, c.append)
+	}()
+
+	if err != nil {
+		c.finish(StatusFailed, nil, err.Error(), Event{Type: "failed", Msg: err.Error()})
+	} else {
+		c.finish(StatusDone, report, "", Event{Type: "done"})
+	}
+}
+
+// shardOf maps a campaign id to its worker pool.
+func (s *Server) shardOf(id string) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(len(s.queues)))
+}
+
+// Submit enqueues a campaign and returns its id. It fails fast with
+// ErrQueueFull when the target shard's queue is at capacity.
+func (s *Server) Submit(req Request) (string, error) {
+	if s.cfg.Validate != nil {
+		if err := s.cfg.Validate(req); err != nil {
+			return "", &badRequestError{err}
+		}
+	}
+	if s.ctx.Err() != nil {
+		return "", fmt.Errorf("server: shutting down")
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("c%06d", s.nextID)
+	c := &campaign{
+		id:        id,
+		shard:     s.shardOf(id),
+		req:       req,
+		submitted: time.Now(),
+		status:    StatusQueued,
+		notify:    make(chan struct{}),
+	}
+	s.campaigns[id] = c
+	s.order = append(s.order, id)
+	s.evictFinishedLocked()
+	s.mu.Unlock()
+
+	// The queued event precedes the enqueue so no worker can emit
+	// "started" ahead of it.
+	c.append(Event{Type: "queued", Msg: fmt.Sprintf("queued on shard %d", c.shard)})
+	select {
+	case s.queues[c.shard] <- c:
+	default:
+		s.mu.Lock()
+		delete(s.campaigns, id)
+		for i := len(s.order) - 1; i >= 0; i-- {
+			if s.order[i] == id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		return "", ErrQueueFull
+	}
+	return id, nil
+}
+
+// evictFinishedLocked drops the oldest finished campaigns beyond the
+// RetainFinished bound, keeping a long-running daemon's memory bounded.
+// Queued and running campaigns are never evicted; streamers holding an
+// evicted campaign's pointer keep reading it unaffected. Caller holds
+// s.mu.
+func (s *Server) evictFinishedLocked() {
+	terminal := func(c *campaign) bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.status == StatusDone || c.status == StatusFailed
+	}
+	finished := 0
+	for _, c := range s.campaigns {
+		if terminal(c) {
+			finished++
+		}
+	}
+	excess := finished - s.cfg.RetainFinished
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if c := s.campaigns[id]; excess > 0 && c != nil && terminal(c) {
+			delete(s.campaigns, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// ErrQueueFull is returned (and served as 429) when the target shard's
+// bounded queue cannot take another campaign.
+var ErrQueueFull = fmt.Errorf("server: campaign queue full, retry later")
+
+// badRequestError marks a submission-time validation failure (served 400).
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+// get looks up a campaign by id.
+func (s *Server) get(id string) (*campaign, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.campaigns[id]
+	return c, ok
+}
+
+// statusJSON is the wire form of GET /campaigns/{id} (and the per-entry
+// form of GET /campaigns).
+type statusJSON struct {
+	ID        string    `json:"id"`
+	Status    string    `json:"status"`
+	Shard     int       `json:"shard"`
+	Request   Request   `json:"request"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started"`
+	Finished  time.Time `json:"finished"`
+	Events    int       `json:"events"`
+	Report    any       `json:"report,omitempty"`
+	Error     string    `json:"error,omitempty"`
+}
+
+func (c *campaign) statusJSON(withReport bool) statusJSON {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := statusJSON{
+		ID:        c.id,
+		Status:    c.status,
+		Shard:     c.shard,
+		Request:   c.req,
+		Submitted: c.submitted,
+		Started:   c.started,
+		Finished:  c.finished,
+		Events:    len(c.events),
+		Error:     c.errMsg,
+	}
+	if withReport {
+		st.Report = c.report
+	}
+	return st
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /campaigns", s.handleList)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// countByStatus snapshots how many campaigns sit in each state.
+func (s *Server) countByStatus() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	counts := map[string]int{}
+	for _, c := range s.campaigns {
+		c.mu.Lock()
+		counts[c.status]++
+		c.mu.Unlock()
+	}
+	return counts
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":             true,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"campaigns":      s.countByStatus(),
+	})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	depths := make([]int, len(s.queues))
+	for i, q := range s.queues {
+		depths[i] = len(q)
+	}
+	stats := map[string]any{
+		"uptime_seconds":    time.Since(s.start).Seconds(),
+		"shards":            len(s.queues),
+		"workers_per_shard": s.cfg.WorkersPerShard,
+		"queue_capacity":    s.cfg.QueueDepth,
+		"queue_depths":      depths,
+		"campaigns":         s.countByStatus(),
+	}
+	if s.cfg.CacheStats != nil {
+		stats["cache"] = s.cfg.CacheStats()
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return
+	}
+	id, err := s.Submit(req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+	case err == ErrQueueFull:
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+	default:
+		code := http.StatusInternalServerError
+		var bad *badRequestError
+		if errors.As(err, &bad) {
+			code = http.StatusBadRequest
+		}
+		writeJSON(w, code, map[string]string{"error": err.Error()})
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	sort.Sort(sort.Reverse(sort.StringSlice(ids))) // ids are zero-padded: reverse-lexicographic = newest first
+	out := make([]statusJSON, 0, len(ids))
+	for _, id := range ids {
+		if c, ok := s.get(id); ok {
+			out = append(out, c.statusJSON(false))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"campaigns": out})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown campaign"})
+		return
+	}
+	writeJSON(w, http.StatusOK, c.statusJSON(true))
+}
+
+// handleEvents streams a campaign's event log as NDJSON: everything
+// already recorded, then live events as they happen, closing once the
+// campaign reaches a terminal state (or the client goes away).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown campaign"})
+		return
+	}
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "from must be a non-negative integer"})
+			return
+		}
+		from = n
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	for {
+		evs, status, more := c.snapshot(from)
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return // client went away
+			}
+		}
+		from += len(evs)
+		if flusher != nil && len(evs) > 0 {
+			flusher.Flush()
+		}
+		// finish() records the terminal status and the final event
+		// atomically, so a drained log plus terminal status means the
+		// stream is complete.
+		if status == StatusDone || status == StatusFailed {
+			return
+		}
+		select {
+		case <-more:
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,494 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakePipeline is a controllable RunFunc: each campaign emits a fault
+// event per entry of faults, optionally blocking on gate between events so
+// tests can observe mid-campaign streaming.
+type fakePipeline struct {
+	mu   sync.Mutex
+	gate map[string]chan struct{} // workload -> step gate (nil = free-running)
+}
+
+func (p *fakePipeline) run(ctx context.Context, req Request, emit func(Event)) (any, error) {
+	if req.Workload == "explode" {
+		return nil, fmt.Errorf("synthetic failure")
+	}
+	if req.Workload == "panic" {
+		panic("synthetic panic")
+	}
+	hit := false
+	emit(Event{Type: "preprocess", Msg: "golden loaded", CacheHit: &hit})
+	p.mu.Lock()
+	gate := p.gate[req.Workload]
+	p.mu.Unlock()
+	for i := 0; i < req.Faults; i++ {
+		if gate != nil {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		emit(Event{Type: "fault", Index: i, Fault: fmt.Sprintf("%s-fault-%d", req.Workload, i), Outcome: "Masked"})
+	}
+	return map[string]any{"workload": req.Workload, "injected": req.Faults}, nil
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { hs.Close(); s.Close() })
+	return s, hs
+}
+
+func submit(t *testing.T, base string, req Request) string {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/campaigns", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, raw)
+	}
+	var out struct{ ID string }
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.ID
+}
+
+func getStatus(t *testing.T, base, id string) statusJSON {
+	t.Helper()
+	resp, err := http.Get(base + "/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statusJSON
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitDone(t *testing.T, base, id string) statusJSON {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, base, id)
+		if st.Status == StatusDone || st.Status == StatusFailed {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s did not finish", id)
+	return statusJSON{}
+}
+
+// streamEvents collects a campaign's full event stream (blocking until the
+// campaign finishes and the server closes the stream).
+func streamEvents(t *testing.T, base, id string) []Event {
+	t.Helper()
+	resp, err := http.Get(base + "/campaigns/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events content type = %q", ct)
+	}
+	var evs []Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+func TestSubmitRunAndReport(t *testing.T) {
+	p := &fakePipeline{}
+	_, hs := newTestServer(t, Config{Run: p.run})
+
+	id := submit(t, hs.URL, Request{Workload: "sha", Structure: "RF", Faults: 3})
+	st := waitDone(t, hs.URL, id)
+	if st.Status != StatusDone {
+		t.Fatalf("status = %q, err = %q", st.Status, st.Error)
+	}
+	rep, ok := st.Report.(map[string]any)
+	if !ok || rep["workload"] != "sha" {
+		t.Fatalf("report = %#v", st.Report)
+	}
+
+	evs := streamEvents(t, hs.URL, id)
+	types := make([]string, len(evs))
+	for i, ev := range evs {
+		types[i] = ev.Type
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d; stream must be dense and ordered", i, ev.Seq)
+		}
+	}
+	want := []string{"queued", "started", "preprocess", "fault", "fault", "fault", "done"}
+	if strings.Join(types, ",") != strings.Join(want, ",") {
+		t.Fatalf("event types = %v, want %v", types, want)
+	}
+}
+
+func TestFailureAndPanicAreIsolated(t *testing.T) {
+	p := &fakePipeline{}
+	_, hs := newTestServer(t, Config{Run: p.run})
+
+	for _, wl := range []string{"explode", "panic"} {
+		id := submit(t, hs.URL, Request{Workload: wl, Structure: "RF"})
+		st := waitDone(t, hs.URL, id)
+		if st.Status != StatusFailed || st.Error == "" {
+			t.Fatalf("%s: status = %q err = %q, want failed with message", wl, st.Status, st.Error)
+		}
+		evs := streamEvents(t, hs.URL, id)
+		if evs[len(evs)-1].Type != "failed" {
+			t.Fatalf("%s: last event = %+v, want failed", wl, evs[len(evs)-1])
+		}
+	}
+
+	// The pool survives: a healthy campaign still runs to completion.
+	id := submit(t, hs.URL, Request{Workload: "ok", Structure: "RF", Faults: 1})
+	if st := waitDone(t, hs.URL, id); st.Status != StatusDone {
+		t.Fatalf("post-panic campaign: %q", st.Status)
+	}
+}
+
+// TestConcurrentCampaignStreaming runs two gated campaigns at once and
+// asserts (a) both streams deliver per-fault events while both campaigns
+// are mid-flight, and (b) each stream only carries its own campaign's
+// events — the isolation clause of the acceptance criteria.
+func TestConcurrentCampaignStreaming(t *testing.T) {
+	gateA := make(chan struct{})
+	gateB := make(chan struct{})
+	p := &fakePipeline{gate: map[string]chan struct{}{"alpha": gateA, "beta": gateB}}
+	// Two shards, each with a worker, so both campaigns can run
+	// concurrently regardless of the ids' shard hash... use one shard
+	// with two workers to make concurrency certain.
+	_, hs := newTestServer(t, Config{Run: p.run, Shards: 1, WorkersPerShard: 2})
+
+	idA := submit(t, hs.URL, Request{Workload: "alpha", Structure: "RF", Faults: 2})
+	idB := submit(t, hs.URL, Request{Workload: "beta", Structure: "SQ", Faults: 2})
+
+	type streamResult struct {
+		id  string
+		evs []Event
+	}
+	results := make(chan streamResult, 2)
+	for _, id := range []string{idA, idB} {
+		go func(id string) {
+			resp, err := http.Get(hs.URL + "/campaigns/" + id + "/events")
+			if err != nil {
+				t.Error(err)
+				results <- streamResult{id: id}
+				return
+			}
+			defer resp.Body.Close()
+			var evs []Event
+			sc := bufio.NewScanner(resp.Body)
+			for sc.Scan() {
+				var ev Event
+				if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+					t.Error(err)
+					break
+				}
+				evs = append(evs, ev)
+			}
+			results <- streamResult{id: id, evs: evs}
+		}(id)
+	}
+
+	// Interleave: one fault from A while B is stalled, one from B while A
+	// is stalled, then release the rest.
+	gateA <- struct{}{}
+	gateB <- struct{}{}
+	gateA <- struct{}{}
+	gateB <- struct{}{}
+
+	byID := map[string][]Event{}
+	for i := 0; i < 2; i++ {
+		r := <-results
+		byID[r.id] = r.evs
+	}
+
+	for id, wl := range map[string]string{idA: "alpha", idB: "beta"} {
+		evs := byID[id]
+		var faults int
+		for _, ev := range evs {
+			if ev.Type != "fault" {
+				continue
+			}
+			faults++
+			if !strings.HasPrefix(ev.Fault, wl+"-fault-") {
+				t.Fatalf("campaign %s stream leaked foreign event %+v", id, ev)
+			}
+		}
+		if faults != 2 {
+			t.Fatalf("campaign %s stream carried %d fault events, want 2", id, faults)
+		}
+		if evs[len(evs)-1].Type != "done" {
+			t.Fatalf("campaign %s stream ended with %+v", id, evs[len(evs)-1])
+		}
+	}
+}
+
+// TestEventStreamResume: ?from=N replays only the suffix.
+func TestEventStreamResume(t *testing.T) {
+	p := &fakePipeline{}
+	_, hs := newTestServer(t, Config{Run: p.run})
+	id := submit(t, hs.URL, Request{Workload: "sha", Structure: "RF", Faults: 3})
+	waitDone(t, hs.URL, id)
+
+	all := streamEvents(t, hs.URL, id)
+	resp, err := http.Get(hs.URL + "/campaigns/" + id + "/events?from=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	lines := strings.Count(strings.TrimSpace(string(raw)), "\n") + 1
+	if want := len(all) - 4; lines != want {
+		t.Fatalf("resumed stream has %d events, want %d", lines, want)
+	}
+}
+
+// TestBoundedQueueSheds: submissions past the per-shard bound are refused
+// with 429 and leave no campaign record behind.
+func TestBoundedQueueSheds(t *testing.T) {
+	gate := make(chan struct{})
+	p := &fakePipeline{gate: map[string]chan struct{}{"slow": gate}}
+	s, hs := newTestServer(t, Config{Run: p.run, Shards: 1, WorkersPerShard: 1, QueueDepth: 2})
+	defer close(gate)
+
+	// One running (pulled off the queue) + two queued = at capacity.
+	ids := []string{
+		submit(t, hs.URL, Request{Workload: "slow", Structure: "RF", Faults: 1}),
+	}
+	waitRunning(t, hs.URL, ids[0])
+	ids = append(ids,
+		submit(t, hs.URL, Request{Workload: "slow", Structure: "RF", Faults: 1}),
+		submit(t, hs.URL, Request{Workload: "slow", Structure: "RF", Faults: 1}),
+	)
+
+	body, _ := json.Marshal(Request{Workload: "slow", Structure: "RF", Faults: 1})
+	resp, err := http.Post(hs.URL+"/campaigns", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload submit: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	s.mu.Lock()
+	n := len(s.campaigns)
+	s.mu.Unlock()
+	if n != len(ids) {
+		t.Fatalf("%d campaign records after shed, want %d (rejected submission must leave no residue)", n, len(ids))
+	}
+
+	// Queue depth is observable on /statsz.
+	var stats struct {
+		QueueDepths []int `json:"queue_depths"`
+	}
+	sresp, err := http.Get(hs.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.QueueDepths) != 1 || stats.QueueDepths[0] != 2 {
+		t.Fatalf("queue_depths = %v, want [2]", stats.QueueDepths)
+	}
+}
+
+func waitRunning(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if getStatus(t, base, id).Status == StatusRunning {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s never started", id)
+}
+
+func TestValidationRejectsAtSubmit(t *testing.T) {
+	p := &fakePipeline{}
+	_, hs := newTestServer(t, Config{
+		Run: p.run,
+		Validate: func(r Request) error {
+			if r.Workload == "" {
+				return fmt.Errorf("workload required")
+			}
+			return nil
+		},
+	})
+	body, _ := json.Marshal(Request{Structure: "RF"})
+	resp, err := http.Post(hs.URL+"/campaigns", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid submit: status %d, want 400", resp.StatusCode)
+	}
+
+	// Unknown JSON fields are also rejected, not silently dropped.
+	resp2, err := http.Post(hs.URL+"/campaigns", "application/json",
+		strings.NewReader(`{"workload":"sha","structure":"RF","fautls":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown-field submit: status %d, want 400", resp2.StatusCode)
+	}
+}
+
+func TestHealthzAndListAndNotFound(t *testing.T) {
+	p := &fakePipeline{}
+	_, hs := newTestServer(t, Config{Run: p.run, CacheStats: func() any { return map[string]int{"hits": 7} }})
+
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		OK bool `json:"ok"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil || !health.OK {
+		t.Fatalf("healthz: %v ok=%v", err, health.OK)
+	}
+
+	id1 := submit(t, hs.URL, Request{Workload: "a", Structure: "RF"})
+	id2 := submit(t, hs.URL, Request{Workload: "b", Structure: "RF"})
+	waitDone(t, hs.URL, id1)
+	waitDone(t, hs.URL, id2)
+
+	lresp, err := http.Get(hs.URL + "/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var list struct{ Campaigns []statusJSON }
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Campaigns) != 2 || list.Campaigns[0].ID != id2 {
+		t.Fatalf("list = %+v, want 2 campaigns newest first", list.Campaigns)
+	}
+
+	nf, err := http.Get(hs.URL + "/campaigns/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nf.Body.Close()
+	if nf.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown campaign: status %d, want 404", nf.StatusCode)
+	}
+
+	// statsz carries the injected cache stats.
+	sresp, err := http.Get(hs.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats struct {
+		Cache map[string]int `json:"cache"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache["hits"] != 7 {
+		t.Fatalf("statsz cache = %v", stats.Cache)
+	}
+}
+
+// TestFinishedCampaignEviction: a long-running daemon keeps at most
+// RetainFinished finished campaigns; the oldest are evicted on submission
+// while unfinished campaigns are never touched.
+func TestFinishedCampaignEviction(t *testing.T) {
+	p := &fakePipeline{}
+	s, hs := newTestServer(t, Config{Run: p.run, Shards: 1, RetainFinished: 2})
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		id := submit(t, hs.URL, Request{Workload: "ok", Structure: "RF", Faults: 1})
+		waitDone(t, hs.URL, id)
+		ids = append(ids, id)
+	}
+	// Evictions happen at submission time; this fifth campaign triggers
+	// one that sees four finished records.
+	last := submit(t, hs.URL, Request{Workload: "ok", Structure: "RF", Faults: 1})
+	waitDone(t, hs.URL, last)
+
+	s.mu.Lock()
+	n := len(s.campaigns)
+	s.mu.Unlock()
+	if n > 3 { // 2 retained finished + the (possibly finished) last
+		t.Fatalf("%d campaign records retained, want <= 3", n)
+	}
+
+	// The oldest campaigns are gone from the API; the newest survive.
+	resp, err := http.Get(hs.URL + "/campaigns/" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted campaign: status %d, want 404", resp.StatusCode)
+	}
+	if st := getStatus(t, hs.URL, last); st.Status != StatusDone {
+		t.Fatalf("latest campaign lost: %+v", st)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	p := &fakePipeline{}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted a Config without Run")
+	}
+	for name, cfg := range map[string]Config{
+		"negative shards":  {Run: p.run, Shards: -1},
+		"negative workers": {Run: p.run, WorkersPerShard: -2},
+		"negative queue":   {Run: p.run, QueueDepth: -3},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: New accepted invalid config", name)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package store is the golden-run artifact cache: a content-addressed,
+// on-disk repository of everything MeRLiN's Preprocess phase (paper Fig 2)
+// derives from one fault-free run — the architectural golden result, the
+// lifetime event trace, the ACE-like vulnerable intervals, and the
+// checkpoint schedule of the injection ladder.
+//
+// The cache exists because Preprocess is the expensive, *reusable* part of
+// a campaign: the golden run and its analysis depend only on (workload,
+// core configuration, cycle budget, structure), never on the fault list,
+// seed, strategy, or grouping knobs. A service answering "re-run RF with a
+// different fault budget" therefore skips the golden run entirely on every
+// campaign after the first — the amortization the paper's speedup argument
+// is built on, extended across process lifetimes.
+//
+// Artifacts are addressed by the SHA-256 of the canonical encoding of
+// their Key, one file per artifact, written atomically (temp file +
+// rename) with an embedded payload checksum. A corrupt, truncated, or
+// version-skewed file is treated as a miss and rewritten, never returned.
+// The Store is safe for concurrent use by any number of goroutines and
+// processes sharing the directory.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"merlin/internal/cpu"
+	"merlin/internal/lifetime"
+)
+
+// formatVersion invalidates all cached artifacts when the serialized
+// layout (or anything that feeds it: trace semantics, interval
+// derivation, simulator timing) changes incompatibly.
+const formatVersion = 1
+
+// Key identifies one golden-run artifact: everything the fault-free run
+// depends on. Fault list size, sampling seed, injection strategy and
+// grouping options are deliberately absent — campaigns differing only in
+// those share the artifact.
+type Key struct {
+	// Workload is the registered benchmark name.
+	Workload string
+	// CPU is the full core configuration; any field change (register
+	// count, cache geometry, predictor sizing …) changes the golden run.
+	CPU cpu.Config
+	// Budget is the golden-run cycle budget (Runner.GoldenBudget).
+	Budget uint64
+	// Structure is the traced injection target; the lifetime event log
+	// and intervals are per-structure.
+	Structure lifetime.StructureID
+}
+
+// ID returns the content address of the key: the hex SHA-256 of its
+// canonical JSON encoding. JSON struct encoding is deterministic (fields
+// in declaration order), so equal keys always map to equal IDs.
+func (k Key) ID() string {
+	b, err := json.Marshal(k)
+	if err != nil { // Key is a plain value type; this cannot fail
+		panic(fmt.Sprintf("store: encoding key: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Artifact is one cached Preprocess product set. All fields are plain
+// values so the gob round trip is exact; Runner state and machine
+// snapshots are deliberately excluded (cores are rebuilt deterministically
+// from the workload program, which is cheap — it is the golden *run* that
+// is expensive).
+type Artifact struct {
+	// Workload and Structure echo the key for human inspection of cache
+	// directories; Get verifies they match the requested key.
+	Workload  string
+	Structure lifetime.StructureID
+
+	// Entries and EntryBytes size the structure (needed to regenerate
+	// the statistical fault list and the extrapolation denominators
+	// without instantiating a core).
+	Entries    int
+	EntryBytes int
+
+	// Golden is the architectural outcome of the fault-free run: the
+	// classification reference of every injection.
+	Golden cpu.RunResult
+
+	// Events is the golden trace: the structure's raw lifetime event log,
+	// from which the analysis can be re-derived bit-identically.
+	Events []lifetime.Event
+	// Branches is the committed branch trace (the Relyzer
+	// control-equivalence comparison input).
+	Branches []lifetime.BranchRec
+
+	// Intervals are the derived ACE-like vulnerable intervals, stored so
+	// a cache hit skips even the analysis rebuild.
+	Intervals []lifetime.Interval
+
+	// CheckpointCycles is the snapshot schedule of the injection ladder
+	// (cycles at which the checkpointed/forked strategies freeze golden
+	// state). Machine snapshots themselves are not serializable; the
+	// schedule lets a warm process rebuild them in one deterministic pass
+	// and lets operators see where a campaign's sync points sit.
+	CheckpointCycles []uint64
+}
+
+// Analysis rehydrates the ACE-like analysis from the cached intervals.
+func (a *Artifact) Analysis() *lifetime.Analysis {
+	return lifetime.Rehydrate(a.Structure, a.Entries, a.EntryBytes, a.Golden.Cycles, a.Intervals)
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness, served by the
+// daemon's /statsz endpoint.
+type Stats struct {
+	Hits   uint64 `json:"hits"`   // Get found a valid artifact
+	Misses uint64 `json:"misses"` // Get found nothing usable
+	Puts   uint64 `json:"puts"`   // artifacts written
+	Errors uint64 `json:"errors"` // corrupt/unreadable files encountered (each also counts as a miss)
+
+	Entries int   `json:"entries"` // artifact files on disk
+	Bytes   int64 `json:"bytes"`   // total artifact bytes on disk
+}
+
+// Store is the on-disk cache. The zero value is not usable; call Open.
+type Store struct {
+	dir string
+
+	hits, misses, puts, errs atomic.Uint64
+}
+
+// Open creates (if needed) and opens a cache rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(k Key) string {
+	return filepath.Join(s.dir, k.ID()+".artifact")
+}
+
+// fileMagic guards against reading non-artifact files; the version after
+// it guards against layout skew between binaries sharing a cache dir.
+var fileMagic = []byte(fmt.Sprintf("merlin-artifact/%d\n", formatVersion))
+
+// Get loads the artifact for k. A missing, corrupt, truncated or
+// key-mismatched file is a miss (ok=false), never an error: the caller's
+// recovery — recompute and Put — is identical in every case.
+func (s *Store) Get(k Key) (*Artifact, bool) {
+	raw, err := os.ReadFile(s.path(k))
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	a, err := decode(raw)
+	if err == nil && (a.Workload != k.Workload || a.Structure != k.Structure) {
+		err = fmt.Errorf("store: artifact key mismatch")
+	}
+	if err != nil {
+		s.errs.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return a, true
+}
+
+// Put writes the artifact for k atomically: concurrent writers of the
+// same key race benignly (both payloads are bit-identical by determinism)
+// and readers never observe a partial file.
+func (s *Store) Put(k Key, a *Artifact) error {
+	payload, err := encode(a)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(k)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// Stats snapshots the cache counters and walks the directory for on-disk
+// totals.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Hits:   s.hits.Load(),
+		Misses: s.misses.Load(),
+		Puts:   s.puts.Load(),
+		Errors: s.errs.Load(),
+	}
+	entries, _ := os.ReadDir(s.dir)
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".artifact") {
+			continue
+		}
+		st.Entries++
+		if info, err := e.Info(); err == nil {
+			st.Bytes += info.Size()
+		}
+	}
+	return st
+}
+
+// encode renders magic || sha256(gob) || gob.
+func encode(a *Artifact) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(a); err != nil {
+		return nil, fmt.Errorf("store: encoding artifact: %w", err)
+	}
+	sum := sha256.Sum256(body.Bytes())
+	out := make([]byte, 0, len(fileMagic)+len(sum)+body.Len())
+	out = append(out, fileMagic...)
+	out = append(out, sum[:]...)
+	out = append(out, body.Bytes()...)
+	return out, nil
+}
+
+// decode verifies magic and checksum and decodes the payload.
+func decode(raw []byte) (*Artifact, error) {
+	if !bytes.HasPrefix(raw, fileMagic) {
+		return nil, fmt.Errorf("store: bad magic or version")
+	}
+	raw = raw[len(fileMagic):]
+	if len(raw) < sha256.Size {
+		return nil, fmt.Errorf("store: truncated artifact")
+	}
+	want := raw[:sha256.Size]
+	body := raw[sha256.Size:]
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(sum[:], want) {
+		return nil, fmt.Errorf("store: checksum mismatch")
+	}
+	a := new(Artifact)
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(a); err != nil {
+		return nil, fmt.Errorf("store: decoding artifact: %w", err)
+	}
+	return a, nil
+}

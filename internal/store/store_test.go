@@ -1,0 +1,203 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"merlin/internal/cpu"
+	"merlin/internal/lifetime"
+)
+
+func sampleKey() Key {
+	return Key{
+		Workload:  "qsort",
+		CPU:       cpu.DefaultConfig(),
+		Budget:    500_000_000,
+		Structure: lifetime.StructRF,
+	}
+}
+
+func sampleArtifact() *Artifact {
+	return &Artifact{
+		Workload:   "qsort",
+		Structure:  lifetime.StructRF,
+		Entries:    256,
+		EntryBytes: 64,
+		Golden: cpu.RunResult{
+			Halt:   cpu.HaltOK,
+			Cycles: 12345,
+			Output: []uint64{1, 2, 3, 0xdeadbeef},
+			ExcLog: []uint32{7, 9},
+		},
+		Events: []lifetime.Event{
+			{Seq: 1, Cycle: 10, Entry: 3, Mask: 0xff, Kind: lifetime.EvWrite},
+			{Seq: 2, Cycle: 20, CommitSeq: 5, Entry: 3, Mask: 0xff, RIP: 42, Kind: lifetime.EvRead, UPC: 1},
+		},
+		Branches: []lifetime.BranchRec{
+			{CommitSeq: 5, RIP: 42, Target: 43, Taken: true},
+		},
+		Intervals: []lifetime.Interval{
+			{Entry: 3, Mask: 0xff, Start: 10, End: 20, EndSeq: 5, RIP: 42, UPC: 1},
+		},
+		CheckpointCycles: []uint64{0, 4096, 8192},
+	}
+}
+
+// TestRoundTrip is the core cache guarantee: what Preprocess stored is
+// what a later campaign reads back, bit for bit.
+func TestRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sampleKey()
+	want := sampleArtifact()
+
+	if _, ok := s.Get(k); ok {
+		t.Fatal("Get on empty store reported a hit")
+	}
+	if err := s.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k)
+	if !ok {
+		t.Fatal("Get after Put missed")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip not bit-identical:\n got %+v\nwant %+v", got, want)
+	}
+
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Errors != 0 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 put / 0 errors", st)
+	}
+	if st.Entries != 1 || st.Bytes == 0 {
+		t.Fatalf("stats disk totals = %+v, want 1 entry with nonzero bytes", st)
+	}
+}
+
+// TestKeyID checks that the content address separates every key dimension
+// and is stable for equal keys.
+func TestKeyID(t *testing.T) {
+	base := sampleKey()
+	if base.ID() != sampleKey().ID() {
+		t.Fatal("equal keys produced different IDs")
+	}
+	variants := []Key{
+		{Workload: "sha", CPU: base.CPU, Budget: base.Budget, Structure: base.Structure},
+		{Workload: base.Workload, CPU: base.CPU.WithRF(128), Budget: base.Budget, Structure: base.Structure},
+		{Workload: base.Workload, CPU: base.CPU, Budget: 1000, Structure: base.Structure},
+		{Workload: base.Workload, CPU: base.CPU, Budget: base.Budget, Structure: lifetime.StructSQ},
+	}
+	seen := map[string]bool{base.ID(): true}
+	for _, v := range variants {
+		if seen[v.ID()] {
+			t.Fatalf("key %+v collides with a prior key", v)
+		}
+		seen[v.ID()] = true
+	}
+}
+
+// TestCorruptionIsAMiss: a flipped payload byte, a truncated file, and a
+// wrong-magic file must all read as misses, never as wrong data.
+func TestCorruptionIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	k := sampleKey()
+	if err := s.Put(k, sampleArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, k.ID()+".artifact")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"bit flip":  append(append([]byte{}, raw[:len(raw)-1]...), raw[len(raw)-1]^1),
+		"truncated": raw[:len(raw)/2],
+		"bad magic": append([]byte("not-an-artifact\n"), raw...),
+		"empty":     {},
+	}
+	for name, mutated := range cases {
+		if err := os.WriteFile(path, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(k); ok {
+			t.Errorf("%s: corrupt artifact reported as a hit", name)
+		}
+	}
+	if st := s.Stats(); st.Errors != uint64(len(cases)) {
+		t.Errorf("stats errors = %d, want %d (every corrupt read counted)", st.Errors, len(cases))
+	}
+
+	// A fresh Put repairs the slot.
+	if err := s.Put(k, sampleArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); !ok {
+		t.Fatal("Get after repair Put missed")
+	}
+}
+
+// TestMismatchedKeyEcho: an artifact whose embedded workload/structure
+// disagree with the key it is filed under is rejected.
+func TestMismatchedKeyEcho(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	k := sampleKey()
+	a := sampleArtifact()
+	a.Workload = "sha" // embedded echo disagrees with k
+	if err := s.Put(k, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("key-mismatched artifact reported as a hit")
+	}
+}
+
+// TestAnalysisRehydration: the Analysis rebuilt from cached intervals
+// answers Find and AVF exactly like one built from the live trace.
+func TestAnalysisRehydration(t *testing.T) {
+	a := sampleArtifact()
+	an := a.Analysis()
+	if got := an.AVF(); got == 0 {
+		t.Fatal("rehydrated analysis has zero AVF despite a vulnerable interval")
+	}
+	if _, ok := an.Find(3, 0, 15); !ok {
+		t.Fatal("rehydrated analysis misses a covered flip")
+	}
+	if _, ok := an.Find(3, 0, 25); ok {
+		t.Fatal("rehydrated analysis covers a flip outside all intervals")
+	}
+}
+
+// TestConcurrentAccess hammers one slot from many goroutines; the race
+// detector plus the atomic-rename protocol guarantee readers only ever
+// see complete artifacts.
+func TestConcurrentAccess(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	k := sampleKey()
+	want := sampleArtifact()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if err := s.Put(k, want); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := s.Get(k); ok && !reflect.DeepEqual(got, want) {
+					t.Error("reader observed a partial or mutated artifact")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -26,6 +26,7 @@ import (
 	"merlin/internal/lifetime"
 	reduction "merlin/internal/merlin"
 	"merlin/internal/sampling"
+	"merlin/internal/store"
 	"merlin/internal/workloads"
 )
 
@@ -84,6 +85,22 @@ const (
 // RawFITPerBit is the raw failure rate the paper assumes (§4.4.3.3).
 const RawFITPerBit = 0.01
 
+// Cache is a golden-run artifact cache: an on-disk, content-addressed
+// repository of Preprocess products (golden result, lifetime trace,
+// ACE-like vulnerable intervals, checkpoint schedule) keyed by (workload,
+// core config, cycle budget, structure). Campaigns that share those —
+// regardless of fault count, seed, strategy, or grouping knobs — reuse one
+// golden run across processes. Safe for concurrent use; share one Cache
+// across all campaigns of a process (the daemon does).
+type Cache = store.Store
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats = store.Stats
+
+// OpenCache creates (if needed) and opens a golden-run artifact cache
+// rooted at dir.
+func OpenCache(dir string) (*Cache, error) { return store.Open(dir) }
+
 // Config describes one MeRLiN campaign.
 type Config struct {
 	// Workload names a registered benchmark (see Workloads).
@@ -124,6 +141,13 @@ type Config struct {
 	// (and, for backward compatibility, selects that strategy when
 	// Strategy is left at the default).
 	Checkpoints int
+
+	// Cache, when non-nil, short-circuits Preprocess: on a hit the golden
+	// run and ACE-like analysis are loaded instead of simulated (the
+	// campaign's outcomes are bit-identical either way); on a miss they
+	// run once and are stored for every later campaign on the same
+	// (Workload, CPU) pair. Open one with OpenCache.
+	Cache *Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -145,15 +169,54 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// validate rejects knob values the pipeline would otherwise silently
+// misread (applied after withDefaults, so zeros have already been replaced
+// by documented defaults and anything invalid left is a caller error).
+// Campaign requests arriving over the daemon's HTTP API funnel through
+// this same check.
+func (c Config) validate() error {
+	switch {
+	case c.Structure >= lifetime.NumStructures:
+		return fmt.Errorf("merlin: unknown structure %d", c.Structure)
+	case c.Faults < 0:
+		return fmt.Errorf("merlin: Faults is %d; want >= 0 (0 = derive from Confidence/ErrorMargin)", c.Faults)
+	case c.Workers < 0:
+		return fmt.Errorf("merlin: Workers is %d; want >= 0 (0 = all host cores)", c.Workers)
+	case c.RepsPerGroup < 0:
+		return fmt.Errorf("merlin: RepsPerGroup is %d; want >= 0 (0 = the paper's 1)", c.RepsPerGroup)
+	case c.Checkpoints < 0:
+		return fmt.Errorf("merlin: Checkpoints is %d; want >= 0", c.Checkpoints)
+	case c.Confidence <= 0 || c.Confidence >= 1:
+		return fmt.Errorf("merlin: Confidence %v outside (0, 1)", c.Confidence)
+	case c.ErrorMargin <= 0 || c.ErrorMargin >= 1:
+		return fmt.Errorf("merlin: ErrorMargin %v outside (0, 1)", c.ErrorMargin)
+	}
+	return nil
+}
+
 // Artifacts carries the intermediate products of the pipeline between
 // phases, mirroring the repositories of the paper's Fig 2.
 type Artifacts struct {
-	Config   Config
-	Runner   *campaign.Runner
-	Golden   *campaign.Golden
+	// Config is the campaign configuration after defaults were applied.
+	Config Config
+	// Runner executes the injection runs of phase 3.
+	Runner *campaign.Runner
+	// Golden is the fault-free reference run (result + lifetime tracer).
+	Golden *campaign.Golden
+	// Analysis holds the structure's ACE-like vulnerable intervals.
 	Analysis *lifetime.Analysis
-	Faults   []fault.Fault
-	Red      *reduction.Reduction
+	// Faults is the initial statistical fault list.
+	Faults []fault.Fault
+	// Red is the fault-list reduction; nil until Reduce runs.
+	Red *reduction.Reduction
+
+	// CacheHit reports that Golden and Analysis were loaded from
+	// Config.Cache instead of simulated: Preprocess skipped the golden
+	// run entirely.
+	CacheHit bool
+	// CacheErr records a non-fatal failure to persist the artifacts on a
+	// cache miss (the campaign itself is unaffected).
+	CacheErr error
 }
 
 // Workloads lists the registered benchmark names for a suite ("mibench",
@@ -163,14 +226,39 @@ func Workloads(suite string) []string { return workloads.Names(suite) }
 // Preprocess runs phase 1: the single fault-free profiling run that records
 // the structure's vulnerable intervals, plus the creation of the initial
 // statistical fault list.
+//
+// With Config.Cache set, the profiling run is served from the golden-run
+// artifact cache when a previous campaign already profiled the same
+// (workload, core config, structure): the golden run and analysis build
+// are skipped and their products loaded instead, bit-identically. On a
+// miss the products are stored after the run.
 func Preprocess(cfg Config) (*Artifacts, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	w, err := workloads.Get(cfg.Workload)
 	if err != nil {
 		return nil, err
 	}
 	runner := campaign.NewRunner(campaign.Target{Cfg: cfg.CPU, Prog: w.Program()})
 	runner.Workers = cfg.Workers
+	if err := runner.Validate(); err != nil {
+		return nil, err
+	}
+
+	key := store.Key{
+		Workload:  cfg.Workload,
+		CPU:       cfg.CPU,
+		Budget:    runner.GoldenBudget,
+		Structure: cfg.Structure,
+	}
+	if cfg.Cache != nil {
+		if art, ok := cfg.Cache.Get(key); ok {
+			return rehydrateArtifacts(cfg, runner, art), nil
+		}
+	}
+
 	golden, err := runner.RunGolden(cfg.Structure)
 	if err != nil {
 		return nil, err
@@ -184,20 +272,60 @@ func Preprocess(cfg Config) (*Artifacts, error) {
 	analysis := lifetime.Build(golden.Tracer.Log(cfg.Structure), cfg.Structure,
 		entries, entryBits/8, cycles)
 
+	a := &Artifacts{
+		Config:   cfg,
+		Runner:   runner,
+		Golden:   golden,
+		Analysis: analysis,
+		Faults:   sampleFaults(cfg, entries, entryBits, cycles),
+	}
+	if cfg.Cache != nil {
+		a.CacheErr = cfg.Cache.Put(key, &store.Artifact{
+			Workload:         cfg.Workload,
+			Structure:        cfg.Structure,
+			Entries:          entries,
+			EntryBytes:       entryBits / 8,
+			Golden:           golden.Result,
+			Events:           golden.Tracer.Log(cfg.Structure).Events,
+			Branches:         golden.Tracer.Branches,
+			Intervals:        analysis.Intervals,
+			CheckpointCycles: campaign.CheckpointSchedule(campaign.ForkSyncPoints, cycles),
+		})
+	}
+	return a, nil
+}
+
+// rehydrateArtifacts rebuilds the Preprocess products from a cached
+// artifact. The fault list is regenerated rather than cached: sampling is
+// deterministic in (structure geometry, cycles, seed) — all cached — and
+// different campaigns over one artifact want different lists.
+func rehydrateArtifacts(cfg Config, runner *campaign.Runner, art *store.Artifact) *Artifacts {
+	log := &lifetime.Log{Events: art.Events}
+	golden := &campaign.Golden{
+		Result: art.Golden,
+		Tracer: lifetime.RehydrateTracer(cfg.Structure, log, art.Branches, art.Golden.Cycles),
+	}
+	entryBits := art.EntryBytes * 8
+	return &Artifacts{
+		Config:   cfg,
+		Runner:   runner,
+		Golden:   golden,
+		Analysis: art.Analysis(),
+		Faults:   sampleFaults(cfg, art.Entries, entryBits, art.Golden.Cycles),
+		CacheHit: true,
+	}
+}
+
+// sampleFaults draws the initial statistical fault list for a structure of
+// the given geometry, deriving the size from (Confidence, ErrorMargin)
+// when Faults is 0.
+func sampleFaults(cfg Config, entries, entryBits int, cycles uint64) []fault.Fault {
 	n := cfg.Faults
 	if n == 0 {
 		p := sampling.Params{Confidence: cfg.Confidence, ErrorMargin: cfg.ErrorMargin}
 		n = p.SampleSize(sampling.Population(entries, entryBits, cycles))
 	}
-	faults := sampling.Generate(cfg.Structure, entries, entryBits, cycles, n, cfg.Seed)
-
-	return &Artifacts{
-		Config:   cfg,
-		Runner:   runner,
-		Golden:   golden,
-		Analysis: analysis,
-		Faults:   faults,
-	}, nil
+	return sampling.Generate(cfg.Structure, entries, entryBits, cycles, n, cfg.Seed)
 }
 
 // Reduce runs phase 2: ACE-like pruning plus the two-step grouping
@@ -242,6 +370,7 @@ func (a *Artifacts) Inject() *Report {
 		RepOutcomes:   res.Outcomes,
 		Wall:          res.Wall,
 		Serial:        res.Serial,
+		CacheHit:      a.CacheHit,
 	}
 }
 
@@ -282,25 +411,47 @@ func RunBaseline(cfg Config) (*BaselineReport, error) {
 
 // Report is the outcome of one MeRLiN campaign.
 type Report struct {
-	Workload      string
-	Structure     Structure
-	GoldenCycles  uint64
+	// Workload and Structure identify the campaign.
+	Workload  string
+	Structure Structure
+	// GoldenCycles is the fault-free run length in cycles.
+	GoldenCycles uint64
+	// InitialFaults is the statistical fault list size before reduction.
 	InitialFaults int
-	ACEMasked     int
-	PostACE       int
-	Injected      int
+	// ACEMasked counts faults pruned as provably masked by the ACE-like
+	// analysis (phase 1).
+	ACEMasked int
+	// PostACE counts faults surviving the ACE-like pruning.
+	PostACE int
+	// Injected counts the group representatives actually injected.
+	Injected int
+	// StepOneGroups and FinalGroups count groups after (RIP, uPC)
+	// grouping and after byte sub-grouping respectively.
 	StepOneGroups int
 	FinalGroups   int
-	ACESpeedup    float64
-	FinalSpeedup  float64
-	Dist          Dist
-	AVF           float64
-	FIT           float64
-	ACELikeAVF    float64
-	ACELikeFIT    float64
-	RepOutcomes   []Outcome
-	Wall          time.Duration
-	Serial        time.Duration
+	// ACESpeedup and FinalSpeedup are injection-count reduction factors
+	// after phase 1 alone and after both phases (the paper's Figs 8-10).
+	ACESpeedup   float64
+	FinalSpeedup float64
+	// Dist is the extrapolated fault-effect distribution over the full
+	// initial fault list.
+	Dist Dist
+	// AVF and FIT are the injection-based vulnerability estimates; the
+	// ACELike variants are the analysis-only upper bounds (§4.4.3.3).
+	AVF        float64
+	FIT        float64
+	ACELikeAVF float64
+	ACELikeFIT float64
+	// RepOutcomes are the representatives' raw outcomes, in reduced-list
+	// order.
+	RepOutcomes []Outcome
+	// Wall and Serial time the injection phase: parallel wall-clock and
+	// summed per-injection (single-machine-equivalent) time.
+	Wall   time.Duration
+	Serial time.Duration
+	// CacheHit reports that Preprocess was served from the golden-run
+	// artifact cache (no golden run was simulated for this campaign).
+	CacheHit bool
 }
 
 // String renders a one-campaign summary.
@@ -315,16 +466,23 @@ func (r *Report) String() string {
 
 // BaselineReport is the outcome of a comprehensive campaign.
 type BaselineReport struct {
-	Workload     string
-	Structure    Structure
+	// Workload and Structure identify the campaign.
+	Workload  string
+	Structure Structure
+	// GoldenCycles is the fault-free run length in cycles.
 	GoldenCycles uint64
-	Faults       int
-	Outcomes     []Outcome
-	Dist         Dist
-	AVF          float64
-	FIT          float64
-	Wall         time.Duration
-	Serial       time.Duration
+	// Faults is the number of injections (the whole initial list).
+	Faults int
+	// Outcomes are the per-fault classifications, in fault-list order.
+	Outcomes []Outcome
+	// Dist aggregates Outcomes; AVF and FIT derive from it.
+	Dist Dist
+	AVF  float64
+	FIT  float64
+	// Wall and Serial time the injection phase: parallel wall-clock and
+	// summed per-injection (single-machine-equivalent) time.
+	Wall   time.Duration
+	Serial time.Duration
 
 	// Artifacts retains the preprocessing products so MeRLiN and the
 	// Relyzer heuristic can be evaluated on the identical fault list.

@@ -1,0 +1,213 @@
+package merlin
+
+// This file is the campaign service's pipeline adapter: it wires the
+// MeRLiN pipeline (Preprocess → Reduce → Inject) and the golden-run
+// artifact cache into the pipeline-agnostic HTTP service of
+// internal/server. cmd/merlind is a thin flag wrapper around Serve.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"merlin/internal/campaign"
+	"merlin/internal/cpu"
+	"merlin/internal/fault"
+	"merlin/internal/server"
+	"merlin/internal/workloads"
+)
+
+// Server is the long-running campaign service behind cmd/merlind: an
+// HTTP+JSON API (POST /campaigns, GET /campaigns/{id}, streamed
+// /campaigns/{id}/events, /healthz, /statsz) over a sharded worker pool
+// with bounded queues. Construct with NewServer, or let Serve manage the
+// whole lifecycle.
+type Server = server.Server
+
+// CampaignRequest is the wire form of one campaign submission.
+type CampaignRequest = server.Request
+
+// CampaignEvent is one entry of a campaign's streamed progress log.
+type CampaignEvent = server.Event
+
+// ServeOptions configures the campaign service.
+type ServeOptions struct {
+	// Cache is the golden-run artifact cache shared by every campaign
+	// the service runs; nil disables caching (each campaign then repeats
+	// its own golden run). Open one with OpenCache.
+	Cache *Cache
+
+	// Shards is the number of independent worker pools (campaigns are
+	// assigned by id hash), WorkersPerShard how many campaigns one shard
+	// runs concurrently, and QueueDepth the pending-campaign bound per
+	// shard (submissions beyond it get 429). Zero values take the
+	// server defaults (4 / 1 / 64).
+	Shards          int
+	WorkersPerShard int
+	QueueDepth      int
+	// RetainFinished bounds how many finished campaigns (reports + event
+	// logs) stay queryable; the oldest are evicted beyond it so a
+	// long-running daemon's memory tracks load, not lifetime. 0 takes
+	// the server default (1024).
+	RetainFinished int
+}
+
+// NewServer starts the campaign service's worker pools and returns the
+// service. Expose it over HTTP with (*Server).Handler; stop it with
+// (*Server).Close.
+func NewServer(opt ServeOptions) (*Server, error) {
+	cfg := server.Config{
+		Run:             runCampaign(opt.Cache),
+		Validate:        validateRequest,
+		Shards:          opt.Shards,
+		WorkersPerShard: opt.WorkersPerShard,
+		QueueDepth:      opt.QueueDepth,
+		RetainFinished:  opt.RetainFinished,
+	}
+	if opt.Cache != nil {
+		cache := opt.Cache
+		cfg.CacheStats = func() any { return cache.Stats() }
+	}
+	return server.New(cfg)
+}
+
+// Serve runs the campaign service on addr until ctx is cancelled, then
+// shuts the HTTP listener down gracefully and drains the worker pools.
+func Serve(ctx context.Context, addr string, opt ServeOptions) error {
+	srv, err := NewServer(opt)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hs.Shutdown(shutdownCtx)
+	}
+}
+
+// campaignConfig translates a wire request into a pipeline Config,
+// rejecting unknown names and negative knobs.
+func campaignConfig(req CampaignRequest) (Config, error) {
+	var zero Config
+	if _, err := workloads.Get(req.Workload); err != nil {
+		return zero, err
+	}
+	var target Structure
+	switch strings.ToUpper(req.Structure) {
+	case "RF":
+		target = RF
+	case "SQ":
+		target = SQ
+	case "L1D":
+		target = L1D
+	default:
+		return zero, fmt.Errorf("unknown structure %q (want RF, SQ, or L1D)", req.Structure)
+	}
+	strat := StrategyReplay
+	if req.Strategy != "" {
+		var err error
+		if strat, err = ParseStrategy(req.Strategy); err != nil {
+			return zero, err
+		}
+	}
+	if req.PhysRegs < 0 || req.SQEntries < 0 || req.L1DBytes < 0 {
+		return zero, fmt.Errorf("core configuration knobs must be >= 0 (0 = paper baseline)")
+	}
+	cpuCfg := cpu.DefaultConfig()
+	if req.PhysRegs > 0 {
+		cpuCfg = cpuCfg.WithRF(req.PhysRegs)
+	}
+	if req.SQEntries > 0 {
+		cpuCfg = cpuCfg.WithSQ(req.SQEntries)
+	}
+	if req.L1DBytes > 0 {
+		cpuCfg = cpuCfg.WithL1D(req.L1DBytes)
+	}
+	cfg := Config{
+		Workload:            req.Workload,
+		CPU:                 cpuCfg,
+		Structure:           target,
+		Faults:              req.Faults,
+		Confidence:          req.Confidence,
+		ErrorMargin:         req.ErrorMargin,
+		Seed:                req.Seed,
+		RepsPerGroup:        req.RepsPerGroup,
+		DisableByteGrouping: req.DisableByteGrouping,
+		Workers:             req.Workers,
+		Strategy:            strat,
+		Checkpoints:         req.Checkpoints,
+	}
+	return cfg, nil
+}
+
+// validateRequest vets a submission synchronously so malformed campaigns
+// fail the POST with 400 instead of failing later in the queue.
+func validateRequest(req CampaignRequest) error {
+	cfg, err := campaignConfig(req)
+	if err != nil {
+		return err
+	}
+	return cfg.withDefaults().validate()
+}
+
+// runCampaign adapts the three-phase pipeline to the service's RunFunc,
+// emitting one event per phase and one per injected fault.
+func runCampaign(cache *Cache) server.RunFunc {
+	return func(ctx context.Context, req CampaignRequest, emit func(CampaignEvent)) (any, error) {
+		cfg, err := campaignConfig(req)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Cache = cache
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+
+		a, err := Preprocess(cfg)
+		if err != nil {
+			return nil, err
+		}
+		hit := a.CacheHit
+		src := "golden run simulated and cached"
+		if hit {
+			src = "golden run served from artifact cache"
+		} else if cache == nil {
+			src = "golden run simulated (no cache)"
+		}
+		if a.CacheErr != nil {
+			src += " (cache write failed: " + a.CacheErr.Error() + ")"
+		}
+		emit(CampaignEvent{Type: "preprocess", CacheHit: &hit,
+			Msg: fmt.Sprintf("%s: %d cycles, %d vulnerable intervals, %d faults sampled",
+				src, a.Golden.Result.Cycles, len(a.Analysis.Intervals), len(a.Faults))})
+
+		// Phase boundaries are the shutdown points: a cancelled server
+		// stops before starting the next phase, bounding drain latency to
+		// the current phase instead of the whole campaign.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		red := a.Reduce()
+		emit(CampaignEvent{Type: "reduce",
+			Msg: fmt.Sprintf("%d faults -> %d ACE-masked -> %d groups -> %d representatives",
+				len(a.Faults), red.ACEMasked, len(red.Groups), red.ReducedCount())})
+
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		a.Runner.OnOutcome = func(idx int, f fault.Fault, o campaign.Outcome) {
+			emit(CampaignEvent{Type: "fault", Index: idx, Fault: f.String(), Outcome: o.String()})
+		}
+		return a.Inject(), nil
+	}
+}

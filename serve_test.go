@@ -1,0 +1,235 @@
+package merlin
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// daemon spins up the real campaign service (real pipeline, real cache)
+// behind an httptest listener.
+func daemon(t *testing.T, opt ServeOptions) *httptest.Server {
+	t.Helper()
+	srv, err := NewServer(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	return hs
+}
+
+func postCampaign(t *testing.T, base string, body string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, out.Error)
+	}
+	return out.ID
+}
+
+// campaignStatus mirrors the service's status JSON with the report decoded
+// into the real Report type.
+type campaignStatus struct {
+	Status   string          `json:"status"`
+	Error    string          `json:"error"`
+	Started  time.Time       `json:"started"`
+	Finished time.Time       `json:"finished"`
+	Report   json.RawMessage `json:"report"`
+}
+
+func campaignWait(t *testing.T, base, id string) (campaignStatus, *Report) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/campaigns/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st campaignStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch st.Status {
+		case "failed":
+			t.Fatalf("campaign %s failed: %s", id, st.Error)
+		case "done":
+			rep := new(Report)
+			if err := json.Unmarshal(st.Report, rep); err != nil {
+				t.Fatalf("decoding report: %v", err)
+			}
+			return st, rep
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s did not finish", id)
+	return campaignStatus{}, nil
+}
+
+// TestDaemonCacheHitOnResubmit is the acceptance-criteria test: the same
+// campaign submitted twice hits the artifact cache on the second run,
+// produces a bit-identical Dist, and skips the golden run.
+func TestDaemonCacheHitOnResubmit(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := daemon(t, ServeOptions{Cache: cache})
+
+	const body = `{"workload":"sha","structure":"RF","faults":300,"seed":9,"strategy":"forked"}`
+	_, first := campaignWait(t, hs.URL, postCampaign(t, hs.URL, body))
+	if first.CacheHit {
+		t.Fatal("first campaign reported a cache hit on an empty cache")
+	}
+
+	_, second := campaignWait(t, hs.URL, postCampaign(t, hs.URL, body))
+	if !second.CacheHit {
+		t.Fatal("second identical campaign missed the artifact cache: golden run was repeated")
+	}
+	if second.Dist != first.Dist {
+		t.Fatalf("Dist not bit-identical across cache hit:\nfirst  %v\nsecond %v", first.Dist, second.Dist)
+	}
+	if second.GoldenCycles != first.GoldenCycles || second.AVF != first.AVF ||
+		second.Injected != first.Injected || second.FIT != first.FIT {
+		t.Fatalf("cached campaign diverged:\nfirst  %+v\nsecond %+v", first, second)
+	}
+
+	// The golden-run skip is visible on /statsz too.
+	resp, err := http.Get(hs.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Cache CacheStats `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.Hits != 1 || stats.Cache.Misses != 1 || stats.Cache.Puts != 1 {
+		t.Fatalf("cache stats = %+v, want 1 hit / 1 miss / 1 put", stats.Cache)
+	}
+
+	// A different fault budget over the same artifact also hits.
+	_, third := campaignWait(t, hs.URL, postCampaign(t, hs.URL,
+		`{"workload":"sha","structure":"RF","faults":120,"seed":4,"strategy":"replay"}`))
+	if !third.CacheHit {
+		t.Fatal("campaign with a different fault budget missed the shared artifact")
+	}
+	if third.InitialFaults != 120 {
+		t.Fatalf("third campaign sampled %d faults, want its own 120", third.InitialFaults)
+	}
+}
+
+// TestDaemonConcurrentEventStreams runs two campaigns concurrently and
+// asserts both event streams carry per-fault outcomes while the campaigns
+// overlap in time.
+func TestDaemonConcurrentEventStreams(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := daemon(t, ServeOptions{Cache: cache, Shards: 1, WorkersPerShard: 2})
+
+	idA := postCampaign(t, hs.URL, `{"workload":"sha","structure":"RF","faults":400,"seed":2}`)
+	idB := postCampaign(t, hs.URL, `{"workload":"qsort","structure":"RF","faults":400,"seed":2}`)
+
+	type stream struct {
+		id     string
+		faults int
+		last   string
+		ok     bool
+	}
+	results := make(chan stream, 2)
+	for _, id := range []string{idA, idB} {
+		go func(id string) {
+			out := stream{id: id}
+			resp, err := http.Get(hs.URL + "/campaigns/" + id + "/events")
+			if err != nil {
+				results <- out
+				return
+			}
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			for sc.Scan() {
+				var ev CampaignEvent
+				if json.Unmarshal(sc.Bytes(), &ev) != nil {
+					results <- out
+					return
+				}
+				if ev.Type == "fault" {
+					out.faults++
+					if ev.Outcome == "" || ev.Fault == "" {
+						results <- out
+						return
+					}
+				}
+				out.last = ev.Type
+			}
+			out.ok = sc.Err() == nil
+			results <- out
+		}(id)
+	}
+
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if !r.ok {
+			t.Fatalf("stream %s broke (last=%q)", r.id, r.last)
+		}
+		if r.faults == 0 {
+			t.Fatalf("stream %s carried no per-fault outcomes", r.id)
+		}
+		if r.last != "done" {
+			t.Fatalf("stream %s ended on %q, want done", r.id, r.last)
+		}
+	}
+
+	// Both campaigns genuinely overlapped: each started before the other
+	// finished.
+	stA, _ := campaignWait(t, hs.URL, idA)
+	stB, _ := campaignWait(t, hs.URL, idB)
+	if !stA.Started.Before(stB.Finished) || !stB.Started.Before(stA.Finished) {
+		t.Fatalf("campaigns did not overlap: A %v..%v, B %v..%v",
+			stA.Started, stA.Finished, stB.Started, stB.Finished)
+	}
+}
+
+// TestDaemonRejectsBadRequests: submission-time validation speaks 400.
+func TestDaemonRejectsBadRequests(t *testing.T) {
+	hs := daemon(t, ServeOptions{})
+	for name, body := range map[string]string{
+		"unknown workload":  `{"workload":"nope","structure":"RF"}`,
+		"unknown structure": `{"workload":"sha","structure":"ROB"}`,
+		"unknown strategy":  `{"workload":"sha","structure":"RF","strategy":"warp"}`,
+		"negative faults":   `{"workload":"sha","structure":"RF","faults":-5}`,
+		"negative workers":  `{"workload":"sha","structure":"RF","workers":-1}`,
+		"negative regs":     `{"workload":"sha","structure":"RF","phys_regs":-64}`,
+	} {
+		resp, err := http.Post(hs.URL+"/campaigns", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
