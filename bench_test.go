@@ -6,6 +6,7 @@
 package merlin_test
 
 import (
+	"context"
 	"testing"
 
 	"merlin"
@@ -47,7 +48,7 @@ func BenchmarkTable3_ExhaustiveModel(b *testing.B) {
 // BenchmarkTable4 runs the truncated-run accuracy study (gcc, bzip2).
 func BenchmarkTable4_TruncatedAccuracy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Table4(benchOpts(150))
+		r, err := experiments.Table4(context.Background(), benchOpts(150))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -70,7 +71,7 @@ func BenchmarkTable4_TruncatedAccuracy(b *testing.B) {
 // BenchmarkFigure6 measures fine-grained homogeneity.
 func BenchmarkFigure6_FineHomogeneity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunAccuracy(benchOpts(250, "sha"))
+		r, err := experiments.RunAccuracy(context.Background(), benchOpts(250, "sha"))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,7 +86,7 @@ func BenchmarkFigure6_FineHomogeneity(b *testing.B) {
 // BenchmarkFigure7 measures coarse homogeneity and perfect-group share.
 func BenchmarkFigure7_CoarseHomogeneity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunAccuracy(benchOpts(250, "fft"))
+		r, err := experiments.RunAccuracy(context.Background(), benchOpts(250, "fft"))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -100,10 +101,10 @@ func BenchmarkFigure7_CoarseHomogeneity(b *testing.B) {
 	}
 }
 
-func benchSpeedup(b *testing.B, f func(experiments.Options) (*experiments.SpeedupResult, error), faults int, wls ...string) {
+func benchSpeedup(b *testing.B, f func(context.Context, experiments.Options) (*experiments.SpeedupResult, error), faults int, wls ...string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		r, err := f(benchOpts(faults, wls...))
+		r, err := f(context.Background(), benchOpts(faults, wls...))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -137,7 +138,7 @@ func BenchmarkFigure10_L1DSpeedup(b *testing.B) {
 // wall-clock, baseline vs MeRLiN.
 func BenchmarkFigure11_EstimationTime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig11(benchOpts(300, "sha"))
+		r, err := experiments.Fig11(context.Background(), benchOpts(300, "sha"))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -165,7 +166,7 @@ func BenchmarkFigure13_Scaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		o := benchOpts(2000, "qsort")
 		o.ScaleFactor = 4
-		r, err := experiments.Fig13(o)
+		r, err := experiments.Fig13(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -178,7 +179,7 @@ func BenchmarkFigure13_Scaling(b *testing.B) {
 // injection.
 func BenchmarkFigure14_PostACEAccuracy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunAccuracy(benchOpts(250, "qsort"))
+		r, err := experiments.RunAccuracy(context.Background(), benchOpts(250, "qsort"))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -239,7 +240,7 @@ func BenchmarkFigure16_FIT(b *testing.B) {
 // MeRLiN's.
 func BenchmarkFigure17_RelyzerComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunAccuracy(benchOpts(300, "stringsearch"))
+		r, err := experiments.RunAccuracy(context.Background(), benchOpts(300, "stringsearch"))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -270,7 +271,7 @@ func BenchmarkFigure17_RelyzerComparison(b *testing.B) {
 // BenchmarkTheory evaluates the §4.4.5 variance analysis on an observed
 // campaign structure.
 func BenchmarkTheory_VarianceAnalysis(b *testing.B) {
-	r, err := experiments.RunAccuracy(benchOpts(400, "sha"))
+	r, err := experiments.RunAccuracy(context.Background(), benchOpts(400, "sha"))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -305,7 +306,10 @@ func benchStrategy(b *testing.B, s campaign.Strategy) {
 	a := strategyArtifacts(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := a.Runner.RunAllWith(s, a.Faults, &a.Golden.Result, campaign.DefaultCheckpoints)
+		res, err := a.Runner.RunAllWith(context.Background(), s, a.Faults, &a.Golden.Result, campaign.DefaultCheckpoints)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if res.Dist.Total() != len(a.Faults) {
 			b.Fatal("missing outcomes")
 		}
@@ -331,9 +335,9 @@ func BenchmarkStrategy_Speedup(b *testing.B) {
 	a := strategyArtifacts(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		replay := a.Runner.RunAllWith(campaign.Replay, a.Faults, &a.Golden.Result, 0)
-		ckpt := a.Runner.RunAllWith(campaign.Checkpointed, a.Faults, &a.Golden.Result, campaign.DefaultCheckpoints)
-		forked := a.Runner.RunAllWith(campaign.Forked, a.Faults, &a.Golden.Result, 0)
+		replay, _ := a.Runner.RunAllWith(context.Background(), campaign.Replay, a.Faults, &a.Golden.Result, 0)
+		ckpt, _ := a.Runner.RunAllWith(context.Background(), campaign.Checkpointed, a.Faults, &a.Golden.Result, campaign.DefaultCheckpoints)
+		forked, _ := a.Runner.RunAllWith(context.Background(), campaign.Forked, a.Faults, &a.Golden.Result, 0)
 		for j := range replay.Outcomes {
 			if replay.Outcomes[j] != forked.Outcomes[j] || replay.Outcomes[j] != ckpt.Outcomes[j] {
 				b.Fatalf("fault %d: outcomes diverge across strategies", j)
@@ -393,7 +397,7 @@ func BenchmarkGrouping_Reduce(b *testing.B) {
 // grouping, representatives per group) against ground truth.
 func BenchmarkAblation_GroupingChoices(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Ablation(benchOpts(800, "qsort"))
+		r, err := experiments.Ablation(context.Background(), benchOpts(800, "qsort"))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -4,19 +4,27 @@
 //	experiments -experiment all
 //	experiments -experiment fig8 -faults 5000
 //	experiments -experiment accuracy -workloads sha,qsort -faults 2000
+//	experiments -experiment fig13 -structures RF,SQ
 //
 // Experiments: table1 table3 table4 fig6..fig17 accuracy speedups theory
 // ablation all.
 // "accuracy" runs the shared heavy pass behind figs 6/7/14/15/16/17+theory;
 // "speedups" covers figs 8/9/10/12/13.
+//
+// Every experiment runs under a signal-aware context: Ctrl-C cancels the
+// in-flight campaign between injections instead of killing the process
+// mid-simulation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"merlin"
 
@@ -46,6 +54,7 @@ func main() {
 		faults     = flag.Int("faults", 2000, "initial fault list per campaign (paper: 60000)")
 		scale      = flag.Int("scale", 10, "fig13 list multiplier (paper: 10)")
 		workloads  = flag.String("workloads", "", "comma-separated workload subset (default: the suite's ten)")
+		structures = flag.String("structures", "", "comma-separated structure subset of RF,SQ,L1D (default: all three)")
 		seed       = flag.Int64("seed", 1, "fault sampling seed")
 		workers    = flag.Int("workers", 0, "injection parallelism (0 = all cores)")
 		strategy   = flag.String("strategy", "replay", "injection strategy for every campaign: replay, checkpointed, or forked")
@@ -72,20 +81,34 @@ func main() {
 	if *workloads != "" {
 		o.Workloads = strings.Split(*workloads, ",")
 	}
+	for _, name := range strings.Split(*structures, ",") {
+		if name == "" {
+			continue
+		}
+		s, err := merlin.ParseStructure(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		o.Structures = append(o.Structures, s)
+	}
 	if !*quiet {
 		o.Log = os.Stderr
 	}
 	csvOut = *csvDir
 
-	if err := run(*experiment, o); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *experiment, o); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, o experiments.Options) error {
-	speedupFig := func(f func(experiments.Options) (*experiments.SpeedupResult, error)) error {
-		r, err := f(o)
+func run(ctx context.Context, name string, o experiments.Options) error {
+	speedupFig := func(f func(context.Context, experiments.Options) (*experiments.SpeedupResult, error)) error {
+		r, err := f(ctx, o)
 		if err != nil {
 			return err
 		}
@@ -94,7 +117,7 @@ func run(name string, o experiments.Options) error {
 		return nil
 	}
 	accuracy := func(renders ...func(*experiments.AccuracyResult) string) error {
-		r, err := experiments.RunAccuracy(o)
+		r, err := experiments.RunAccuracy(ctx, o)
 		if err != nil {
 			return err
 		}
@@ -111,7 +134,7 @@ func run(name string, o experiments.Options) error {
 	case "table3":
 		fmt.Println(experiments.Table3())
 	case "table4":
-		r, err := experiments.Table4(o)
+		r, err := experiments.Table4(ctx, o)
 		if err != nil {
 			return err
 		}
@@ -127,7 +150,7 @@ func run(name string, o experiments.Options) error {
 	case "fig10":
 		return speedupFig(experiments.Fig10)
 	case "fig11":
-		r, err := experiments.Fig11(o)
+		r, err := experiments.Fig11(ctx, o)
 		if err != nil {
 			return err
 		}
@@ -135,7 +158,7 @@ func run(name string, o experiments.Options) error {
 	case "fig12":
 		return speedupFig(experiments.Fig12)
 	case "fig13":
-		r, err := experiments.Fig13(o)
+		r, err := experiments.Fig13(ctx, o)
 		if err != nil {
 			return err
 		}
@@ -152,20 +175,20 @@ func run(name string, o experiments.Options) error {
 	case "theory":
 		return accuracy((*experiments.AccuracyResult).RenderTheory)
 	case "ablation":
-		r, err := experiments.Ablation(o)
+		r, err := experiments.Ablation(ctx, o)
 		if err != nil {
 			return err
 		}
 		fmt.Println(r.Render())
 	case "speedups":
-		for _, f := range []func(experiments.Options) (*experiments.SpeedupResult, error){
+		for _, f := range []func(context.Context, experiments.Options) (*experiments.SpeedupResult, error){
 			experiments.Fig8, experiments.Fig9, experiments.Fig10, experiments.Fig12,
 		} {
 			if err := speedupFig(f); err != nil {
 				return err
 			}
 		}
-		r, err := experiments.Fig13(o)
+		r, err := experiments.Fig13(ctx, o)
 		if err != nil {
 			return err
 		}
@@ -184,20 +207,10 @@ func run(name string, o experiments.Options) error {
 	case "all":
 		fmt.Println(experiments.Table1())
 		fmt.Println(experiments.Table3())
-		if err := run("speedups", o); err != nil {
-			return err
-		}
-		if err := run("fig11", o); err != nil {
-			return err
-		}
-		if err := run("accuracy", o); err != nil {
-			return err
-		}
-		if err := run("table4", o); err != nil {
-			return err
-		}
-		if err := run("ablation", o); err != nil {
-			return err
+		for _, sub := range []string{"speedups", "fig11", "accuracy", "table4", "ablation"} {
+			if err := run(ctx, sub, o); err != nil {
+				return err
+			}
 		}
 		return nil
 	default:

@@ -15,17 +15,27 @@
 // prefix: replay (from reset), checkpointed (from k frozen snapshots), or
 // forked (fork-on-fault scheduling off a single golden sweep). Outcomes
 // are bit-identical across strategies; only wall-clock differs.
+// -checkpoints implies -strategy checkpointed; combining it with an
+// explicit different strategy is an error.
 //
 // -cache points at a golden-run artifact cache directory (shareable with a
 // running merlind): repeated one-shot invocations on the same workload and
 // core configuration skip the golden run and ACE-like analysis entirely.
+//
+// The campaign runs under a signal-aware context: Ctrl-C cancels it
+// between injections and prints the partial classification instead of
+// discarding the work.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"merlin"
 
@@ -47,8 +57,9 @@ func main() {
 		baseline  = flag.Bool("baseline", false, "also run the comprehensive baseline campaign for comparison")
 		workers   = flag.Int("workers", 0, "injection parallelism (0 = all cores)")
 		strategy  = flag.String("strategy", "replay", "injection strategy: replay, checkpointed, or forked (bit-identical outcomes, different wall-clock)")
-		ckpts     = flag.Int("checkpoints", 0, "snapshot count for -strategy checkpointed (>0 also implies that strategy)")
+		ckpts     = flag.Int("checkpoints", 0, "snapshot count (>0 implies -strategy checkpointed)")
 		cacheDir  = flag.String("cache", "", "golden-run artifact cache directory (empty disables; shareable with merlind)")
+		verbose   = flag.Bool("v", false, "print phase progress to stderr")
 		list      = flag.Bool("list", false, "list available workloads and exit")
 	)
 	flag.Parse()
@@ -59,37 +70,35 @@ func main() {
 		return
 	}
 
-	strat, err := merlin.ParseStrategy(*strategy)
+	target, err := merlin.ParseStructure(*structure)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	var target merlin.Structure
-	switch strings.ToUpper(*structure) {
-	case "RF":
-		target = merlin.RF
-	case "SQ":
-		target = merlin.SQ
-	case "L1D":
-		target = merlin.L1D
-	default:
-		fmt.Fprintf(os.Stderr, "unknown structure %q (want RF, SQ, or L1D)\n", *structure)
-		os.Exit(2)
+	opts := []merlin.Option{
+		merlin.WithStructure(target),
+		merlin.WithCPU(cpu.DefaultConfig().WithRF(*regs).WithSQ(*sq).WithL1D(*l1d)),
+		merlin.WithFaults(*faults),
+		merlin.WithSampling(*conf, *margin),
+		merlin.WithSeed(*seed),
+		merlin.WithRepsPerGroup(*reps),
+		merlin.WithWorkers(*workers),
 	}
-
-	cfg := merlin.Config{
-		Workload:     *workload,
-		CPU:          cpu.DefaultConfig().WithRF(*regs).WithSQ(*sq).WithL1D(*l1d),
-		Structure:    target,
-		Faults:       *faults,
-		Confidence:   *conf,
-		ErrorMargin:  *margin,
-		Seed:         *seed,
-		RepsPerGroup: *reps,
-		Workers:      *workers,
-		Strategy:     strat,
-		Checkpoints:  *ckpts,
+	// Only an explicitly spelled -strategy counts as explicit: the flag
+	// default must not turn -checkpoints into a conflict.
+	strategySet := false
+	flag.Visit(func(f *flag.Flag) { strategySet = strategySet || f.Name == "strategy" })
+	if strategySet {
+		strat, err := merlin.ParseStrategy(*strategy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts = append(opts, merlin.WithStrategy(strat))
+	}
+	if *ckpts > 0 {
+		opts = append(opts, merlin.WithCheckpoints(*ckpts))
 	}
 	if *cacheDir != "" {
 		cache, err := merlin.OpenCache(*cacheDir)
@@ -97,10 +106,32 @@ func main() {
 			fmt.Fprintln(os.Stderr, "merlin:", err)
 			os.Exit(1)
 		}
-		cfg.Cache = cache
+		opts = append(opts, merlin.WithCache(cache))
+	}
+	if *verbose {
+		opts = append(opts, merlin.WithProgress(func(p merlin.Progress) {
+			if p.Kind == merlin.ProgressPhaseDone {
+				fmt.Fprintf(os.Stderr, "merlin: %s: %s\n", p.Phase, p.Msg)
+			}
+		}))
 	}
 
-	rep, err := merlin.Run(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	s, err := merlin.Start(ctx, *workload, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "merlin:", err)
+		os.Exit(2)
+	}
+
+	rep, err := s.Run(ctx)
+	if errors.Is(err, context.Canceled) && rep != nil {
+		fmt.Fprintf(os.Stderr, "merlin: campaign cancelled with %d of %d representatives injected\n",
+			rep.Injected, rep.Injected+rep.Cancelled)
+		fmt.Printf("partial dist (%d classified): %v\n", rep.Dist.Total(), rep.Dist)
+		os.Exit(130)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "merlin:", err)
 		os.Exit(1)
@@ -114,7 +145,16 @@ func main() {
 		rep.GoldenCycles, goldenSrc, rep.Wall.Round(1000000), rep.Serial.Round(1000000))
 
 	if *baseline {
-		base, err := merlin.RunBaseline(cfg)
+		// The session reuses the golden run and fault list, so the
+		// baseline injects exactly the faults the reduced campaign was
+		// sampled from.
+		base, err := s.Baseline(ctx)
+		if errors.Is(err, context.Canceled) && base != nil {
+			fmt.Fprintf(os.Stderr, "merlin: baseline cancelled with %d of %d faults injected\n",
+				base.Dist.Total(), base.Faults)
+			fmt.Printf("partial baseline dist (%d classified): %v\n", base.Dist.Total(), base.Dist)
+			os.Exit(130)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "merlin baseline:", err)
 			os.Exit(1)

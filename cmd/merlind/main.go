@@ -10,13 +10,19 @@
 //	curl -s localhost:7411/healthz
 //	curl -s -X POST localhost:7411/campaigns \
 //	    -d '{"workload":"qsort","structure":"RF","faults":2000,"strategy":"forked"}'
-//	curl -s localhost:7411/campaigns/c000001          # status + report
-//	curl -sN localhost:7411/campaigns/c000001/events  # live NDJSON progress
-//	curl -s localhost:7411/statsz                     # queues + cache hits/misses
+//	curl -s localhost:7411/campaigns/c000001            # status + report
+//	curl -sN localhost:7411/campaigns/c000001/events    # live NDJSON progress
+//	curl -s -X DELETE localhost:7411/campaigns/c000001  # cancel queued or running
+//	curl -s localhost:7411/statsz                       # queues + cache hits/misses
 //
 // Campaigns that share (workload, core config, structure) reuse one golden
 // run: the first campaign pays for Preprocess, every later one — different
 // fault budget, seed, strategy, grouping ablation — skips it entirely.
+//
+// Campaigns are first-class, interruptible objects: DELETE cancels a
+// queued campaign instantly and stops a running one between injections
+// (terminal status "cancelled", worker shard freed), and a submission may
+// carry "deadline_ms" to bound its execution time.
 package main
 
 import (

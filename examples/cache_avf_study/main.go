@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	workloads := []string{"sha", "stringsearch", "djpeg", "fft", "caes"}
 
 	fmt.Println("L1D (32KB) per-workload fault-effect profile, MeRLiN-accelerated")
@@ -28,13 +30,16 @@ func main() {
 	}
 	var worst scored
 	for _, wl := range workloads {
-		rep, err := merlin.Run(merlin.Config{
-			Workload:  wl,
-			CPU:       cpu.DefaultConfig().WithL1D(32 << 10),
-			Structure: merlin.L1D,
-			Faults:    1500,
-			Seed:      11,
-		})
+		s, err := merlin.Start(ctx, wl,
+			merlin.WithCPU(cpu.DefaultConfig().WithL1D(32<<10)),
+			merlin.WithStructure(merlin.L1D),
+			merlin.WithFaults(1500),
+			merlin.WithSeed(11),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := s.Run(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,4 +1,4 @@
-// Quickstart: run one MeRLiN campaign end to end.
+// Quickstart: run one MeRLiN campaign end to end with the Session API.
 //
 // The pipeline is the paper's Fig 2: a single fault-free profiling run
 // records the vulnerable intervals of the physical register file, a
@@ -7,13 +7,16 @@
 //
 //	go run ./examples/quickstart
 //
-// For many campaigns, run the service instead: cmd/merlind keeps a
-// golden-run artifact cache so campaigns sharing a (workload, core
-// config) pair skip the profiling run entirely — or set Config.Cache
-// (see merlin.OpenCache) to get the same amortization here.
+// merlin.Start validates the campaign up front; Session.Run executes it
+// under a context, so long campaigns can be cancelled or deadlined. For
+// many campaigns, run the service instead: cmd/merlind keeps a golden-run
+// artifact cache so campaigns sharing a (workload, core config) pair skip
+// the profiling run entirely — or pass merlin.WithCache (see
+// merlin.OpenCache) to get the same amortization here.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,16 +24,21 @@ import (
 )
 
 func main() {
-	report, err := merlin.Run(merlin.Config{
-		Workload:  "qsort",   // MiBench-style quicksort kernel
-		Structure: merlin.RF, // inject the physical integer register file
-		Faults:    2000,      // initial statistical fault list (paper: 60000)
-		Seed:      42,
+	ctx := context.Background()
+	session, err := merlin.Start(ctx, "qsort", // MiBench-style quicksort kernel
+		merlin.WithStructure(merlin.RF), // inject the physical integer register file
+		merlin.WithFaults(2000),         // initial statistical fault list (paper: 60000)
+		merlin.WithSeed(42),
 		// Fork per-fault clones off a single golden sweep instead of
 		// replaying every injection from reset; replay, checkpointed and
 		// forked classify every fault identically.
-		Strategy: merlin.StrategyForked,
-	})
+		merlin.WithStrategy(merlin.StrategyForked),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report, err := session.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

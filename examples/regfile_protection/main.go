@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const fitBudget = 5.0 // max FIT the design allocates to the RF
 
 	fmt.Println("Physical register file soft-error study (workload mix: sha, qsort, fft)")
@@ -28,13 +30,16 @@ func main() {
 		var avf, fit, aceFit float64
 		injections := 0
 		for _, wl := range []string{"sha", "qsort", "fft"} {
-			rep, err := merlin.Run(merlin.Config{
-				Workload:  wl,
-				CPU:       cpu.DefaultConfig().WithRF(regs),
-				Structure: merlin.RF,
-				Faults:    2000,
-				Seed:      7,
-			})
+			s, err := merlin.Start(ctx, wl,
+				merlin.WithCPU(cpu.DefaultConfig().WithRF(regs)),
+				merlin.WithStructure(merlin.RF),
+				merlin.WithFaults(2000),
+				merlin.WithSeed(7),
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep, err := s.Run(ctx)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,24 +20,34 @@ import (
 )
 
 func main() {
-	cfg := merlin.Config{
-		Workload:  "stringsearch",
-		Structure: merlin.RF,
-		Faults:    4000,
-		Seed:      3,
-	}
-	a, err := merlin.Preprocess(cfg)
+	const seed = 3
+	ctx := context.Background()
+	s, err := merlin.Start(ctx, "stringsearch",
+		merlin.WithStructure(merlin.RF),
+		merlin.WithFaults(4000),
+		merlin.WithSeed(seed),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if err := s.Preprocess(ctx); err != nil {
+		log.Fatal(err)
+	}
+	red, err := s.Reduce()
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := s.Artifacts()
 
 	// Ground truth: inject every fault that survives ACE-like pruning.
-	red := a.Reduce()
 	full := make([]merlin.Fault, len(red.HitFaults))
 	for i, fi := range red.HitFaults {
 		full[i] = a.Faults[fi]
 	}
-	fullRes := a.Runner.RunAll(full, &a.Golden.Result)
+	fullRes, err := a.Runner.RunAll(ctx, full, &a.Golden.Result)
+	if err != nil {
+		log.Fatal(err)
+	}
 	outcomes := make([]merlin.Outcome, len(a.Faults))
 	for i, fi := range red.HitFaults {
 		outcomes[fi] = fullRes.Outcomes[i]
@@ -68,7 +79,7 @@ func main() {
 
 	fmt.Printf("ground truth (%d injections): %v\n\n", len(full), fullRes.Dist)
 	show("MeRLiN", red)
-	rel := relyzer.Reduce(a.Analysis, a.Faults, a.Golden.Tracer.Branches, relyzer.DefaultDepth, cfg.Seed)
+	rel := relyzer.Reduce(a.Analysis, a.Faults, a.Golden.Tracer.Branches, relyzer.DefaultDepth, seed)
 	show("Relyzer heuristic", rel)
 
 	large, single := relyzer.SinglePilotLargeGroups(rel, 20)

@@ -5,8 +5,10 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,22 +20,24 @@ import (
 )
 
 // Outcome is a fault-effect class (paper Table 2, plus Unknown for the
-// truncated-run classification of Table 4).
+// truncated-run classification of Table 4 and Cancelled for faults a
+// context-cancelled campaign never injected).
 type Outcome uint8
 
 // Fault-effect classes.
 const (
-	Masked  Outcome = iota // output and exceptions identical to golden
-	SDC                    // output corrupted, no abnormal behaviour
-	DUE                    // output intact but extra/missing exceptions
-	Timeout                // execution exceeded 3x the golden cycle count
-	Crash                  // simulated process or simulator died
-	Assert                 // simulator stopped on an internal assertion
-	Unknown                // truncated run: fault still live at the cut
+	Masked    Outcome = iota // output and exceptions identical to golden
+	SDC                      // output corrupted, no abnormal behaviour
+	DUE                      // output intact but extra/missing exceptions
+	Timeout                  // execution exceeded 3x the golden cycle count
+	Crash                    // simulated process or simulator died
+	Assert                   // simulator stopped on an internal assertion
+	Unknown                  // truncated run: fault still live at the cut
+	Cancelled                // campaign cancelled before this fault was injected
 	NumOutcomes
 )
 
-var outcomeNames = [NumOutcomes]string{"Masked", "SDC", "DUE", "Timeout", "Crash", "Assert", "Unknown"}
+var outcomeNames = [NumOutcomes]string{"Masked", "SDC", "DUE", "Timeout", "Crash", "Assert", "Unknown", "Cancelled"}
 
 // String returns the class name.
 func (o Outcome) String() string {
@@ -41,6 +45,37 @@ func (o Outcome) String() string {
 		return outcomeNames[o]
 	}
 	return "?"
+}
+
+// ParseOutcome maps a class name ("Masked", "SDC", ..., in any case) back
+// to its Outcome.
+func ParseOutcome(name string) (Outcome, error) {
+	for o, n := range outcomeNames {
+		if strings.EqualFold(name, n) {
+			return Outcome(o), nil
+		}
+	}
+	return Masked, fmt.Errorf("unknown fault-effect class %q", name)
+}
+
+// MarshalText renders the class name, so JSON carrying an Outcome reads
+// "SDC" instead of a bare int.
+func (o Outcome) MarshalText() ([]byte, error) {
+	if int(o) >= len(outcomeNames) {
+		return nil, fmt.Errorf("cannot marshal unknown outcome %d", uint8(o))
+	}
+	return []byte(outcomeNames[o]), nil
+}
+
+// UnmarshalText parses a class name case-insensitively, round-tripping
+// MarshalText.
+func (o *Outcome) UnmarshalText(text []byte) error {
+	v, err := ParseOutcome(string(text))
+	if err != nil {
+		return err
+	}
+	*o = v
+	return nil
 }
 
 // Dist is a distribution of outcomes.
@@ -95,8 +130,8 @@ func (d Dist) String() string {
 	}
 	s := ""
 	for o := Outcome(0); o < NumOutcomes; o++ {
-		if d[o] == 0 && o == Unknown {
-			continue
+		if d[o] == 0 && o >= Unknown {
+			continue // Unknown/Cancelled only render when present
 		}
 		if s != "" {
 			s += " "
@@ -277,16 +312,59 @@ type Result struct {
 	Dist     Dist
 	Wall     time.Duration // parallel wall-clock of the whole campaign
 	Serial   time.Duration // summed per-injection run time (single-machine equivalent)
+	// Injected counts the faults actually injected and classified; Dist
+	// aggregates exactly those.
 	Injected int
+	// Cancelled counts faults the campaign never injected because its
+	// context was cancelled first. Their Outcomes entries carry the
+	// Cancelled sentinel and they are excluded from Dist, so
+	// Dist.Total() + Cancelled == len(Outcomes) always holds.
+	Cancelled int
+}
+
+// newResult sizes a Result for n faults with every outcome pre-marked
+// Cancelled: a scheduler only overwrites the entries it classifies, so a
+// cancelled campaign's skipped faults are identifiable without extra
+// bookkeeping.
+func newResult(n int) *Result {
+	res := &Result{Outcomes: make([]Outcome, n)}
+	for i := range res.Outcomes {
+		res.Outcomes[i] = Cancelled
+	}
+	return res
+}
+
+// finalize aggregates the classified outcomes into Dist, counts the
+// cancelled remainder, and propagates ctx.Err() when the campaign was cut
+// short (a fully classified campaign returns nil even if ctx was cancelled
+// just after the last fault).
+func (res *Result) finalize(ctx context.Context) error {
+	res.Dist = Dist{}
+	res.Injected, res.Cancelled = 0, 0
+	for _, o := range res.Outcomes {
+		if o == Cancelled {
+			res.Cancelled++
+			continue
+		}
+		res.Dist.Add(o)
+		res.Injected++
+	}
+	if res.Cancelled > 0 {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // RunAll injects every fault in faults (in parallel) and aggregates the
-// classification. The outcome order matches the fault order.
-func (r *Runner) RunAll(faults []fault.Fault, golden *cpu.RunResult) *Result {
-	res := &Result{Outcomes: make([]Outcome, len(faults)), Injected: len(faults)}
+// classification. The outcome order matches the fault order. Workers
+// observe ctx between injections: on cancellation the partial Result is
+// returned together with ctx.Err(), in-flight faults finish classification
+// and the rest are marked Cancelled.
+func (r *Runner) RunAll(ctx context.Context, faults []fault.Fault, golden *cpu.RunResult) (*Result, error) {
+	res := newResult(len(faults))
 	var serialNS atomic.Int64
 	start := time.Now()
-	parallelFor(r.Workers, len(faults), func(i int) {
+	parallelFor(ctx, r.Workers, len(faults), func(i int) {
 		t0 := time.Now()
 		res.Outcomes[i] = r.RunFault(faults[i], golden)
 		serialNS.Add(int64(time.Since(t0)))
@@ -294,14 +372,13 @@ func (r *Runner) RunAll(faults []fault.Fault, golden *cpu.RunResult) *Result {
 	})
 	res.Wall = time.Since(start)
 	res.Serial = time.Duration(serialNS.Load())
-	for _, o := range res.Outcomes {
-		res.Dist.Add(o)
-	}
-	return res
+	return res, res.finalize(ctx)
 }
 
-// parallelFor runs fn(0..n-1) across a worker pool.
-func parallelFor(workers, n int, fn func(i int)) {
+// parallelFor runs fn(0..n-1) across a worker pool. Cancellation is
+// observed between iterations: once ctx is done no new index is dispatched,
+// so at most one in-flight fn per worker completes afterwards.
+func parallelFor(ctx context.Context, workers, n int, fn func(i int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -310,6 +387,9 @@ func parallelFor(workers, n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -325,8 +405,22 @@ func parallelFor(workers, n int, fn func(i int)) {
 			}
 		}()
 	}
+	done := ctx.Done()
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		// Non-blocking cancellation check first: when a worker is ready
+		// to receive AND ctx is done, a bare two-case select would pick
+		// at random and could keep dispatching past cancellation.
+		select {
+		case <-done:
+			break feed
+		default:
+		}
+		select {
+		case next <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()

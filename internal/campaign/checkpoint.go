@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -105,14 +106,22 @@ func (r *Runner) RunFaultFrom(set *CheckpointSet, f fault.Fault, golden *cpu.Run
 // RunAllCheckpointed is RunAll accelerated by k checkpoints. Outcomes are
 // identical to RunAll's; only wall-clock differs. The snapshot build (one
 // golden-run replay) is part of the campaign and counted in both Wall and
-// Serial, so timings compare fairly across strategies.
-func (r *Runner) RunAllCheckpointed(faults []fault.Fault, golden *cpu.RunResult, k int) *Result {
-	res := &Result{Outcomes: make([]Outcome, len(faults)), Injected: len(faults)}
+// Serial, so timings compare fairly across strategies. Workers observe ctx
+// between injections; on cancellation the partial Result is returned
+// together with ctx.Err().
+func (r *Runner) RunAllCheckpointed(ctx context.Context, faults []fault.Fault, golden *cpu.RunResult, k int) (*Result, error) {
+	res := newResult(len(faults))
+	// The snapshot build replays a whole golden run and, like the golden
+	// run itself, is not interruptible — skip it entirely when the
+	// campaign is already dead on arrival.
+	if ctx.Err() != nil {
+		return res, res.finalize(ctx)
+	}
 	var serialNS atomic.Int64
 	start := time.Now()
 	set := r.BuildCheckpoints(k, golden.Cycles)
 	serialNS.Add(int64(time.Since(start)))
-	parallelFor(r.Workers, len(faults), func(i int) {
+	parallelFor(ctx, r.Workers, len(faults), func(i int) {
 		t0 := time.Now()
 		res.Outcomes[i] = r.RunFaultFrom(set, faults[i], golden)
 		serialNS.Add(int64(time.Since(t0)))
@@ -120,8 +129,5 @@ func (r *Runner) RunAllCheckpointed(faults []fault.Fault, golden *cpu.RunResult,
 	})
 	res.Wall = time.Since(start)
 	res.Serial = time.Duration(serialNS.Load())
-	for _, o := range res.Outcomes {
-		res.Dist.Add(o)
-	}
-	return res
+	return res, res.finalize(ctx)
 }

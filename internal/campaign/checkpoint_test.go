@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -74,8 +75,8 @@ func TestCheckpointedCampaignIdentical(t *testing.T) {
 		for _, s := range []lifetime.StructureID{lifetime.StructRF, lifetime.StructSQ, lifetime.StructL1D} {
 			faults := sampling.Generate(s, c.StructureEntries(s), c.StructureEntryBits(s),
 				g.Result.Cycles, 60, 21)
-			plain := r.RunAll(faults, &g.Result)
-			fast := r.RunAllCheckpointed(faults, &g.Result, 6)
+			plain := mustRun(t)(r.RunAll(context.Background(), faults, &g.Result))
+			fast := mustRun(t)(r.RunAllCheckpointed(context.Background(), faults, &g.Result, 6))
 			for i := range faults {
 				if plain.Outcomes[i] != fast.Outcomes[i] {
 					t.Errorf("%s/%v fault %v: replay %v vs checkpointed %v",

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -67,7 +68,7 @@ func TestOnOutcomeHook(t *testing.T) {
 			seen[idx] = o
 			hookFaults = append(hookFaults, f)
 		}
-		res := r.RunAllWith(strat, faults, &golden.Result, 4)
+		res := mustRun(t)(r.RunAllWith(context.Background(), strat, faults, &golden.Result, 4))
 		r.OnOutcome = nil
 
 		if len(seen) != len(faults) {

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -43,7 +44,7 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("strategy(%d)", uint8(s))
 }
 
-// ParseStrategy maps a flag value to a Strategy.
+// ParseStrategy maps a flag value to a Strategy, case-insensitively.
 func ParseStrategy(name string) (Strategy, error) {
 	for s, n := range strategyNames {
 		if strings.EqualFold(name, n) {
@@ -53,23 +54,45 @@ func ParseStrategy(name string) (Strategy, error) {
 	return Replay, fmt.Errorf("unknown injection strategy %q (want replay, checkpointed, or forked)", name)
 }
 
+// MarshalText renders the flag-style name, so JSON carrying a Strategy
+// reads "forked" instead of a bare int.
+func (s Strategy) MarshalText() ([]byte, error) {
+	if int(s) >= len(strategyNames) {
+		return nil, fmt.Errorf("cannot marshal unknown strategy %d", uint8(s))
+	}
+	return []byte(strategyNames[s]), nil
+}
+
+// UnmarshalText parses a strategy name case-insensitively, round-tripping
+// MarshalText.
+func (s *Strategy) UnmarshalText(text []byte) error {
+	v, err := ParseStrategy(string(text))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
 // DefaultCheckpoints is the snapshot count RunAllWith uses when the
 // Checkpointed strategy is selected without an explicit k.
 const DefaultCheckpoints = 8
 
 // RunAllWith dispatches a campaign to the selected strategy. checkpoints
-// is only consulted by Checkpointed (<=0 means DefaultCheckpoints).
-func (r *Runner) RunAllWith(s Strategy, faults []fault.Fault, golden *cpu.RunResult, checkpoints int) *Result {
+// is only consulted by Checkpointed (<=0 means DefaultCheckpoints). Like
+// the strategies themselves, it observes ctx between injections and
+// returns the partial Result together with ctx.Err() on cancellation.
+func (r *Runner) RunAllWith(ctx context.Context, s Strategy, faults []fault.Fault, golden *cpu.RunResult, checkpoints int) (*Result, error) {
 	switch s {
 	case Checkpointed:
 		if checkpoints <= 0 {
 			checkpoints = DefaultCheckpoints
 		}
-		return r.RunAllCheckpointed(faults, golden, checkpoints)
+		return r.RunAllCheckpointed(ctx, faults, golden, checkpoints)
 	case Forked:
-		return r.RunAllForked(faults, golden)
+		return r.RunAllForked(ctx, faults, golden)
 	default:
-		return r.RunAll(faults, golden)
+		return r.RunAll(ctx, faults, golden)
 	}
 }
 
@@ -108,12 +131,18 @@ type forkJob struct {
 // campaigns whose faults cluster late in the run cannot hold thousands of
 // machine snapshots in memory: the sweep blocks until a worker retires a
 // clone.
-func (r *Runner) RunAllForked(faults []fault.Fault, golden *cpu.RunResult) *Result {
-	res := &Result{Outcomes: make([]Outcome, len(faults)), Injected: len(faults)}
+//
+// The sweep observes ctx between faults: on cancellation it stops forking,
+// in-flight clones finish classification, the remaining faults are marked
+// Cancelled, and the partial Result is returned together with ctx.Err().
+func (r *Runner) RunAllForked(ctx context.Context, faults []fault.Fault, golden *cpu.RunResult) (*Result, error) {
+	res := newResult(len(faults))
 	start := time.Now()
-	if len(faults) == 0 {
+	// The sync ladder build replays a whole golden run and is not
+	// interruptible; skip it when the campaign is already dead on arrival.
+	if len(faults) == 0 || ctx.Err() != nil {
 		res.Wall = time.Since(start)
-		return res
+		return res, res.finalize(ctx)
 	}
 
 	workers := r.Workers
@@ -160,7 +189,14 @@ func (r *Runner) RunAllForked(faults []fault.Fault, golden *cpu.RunResult) *Resu
 	sweep := ladder.cores[0].Clone()
 	next := 1
 	t0 := time.Now()
+	done := ctx.Done()
+sweep:
 	for _, idx := range fault.SortedIndices(faults) {
+		select {
+		case <-done:
+			break sweep
+		default:
+		}
 		fc := faults[idx].Cycle
 		root := -1
 		for next < len(ladder.cycles) && ladder.cycles[next] < fc {
@@ -173,8 +209,21 @@ func (r *Runner) RunAllForked(faults []fault.Fault, golden *cpu.RunResult) *Resu
 		for sweep.Cycle()+1 < fc && sweep.Halted() == cpu.Running {
 			sweep.Step()
 		}
-		live <- struct{}{}
-		jobs <- forkJob{idx: idx, core: sweep.Clone()}
+		// Acquiring a clone slot and handing the job off can both block
+		// on busy workers; observe cancellation in each so a cancelled
+		// sweep never waits for a whole classification to retire first.
+		// (Breaking with the live token held is harmless: the sweep ends
+		// and the channel is garbage once the workers drain.)
+		select {
+		case live <- struct{}{}:
+		case <-done:
+			break sweep
+		}
+		select {
+		case jobs <- forkJob{idx: idx, core: sweep.Clone()}:
+		case <-done:
+			break sweep
+		}
 	}
 	close(jobs)
 	// The sweep is shared pre-fault work; count it once in the
@@ -184,10 +233,7 @@ func (r *Runner) RunAllForked(faults []fault.Fault, golden *cpu.RunResult) *Resu
 
 	res.Wall = time.Since(start)
 	res.Serial = time.Duration(serialNS.Load())
-	for _, o := range res.Outcomes {
-		res.Dist.Add(o)
-	}
-	return res
+	return res, res.finalize(ctx)
 }
 
 // runForkedClone finishes one faulty continuation: the clone already sits

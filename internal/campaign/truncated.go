@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 
 	"merlin/internal/cpu"
@@ -85,14 +86,12 @@ func (r *Runner) RunFaultTruncated(f fault.Fault, tg *TruncatedGolden) (out Outc
 	return Unknown
 }
 
-// RunAllTruncated is the truncated-run analogue of RunAll.
-func (r *Runner) RunAllTruncated(faults []fault.Fault, tg *TruncatedGolden) *Result {
-	res := &Result{Outcomes: make([]Outcome, len(faults)), Injected: len(faults)}
-	parallelFor(r.Workers, len(faults), func(i int) {
+// RunAllTruncated is the truncated-run analogue of RunAll, with the same
+// cancellation contract.
+func (r *Runner) RunAllTruncated(ctx context.Context, faults []fault.Fault, tg *TruncatedGolden) (*Result, error) {
+	res := newResult(len(faults))
+	parallelFor(ctx, r.Workers, len(faults), func(i int) {
 		res.Outcomes[i] = r.RunFaultTruncated(faults[i], tg)
 	})
-	for _, o := range res.Outcomes {
-		res.Dist.Add(o)
-	}
-	return res
+	return res, res.finalize(ctx)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"merlin"
@@ -42,7 +43,7 @@ func (r *AblationResult) Render() string {
 // Ablation evaluates grouping variants on the register file: step 1 only
 // (no byte sub-grouping), the paper's configuration, and 2/4
 // representatives per group.
-func Ablation(o Options) (*AblationResult, error) {
+func Ablation(ctx context.Context, o Options) (*AblationResult, error) {
 	o = o.withDefaults()
 	variants := []struct {
 		name string
@@ -61,25 +62,23 @@ func Ablation(o Options) (*AblationResult, error) {
 	var totalInitial int
 
 	for _, wl := range res.Workloads {
-		cfg := merlin.Config{
-			Workload:  wl,
-			CPU:       defaultCPU().WithRF(128),
-			Structure: merlin.RF,
-			Faults:    o.Faults,
-			Seed:      o.Seed,
-			Workers:   o.Workers,
-			Strategy:  o.Strategy,
-		}
-		a, err := merlin.Preprocess(cfg)
+		s, err := merlin.Start(ctx, wl, o.sessionOptions(defaultCPU().WithRF(128), merlin.RF, o.Faults)...)
 		if err != nil {
 			return nil, err
 		}
+		if err := s.Preprocess(ctx); err != nil {
+			return nil, err
+		}
+		a := s.Artifacts()
 		base := reduction.Prune(a.Analysis, a.Faults)
 		full := make([]merlin.Fault, len(base.HitFaults))
 		for i, fi := range base.HitFaults {
 			full[i] = a.Faults[fi]
 		}
-		fullRes := a.Runner.RunAllWith(o.Strategy, full, &a.Golden.Result, 0)
+		fullRes, err := a.Runner.RunAllWith(ctx, o.Strategy, full, &a.Golden.Result, 0)
+		if err != nil {
+			return nil, err
+		}
 		outcomes := make([]campaign.Outcome, len(a.Faults))
 		for i, fi := range base.HitFaults {
 			outcomes[fi] = fullRes.Outcomes[i]

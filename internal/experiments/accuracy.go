@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"merlin"
@@ -59,28 +60,29 @@ type AccuracyCampaign struct {
 
 // runAccuracy executes one campaign: golden+trace, reduce, inject the whole
 // post-ACE list once, and evaluate every method against it.
-func runAccuracy(o Options, wl string, z StructSize) (*AccuracyCampaign, error) {
-	cfg := merlin.Config{
-		Workload:  wl,
-		CPU:       z.Configure(defaultCPU()),
-		Structure: z.Structure,
-		Faults:    o.Faults,
-		Seed:      o.Seed,
-		Workers:   o.Workers,
-		Strategy:  o.Strategy,
-	}
-	a, err := merlin.Preprocess(cfg)
+func runAccuracy(ctx context.Context, o Options, wl string, z StructSize) (*AccuracyCampaign, error) {
+	s, err := merlin.Start(ctx, wl, o.sessionOptions(z.Configure(defaultCPU()), z.Structure, o.Faults)...)
 	if err != nil {
 		return nil, err
 	}
-	red := a.Reduce()
+	if err := s.Preprocess(ctx); err != nil {
+		return nil, err
+	}
+	red, err := s.Reduce()
+	if err != nil {
+		return nil, err
+	}
+	a := s.Artifacts()
 
 	// Ground truth: inject every fault that hit a vulnerable interval.
 	full := make([]merlin.Fault, len(red.HitFaults))
 	for i, fi := range red.HitFaults {
 		full[i] = a.Faults[fi]
 	}
-	fullRes := a.Runner.RunAllWith(o.Strategy, full, &a.Golden.Result, 0)
+	fullRes, err := a.Runner.RunAllWith(ctx, o.Strategy, full, &a.Golden.Result, 0)
+	if err != nil {
+		return nil, err
+	}
 
 	// Outcomes indexed by the initial fault list.
 	outcomes := make([]campaign.Outcome, len(a.Faults))
@@ -117,7 +119,10 @@ func runAccuracy(o Options, wl string, z StructSize) (*AccuracyCampaign, error) 
 				pruned = append(pruned, a.Faults[i])
 			}
 		}
-		prunedRes := a.Runner.RunAllWith(o.Strategy, pruned, &a.Golden.Result, 0)
+		prunedRes, err := a.Runner.RunAllWith(ctx, o.Strategy, pruned, &a.Golden.Result, 0)
+		if err != nil {
+			return nil, err
+		}
 		ac.BaselineFull = fullRes.Dist
 		for _, oc := range prunedRes.Outcomes {
 			ac.BaselineFull.Add(oc)
@@ -171,12 +176,12 @@ type AccuracyResult struct {
 // every structure size, each with a full post-ACE injection. This is the
 // heavyweight experiment; Figs 6, 7, 14, 15, 16, 17 and the §4.4.5 report
 // all render from its result.
-func RunAccuracy(o Options) (*AccuracyResult, error) {
+func RunAccuracy(ctx context.Context, o Options) (*AccuracyResult, error) {
 	o = o.withDefaults()
 	res := &AccuracyResult{Faults: o.Faults}
-	for _, z := range allSizes() {
+	for _, z := range o.filterSizes(allSizes()) {
 		for _, wl := range o.workloadSet("mibench") {
-			ac, err := runAccuracy(o, wl, z)
+			ac, err := runAccuracy(ctx, o, wl, z)
 			if err != nil {
 				return nil, fmt.Errorf("accuracy %s/%s: %w", wl, z.Label, err)
 			}

@@ -15,6 +15,8 @@ import (
 	"io"
 	"strings"
 
+	"merlin"
+
 	"merlin/internal/campaign"
 	"merlin/internal/cpu"
 	"merlin/internal/lifetime"
@@ -31,6 +33,9 @@ type Options struct {
 	ScaleFactor int
 	// Workloads restricts the benchmark set (nil = the suite's ten).
 	Workloads []string
+	// Structures restricts the structure sweep (nil = RF, SQ and L1D):
+	// figures iterating structure sizes only evaluate the listed targets.
+	Structures []lifetime.StructureID
 	// Workers bounds injection parallelism (0 = GOMAXPROCS).
 	Workers int
 	// Strategy selects the injection scheduler every campaign of every
@@ -62,6 +67,46 @@ func (o Options) logf(format string, args ...any) {
 	if o.Log != nil {
 		fmt.Fprintf(o.Log, format+"\n", args...)
 	}
+}
+
+// sessionOptions maps experiment Options onto the v2 functional options
+// for one (core config, structure, fault budget) campaign.
+func (o Options) sessionOptions(cpuCfg cpu.Config, s lifetime.StructureID, faults int) []merlin.Option {
+	return []merlin.Option{
+		merlin.WithCPU(cpuCfg),
+		merlin.WithStructure(s),
+		merlin.WithFaults(faults),
+		merlin.WithSeed(o.Seed),
+		merlin.WithWorkers(o.Workers),
+		merlin.WithStrategy(o.Strategy),
+	}
+}
+
+// wantStructure applies the Structures filter (nil = everything).
+func (o Options) wantStructure(s lifetime.StructureID) bool {
+	if len(o.Structures) == 0 {
+		return true
+	}
+	for _, want := range o.Structures {
+		if want == s {
+			return true
+		}
+	}
+	return false
+}
+
+// filterSizes drops the structure sizes excluded by Options.Structures.
+func (o Options) filterSizes(sizes []StructSize) []StructSize {
+	if len(o.Structures) == 0 {
+		return sizes
+	}
+	var out []StructSize
+	for _, z := range sizes {
+		if o.wantStructure(z.Structure) {
+			out = append(out, z)
+		}
+	}
+	return out
 }
 
 // StructSize is one (structure, size) configuration of Table 1.

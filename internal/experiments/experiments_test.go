@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ func quick() Options {
 }
 
 func TestFig8Speedups(t *testing.T) {
-	r, err := Fig8(quick())
+	r, err := Fig8(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestFig8Speedups(t *testing.T) {
 func TestRFSpeedupGrowsWithRegisters(t *testing.T) {
 	// More physical registers -> lower AVF -> stronger ACE pruning
 	// (paper Fig 8: 93x for 256 regs vs 44x for 64).
-	r, err := Fig8(Options{Faults: 1500, Workloads: []string{"qsort"}, Seed: 1})
+	r, err := Fig8(context.Background(), Options{Faults: 1500, Workloads: []string{"qsort"}, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestRFSpeedupGrowsWithRegisters(t *testing.T) {
 }
 
 func TestFig12SPEC(t *testing.T) {
-	r, err := Fig12(Options{Faults: 300, Workloads: []string{"mcf", "astar"}, Seed: 2})
+	r, err := Fig12(context.Background(), Options{Faults: 300, Workloads: []string{"mcf", "astar"}, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestFig13Scaling(t *testing.T) {
 	// saturating the (RIP, uPC, byte) groups: a 4x larger list should
 	// then grow the injected set sub-linearly and the speedup
 	// super-linearly.
-	r, err := Fig13(Options{Faults: 2000, ScaleFactor: 4, Workloads: []string{"qsort"}, Seed: 3})
+	r, err := Fig13(context.Background(), Options{Faults: 2000, ScaleFactor: 4, Workloads: []string{"qsort"}, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestFig13Scaling(t *testing.T) {
 
 func TestAccuracySmall(t *testing.T) {
 	o := Options{Faults: 250, Workloads: []string{"sha"}, Seed: 4}
-	r, err := RunAccuracy(o)
+	r, err := RunAccuracy(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,11 +126,11 @@ func TestFullBaselineAgreesWithAssumedACE(t *testing.T) {
 	fullOpt.FullBaseline = true
 
 	z := allSizes()[1] // RF 128
-	a, err := runAccuracy(base, "fft", z)
+	a, err := runAccuracy(context.Background(), base, "fft", z)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := runAccuracy(fullOpt, "fft", z)
+	b, err := runAccuracy(context.Background(), fullOpt, "fft", z)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestTable3(t *testing.T) {
 }
 
 func TestTable4Small(t *testing.T) {
-	r, err := Table4(Options{Faults: 120, Seed: 7})
+	r, err := Table4(context.Background(), Options{Faults: 120, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestFig11Timing(t *testing.T) {
-	r, err := Fig11(Options{Faults: 150, Workloads: []string{"sha"}, Seed: 8})
+	r, err := Fig11(context.Background(), Options{Faults: 150, Workloads: []string{"sha"}, Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestFig11Timing(t *testing.T) {
 }
 
 func TestAblation(t *testing.T) {
-	r, err := Ablation(Options{Faults: 600, Workloads: []string{"sha"}, Seed: 10})
+	r, err := Ablation(context.Background(), Options{Faults: 600, Workloads: []string{"sha"}, Seed: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

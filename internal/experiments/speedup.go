@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -55,26 +56,24 @@ func (r *SpeedupResult) Render() string {
 	return fmt.Sprintf("%s: %s\n%s", r.Figure, r.Title, t)
 }
 
-// reduceOnly runs phases 1-2 for one campaign (speedups need no injection).
-func reduceOnly(o Options, wl string, z StructSize, faults int) (SpeedupCell, error) {
-	cfg := merlin.Config{
-		Workload:  wl,
-		CPU:       z.Configure(defaultCPU()),
-		Structure: z.Structure,
-		Faults:    faults,
-		Seed:      o.Seed,
-		Workers:   o.Workers,
-		Strategy:  o.Strategy,
-	}
-	a, err := merlin.Preprocess(cfg)
+// reduceOnly runs phases 1-2 for one campaign (speedups need no
+// injection), via a Session so the sweep is cancellable between phases.
+func reduceOnly(ctx context.Context, o Options, wl string, z StructSize, faults int) (SpeedupCell, error) {
+	s, err := merlin.Start(ctx, wl, o.sessionOptions(z.Configure(defaultCPU()), z.Structure, faults)...)
 	if err != nil {
 		return SpeedupCell{}, err
 	}
-	red := a.Reduce()
+	if err := s.Preprocess(ctx); err != nil {
+		return SpeedupCell{}, err
+	}
+	red, err := s.Reduce()
+	if err != nil {
+		return SpeedupCell{}, err
+	}
 	return SpeedupCell{
 		Workload: wl,
 		Size:     z.Label,
-		Initial:  len(a.Faults),
+		Initial:  len(s.Artifacts().Faults),
 		PostACE:  len(red.HitFaults),
 		Injected: red.ReducedCount(),
 		ACE:      red.ACESpeedup(),
@@ -99,12 +98,12 @@ func (o Options) workloadSet(suite string) []string {
 	return names
 }
 
-func (o Options) speedupFigure(fig, title string, sizes []StructSize, suite string) (*SpeedupResult, error) {
+func (o Options) speedupFigure(ctx context.Context, fig, title string, sizes []StructSize, suite string) (*SpeedupResult, error) {
 	o = o.withDefaults()
 	res := &SpeedupResult{Figure: fig, Title: title}
-	for _, z := range sizes {
+	for _, z := range o.filterSizes(sizes) {
 		for _, wl := range o.workloadSet(suite) {
-			cell, err := reduceOnly(o, wl, z, o.Faults)
+			cell, err := reduceOnly(ctx, o, wl, z, o.Faults)
 			if err != nil {
 				return nil, fmt.Errorf("%s %s/%s: %w", fig, wl, z.Label, err)
 			}
@@ -116,53 +115,50 @@ func (o Options) speedupFigure(fig, title string, sizes []StructSize, suite stri
 }
 
 // Fig8 reproduces the register-file speedups (256/128/64 regs, MiBench).
-func Fig8(o Options) (*SpeedupResult, error) {
-	return o.speedupFigure("Fig 8", "MeRLiN speedup, physical register file, 10 MiBench",
+func Fig8(ctx context.Context, o Options) (*SpeedupResult, error) {
+	return o.speedupFigure(ctx, "Fig 8", "MeRLiN speedup, physical register file, 10 MiBench",
 		sizesFor(lifetime.StructRF), "mibench")
 }
 
 // Fig9 reproduces the store-queue speedups (64/32/16 entries, MiBench).
-func Fig9(o Options) (*SpeedupResult, error) {
-	return o.speedupFigure("Fig 9", "MeRLiN speedup, store queue, 10 MiBench",
+func Fig9(ctx context.Context, o Options) (*SpeedupResult, error) {
+	return o.speedupFigure(ctx, "Fig 9", "MeRLiN speedup, store queue, 10 MiBench",
 		sizesFor(lifetime.StructSQ), "mibench")
 }
 
 // Fig10 reproduces the L1 data cache speedups (64/32/16KB, MiBench).
-func Fig10(o Options) (*SpeedupResult, error) {
-	return o.speedupFigure("Fig 10", "MeRLiN speedup, L1 data cache, 10 MiBench",
+func Fig10(ctx context.Context, o Options) (*SpeedupResult, error) {
+	return o.speedupFigure(ctx, "Fig 10", "MeRLiN speedup, L1 data cache, 10 MiBench",
 		sizesFor(lifetime.StructL1D), "mibench")
 }
 
 // Fig12 reproduces the SPEC speedups on the 128-reg / 16-entry / 32KB
 // configuration, for all three structures.
-func Fig12(o Options) (*SpeedupResult, error) {
+func Fig12(ctx context.Context, o Options) (*SpeedupResult, error) {
 	o = o.withDefaults()
 	res := &SpeedupResult{Figure: "Fig 12", Title: "MeRLiN speedup, RF/SQ/L1D, 10 SPEC (128regs/16entries/32KB)"}
-	targets := []StructSize{
+	targets := o.filterSizes([]StructSize{
 		{lifetime.StructRF, "RF", nil},
 		{lifetime.StructSQ, "SQ", nil},
 		{lifetime.StructL1D, "L1D", nil},
-	}
+	})
 	for _, wl := range o.workloadSet("spec") {
 		for _, z := range targets {
-			cfg := merlin.Config{
-				Workload:  wl,
-				CPU:       specConfig(),
-				Structure: z.Structure,
-				Faults:    o.Faults,
-				Seed:      o.Seed,
-				Workers:   o.Workers,
-				Strategy:  o.Strategy,
+			s, err := merlin.Start(ctx, wl, o.sessionOptions(specConfig(), z.Structure, o.Faults)...)
+			if err == nil {
+				err = s.Preprocess(ctx)
 			}
-			a, err := merlin.Preprocess(cfg)
 			if err != nil {
 				return nil, fmt.Errorf("Fig 12 %s/%s: %w", wl, z.Label, err)
 			}
-			red := a.Reduce()
+			red, err := s.Reduce()
+			if err != nil {
+				return nil, fmt.Errorf("Fig 12 %s/%s: %w", wl, z.Label, err)
+			}
 			o.logf("Fig 12 %-12s %-4s ACE %6.1fx final %7.1fx", wl, z.Label, red.ACESpeedup(), red.FinalSpeedup())
 			res.Cells = append(res.Cells, SpeedupCell{
 				Workload: wl, Size: z.Label,
-				Initial: len(a.Faults), PostACE: len(red.HitFaults),
+				Initial: len(s.Artifacts().Faults), PostACE: len(red.HitFaults),
 				Injected: red.ReducedCount(),
 				ACE:      red.ACESpeedup(), Final: red.FinalSpeedup(),
 			})
@@ -202,19 +198,19 @@ func (r *ScalingResult) Render() string {
 
 // Fig13 reproduces the scaling study: the same campaigns with a
 // ScaleFactor-times larger initial fault list.
-func Fig13(o Options) (*ScalingResult, error) {
+func Fig13(ctx context.Context, o Options) (*ScalingResult, error) {
 	o = o.withDefaults()
 	res := &ScalingResult{}
 	var scales, injects []float64
-	for _, z := range allSizes() {
+	for _, z := range o.filterSizes(allSizes()) {
 		var baseACE, baseFin, bigACE, bigFin []float64
 		var baseInj, bigInj int
 		for _, wl := range o.workloadSet("mibench") {
-			base, err := reduceOnly(o, wl, z, o.Faults)
+			base, err := reduceOnly(ctx, o, wl, z, o.Faults)
 			if err != nil {
 				return nil, err
 			}
-			big, err := reduceOnly(o, wl, z, o.Faults*o.ScaleFactor)
+			big, err := reduceOnly(ctx, o, wl, z, o.Faults*o.ScaleFactor)
 			if err != nil {
 				return nil, err
 			}
@@ -296,15 +292,18 @@ func fmtDur(sec float64) string {
 // Fig11 measures per-injection cost on a sample and extrapolates the
 // serial wall-clock of baseline vs MeRLiN campaigns over all MiBench
 // workloads and sizes of each structure.
-func Fig11(o Options) (*Fig11Result, error) {
+func Fig11(ctx context.Context, o Options) (*Fig11Result, error) {
 	o = o.withDefaults()
 	res := &Fig11Result{}
 	for _, s := range []lifetime.StructureID{lifetime.StructRF, lifetime.StructSQ, lifetime.StructL1D} {
+		if !o.wantStructure(s) {
+			continue
+		}
 		row := Fig11Row{Structure: s.String()}
 		var secSamples []float64
 		for _, z := range sizesFor(s) {
 			for _, wl := range o.workloadSet("mibench") {
-				cell, err := reduceOnly(o, wl, z, o.Faults)
+				cell, err := reduceOnly(ctx, o, wl, z, o.Faults)
 				if err != nil {
 					return nil, err
 				}
@@ -313,16 +312,12 @@ func Fig11(o Options) (*Fig11Result, error) {
 			}
 		}
 		// Measure injection cost on one representative campaign.
-		cfg := merlin.Config{
-			Workload:  o.workloadSet("mibench")[0],
-			CPU:       sizesFor(s)[1].Configure(defaultCPU()),
-			Structure: s,
-			Faults:    60,
-			Seed:      o.Seed,
-			Workers:   o.Workers,
-			Strategy:  o.Strategy,
+		sess, err := merlin.Start(ctx, o.workloadSet("mibench")[0],
+			o.sessionOptions(sizesFor(s)[1].Configure(defaultCPU()), s, 60)...)
+		if err != nil {
+			return nil, err
 		}
-		br, err := merlin.RunBaseline(cfg)
+		br, err := sess.Baseline(ctx)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"merlin/internal/campaign"
@@ -50,7 +51,7 @@ func (r *Table4Result) Render() string {
 // (standing in for the Simpoint interval end), register-file faults,
 // comparing the comprehensive truncated baseline against MeRLiN with the
 // truncated classification {Masked, DUE, Crash, Assert, Unknown}.
-func Table4(o Options) (*Table4Result, error) {
+func Table4(ctx context.Context, o Options) (*Table4Result, error) {
 	o = o.withDefaults()
 	res := &Table4Result{Cut: map[string]uint64{}}
 	for _, wl := range []string{"gcc", "bzip2"} {
@@ -77,13 +78,19 @@ func Table4(o Options) (*Table4Result, error) {
 			lifetime.StructRF, entries, 8, cut)
 		faults := sampling.Generate(lifetime.StructRF, entries, 64, cut, o.Faults, o.Seed)
 
-		baseRes := runner.RunAllTruncated(faults, tg)
+		baseRes, err := runner.RunAllTruncated(ctx, faults, tg)
+		if err != nil {
+			return nil, err
+		}
 		res.Rows = append(res.Rows, Table4Row{
 			Workload: wl, Method: "baseline", Injected: len(faults), Dist: baseRes.Dist,
 		})
 
 		red := reduction.Reduce(analysis, faults, reduction.DefaultOptions())
-		repRes := runner.RunAllTruncated(red.Reduced(), tg)
+		repRes, err := runner.RunAllTruncated(ctx, red.Reduced(), tg)
+		if err != nil {
+			return nil, err
+		}
 		merDist := red.Extrapolate(repRes.Outcomes)
 		res.Rows = append(res.Rows, Table4Row{
 			Workload: wl, Method: "MeRLiN", Injected: red.ReducedCount(), Dist: merDist,

@@ -5,6 +5,11 @@
 // instruction (RIP) and micro-op (uPC) whose committed read ends it.
 package lifetime
 
+import (
+	"fmt"
+	"strings"
+)
+
 // StructureID names a fault-injection / lifetime-tracking target.
 type StructureID uint8
 
@@ -24,6 +29,38 @@ func (s StructureID) String() string {
 		return structNames[s]
 	}
 	return "?"
+}
+
+// ParseStructure maps a structure name ("RF", "SQ", "L1D", in any case) to
+// its StructureID. It is the single parser behind every user-facing
+// structure knob: CLI flags, daemon requests, and experiment filters.
+func ParseStructure(name string) (StructureID, error) {
+	for s, n := range structNames {
+		if strings.EqualFold(name, n) {
+			return StructureID(s), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown structure %q (want RF, SQ, or L1D)", name)
+}
+
+// MarshalText renders the structure as its short name, so JSON carrying a
+// StructureID reads "RF"/"SQ"/"L1D" instead of a bare int.
+func (s StructureID) MarshalText() ([]byte, error) {
+	if int(s) >= len(structNames) {
+		return nil, fmt.Errorf("cannot marshal unknown structure %d", uint8(s))
+	}
+	return []byte(structNames[s]), nil
+}
+
+// UnmarshalText parses a structure name case-insensitively, round-tripping
+// MarshalText.
+func (s *StructureID) UnmarshalText(text []byte) error {
+	v, err := ParseStructure(string(text))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
 }
 
 // EventKind classifies a lifetime event.

@@ -12,15 +12,23 @@
 //
 // Endpoints:
 //
-//	POST /campaigns             submit a campaign: 202 + {"id": ...}, or
-//	                            429 when the target shard's queue is full
-//	GET  /campaigns             list campaigns, most recent first
-//	GET  /campaigns/{id}        status, plus the report once finished
-//	GET  /campaigns/{id}/events the campaign's event log as NDJSON,
-//	                            following live progress until the campaign
-//	                            finishes (?from=N resumes after event N-1)
-//	GET  /healthz               liveness + campaign counts
-//	GET  /statsz                queue depths, campaign counts, cache stats
+//	POST   /campaigns             submit a campaign: 202 + {"id": ...}, or
+//	                              429 when the target shard's queue is full
+//	GET    /campaigns             list campaigns, most recent first
+//	GET    /campaigns/{id}        status, plus the report once finished
+//	DELETE /campaigns/{id}        cancel a queued or running campaign
+//	                              (200; 409 once it already finished): a
+//	                              queued campaign turns "cancelled"
+//	                              immediately, a running one has its
+//	                              context cancelled and turns "cancelled"
+//	                              when its worker observes it, freeing the
+//	                              shard for the next queued campaign
+//	GET    /campaigns/{id}/events the campaign's event log as NDJSON,
+//	                              following live progress until the
+//	                              campaign finishes (?from=N resumes after
+//	                              event N-1)
+//	GET    /healthz               liveness + campaign counts
+//	GET    /statsz                queue depths, campaign counts, cache stats
 package server
 
 import (
@@ -70,6 +78,12 @@ type Request struct {
 	PhysRegs  int `json:"phys_regs,omitempty"`
 	SQEntries int `json:"sq_entries,omitempty"`
 	L1DBytes  int `json:"l1d_bytes,omitempty"`
+
+	// DeadlineMS, when > 0, bounds the campaign's execution time: its
+	// context is cancelled DeadlineMS milliseconds after it starts
+	// running (queue wait does not count), and the campaign fails with a
+	// deadline-exceeded error. 0 means no deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // Event is one entry of a campaign's progress log. Seq is dense and
@@ -78,7 +92,7 @@ type Event struct {
 	Seq  int       `json:"seq"`
 	Time time.Time `json:"time"`
 	// Type is "queued", "started", "preprocess", "reduce", "fault",
-	// "done" or "failed".
+	// "inject", "done", "failed" or "cancelled".
 	Type string `json:"type"`
 	// Msg is a human-readable summary (phase events).
 	Msg string `json:"msg,omitempty"`
@@ -97,9 +111,12 @@ type Event struct {
 
 // RunFunc executes one campaign: it returns the JSON-marshalable report,
 // emitting progress events along the way. emit is safe for concurrent use
-// and may be called from any goroutine until RunFunc returns. ctx is
-// cancelled when the server shuts down; a RunFunc should not start new
-// phases after that.
+// and may be called from any goroutine until RunFunc returns. ctx is the
+// campaign's own context: it is cancelled when the server shuts down,
+// when the campaign is cancelled via DELETE, or when its per-request
+// deadline expires — a RunFunc should observe it and return ctx.Err()
+// promptly (cancelled campaigns whose RunFunc returns a context error are
+// recorded with the "cancelled" terminal status).
 type RunFunc func(ctx context.Context, req Request, emit func(Event)) (any, error)
 
 // Config configures a Server. Run is required; everything else defaults.
@@ -149,11 +166,18 @@ const (
 
 // status values of a campaign.
 const (
-	StatusQueued  = "queued"
-	StatusRunning = "running"
-	StatusDone    = "done"
-	StatusFailed  = "failed"
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
 )
+
+// terminal reports whether a status is final (no worker will touch the
+// campaign again and its event log is complete).
+func terminalStatus(status string) bool {
+	return status == StatusDone || status == StatusFailed || status == StatusCancelled
+}
 
 // campaign is the server-side record of one submission.
 type campaign struct {
@@ -170,6 +194,12 @@ type campaign struct {
 	report   any
 	errMsg   string
 	notify   chan struct{} // closed and replaced on every event append
+	// cancel aborts the running campaign's context; set by the worker
+	// while the campaign runs. cancelRequested records that a DELETE
+	// asked for cancellation, distinguishing a user-cancelled campaign
+	// from one interrupted by server shutdown.
+	cancel          context.CancelFunc
+	cancelRequested bool
 }
 
 // append stamps and stores one event and wakes all streamers.
@@ -185,12 +215,10 @@ func (c *campaign) append(ev Event) {
 	c.notify = make(chan struct{})
 }
 
-// finish atomically records the campaign's terminal state and its final
-// event: streamers that observe a terminal status are guaranteed the
-// event log is already complete.
-func (c *campaign) finish(status string, report any, errMsg string, ev Event) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// finishLocked records the campaign's terminal state and its final event
+// as one transition: streamers that observe a terminal status are
+// guaranteed the event log is already complete. The caller holds c.mu.
+func (c *campaign) finishLocked(status string, report any, errMsg string, ev Event) {
 	c.finished = time.Now()
 	c.status = status
 	c.report = report
@@ -200,6 +228,13 @@ func (c *campaign) finish(status string, report any, errMsg string, ev Event) {
 	c.events = append(c.events, ev)
 	close(c.notify)
 	c.notify = make(chan struct{})
+}
+
+// finish is finishLocked behind the campaign's own lock.
+func (c *campaign) finish(status string, report any, errMsg string, ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.finishLocked(status, report, errMsg, ev)
 }
 
 // snapshot returns the events from seq on, the current status, and a
@@ -299,11 +334,25 @@ func (s *Server) worker(queue <-chan *campaign) {
 }
 
 // run executes one campaign, converting RunFunc panics into failures so a
-// pipeline bug cannot take down the whole service.
+// pipeline bug cannot take down the whole service. Each campaign gets its
+// own context derived from the server's: DELETE cancels it, and a
+// per-request deadline bounds it from the moment execution starts.
 func (s *Server) run(c *campaign) {
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+	if ms := c.req.DeadlineMS; ms > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		defer cancel()
+	}
+
 	c.mu.Lock()
+	if c.status != StatusQueued { // cancelled while queued
+		c.mu.Unlock()
+		return
+	}
 	c.status = StatusRunning
 	c.started = time.Now()
+	c.cancel = cancel
 	c.mu.Unlock()
 	c.append(Event{Type: "started", Msg: fmt.Sprintf("campaign %s running on shard %d", c.id, c.shard)})
 
@@ -313,13 +362,30 @@ func (s *Server) run(c *campaign) {
 				err = fmt.Errorf("campaign panicked: %v", p)
 			}
 		}()
-		return s.cfg.Run(s.ctx, c.req, c.append)
+		return s.cfg.Run(ctx, c.req, c.append)
 	}()
 
-	if err != nil {
-		c.finish(StatusFailed, nil, err.Error(), Event{Type: "failed", Msg: err.Error()})
-	} else {
+	c.mu.Lock()
+	cancelled := c.cancelRequested
+	c.cancel = nil
+	c.mu.Unlock()
+
+	ctxErr := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	switch {
+	case err == nil:
+		// A cancel that raced with completion loses: the report exists.
 		c.finish(StatusDone, report, "", Event{Type: "done"})
+	case cancelled && ctxErr:
+		// Only a genuine context error counts as the requested
+		// cancellation; a pipeline failure that raced with the DELETE
+		// must still surface as "failed" below.
+		c.finish(StatusCancelled, nil, err.Error(),
+			Event{Type: "cancelled", Msg: "campaign cancelled: " + err.Error()})
+	case !cancelled && errors.Is(err, context.DeadlineExceeded) && c.req.DeadlineMS > 0:
+		msg := fmt.Sprintf("deadline of %dms exceeded", c.req.DeadlineMS)
+		c.finish(StatusFailed, nil, msg, Event{Type: "failed", Msg: msg})
+	default:
+		c.finish(StatusFailed, nil, err.Error(), Event{Type: "failed", Msg: err.Error()})
 	}
 }
 
@@ -333,6 +399,9 @@ func (s *Server) shardOf(id string) int {
 // Submit enqueues a campaign and returns its id. It fails fast with
 // ErrQueueFull when the target shard's queue is at capacity.
 func (s *Server) Submit(req Request) (string, error) {
+	if req.DeadlineMS < 0 {
+		return "", &badRequestError{fmt.Errorf("deadline_ms is %d; want >= 0 (0 = no deadline)", req.DeadlineMS)}
+	}
 	if s.cfg.Validate != nil {
 		if err := s.cfg.Validate(req); err != nil {
 			return "", &badRequestError{err}
@@ -387,7 +456,7 @@ func (s *Server) evictFinishedLocked() {
 	terminal := func(c *campaign) bool {
 		c.mu.Lock()
 		defer c.mu.Unlock()
-		return c.status == StatusDone || c.status == StatusFailed
+		return terminalStatus(c.status)
 	}
 	finished := 0
 	for _, c := range s.campaigns {
@@ -472,6 +541,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /campaigns", s.handleList)
 	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancel)
 	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
 	return mux
 }
@@ -572,6 +642,66 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, c.statusJSON(true))
 }
 
+// ErrFinished is returned by Cancel (and served as 409) when the campaign
+// already reached a terminal state.
+var ErrFinished = fmt.Errorf("server: campaign already finished")
+
+// ErrUnknownCampaign is returned by Cancel (and served as 404) for ids
+// the server does not know.
+var ErrUnknownCampaign = fmt.Errorf("server: unknown campaign")
+
+// Cancel cancels a campaign. A queued campaign becomes "cancelled"
+// immediately (its worker will skip it); a running campaign has its
+// context cancelled and reaches "cancelled" once its RunFunc observes the
+// cancellation and returns, freeing the worker shard. Cancelling an
+// already-finished campaign returns ErrFinished.
+func (s *Server) Cancel(id string) (status string, err error) {
+	c, ok := s.get(id)
+	if !ok {
+		return "", ErrUnknownCampaign
+	}
+	c.mu.Lock()
+	switch {
+	case terminalStatus(c.status):
+		c.mu.Unlock()
+		return "", ErrFinished
+	case c.status == StatusQueued:
+		// Terminal immediately: the worker checks the status on dequeue
+		// and skips cancelled campaigns, so no run will start.
+		c.cancelRequested = true
+		c.finishLocked(StatusCancelled, nil, "cancelled while queued",
+			Event{Type: "cancelled", Msg: "campaign cancelled before start"})
+		c.mu.Unlock()
+		return StatusCancelled, nil
+	default: // running
+		c.cancelRequested = true
+		if c.cancel != nil {
+			c.cancel()
+		}
+		c.mu.Unlock()
+		return "cancelling", nil
+	}
+}
+
+// handleCancel serves DELETE /campaigns/{id}: 200 with the resulting
+// status for queued ("cancelled") and running ("cancelling", terminal
+// "cancelled" follows once the worker unwinds) campaigns, 409 for
+// finished ones, 404 for unknown ids.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	status, err := s.Cancel(id)
+	switch err {
+	case nil:
+		writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": status})
+	case ErrUnknownCampaign:
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown campaign"})
+	case ErrFinished:
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+	}
+}
+
 // handleEvents streams a campaign's event log as NDJSON: everything
 // already recorded, then live events as they happen, closing once the
 // campaign reaches a terminal state (or the client goes away).
@@ -610,7 +740,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		// finish() records the terminal status and the final event
 		// atomically, so a drained log plus terminal status means the
 		// stream is complete.
-		if status == StatusDone || status == StatusFailed {
+		if terminalStatus(status) {
 			return
 		}
 		select {

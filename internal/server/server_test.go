@@ -91,12 +91,15 @@ func getStatus(t *testing.T, base, id string) statusJSON {
 	return st
 }
 
+// waitDone polls until the campaign reaches any terminal status and
+// returns it — callers assert which terminal state they expected, and an
+// unexpected "cancelled" surfaces immediately instead of timing out.
 func waitDone(t *testing.T, base, id string) statusJSON {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
 		st := getStatus(t, base, id)
-		if st.Status == StatusDone || st.Status == StatusFailed {
+		if terminalStatus(st.Status) {
 			return st
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -490,5 +493,137 @@ func TestConfigValidation(t *testing.T) {
 		if _, err := New(cfg); err == nil {
 			t.Errorf("%s: New accepted invalid config", name)
 		}
+	}
+}
+
+// waitStatus polls until the campaign reaches want.
+func waitStatus(t *testing.T, base, id, want string) statusJSON {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, base, id)
+		if st.Status == want {
+			return st
+		}
+		if terminalStatus(st.Status) && st.Status != want {
+			t.Fatalf("campaign %s reached terminal %q, want %q (err %q)", id, st.Status, want, st.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s never reached %q", id, want)
+	return statusJSON{}
+}
+
+func del(t *testing.T, base, id string) (int, map[string]string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, base+"/campaigns/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := map[string]string{}
+	json.NewDecoder(resp.Body).Decode(&body)
+	return resp.StatusCode, body
+}
+
+// TestCancelQueuedRunningAndFinished is the DELETE differential: a queued
+// campaign cancels instantly (200), a running one is cancelled through
+// its context (200) and frees the worker shard for the next queued
+// campaign, and a finished one refuses with 409. Attached streamers
+// receive the terminal "cancelled" NDJSON event in every cancelled case.
+func TestCancelQueuedRunningAndFinished(t *testing.T) {
+	gate := make(chan struct{})
+	p := &fakePipeline{gate: map[string]chan struct{}{"slow": gate}}
+	_, hs := newTestServer(t, Config{Run: p.run, Shards: 1, WorkersPerShard: 1})
+
+	running := submit(t, hs.URL, Request{Workload: "slow", Structure: "RF", Faults: 100})
+	waitRunning(t, hs.URL, running)
+	queued := submit(t, hs.URL, Request{Workload: "slow", Structure: "RF", Faults: 100})
+
+	// Attach streamers before cancelling so the terminal event is pushed
+	// to live clients.
+	streams := make(chan []Event, 2)
+	for _, id := range []string{running, queued} {
+		go func(id string) { streams <- streamEvents(t, hs.URL, id) }(id)
+	}
+	time.Sleep(10 * time.Millisecond) // let the streamers attach
+
+	// Queued: terminal immediately.
+	if code, body := del(t, hs.URL, queued); code != http.StatusOK || body["status"] != StatusCancelled {
+		t.Fatalf("DELETE queued: %d %v, want 200 cancelled", code, body)
+	}
+	if st := getStatus(t, hs.URL, queued); st.Status != StatusCancelled {
+		t.Fatalf("queued campaign status = %q after DELETE", st.Status)
+	}
+
+	// Running: 200, then terminal once the worker observes the context.
+	if code, body := del(t, hs.URL, running); code != http.StatusOK || body["status"] != "cancelling" {
+		t.Fatalf("DELETE running: %d %v, want 200 cancelling", code, body)
+	}
+	waitStatus(t, hs.URL, running, StatusCancelled)
+
+	// Both streams terminate with the cancelled event.
+	for i := 0; i < 2; i++ {
+		evs := <-streams
+		if len(evs) == 0 || evs[len(evs)-1].Type != "cancelled" {
+			t.Fatalf("stream ended without terminal cancelled event: %+v", evs)
+		}
+	}
+
+	// The shard is free again: a fresh campaign runs to completion.
+	free := submit(t, hs.URL, Request{Workload: "ok", Structure: "RF", Faults: 1})
+	if st := waitDone(t, hs.URL, free); st.Status != StatusDone {
+		t.Fatalf("post-cancel campaign: %q (worker shard not freed?)", st.Status)
+	}
+
+	// Finished: 409, status untouched.
+	if code, _ := del(t, hs.URL, free); code != http.StatusConflict {
+		t.Fatalf("DELETE finished: %d, want 409", code)
+	}
+	if st := getStatus(t, hs.URL, free); st.Status != StatusDone {
+		t.Fatalf("finished campaign status mutated by DELETE: %q", st.Status)
+	}
+	// Already-cancelled: also 409 (terminal), and unknown ids 404.
+	if code, _ := del(t, hs.URL, queued); code != http.StatusConflict {
+		t.Fatalf("DELETE cancelled: want 409")
+	}
+	if code, _ := del(t, hs.URL, "nope"); code != http.StatusNotFound {
+		t.Fatalf("DELETE unknown: want 404")
+	}
+}
+
+// TestDeadlineMS: a per-request deadline bounds a stuck campaign, failing
+// it with a deadline error while the shard moves on; negative deadlines
+// are rejected at submission.
+func TestDeadlineMS(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	p := &fakePipeline{gate: map[string]chan struct{}{"slow": gate}}
+	_, hs := newTestServer(t, Config{Run: p.run, Shards: 1, WorkersPerShard: 1})
+
+	id := submit(t, hs.URL, Request{Workload: "slow", Structure: "RF", Faults: 100, DeadlineMS: 30})
+	st := waitDone(t, hs.URL, id)
+	if st.Status != StatusFailed || !strings.Contains(st.Error, "deadline") {
+		t.Fatalf("deadlined campaign: status %q err %q, want failed with deadline message", st.Status, st.Error)
+	}
+
+	// The shard survived the deadline.
+	ok := submit(t, hs.URL, Request{Workload: "ok", Structure: "RF", Faults: 1})
+	if st := waitDone(t, hs.URL, ok); st.Status != StatusDone {
+		t.Fatalf("post-deadline campaign: %q", st.Status)
+	}
+
+	body, _ := json.Marshal(Request{Workload: "ok", Structure: "RF", DeadlineMS: -1})
+	resp, err := http.Post(hs.URL+"/campaigns", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative deadline: status %d, want 400", resp.StatusCode)
 	}
 }

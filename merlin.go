@@ -10,13 +10,21 @@
 // interval pruning followed by (RIP, uPC, byte) fault grouping, so that
 // only a handful of representatives per group are injected.
 //
-// The three phases of the paper's Fig 2 map to Preprocess (golden run +
-// ACE-like analysis + initial fault list), Artifacts.Reduce (two-step
-// grouping) and Artifacts.Inject (representative injection + extrapolated
-// classification). Run chains all three.
+// The three phases of the paper's Fig 2 map to Session.Preprocess (golden
+// run + ACE-like analysis + initial fault list), Session.Reduce (two-step
+// grouping) and Session.Inject (representative injection + extrapolated
+// classification). Session.Run chains all three.
+//
+// The primary API is the Session: merlin.Start(ctx, workload, opts...)
+// validates a campaign built from functional options and returns a
+// Session whose phase methods are context-aware and report typed Progress
+// events. The flat Config struct and the package-level Run, RunBaseline
+// and Preprocess entry points are the deprecated v1 surface, kept as thin
+// wrappers over the same pipeline.
 package merlin
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -67,19 +75,30 @@ const (
 	StrategyForked = campaign.Forked
 )
 
-// ParseStrategy maps a flag value ("replay", "checkpointed", "forked") to
-// a Strategy.
+// ParseStrategy maps a flag value ("replay", "checkpointed", "forked",
+// case-insensitively) to a Strategy.
 func ParseStrategy(name string) (Strategy, error) { return campaign.ParseStrategy(name) }
 
-// Fault-effect classes (paper Table 2, plus Unknown for truncated runs).
+// ParseStructure maps a structure name ("RF", "SQ", "L1D",
+// case-insensitively) to a Structure. It is the single parser behind the
+// CLI flags, daemon requests and experiment filters.
+func ParseStructure(name string) (Structure, error) { return lifetime.ParseStructure(name) }
+
+// ParseOutcome maps a fault-effect class name ("Masked", "SDC", ...,
+// case-insensitively) to an Outcome.
+func ParseOutcome(name string) (Outcome, error) { return campaign.ParseOutcome(name) }
+
+// Fault-effect classes (paper Table 2, plus Unknown for truncated runs
+// and Cancelled for faults a cancelled campaign never injected).
 const (
-	Masked  = campaign.Masked
-	SDC     = campaign.SDC
-	DUE     = campaign.DUE
-	Timeout = campaign.Timeout
-	Crash   = campaign.Crash
-	Assert  = campaign.Assert
-	Unknown = campaign.Unknown
+	Masked    = campaign.Masked
+	SDC       = campaign.SDC
+	DUE       = campaign.DUE
+	Timeout   = campaign.Timeout
+	Crash     = campaign.Crash
+	Assert    = campaign.Assert
+	Unknown   = campaign.Unknown
+	Cancelled = campaign.Cancelled
 )
 
 // RawFITPerBit is the raw failure rate the paper assumes (§4.4.3.3).
@@ -102,6 +121,12 @@ type CacheStats = store.Stats
 func OpenCache(dir string) (*Cache, error) { return store.Open(dir) }
 
 // Config describes one MeRLiN campaign.
+//
+// Deprecated: Config is the v1 knob-struct surface. New code should build
+// a Session with Start and functional options (WithStructure, WithFaults,
+// WithStrategy, ...), which validate at Start time and support
+// cancellation and progress streaming. Config remains fully functional
+// for the deprecated Run/RunBaseline/Preprocess wrappers.
 type Config struct {
 	// Workload names a registered benchmark (see Workloads).
 	Workload string
@@ -150,7 +175,11 @@ type Config struct {
 	Cache *Cache
 }
 
-func (c Config) withDefaults() Config {
+// fillDefaults replaces zero knobs with their documented defaults. It is
+// shared by the v1 and v2 paths and deliberately does NOT touch the
+// strategy: under the Session API the checkpoints/strategy implication is
+// resolved explicitly by Start.
+func (c Config) fillDefaults() Config {
 	if c.CPU.PhysRegs == 0 {
 		c.CPU = cpu.DefaultConfig()
 	}
@@ -163,10 +192,19 @@ func (c Config) withDefaults() Config {
 	if c.RepsPerGroup == 0 {
 		c.RepsPerGroup = 1
 	}
+	return c
+}
+
+// withDefaults is the v1 defaulting rule: fillDefaults plus the historic
+// behaviour of Checkpoints > 0 silently selecting the checkpointed
+// strategy when Strategy was left at the default. The legacy wrappers
+// keep it so existing Config callers see unchanged semantics; Start does
+// not use it.
+func (c Config) withDefaults() Config {
 	if c.Strategy == StrategyReplay && c.Checkpoints > 0 {
 		c.Strategy = StrategyCheckpointed
 	}
-	return c
+	return c.fillDefaults()
 }
 
 // validate rejects knob values the pipeline would otherwise silently
@@ -339,25 +377,37 @@ func (a *Artifacts) Reduce() *reduction.Reduction {
 	return a.Red
 }
 
-// Inject runs phase 3: the representatives of the reduced fault list are
-// injected and their outcomes extrapolated over the full initial list.
-func (a *Artifacts) Inject() *Report {
+// inject is the context-aware core of phase 3, shared by Session.Inject
+// and the deprecated Artifacts.Inject. onOutcome, when non-nil, is
+// installed as the scheduler's per-fault hook for the duration of the
+// call. On cancellation the partial *Report (raw representative Dist, no
+// extrapolation, Cancelled count set) is returned together with
+// ctx.Err().
+func (a *Artifacts) inject(ctx context.Context, onOutcome func(int, fault.Fault, campaign.Outcome)) (*Report, error) {
 	if a.Red == nil {
 		a.Reduce()
 	}
+	if onOutcome != nil {
+		a.Runner.OnOutcome = onOutcome
+		defer func() { a.Runner.OnOutcome = nil }()
+	}
 	reduced := a.Red.Reduced()
-	res := a.Runner.RunAllWith(a.Config.Strategy, reduced, &a.Golden.Result, a.Config.Checkpoints)
-	dist := a.Red.Extrapolate(res.Outcomes)
+	res, err := a.Runner.RunAllWith(ctx, a.Config.Strategy, reduced, &a.Golden.Result, a.Config.Checkpoints)
 	core := a.Runner.NewCore()
 	bits := core.StructureEntries(a.Config.Structure) * core.StructureEntryBits(a.Config.Structure)
-	return &Report{
+	dist := res.Dist
+	if err == nil {
+		dist = a.Red.Extrapolate(res.Outcomes)
+	}
+	rep := &Report{
 		Workload:      a.Config.Workload,
 		Structure:     a.Config.Structure,
 		GoldenCycles:  a.Golden.Result.Cycles,
 		InitialFaults: len(a.Faults),
 		ACEMasked:     a.Red.ACEMasked,
 		PostACE:       len(a.Red.HitFaults),
-		Injected:      a.Red.ReducedCount(),
+		Injected:      res.Injected,
+		Cancelled:     res.Cancelled,
 		StepOneGroups: a.Red.StepOneGroups,
 		FinalGroups:   len(a.Red.Groups),
 		ACESpeedup:    a.Red.ACESpeedup(),
@@ -372,33 +422,26 @@ func (a *Artifacts) Inject() *Report {
 		Serial:        res.Serial,
 		CacheHit:      a.CacheHit,
 	}
+	return rep, err
 }
 
-// Run executes the full MeRLiN pipeline for one campaign.
-func Run(cfg Config) (*Report, error) {
-	a, err := Preprocess(cfg)
-	if err != nil {
-		return nil, err
+// baseline is the context-aware core of the comprehensive campaign,
+// shared by Session.Baseline and the deprecated RunBaseline; it has
+// inject's cancellation contract.
+func (a *Artifacts) baseline(ctx context.Context, onOutcome func(int, fault.Fault, campaign.Outcome)) (*BaselineReport, error) {
+	if onOutcome != nil {
+		a.Runner.OnOutcome = onOutcome
+		defer func() { a.Runner.OnOutcome = nil }()
 	}
-	a.Reduce()
-	return a.Inject(), nil
-}
-
-// RunBaseline injects the entire initial fault list (the comprehensive
-// campaign MeRLiN is compared against) and reports its distribution.
-func RunBaseline(cfg Config) (*BaselineReport, error) {
-	a, err := Preprocess(cfg)
-	if err != nil {
-		return nil, err
-	}
-	res := a.Runner.RunAllWith(a.Config.Strategy, a.Faults, &a.Golden.Result, a.Config.Checkpoints)
+	res, err := a.Runner.RunAllWith(ctx, a.Config.Strategy, a.Faults, &a.Golden.Result, a.Config.Checkpoints)
 	core := a.Runner.NewCore()
-	bits := core.StructureEntries(cfg.Structure) * core.StructureEntryBits(cfg.Structure)
-	return &BaselineReport{
+	bits := core.StructureEntries(a.Config.Structure) * core.StructureEntryBits(a.Config.Structure)
+	rep := &BaselineReport{
 		Workload:     a.Config.Workload,
 		Structure:    a.Config.Structure,
 		GoldenCycles: a.Golden.Result.Cycles,
 		Faults:       len(a.Faults),
+		Cancelled:    res.Cancelled,
 		Outcomes:     res.Outcomes,
 		Dist:         res.Dist,
 		AVF:          res.Dist.AVF(),
@@ -406,7 +449,46 @@ func RunBaseline(cfg Config) (*BaselineReport, error) {
 		Wall:         res.Wall,
 		Serial:       res.Serial,
 		Artifacts:    a,
-	}, nil
+	}
+	return rep, err
+}
+
+// Inject runs phase 3: the representatives of the reduced fault list are
+// injected and their outcomes extrapolated over the full initial list.
+//
+// Deprecated: use Session.Inject, which is cancellable and streams
+// per-fault progress. Inject runs under context.Background().
+func (a *Artifacts) Inject() *Report {
+	rep, _ := a.inject(context.Background(), nil)
+	return rep
+}
+
+// Run executes the full MeRLiN pipeline for one campaign.
+//
+// Deprecated: use Start and Session.Run, which validate options at Start
+// time, are cancellable, and stream typed progress. Run delegates to the
+// same pipeline and produces bit-identical reports.
+func Run(cfg Config) (*Report, error) {
+	a, err := Preprocess(cfg)
+	if err != nil {
+		return nil, err
+	}
+	a.Reduce()
+	rep, _ := a.inject(context.Background(), nil)
+	return rep, nil
+}
+
+// RunBaseline injects the entire initial fault list (the comprehensive
+// campaign MeRLiN is compared against) and reports its distribution.
+//
+// Deprecated: use Session.Baseline, which additionally reuses the
+// session's preprocessing products instead of repeating the golden run.
+func RunBaseline(cfg Config) (*BaselineReport, error) {
+	a, err := Preprocess(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return a.baseline(context.Background(), nil)
 }
 
 // Report is the outcome of one MeRLiN campaign.
@@ -425,6 +507,12 @@ type Report struct {
 	PostACE int
 	// Injected counts the group representatives actually injected.
 	Injected int
+	// Cancelled counts representatives a cancelled campaign never
+	// injected (0 for campaigns that ran to completion). When non-zero,
+	// Dist is the raw distribution of the classified representatives —
+	// not an extrapolation — and the corresponding RepOutcomes entries
+	// carry the Cancelled sentinel.
+	Cancelled int
 	// StepOneGroups and FinalGroups count groups after (RIP, uPC)
 	// grouping and after byte sub-grouping respectively.
 	StepOneGroups int
@@ -473,6 +561,10 @@ type BaselineReport struct {
 	GoldenCycles uint64
 	// Faults is the number of injections (the whole initial list).
 	Faults int
+	// Cancelled counts faults a cancelled campaign never injected; their
+	// Outcomes entries carry the Cancelled sentinel and Dist excludes
+	// them.
+	Cancelled int
 	// Outcomes are the per-fault classifications, in fault-list order.
 	Outcomes []Outcome
 	// Dist aggregates Outcomes; AVF and FIT derive from it.

@@ -1,6 +1,7 @@
 package merlin
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -116,10 +117,16 @@ func TestExtrapolationMatchesFullInjection(t *testing.T) {
 	for i, fi := range red.HitFaults {
 		full[i] = a.Faults[fi]
 	}
-	fullRes := a.Runner.RunAll(full, &a.Golden.Result)
+	fullRes, err := a.Runner.RunAll(context.Background(), full, &a.Golden.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// MeRLiN path.
-	repRes := a.Runner.RunAll(red.Reduced(), &a.Golden.Result)
+	repRes, err := a.Runner.RunAll(context.Background(), red.Reduced(), &a.Golden.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
 	extra := red.PostACEExtrapolate(repRes.Outcomes)
 
 	for o := Outcome(0); o < campaign.NumOutcomes; o++ {

@@ -1,0 +1,53 @@
+package merlin
+
+// ProgressKind discriminates the events of a Session's progress stream.
+type ProgressKind uint8
+
+const (
+	// ProgressPhaseStart marks a pipeline phase beginning.
+	ProgressPhaseStart ProgressKind = iota
+	// ProgressPhaseDone marks a pipeline phase completing. For
+	// PhasePreprocess it also carries the golden-run artifact cache
+	// outcome (CacheHit, CacheErr).
+	ProgressPhaseDone
+	// ProgressFault reports one classified fault of the injection (or
+	// baseline) phase.
+	ProgressFault
+)
+
+// Phase names a pipeline phase of a Session, mirroring the paper's Fig 2.
+type Phase string
+
+// The phases a Session reports progress for.
+const (
+	PhasePreprocess Phase = "preprocess"
+	PhaseReduce     Phase = "reduce"
+	PhaseInject     Phase = "inject"
+	PhaseBaseline   Phase = "baseline"
+)
+
+// Progress is one event of a Session's typed progress stream: phase
+// transitions, the cache hit/miss of Preprocess, and per-fault outcomes
+// (subsuming the old campaign.Runner.OnOutcome hook). Fault events are
+// emitted from injection worker goroutines, concurrently and in completion
+// (not input) order — a WithProgress callback must be safe for concurrent
+// use and should return quickly.
+type Progress struct {
+	Kind  ProgressKind
+	Phase Phase
+	// Msg is a one-line human-readable summary (ProgressPhaseDone only).
+	Msg string
+
+	// CacheHit and CacheErr describe the golden-run artifact cache
+	// outcome on the preprocess ProgressPhaseDone event: whether the
+	// golden run was served from the cache, and a non-fatal store failure
+	// if persisting a miss failed.
+	CacheHit bool
+	CacheErr error
+
+	// ProgressFault events: the fault's index in the injected list, the
+	// fault itself, and its classification.
+	Index   int
+	Fault   Fault
+	Outcome Outcome
+}

@@ -1,29 +1,27 @@
 package merlin
 
 // This file is the campaign service's pipeline adapter: it wires the
-// MeRLiN pipeline (Preprocess → Reduce → Inject) and the golden-run
-// artifact cache into the pipeline-agnostic HTTP service of
+// Session API (Start → Session.Run with a progress subscription) and the
+// golden-run artifact cache into the pipeline-agnostic HTTP service of
 // internal/server. cmd/merlind is a thin flag wrapper around Serve.
 
 import (
 	"context"
 	"fmt"
 	"net/http"
-	"strings"
 	"time"
 
-	"merlin/internal/campaign"
 	"merlin/internal/cpu"
-	"merlin/internal/fault"
 	"merlin/internal/server"
-	"merlin/internal/workloads"
 )
 
 // Server is the long-running campaign service behind cmd/merlind: an
-// HTTP+JSON API (POST /campaigns, GET /campaigns/{id}, streamed
-// /campaigns/{id}/events, /healthz, /statsz) over a sharded worker pool
-// with bounded queues. Construct with NewServer, or let Serve manage the
-// whole lifecycle.
+// HTTP+JSON API (POST /campaigns, GET /campaigns/{id}, DELETE
+// /campaigns/{id}, streamed /campaigns/{id}/events, /healthz, /statsz)
+// over a sharded worker pool with bounded queues. Campaigns are
+// cancellable — DELETE cancels queued and running campaigns alike — and
+// may carry a per-request deadline. Construct with NewServer, or let
+// Serve manage the whole lifecycle.
 type Server = server.Server
 
 // CampaignRequest is the wire form of one campaign submission.
@@ -60,7 +58,7 @@ type ServeOptions struct {
 func NewServer(opt ServeOptions) (*Server, error) {
 	cfg := server.Config{
 		Run:             runCampaign(opt.Cache),
-		Validate:        validateRequest,
+		Validate:        validateRequest(opt.Cache),
 		Shards:          opt.Shards,
 		WorkersPerShard: opt.WorkersPerShard,
 		QueueDepth:      opt.QueueDepth,
@@ -95,33 +93,16 @@ func Serve(ctx context.Context, addr string, opt ServeOptions) error {
 	}
 }
 
-// campaignConfig translates a wire request into a pipeline Config,
-// rejecting unknown names and negative knobs.
-func campaignConfig(req CampaignRequest) (Config, error) {
-	var zero Config
-	if _, err := workloads.Get(req.Workload); err != nil {
-		return zero, err
-	}
-	var target Structure
-	switch strings.ToUpper(req.Structure) {
-	case "RF":
-		target = RF
-	case "SQ":
-		target = SQ
-	case "L1D":
-		target = L1D
-	default:
-		return zero, fmt.Errorf("unknown structure %q (want RF, SQ, or L1D)", req.Structure)
-	}
-	strat := StrategyReplay
-	if req.Strategy != "" {
-		var err error
-		if strat, err = ParseStrategy(req.Strategy); err != nil {
-			return zero, err
-		}
+// requestOptions translates a wire request into Session options,
+// rejecting unknown names and negative knobs. The returned options do not
+// include the progress subscription — runCampaign appends its own.
+func requestOptions(req CampaignRequest, cache *Cache) ([]Option, error) {
+	target, err := ParseStructure(req.Structure)
+	if err != nil {
+		return nil, err
 	}
 	if req.PhysRegs < 0 || req.SQEntries < 0 || req.L1DBytes < 0 {
-		return zero, fmt.Errorf("core configuration knobs must be >= 0 (0 = paper baseline)")
+		return nil, fmt.Errorf("core configuration knobs must be >= 0 (0 = paper baseline)")
 	}
 	cpuCfg := cpu.DefaultConfig()
 	if req.PhysRegs > 0 {
@@ -133,81 +114,101 @@ func campaignConfig(req CampaignRequest) (Config, error) {
 	if req.L1DBytes > 0 {
 		cpuCfg = cpuCfg.WithL1D(req.L1DBytes)
 	}
-	cfg := Config{
-		Workload:            req.Workload,
-		CPU:                 cpuCfg,
-		Structure:           target,
-		Faults:              req.Faults,
-		Confidence:          req.Confidence,
-		ErrorMargin:         req.ErrorMargin,
-		Seed:                req.Seed,
-		RepsPerGroup:        req.RepsPerGroup,
-		DisableByteGrouping: req.DisableByteGrouping,
-		Workers:             req.Workers,
-		Strategy:            strat,
-		Checkpoints:         req.Checkpoints,
+	opts := []Option{
+		WithStructure(target),
+		WithCPU(cpuCfg),
+		WithSeed(req.Seed),
 	}
-	return cfg, nil
+	if req.Faults != 0 {
+		opts = append(opts, WithFaults(req.Faults))
+	}
+	if req.Confidence != 0 || req.ErrorMargin != 0 {
+		opts = append(opts, WithSampling(req.Confidence, req.ErrorMargin))
+	}
+	if req.RepsPerGroup != 0 {
+		opts = append(opts, WithRepsPerGroup(req.RepsPerGroup))
+	}
+	if req.DisableByteGrouping {
+		opts = append(opts, WithoutByteGrouping())
+	}
+	if req.Workers != 0 {
+		opts = append(opts, WithWorkers(req.Workers))
+	}
+	if req.Strategy != "" {
+		strat, err := ParseStrategy(req.Strategy)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, WithStrategy(strat))
+	}
+	if req.Checkpoints != 0 {
+		opts = append(opts, WithCheckpoints(req.Checkpoints))
+	}
+	if cache != nil {
+		opts = append(opts, WithCache(cache))
+	}
+	return opts, nil
 }
 
-// validateRequest vets a submission synchronously so malformed campaigns
-// fail the POST with 400 instead of failing later in the queue.
-func validateRequest(req CampaignRequest) error {
-	cfg, err := campaignConfig(req)
-	if err != nil {
+// validateRequest vets a submission synchronously — Start performs the
+// full option validation without simulating anything — so malformed
+// campaigns fail the POST with 400 instead of failing later in the queue.
+func validateRequest(cache *Cache) func(CampaignRequest) error {
+	return func(req CampaignRequest) error {
+		opts, err := requestOptions(req, cache)
+		if err != nil {
+			return err
+		}
+		_, err = Start(context.Background(), req.Workload, opts...)
 		return err
 	}
-	return cfg.withDefaults().validate()
 }
 
-// runCampaign adapts the three-phase pipeline to the service's RunFunc,
-// emitting one event per phase and one per injected fault.
+// progressEvent maps one typed Session progress event onto the service's
+// wire event log. Phase-start events are internal pacing and not logged.
+func progressEvent(p Progress) (CampaignEvent, bool) {
+	switch p.Kind {
+	case ProgressPhaseDone:
+		switch p.Phase {
+		case PhasePreprocess:
+			hit := p.CacheHit
+			return CampaignEvent{Type: "preprocess", CacheHit: &hit, Msg: p.Msg}, true
+		case PhaseReduce:
+			return CampaignEvent{Type: "reduce", Msg: p.Msg}, true
+		default:
+			return CampaignEvent{Type: "inject", Msg: p.Msg}, true
+		}
+	case ProgressFault:
+		return CampaignEvent{Type: "fault", Index: p.Index,
+			Fault: p.Fault.String(), Outcome: p.Outcome.String()}, true
+	}
+	return CampaignEvent{}, false
+}
+
+// runCampaign adapts the Session API to the service's RunFunc: one Session
+// per campaign, its progress stream forwarded to the event log, its
+// context wired to the service's per-campaign cancellation. A cancelled
+// campaign returns ctx.Err(), which the service records as the
+// "cancelled" terminal state.
 func runCampaign(cache *Cache) server.RunFunc {
 	return func(ctx context.Context, req CampaignRequest, emit func(CampaignEvent)) (any, error) {
-		cfg, err := campaignConfig(req)
+		opts, err := requestOptions(req, cache)
 		if err != nil {
 			return nil, err
 		}
-		cfg.Cache = cache
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-
-		a, err := Preprocess(cfg)
+		opts = append(opts, WithProgress(func(p Progress) {
+			if ev, ok := progressEvent(p); ok {
+				emit(ev)
+			}
+		}))
+		s, err := Start(ctx, req.Workload, opts...)
 		if err != nil {
 			return nil, err
 		}
-		hit := a.CacheHit
-		src := "golden run simulated and cached"
-		if hit {
-			src = "golden run served from artifact cache"
-		} else if cache == nil {
-			src = "golden run simulated (no cache)"
-		}
-		if a.CacheErr != nil {
-			src += " (cache write failed: " + a.CacheErr.Error() + ")"
-		}
-		emit(CampaignEvent{Type: "preprocess", CacheHit: &hit,
-			Msg: fmt.Sprintf("%s: %d cycles, %d vulnerable intervals, %d faults sampled",
-				src, a.Golden.Result.Cycles, len(a.Analysis.Intervals), len(a.Faults))})
-
-		// Phase boundaries are the shutdown points: a cancelled server
-		// stops before starting the next phase, bounding drain latency to
-		// the current phase instead of the whole campaign.
-		if err := ctx.Err(); err != nil {
+		rep, err := s.Run(ctx)
+		if err != nil {
 			return nil, err
 		}
-		red := a.Reduce()
-		emit(CampaignEvent{Type: "reduce",
-			Msg: fmt.Sprintf("%d faults -> %d ACE-masked -> %d groups -> %d representatives",
-				len(a.Faults), red.ACEMasked, len(red.Groups), red.ReducedCount())})
-
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		a.Runner.OnOutcome = func(idx int, f fault.Fault, o campaign.Outcome) {
-			emit(CampaignEvent{Type: "fault", Index: idx, Fault: f.String(), Outcome: o.String()})
-		}
-		return a.Inject(), nil
+		return rep, nil
 	}
 }

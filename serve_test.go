@@ -148,8 +148,11 @@ func TestDaemonConcurrentEventStreams(t *testing.T) {
 	}
 	hs := daemon(t, ServeOptions{Cache: cache, Shards: 1, WorkersPerShard: 2})
 
-	idA := postCampaign(t, hs.URL, `{"workload":"sha","structure":"RF","faults":400,"seed":2}`)
-	idB := postCampaign(t, hs.URL, `{"workload":"qsort","structure":"RF","faults":400,"seed":2}`)
+	// Bounded per-campaign workers: a campaign defaulting to all host
+	// cores can starve the test harness (and the second submission) long
+	// enough for the first campaign to finish before the second starts.
+	idA := postCampaign(t, hs.URL, `{"workload":"sha","structure":"RF","faults":400,"seed":2,"workers":2}`)
+	idB := postCampaign(t, hs.URL, `{"workload":"qsort","structure":"RF","faults":400,"seed":2,"workers":2}`)
 
 	type stream struct {
 		id     string
@@ -231,5 +234,121 @@ func TestDaemonRejectsBadRequests(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
 		}
+	}
+}
+
+// TestDaemonCancelMidInjection is the cancellation acceptance test
+// against the real pipeline: DELETE on a mid-injection campaign turns it
+// "cancelled", delivers the terminal NDJSON event to an attached
+// streamer, and frees the worker shard (observable via /statsz counts as
+// the next campaign runs).
+func TestDaemonCancelMidInjection(t *testing.T) {
+	hs := daemon(t, ServeOptions{Shards: 1, WorkersPerShard: 1})
+
+	// A large replay campaign on one worker: slow enough to catch
+	// mid-injection, instantly abandoned once cancelled.
+	id := postCampaign(t, hs.URL,
+		`{"workload":"sha","structure":"RF","faults":60000,"seed":1,"workers":1}`)
+
+	// Stream events until the first per-fault outcome proves the campaign
+	// is mid-injection, then DELETE it; keep draining to catch the
+	// terminal event.
+	resp, err := http.Get(hs.URL + "/campaigns/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	deleted := false
+	last := ""
+	for sc.Scan() {
+		var ev CampaignEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event %q: %v", sc.Text(), err)
+		}
+		last = ev.Type
+		if ev.Type == "fault" && !deleted {
+			deleted = true
+			req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/campaigns/"+id, nil)
+			dresp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dresp.Body.Close()
+			if dresp.StatusCode != http.StatusOK {
+				t.Fatalf("DELETE mid-injection: status %d, want 200", dresp.StatusCode)
+			}
+		}
+	}
+	if !deleted {
+		t.Fatal("stream ended before any fault event; campaign never reached injection")
+	}
+	if last != "cancelled" {
+		t.Fatalf("stream ended on %q, want terminal cancelled event", last)
+	}
+
+	// Status is terminal cancelled, with no report.
+	sresp, err := http.Get(hs.URL + "/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st campaignStatus
+	err = json.NewDecoder(sresp.Body).Decode(&st)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "cancelled" {
+		t.Fatalf("status = %q, want cancelled", st.Status)
+	}
+
+	// The worker shard is freed: a follow-up campaign on the same single
+	// shard runs to completion, and /statsz shows nothing left running.
+	_, rep := campaignWait(t, hs.URL, postCampaign(t, hs.URL,
+		`{"workload":"sha","structure":"RF","faults":100,"seed":2,"strategy":"forked"}`))
+	if rep.Dist.Total() != 100 {
+		t.Fatalf("post-cancel campaign classified %d of 100", rep.Dist.Total())
+	}
+	statsResp, err := http.Get(hs.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats struct {
+		Campaigns map[string]int `json:"campaigns"`
+	}
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Campaigns["running"] != 0 || stats.Campaigns["cancelled"] != 1 || stats.Campaigns["done"] != 1 {
+		t.Fatalf("statsz campaigns = %v, want 0 running / 1 cancelled / 1 done", stats.Campaigns)
+	}
+}
+
+// TestDaemonRejectsStrategyCheckpointConflict: the v2 validation surfaces
+// through the wire API — an explicit non-checkpointed strategy combined
+// with checkpoints is a 400 at submission.
+func TestDaemonRejectsStrategyCheckpointConflict(t *testing.T) {
+	hs := daemon(t, ServeOptions{})
+	resp, err := http.Post(hs.URL+"/campaigns", "application/json", strings.NewReader(
+		`{"workload":"sha","structure":"RF","strategy":"replay","checkpoints":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("conflicting strategy/checkpoints: status %d, want 400", resp.StatusCode)
+	}
+
+	// Checkpoints alone stays valid (implies the checkpointed strategy).
+	resp2, err := http.Post(hs.URL+"/campaigns", "application/json", strings.NewReader(
+		`{"workload":"sha","structure":"RF","faults":50,"checkpoints":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("checkpoints-only submit: status %d, want 202", resp2.StatusCode)
 	}
 }

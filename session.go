@@ -1,0 +1,360 @@
+package merlin
+
+// This file is the v2 public API: merlin.Start builds a Session from
+// functional options, and the Session exposes the pipeline phases as
+// context-aware, cancellable methods with a unified typed progress stream.
+// The flat Config struct and the package-level Run/RunBaseline/Preprocess
+// entry points remain as thin deprecated wrappers.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"merlin/internal/cpu"
+	"merlin/internal/workloads"
+)
+
+// Option configures a Session at Start time. Options replace the v1
+// Config knob-struct: each knob is an explicit, validated setter, and
+// conflicting combinations fail Start instead of being silently patched.
+type Option func(*sessionConfig) error
+
+// sessionConfig accumulates options before validation. strategySet
+// records whether WithStrategy was given explicitly, which is what lets
+// Start distinguish "WithCheckpoints implies checkpointed" from
+// "WithStrategy(replay) + WithCheckpoints conflict".
+type sessionConfig struct {
+	cfg         Config
+	strategySet bool
+	progress    func(Progress)
+}
+
+// WithStructure selects the injection target (default RF).
+func WithStructure(s Structure) Option {
+	return func(o *sessionConfig) error {
+		o.cfg.Structure = s
+		return nil
+	}
+}
+
+// WithCPU sets the core configuration (default: the paper's Table 1
+// baseline).
+func WithCPU(c cpu.Config) Option {
+	return func(o *sessionConfig) error {
+		o.cfg.CPU = c
+		return nil
+	}
+}
+
+// WithFaults sets the initial statistical fault list size directly;
+// without it the size derives from the sampling parameters.
+func WithFaults(n int) Option {
+	return func(o *sessionConfig) error {
+		if n < 0 {
+			return fmt.Errorf("merlin: WithFaults(%d): want >= 0", n)
+		}
+		o.cfg.Faults = n
+		return nil
+	}
+}
+
+// WithSampling sets the statistical confidence and error margin that size
+// the fault list when WithFaults is not given (defaults 0.998 / 0.0063,
+// the paper's 60K-fault setup).
+func WithSampling(confidence, errorMargin float64) Option {
+	return func(o *sessionConfig) error {
+		o.cfg.Confidence = confidence
+		o.cfg.ErrorMargin = errorMargin
+		return nil
+	}
+}
+
+// WithSeed drives fault sampling (and nothing else; the simulator is
+// deterministic).
+func WithSeed(seed int64) Option {
+	return func(o *sessionConfig) error {
+		o.cfg.Seed = seed
+		return nil
+	}
+}
+
+// WithRepsPerGroup injects n representatives per final group instead of
+// the paper's 1 (accuracy/cost ablation).
+func WithRepsPerGroup(n int) Option {
+	return func(o *sessionConfig) error {
+		if n < 1 {
+			return fmt.Errorf("merlin: WithRepsPerGroup(%d): want >= 1", n)
+		}
+		o.cfg.RepsPerGroup = n
+		return nil
+	}
+}
+
+// WithoutByteGrouping disables step 2 of the grouping algorithm
+// (ablation).
+func WithoutByteGrouping() Option {
+	return func(o *sessionConfig) error {
+		o.cfg.DisableByteGrouping = true
+		return nil
+	}
+}
+
+// WithWorkers bounds injection parallelism (default: all host cores).
+func WithWorkers(n int) Option {
+	return func(o *sessionConfig) error {
+		if n < 0 {
+			return fmt.Errorf("merlin: WithWorkers(%d): want >= 0 (0 = all host cores)", n)
+		}
+		o.cfg.Workers = n
+		return nil
+	}
+}
+
+// WithStrategy selects the injection scheduler explicitly. All strategies
+// classify every fault identically; they differ only in how much of the
+// pre-fault prefix is re-simulated. Combining a non-checkpointed strategy
+// with WithCheckpoints is a Start-time error.
+func WithStrategy(s Strategy) Option {
+	return func(o *sessionConfig) error {
+		switch s {
+		case StrategyReplay, StrategyCheckpointed, StrategyForked:
+		default:
+			return fmt.Errorf("merlin: WithStrategy(%v): unknown strategy", s)
+		}
+		o.cfg.Strategy = s
+		o.strategySet = true
+		return nil
+	}
+}
+
+// WithCheckpoints sets the snapshot count of the checkpointed scheduler
+// and — unless WithStrategy was given — implies StrategyCheckpointed.
+// This replaces the v1 behaviour of Config.Checkpoints silently flipping
+// the strategy: under the Session API the implication is explicit, and a
+// conflicting WithStrategy(StrategyReplay) (or Forked) fails Start.
+func WithCheckpoints(k int) Option {
+	return func(o *sessionConfig) error {
+		if k <= 0 {
+			return fmt.Errorf("merlin: WithCheckpoints(%d): want > 0", k)
+		}
+		o.cfg.Checkpoints = k
+		return nil
+	}
+}
+
+// WithCache attaches a golden-run artifact cache: Preprocess is served
+// from it when a previous campaign already profiled the same (workload,
+// core config, structure). Open one with OpenCache.
+func WithCache(c *Cache) Option {
+	return func(o *sessionConfig) error {
+		o.cfg.Cache = c
+		return nil
+	}
+}
+
+// WithProgress subscribes fn to the Session's typed progress stream. See
+// Progress for the concurrency contract.
+func WithProgress(fn func(Progress)) Option {
+	return func(o *sessionConfig) error {
+		o.progress = fn
+		return nil
+	}
+}
+
+// Session is one MeRLiN campaign as a first-class object: Start validates
+// the configuration, and the phase methods run the pipeline under a
+// caller-supplied context, so a campaign can be cancelled or deadlined
+// between (and, for injection, within) phases. Phases are idempotent —
+// Preprocess and Reduce memoize their products, and Inject/Baseline
+// auto-run any phase not yet executed — so Run(ctx) and an explicit
+// Preprocess/Reduce/Inject sequence are interchangeable.
+//
+// A Session runs a single campaign; its methods must not be called
+// concurrently with each other. (The injection phase parallelizes
+// internally regardless.)
+type Session struct {
+	cfg  Config
+	emit func(Progress)
+
+	art *Artifacts // phase products; art.Red memoizes the reduction
+}
+
+// Start validates workload and options and returns a Session ready to
+// run. No simulation happens here — Start is cheap enough to double as a
+// request validator (the campaign daemon uses it that way). ctx only
+// gates Start itself; each phase method takes its own context.
+func Start(ctx context.Context, workload string, opts ...Option) (*Session, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var sc sessionConfig
+	sc.cfg.Workload = workload
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&sc); err != nil {
+			return nil, err
+		}
+	}
+	if sc.cfg.Checkpoints > 0 {
+		if sc.strategySet && sc.cfg.Strategy != StrategyCheckpointed {
+			return nil, fmt.Errorf(
+				"merlin: WithCheckpoints(%d) implies StrategyCheckpointed, conflicting with WithStrategy(%v)",
+				sc.cfg.Checkpoints, sc.cfg.Strategy)
+		}
+		sc.cfg.Strategy = StrategyCheckpointed
+	}
+	if _, err := workloads.Get(workload); err != nil {
+		return nil, err
+	}
+	cfg := sc.cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Session{cfg: cfg, emit: sc.progress}, nil
+}
+
+// Config returns the session's configuration after defaults were applied.
+func (s *Session) Config() Config { return s.cfg }
+
+// Artifacts exposes the preprocessing products (golden run, ACE-like
+// analysis, fault list); nil until Preprocess has run. It is the escape
+// hatch for studies that drive the Runner directly (e.g. injecting the
+// full post-ACE list as ground truth).
+func (s *Session) Artifacts() *Artifacts { return s.art }
+
+func (s *Session) emitEvent(p Progress) {
+	if s.emit != nil {
+		s.emit(p)
+	}
+}
+
+// faultEmitter adapts the progress stream to the campaign scheduler's
+// per-fault hook; nil when no subscriber is attached.
+func (s *Session) faultEmitter(phase Phase) func(int, Fault, Outcome) {
+	if s.emit == nil {
+		return nil
+	}
+	return func(idx int, f Fault, o Outcome) {
+		s.emit(Progress{Kind: ProgressFault, Phase: phase, Index: idx, Fault: f, Outcome: o})
+	}
+}
+
+// Preprocess runs phase 1 (golden run + ACE-like analysis + initial fault
+// list), serving it from the artifact cache when one is attached and warm.
+// It memoizes: a second call is a no-op. The context gates phase entry;
+// the golden run itself is not interruptible (it is bounded by the
+// runner's golden budget and amortized by the cache).
+func (s *Session) Preprocess(ctx context.Context) error {
+	if s.art != nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.emitEvent(Progress{Kind: ProgressPhaseStart, Phase: PhasePreprocess})
+	a, err := Preprocess(s.cfg)
+	if err != nil {
+		return err
+	}
+	s.art = a
+	s.emitEvent(Progress{
+		Kind: ProgressPhaseDone, Phase: PhasePreprocess,
+		CacheHit: a.CacheHit, CacheErr: a.CacheErr,
+		Msg: preprocessSummary(a),
+	})
+	return nil
+}
+
+func preprocessSummary(a *Artifacts) string {
+	src := "golden run simulated (no cache)"
+	switch {
+	case a.CacheHit:
+		src = "golden run served from artifact cache"
+	case a.Config.Cache != nil:
+		src = "golden run simulated and cached"
+	}
+	if a.CacheErr != nil {
+		src += " (cache write failed: " + a.CacheErr.Error() + ")"
+	}
+	return fmt.Sprintf("%s: %d cycles, %d vulnerable intervals, %d faults sampled",
+		src, a.Golden.Result.Cycles, len(a.Analysis.Intervals), len(a.Faults))
+}
+
+// Reduce runs phase 2 (ACE-like pruning + two-step grouping), memoizing
+// the reduction. It requires Preprocess to have run.
+func (s *Session) Reduce() (*Reduction, error) {
+	if s.art == nil {
+		return nil, fmt.Errorf("merlin: Reduce before Preprocess (call Preprocess or Run first)")
+	}
+	if s.art.Red != nil {
+		return s.art.Red, nil
+	}
+	s.emitEvent(Progress{Kind: ProgressPhaseStart, Phase: PhaseReduce})
+	red := s.art.Reduce()
+	s.emitEvent(Progress{
+		Kind: ProgressPhaseDone, Phase: PhaseReduce,
+		Msg: fmt.Sprintf("%d faults -> %d ACE-masked -> %d groups -> %d representatives",
+			len(s.art.Faults), red.ACEMasked, len(red.Groups), red.ReducedCount()),
+	})
+	return red, nil
+}
+
+// Inject runs phase 3: the representatives of the reduced fault list are
+// injected and their outcomes extrapolated over the full initial list.
+// Earlier phases run automatically if they have not yet.
+//
+// Injection observes ctx between faults. On cancellation Inject returns
+// ctx.Err() together with a partial *Report: Dist then holds the raw
+// (unextrapolated) distribution of the representatives classified before
+// the cut and Cancelled counts the representatives never injected.
+func (s *Session) Inject(ctx context.Context) (*Report, error) {
+	if err := s.Preprocess(ctx); err != nil {
+		return nil, err
+	}
+	if _, err := s.Reduce(); err != nil {
+		return nil, err
+	}
+	s.emitEvent(Progress{Kind: ProgressPhaseStart, Phase: PhaseInject})
+	rep, err := s.art.inject(ctx, s.faultEmitter(PhaseInject))
+	if err != nil {
+		return rep, err
+	}
+	s.emitEvent(Progress{
+		Kind: ProgressPhaseDone, Phase: PhaseInject,
+		Msg: fmt.Sprintf("injected %d representatives in %v: %v",
+			rep.Injected, rep.Wall.Round(time.Millisecond), rep.Dist),
+	})
+	return rep, nil
+}
+
+// Run executes the full MeRLiN pipeline (Preprocess, Reduce, Inject) and
+// returns the campaign report. It shares Inject's cancellation contract.
+func (s *Session) Run(ctx context.Context) (*Report, error) {
+	return s.Inject(ctx)
+}
+
+// Baseline injects the entire initial fault list (the comprehensive
+// campaign MeRLiN is compared against), reusing this session's
+// preprocessing products — unlike the deprecated RunBaseline, it does not
+// repeat the golden run after Run. It shares Inject's cancellation
+// contract: on cancellation the partial *BaselineReport is returned
+// together with ctx.Err().
+func (s *Session) Baseline(ctx context.Context) (*BaselineReport, error) {
+	if err := s.Preprocess(ctx); err != nil {
+		return nil, err
+	}
+	s.emitEvent(Progress{Kind: ProgressPhaseStart, Phase: PhaseBaseline})
+	rep, err := s.art.baseline(ctx, s.faultEmitter(PhaseBaseline))
+	if err != nil {
+		return rep, err
+	}
+	s.emitEvent(Progress{
+		Kind: ProgressPhaseDone, Phase: PhaseBaseline,
+		Msg: fmt.Sprintf("injected all %d faults in %v: %v",
+			rep.Faults, rep.Wall.Round(time.Millisecond), rep.Dist),
+	})
+	return rep, nil
+}

@@ -1,0 +1,289 @@
+package merlin
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStartOptionValidation: option conflicts and bad values fail Start,
+// and the checkpoints/strategy implication is explicit.
+func TestStartOptionValidation(t *testing.T) {
+	ctx := context.Background()
+
+	// WithCheckpoints alone implies the checkpointed strategy.
+	s, err := Start(ctx, "sha", WithCheckpoints(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg := s.Config(); cfg.Strategy != StrategyCheckpointed || cfg.Checkpoints != 6 {
+		t.Fatalf("WithCheckpoints(6): strategy %v checkpoints %d", cfg.Strategy, cfg.Checkpoints)
+	}
+
+	// Explicitly checkpointed + checkpoints is fine.
+	if _, err := Start(ctx, "sha", WithStrategy(StrategyCheckpointed), WithCheckpoints(4)); err != nil {
+		t.Fatalf("checkpointed + checkpoints rejected: %v", err)
+	}
+
+	// A conflicting explicit strategy is rejected, in either option order.
+	for name, opts := range map[string][]Option{
+		"replay then checkpoints": {WithStrategy(StrategyReplay), WithCheckpoints(4)},
+		"checkpoints then replay": {WithCheckpoints(4), WithStrategy(StrategyReplay)},
+		"forked + checkpoints":    {WithStrategy(StrategyForked), WithCheckpoints(4)},
+	} {
+		if _, err := Start(ctx, "sha", opts...); err == nil {
+			t.Errorf("%s: Start accepted the conflict", name)
+		}
+	}
+
+	for name, opts := range map[string][]Option{
+		"negative faults":  {WithFaults(-1)},
+		"zero checkpoints": {WithCheckpoints(0)},
+		"negative workers": {WithWorkers(-2)},
+		"zero reps":        {WithRepsPerGroup(0)},
+		"bad confidence":   {WithSampling(1.5, 0.01)},
+		"bad strategy":     {WithStrategy(Strategy(99))},
+	} {
+		if _, err := Start(ctx, "sha", opts...); err == nil {
+			t.Errorf("%s: Start accepted the option", name)
+		}
+	}
+	if _, err := Start(ctx, "nope"); err == nil {
+		t.Error("Start accepted an unknown workload")
+	}
+
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := Start(cancelled, "sha"); !errors.Is(err, context.Canceled) {
+		t.Errorf("Start on a cancelled context: %v", err)
+	}
+}
+
+// TestLegacyCheckpointFlipPreserved: the deprecated Config path keeps the
+// historic Checkpoints>0 strategy flip the v2 API rejects.
+func TestLegacyCheckpointFlipPreserved(t *testing.T) {
+	cfg := Config{Workload: "sha", Structure: RF, Faults: 10, Checkpoints: 3}.withDefaults()
+	if cfg.Strategy != StrategyCheckpointed {
+		t.Fatalf("legacy flip lost: strategy %v", cfg.Strategy)
+	}
+	// An explicit non-default strategy is never flipped.
+	cfg = Config{Workload: "sha", Structure: RF, Strategy: StrategyForked, Checkpoints: 3}.withDefaults()
+	if cfg.Strategy != StrategyForked {
+		t.Fatalf("legacy flip overrode an explicit strategy: %v", cfg.Strategy)
+	}
+}
+
+// TestSessionMatchesLegacyRun: the acceptance criterion that existing
+// merlin.Run(cfg) callers produce bit-identical reports through the
+// deprecated wrapper, and that the Session pipeline agrees with it.
+func TestSessionMatchesLegacyRun(t *testing.T) {
+	cfg := Config{Workload: "sha", Structure: RF, Faults: 300, Seed: 11, Strategy: StrategyForked}
+	legacy, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	s, err := Start(ctx, "sha",
+		WithStructure(RF), WithFaults(300), WithSeed(11), WithStrategy(StrategyForked))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dist != legacy.Dist || rep.AVF != legacy.AVF || rep.FIT != legacy.FIT ||
+		rep.GoldenCycles != legacy.GoldenCycles || rep.Injected != legacy.Injected ||
+		rep.FinalGroups != legacy.FinalGroups {
+		t.Fatalf("Session report diverged from legacy Run:\nlegacy %+v\nv2     %+v", legacy, rep)
+	}
+
+	// Phases are idempotent: re-running returns the same products.
+	red1, _ := s.Reduce()
+	red2, _ := s.Reduce()
+	if red1 != red2 {
+		t.Error("Reduce is not memoized")
+	}
+	if err := s.Preprocess(ctx); err != nil {
+		t.Errorf("second Preprocess: %v", err)
+	}
+}
+
+// TestSessionProgressStream: the typed stream carries phase transitions,
+// the cache outcome and one event per injected fault, in phase order.
+func TestSessionProgressStream(t *testing.T) {
+	var mu sync.Mutex
+	var events []Progress
+	ctx := context.Background()
+	s, err := Start(ctx, "sha",
+		WithStructure(RF), WithFaults(200), WithSeed(3),
+		WithProgress(func(p Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			events = append(events, p)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	var phases []string
+	faults := 0
+	for _, p := range events {
+		switch p.Kind {
+		case ProgressPhaseStart:
+			phases = append(phases, "start:"+string(p.Phase))
+		case ProgressPhaseDone:
+			phases = append(phases, "done:"+string(p.Phase))
+			if p.Phase == PhasePreprocess && p.Msg == "" {
+				t.Error("preprocess done event without summary")
+			}
+		case ProgressFault:
+			faults++
+			if p.Phase != PhaseInject || p.Outcome >= Cancelled {
+				t.Fatalf("bad fault event: %+v", p)
+			}
+		}
+	}
+	want := "start:preprocess,done:preprocess,start:reduce,done:reduce,start:inject,done:inject"
+	if got := strings.Join(phases, ","); got != want {
+		t.Fatalf("phase events = %s, want %s", got, want)
+	}
+	if faults != rep.Injected {
+		t.Fatalf("stream carried %d fault events, report injected %d", faults, rep.Injected)
+	}
+}
+
+// TestSessionInjectCancellation: cancelling mid-injection returns
+// ctx.Err() plus a partial report with a consistent Cancelled count —
+// the Session-level acceptance criterion.
+func TestSessionInjectCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var seen atomic.Int64
+	s, err := Start(ctx, "sha",
+		WithStructure(RF), WithFaults(4000), WithSeed(7), WithWorkers(1),
+		WithProgress(func(p Progress) {
+			if p.Kind == ProgressFault && seen.Add(1) == 3 {
+				cancel()
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep == nil {
+		t.Fatal("cancelled Run returned no partial report")
+	}
+	if rep.Cancelled == 0 {
+		t.Fatal("partial report has no Cancelled count")
+	}
+	if got := rep.Dist.Total() + rep.Cancelled; got != rep.Injected+rep.Cancelled || rep.Dist.Total() != rep.Injected {
+		t.Fatalf("inconsistent partial report: dist %d injected %d cancelled %d",
+			rep.Dist.Total(), rep.Injected, got)
+	}
+
+	// A fresh session over the same campaign completes and classifies
+	// every representative the partial run left cancelled.
+	full, err := Start(context.Background(), "sha",
+		WithStructure(RF), WithFaults(4000), WithSeed(7), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := full.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Cancelled != 0 || done.Injected != rep.Injected+rep.Cancelled {
+		t.Fatalf("resubmitted campaign: injected %d cancelled %d, partial was %d+%d",
+			done.Injected, done.Cancelled, rep.Injected, rep.Cancelled)
+	}
+}
+
+// TestReportJSONCarriesNames: the text-marshaling satellite — structures,
+// strategies and outcomes serialize as names, and the report round-trips.
+func TestReportJSONCarriesNames(t *testing.T) {
+	rep, err := Run(Config{Workload: "sha", Structure: RF, Faults: 120, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"Structure":"RF"`) {
+		t.Errorf("report JSON carries no structure name: %s", raw)
+	}
+	if strings.Contains(string(raw), `"RepOutcomes":[0`) {
+		t.Error("report JSON carries bare-int outcomes")
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Structure != rep.Structure || len(back.RepOutcomes) != len(rep.RepOutcomes) {
+		t.Fatal("round-tripped report diverged")
+	}
+	for i := range back.RepOutcomes {
+		if back.RepOutcomes[i] != rep.RepOutcomes[i] {
+			t.Fatalf("outcome %d diverged after round trip", i)
+		}
+	}
+
+	// ParseStructure is the shared, case-insensitive structure parser.
+	for name, want := range map[string]Structure{"rf": RF, "Sq": SQ, "L1D": L1D} {
+		got, err := ParseStructure(name)
+		if err != nil || got != want {
+			t.Errorf("ParseStructure(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseStructure("ROB"); err == nil {
+		t.Error("ParseStructure accepted an unknown structure")
+	}
+}
+
+// TestSessionBaselineReusesGolden: Session.Baseline after Run must not
+// repeat the golden run (one Artifacts, same golden cycles) and agrees
+// with the deprecated RunBaseline.
+func TestSessionBaselineReusesGolden(t *testing.T) {
+	ctx := context.Background()
+	s, err := Start(ctx, "fft", WithStructure(SQ), WithFaults(200), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := s.Artifacts()
+	base, err := s.Baseline(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Artifacts() != art {
+		t.Error("Baseline re-ran Preprocess")
+	}
+	if base.GoldenCycles != rep.GoldenCycles || base.Faults != rep.InitialFaults {
+		t.Fatalf("baseline diverged from session campaign: %+v", base)
+	}
+
+	legacy, err := RunBaseline(Config{Workload: "fft", Structure: SQ, Faults: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Dist != base.Dist {
+		t.Fatalf("legacy baseline %v != session baseline %v", legacy.Dist, base.Dist)
+	}
+}
