@@ -34,6 +34,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -42,7 +44,11 @@ import (
 	"merlin/internal/cpu"
 )
 
-func main() {
+// main delegates to run so deferred profile writers execute before the
+// process exits with run's status code.
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		workload  = flag.String("workload", "qsort", "workload name (see -list)")
 		structure = flag.String("structure", "RF", "injection target: RF, SQ, or L1D")
@@ -59,21 +65,56 @@ func main() {
 		strategy  = flag.String("strategy", "replay", "injection strategy: replay, checkpointed, or forked (bit-identical outcomes, different wall-clock)")
 		ckpts     = flag.Int("checkpoints", 0, "snapshot count (>0 implies -strategy checkpointed)")
 		cacheDir  = flag.String("cache", "", "golden-run artifact cache directory (empty disables; shareable with merlind)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile (after the campaign) to this file")
 		verbose   = flag.Bool("v", false, "print phase progress to stderr")
 		list      = flag.Bool("list", false, "list available workloads and exit")
 	)
 	flag.Parse()
 
+	// The heap-profile defer is registered before CPU profiling starts:
+	// defers run LIFO, so StopCPUProfile executes first and the GC +
+	// heap-profile encoding never pollute the CPU profile's tail.
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "merlin:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile shows live state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "merlin:", err)
+			}
+		}()
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "merlin:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "merlin:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
 	if *list {
 		fmt.Println("mibench:", strings.Join(merlin.Workloads("mibench"), " "))
 		fmt.Println("spec:   ", strings.Join(merlin.Workloads("spec"), " "))
-		return
+		return 0
 	}
 
 	target, err := merlin.ParseStructure(*structure)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 
 	opts := []merlin.Option{
@@ -93,7 +134,7 @@ func main() {
 		strat, err := merlin.ParseStrategy(*strategy)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		opts = append(opts, merlin.WithStrategy(strat))
 	}
@@ -104,7 +145,7 @@ func main() {
 		cache, err := merlin.OpenCache(*cacheDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "merlin:", err)
-			os.Exit(1)
+			return 1
 		}
 		opts = append(opts, merlin.WithCache(cache))
 	}
@@ -122,7 +163,7 @@ func main() {
 	s, err := merlin.Start(ctx, *workload, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "merlin:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	rep, err := s.Run(ctx)
@@ -130,19 +171,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "merlin: campaign cancelled with %d of %d representatives injected\n",
 			rep.Injected, rep.Injected+rep.Cancelled)
 		fmt.Printf("partial dist (%d classified): %v\n", rep.Dist.Total(), rep.Dist)
-		os.Exit(130)
+		return 130
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "merlin:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Println(rep)
 	goldenSrc := ""
 	if rep.CacheHit {
 		goldenSrc = " (served from artifact cache)"
 	}
+	snapSrc := ""
+	if rep.SnapshotHit {
+		snapSrc = ", snapshot cache hit"
+	}
 	fmt.Printf("  golden run: %d cycles%s; MeRLiN injection wall %v (serial %v)\n",
 		rep.GoldenCycles, goldenSrc, rep.Wall.Round(1000000), rep.Serial.Round(1000000))
+	fmt.Printf("  throughput: %.2fM cycles/s across workers; %d clones in %v%s\n",
+		rep.CyclesPerSec/1e6, rep.Clones, rep.CloneTime.Round(1000000), snapSrc)
 
 	if *baseline {
 		// The session reuses the golden run and fault list, so the
@@ -153,11 +200,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "merlin: baseline cancelled with %d of %d faults injected\n",
 				base.Dist.Total(), base.Faults)
 			fmt.Printf("partial baseline dist (%d classified): %v\n", base.Dist.Total(), base.Dist)
-			os.Exit(130)
+			return 130
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "merlin baseline:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("baseline (%d injections): %v\n  AVF %.4f FIT %.3f; wall %v (serial %v)\n",
 			base.Faults, base.Dist, base.AVF, base.FIT,
@@ -166,4 +213,5 @@ func main() {
 			float64(base.Faults)/float64(rep.Injected),
 			base.Serial.Seconds()/rep.Serial.Seconds())
 	}
+	return 0
 }

@@ -43,14 +43,20 @@ func main() {
 		shardW = flag.Int("shard-workers", 0, "concurrent campaigns per shard (0 = default 1)")
 		queue  = flag.Int("queue", 0, "pending-campaign bound per shard, beyond which submissions get 429 (0 = default 64)")
 		retain = flag.Int("retain", 0, "finished campaigns kept queryable before the oldest are evicted (0 = default 1024)")
+		snapMB = flag.Int64("snapshot-budget", 0, "in-memory checkpoint-snapshot cache budget in MB, shared across campaigns (0 = default 512, negative disables)")
 	)
 	flag.Parse()
 
+	snapBudget := *snapMB
+	if snapBudget > 0 {
+		snapBudget <<= 20
+	}
 	opt := merlin.ServeOptions{
 		Shards:          *shards,
 		WorkersPerShard: *shardW,
 		QueueDepth:      *queue,
 		RetainFinished:  *retain,
+		SnapshotBudget:  snapBudget,
 	}
 	if *cache != "" {
 		c, err := merlin.OpenCache(*cache)

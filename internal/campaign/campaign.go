@@ -198,6 +198,17 @@ type Runner struct {
 	// input) order; it must be safe for concurrent use and should return
 	// quickly — the campaign service uses it to stream per-fault progress.
 	OnOutcome func(idx int, f fault.Fault, o Outcome)
+	// Snapshots, when non-nil, serves checkpoint ladders across campaigns
+	// (the daemon's in-memory snapshot cache): on a hit the checkpointed
+	// and forked schedulers skip the ladder rebuild entirely. Nil means
+	// every campaign builds its own ladder.
+	Snapshots SnapshotSource
+	// Pool recycles retired machine-clone shells across faults (and across
+	// campaigns run on this Runner). Nil means the first scheduler call
+	// installs one; share a pool explicitly to recycle shells across
+	// Runners of the same configuration. Like the other knobs, it must not
+	// be swapped while a campaign is running.
+	Pool *cpu.ClonePool
 }
 
 // DefaultGoldenBudget is NewRunner's bound on the fault-free reference
@@ -234,6 +245,45 @@ func (r *Runner) emit(idx int, f fault.Fault, o Outcome) {
 	if r.OnOutcome != nil {
 		r.OnOutcome(idx, f, o)
 	}
+}
+
+// clonePool returns the Runner's shell pool, installing one on first use.
+// Schedulers call it once per campaign from the submitting goroutine, so
+// lazy installation is race-free under the Runner's "one campaign at a
+// time" contract.
+func (r *Runner) clonePool() *cpu.ClonePool {
+	if r.Pool == nil {
+		r.Pool = cpu.NewClonePool(0)
+	}
+	return r.Pool
+}
+
+// runMetrics accumulates the injection-phase performance counters all
+// schedulers share; workers update it concurrently.
+type runMetrics struct {
+	clones    atomic.Int64  // machine snapshots taken
+	cloneNS   atomic.Int64  // wall time spent taking them
+	simCycles atomic.Uint64 // machine cycles actually simulated
+}
+
+// clone takes one metered snapshot of src through the pool. A nil
+// receiver clones unmetered, so pooled paths without metrics stay safe.
+func (m *runMetrics) clone(pool *cpu.ClonePool, src *cpu.Core) *cpu.Core {
+	if m == nil {
+		return pool.Clone(src)
+	}
+	t0 := time.Now()
+	c := pool.Clone(src)
+	m.cloneNS.Add(int64(time.Since(t0)))
+	m.clones.Add(1)
+	return c
+}
+
+// fill copies the counters into a finished Result.
+func (m *runMetrics) fill(res *Result) {
+	res.Clones = m.clones.Load()
+	res.CloneTime = time.Duration(m.cloneNS.Load())
+	res.SimCycles = m.simCycles.Load()
 }
 
 // RunGolden performs the fault-free reference run, tracking lifetimes of
@@ -320,6 +370,30 @@ type Result struct {
 	// Cancelled sentinel and they are excluded from Dist, so
 	// Dist.Total() + Cancelled == len(Outcomes) always holds.
 	Cancelled int
+
+	// Clones counts the machine snapshots the scheduler took and
+	// CloneTime the wall-clock spent taking them — the per-fault setup
+	// cost the copy-on-write state layers attack.
+	Clones    int64
+	CloneTime time.Duration
+	// SimCycles is the total number of machine cycles actually simulated:
+	// shared pre-fault work (ladder builds, the forked sweep) plus every
+	// faulty continuation. Divided by Wall it yields the campaign's
+	// effective simulation throughput.
+	SimCycles uint64
+	// SnapshotHit reports that the checkpoint ladder was served by a
+	// SnapshotSource instead of rebuilt (always false for Replay, which
+	// uses no ladder).
+	SnapshotHit bool
+}
+
+// CyclesPerSec is the campaign's effective simulation throughput:
+// simulated cycles per wall-clock second across all workers.
+func (res *Result) CyclesPerSec() float64 {
+	if res.Wall <= 0 {
+		return 0
+	}
+	return float64(res.SimCycles) / res.Wall.Seconds()
 }
 
 // newResult sizes a Result for n faults with every outcome pre-marked
@@ -360,19 +434,57 @@ func (res *Result) finalize(ctx context.Context) error {
 // observe ctx between injections: on cancellation the partial Result is
 // returned together with ctx.Err(), in-flight faults finish classification
 // and the rest are marked Cancelled.
+//
+// Replay remains the assumption-free baseline: every faulty run simulates
+// to its natural end, with no convergence early exit. Only the per-fault
+// setup is accelerated — workers clone one frozen reset snapshot through
+// the shell pool instead of rebuilding the core, and a clone of the reset
+// state is bit-identical to a fresh core, so outcomes are unchanged.
 func (r *Runner) RunAll(ctx context.Context, faults []fault.Fault, golden *cpu.RunResult) (*Result, error) {
 	res := newResult(len(faults))
 	var serialNS atomic.Int64
+	var m runMetrics
 	start := time.Now()
-	parallelFor(ctx, r.Workers, len(faults), func(i int) {
-		t0 := time.Now()
-		res.Outcomes[i] = r.RunFault(faults[i], golden)
-		serialNS.Add(int64(time.Since(t0)))
-		r.emit(i, faults[i], res.Outcomes[i])
-	})
+	if len(faults) > 0 && ctx.Err() == nil {
+		pool := r.clonePool()
+		reset := r.NewCore().Clone() // frozen: concurrent workers clone it safely
+		parallelFor(ctx, r.Workers, len(faults), func(i int) {
+			t0 := time.Now()
+			res.Outcomes[i] = r.runReplayFault(pool, reset, faults[i], golden, &m)
+			serialNS.Add(int64(time.Since(t0)))
+			r.emit(i, faults[i], res.Outcomes[i])
+		})
+	}
 	res.Wall = time.Since(start)
 	res.Serial = time.Duration(serialNS.Load())
+	m.fill(res)
 	return res, res.finalize(ctx)
+}
+
+// runReplayFault is RunFault through the clone pool: replay f from a
+// frozen reset snapshot to its natural classification. The clone is
+// released after classification; a released shell is scrubbed by
+// copy-over on reuse, so even a panicked (Crash/Assert) run's shell is
+// safe to recycle.
+func (r *Runner) runReplayFault(pool *cpu.ClonePool, reset *cpu.Core, f fault.Fault, golden *cpu.RunResult, m *runMetrics) (out Outcome) {
+	c := m.clone(pool, reset)
+	defer func() {
+		m.simCycles.Add(c.Cycle())
+		pool.Release(c)
+		if p := recover(); p != nil {
+			if _, ok := p.(*cpu.AssertError); ok {
+				out = Assert
+			} else {
+				out = Crash // simulator crash
+			}
+		}
+	}()
+	for c.Cycle()+1 < f.Cycle && c.Halted() == cpu.Running {
+		c.Step()
+	}
+	applyFault(c, f)
+	res := c.Run(r.TimeoutFactor * golden.Cycles)
+	return Classify(res, golden)
 }
 
 // parallelFor runs fn(0..n-1) across a worker pool. Cancellation is

@@ -14,7 +14,10 @@ import (
 // the fault-free run. Injection runs clone the latest snapshot before
 // their fault cycle instead of replaying from reset — the run-acceleration
 // technique of Chatzidimitriou & Gizopoulos (ISPASS 2016), which the paper
-// notes is orthogonal to (and combinable with) MeRLiN.
+// notes is orthogonal to (and combinable with) MeRLiN. The snapshots also
+// serve as the convergence ladder: a faulty continuation that becomes
+// masked-equivalent to the golden state at a snapshot cycle provably ends
+// with the golden outcome and stops simulating there.
 type CheckpointSet struct {
 	cycles []uint64
 	cores  []*cpu.Core // frozen; accessed read-only via Clone
@@ -37,8 +40,9 @@ func CheckpointSchedule(k int, goldenCycles uint64) []uint64 {
 // BuildCheckpoints replays the fault-free run once, freezing k snapshots
 // (plus the reset state). The returned set is immutable and safe for
 // concurrent use. Every snapshot is cloned off the same replay core, so
-// the whole set shares one copy-on-write page lineage: clones of one
-// snapshot compare against another mostly by page pointer.
+// the whole set shares one copy-on-write lineage across memory pages and
+// cache sets: clones of one snapshot compare against another mostly by
+// pointer.
 func (r *Runner) BuildCheckpoints(k int, goldenCycles uint64) *CheckpointSet {
 	c := r.NewCore()
 	set := &CheckpointSet{
@@ -81,11 +85,62 @@ func (s *CheckpointSet) before(fc uint64) *cpu.Core {
 	return s.cores[i-1]
 }
 
+// classifyAgainst runs faulty clone c (fault already applied) to its
+// classification. At each golden ladder snapshot past the injection cycle
+// the continuation pauses; if its machine state is masked-equivalent to
+// the fault-free state at that cycle (identical up to provably dead
+// storage, see cpu.MaskedEquivalent), the rest of the run provably
+// replays the golden run and the fault is Masked. Faults that never
+// re-converge run to their natural classification, so outcomes are
+// bit-identical to a full replay. A nil ladder skips the early exit.
+func (r *Runner) classifyAgainst(c *cpu.Core, golden *cpu.RunResult, ladder *CheckpointSet) Outcome {
+	if ladder != nil {
+		for i := sort.Search(len(ladder.cycles), func(i int) bool { return ladder.cycles[i] > c.Cycle() }); i < len(ladder.cycles); i++ {
+			for c.Cycle() < ladder.cycles[i] && c.Halted() == cpu.Running {
+				c.Step()
+			}
+			if c.Halted() != cpu.Running {
+				break
+			}
+			if cpu.MaskedEquivalent(c, ladder.cores[i]) {
+				return Masked
+			}
+		}
+	}
+	res := c.Run(r.TimeoutFactor * golden.Cycles)
+	return Classify(res, golden)
+}
+
 // RunFaultFrom injects f starting from the nearest checkpoint and
 // classifies against the golden run. Results are bit-identical to
-// RunFault: the snapshot is exactly the state a from-reset replay reaches.
-func (r *Runner) RunFaultFrom(set *CheckpointSet, f fault.Fault, golden *cpu.RunResult) (out Outcome) {
+// RunFault: the snapshot is exactly the state a from-reset replay reaches,
+// and the continuation stops early only at a snapshot it is provably
+// masked-equivalent to (the same convergence exit the fork-on-fault
+// scheduler uses), so masked faults cost at most one inter-snapshot
+// segment instead of the rest of the run.
+func (r *Runner) RunFaultFrom(set *CheckpointSet, f fault.Fault, golden *cpu.RunResult) Outcome {
+	return r.runFaultFrom(nil, set, f, golden, nil)
+}
+
+// runFaultFrom is RunFaultFrom with pooling and metering: with a non-nil
+// pool the clone comes from (and returns to) the shell pool, and a
+// non-nil runMetrics accumulates clone and cycle counters.
+func (r *Runner) runFaultFrom(pool *cpu.ClonePool, set *CheckpointSet, f fault.Fault, golden *cpu.RunResult, m *runMetrics) (out Outcome) {
+	base := set.before(f.Cycle)
+	var c *cpu.Core
+	if pool != nil {
+		c = m.clone(pool, base)
+	} else {
+		c = base.Clone()
+	}
+	start := c.Cycle()
 	defer func() {
+		if m != nil {
+			m.simCycles.Add(c.Cycle() - start)
+		}
+		if pool != nil {
+			pool.Release(c)
+		}
 		if p := recover(); p != nil {
 			if _, ok := p.(*cpu.AssertError); ok {
 				out = Assert
@@ -94,40 +149,48 @@ func (r *Runner) RunFaultFrom(set *CheckpointSet, f fault.Fault, golden *cpu.Run
 			}
 		}
 	}()
-	c := set.before(f.Cycle).Clone()
 	for c.Cycle()+1 < f.Cycle && c.Halted() == cpu.Running {
 		c.Step()
 	}
 	applyFault(c, f)
-	res := c.Run(r.TimeoutFactor * golden.Cycles)
-	return Classify(res, golden)
+	return r.classifyAgainst(c, golden, set)
 }
 
 // RunAllCheckpointed is RunAll accelerated by k checkpoints. Outcomes are
 // identical to RunAll's; only wall-clock differs. The snapshot build (one
 // golden-run replay) is part of the campaign and counted in both Wall and
-// Serial, so timings compare fairly across strategies. Workers observe ctx
-// between injections; on cancellation the partial Result is returned
-// together with ctx.Err().
+// Serial — unless a shared SnapshotSource serves a prebuilt ladder
+// (res.SnapshotHit), in which case the campaign skips it entirely.
+// Workers observe ctx between injections; on cancellation the partial
+// Result is returned together with ctx.Err().
 func (r *Runner) RunAllCheckpointed(ctx context.Context, faults []fault.Fault, golden *cpu.RunResult, k int) (*Result, error) {
 	res := newResult(len(faults))
+	start := time.Now()
 	// The snapshot build replays a whole golden run and, like the golden
 	// run itself, is not interruptible — skip it entirely when the
-	// campaign is already dead on arrival.
+	// campaign is already dead on arrival (but stamp the wall-clock, so
+	// partial results always carry one).
 	if ctx.Err() != nil {
+		res.Wall = time.Since(start)
 		return res, res.finalize(ctx)
 	}
 	var serialNS atomic.Int64
-	start := time.Now()
-	set := r.BuildCheckpoints(k, golden.Cycles)
+	var m runMetrics
+	pool := r.clonePool()
+	set, hit := r.ladder(k, golden.Cycles)
+	if !hit {
+		m.simCycles.Add(set.LastCycle())
+	}
+	res.SnapshotHit = hit
 	serialNS.Add(int64(time.Since(start)))
 	parallelFor(ctx, r.Workers, len(faults), func(i int) {
 		t0 := time.Now()
-		res.Outcomes[i] = r.RunFaultFrom(set, faults[i], golden)
+		res.Outcomes[i] = r.runFaultFrom(pool, set, faults[i], golden, &m)
 		serialNS.Add(int64(time.Since(t0)))
 		r.emit(i, faults[i], res.Outcomes[i])
 	})
 	res.Wall = time.Since(start)
 	res.Serial = time.Duration(serialNS.Load())
+	m.fill(res)
 	return res, res.finalize(ctx)
 }

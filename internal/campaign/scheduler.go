@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -158,10 +157,18 @@ func (r *Runner) RunAllForked(ctx context.Context, faults []fault.Fault, golden 
 	}
 
 	// The golden sync ladder (a CheckpointSet: reset state + snapshots at
-	// evenly spaced cycles), built once per campaign. Like the sweep, the
-	// build is shared pre-fault work counted once in Wall and Serial.
+	// evenly spaced cycles), served from the shared SnapshotSource when
+	// one is attached and built once per campaign otherwise. Like the
+	// sweep, a build is shared pre-fault work counted once in Wall and
+	// Serial; a snapshot hit skips it entirely.
 	var serialNS atomic.Int64
-	ladder := r.BuildCheckpoints(ForkSyncPoints, golden.Cycles)
+	var m runMetrics
+	pool := r.clonePool()
+	ladder, hit := r.ladder(ForkSyncPoints, golden.Cycles)
+	if !hit {
+		m.simCycles.Add(ladder.LastCycle())
+	}
+	res.SnapshotHit = hit
 	serialNS.Add(int64(time.Since(start)))
 	live := make(chan struct{}, maxForks) // in-flight clone budget
 	jobs := make(chan forkJob)
@@ -172,7 +179,10 @@ func (r *Runner) RunAllForked(ctx context.Context, faults []fault.Fault, golden 
 			defer wg.Done()
 			for j := range jobs {
 				t0 := time.Now()
+				preFault := j.core.Cycle()
 				res.Outcomes[j.idx] = r.runForkedClone(j.core, faults[j.idx], golden, ladder)
+				m.simCycles.Add(j.core.Cycle() - preFault)
+				pool.Release(j.core)
 				serialNS.Add(int64(time.Since(t0)))
 				r.emit(j.idx, faults[j.idx], res.Outcomes[j.idx])
 				<-live
@@ -186,9 +196,10 @@ func (r *Runner) RunAllForked(ctx context.Context, faults []fault.Fault, golden 
 	// copy-on-write page pool the forks share with the ladder stays
 	// shallow and state comparisons skip everything the segment never
 	// wrote.
-	sweep := ladder.cores[0].Clone()
+	sweep := m.clone(pool, ladder.cores[0])
 	next := 1
 	t0 := time.Now()
+	sweepStart := sweep.Cycle()
 	done := ctx.Done()
 sweep:
 	for _, idx := range fault.SortedIndices(faults) {
@@ -204,7 +215,10 @@ sweep:
 			next++
 		}
 		if root >= 0 {
-			sweep = ladder.cores[root].Clone()
+			m.simCycles.Add(sweep.Cycle() - sweepStart)
+			pool.Release(sweep)
+			sweep = m.clone(pool, ladder.cores[root])
+			sweepStart = sweep.Cycle()
 		}
 		for sweep.Cycle()+1 < fc && sweep.Halted() == cpu.Running {
 			sweep.Step()
@@ -220,7 +234,7 @@ sweep:
 			break sweep
 		}
 		select {
-		case jobs <- forkJob{idx: idx, core: sweep.Clone()}:
+		case jobs <- forkJob{idx: idx, core: m.clone(pool, sweep)}:
 		case <-done:
 			break sweep
 		}
@@ -228,20 +242,22 @@ sweep:
 	close(jobs)
 	// The sweep is shared pre-fault work; count it once in the
 	// serial-equivalent total.
+	m.simCycles.Add(sweep.Cycle() - sweepStart)
 	serialNS.Add(int64(time.Since(t0)))
 	wg.Wait()
+	pool.Release(sweep)
 
 	res.Wall = time.Since(start)
 	res.Serial = time.Duration(serialNS.Load())
+	m.fill(res)
 	return res, res.finalize(ctx)
 }
 
 // runForkedClone finishes one faulty continuation: the clone already sits
-// at the fault's pre-injection cycle, so only apply-and-run remains. At
-// each golden sync snapshot past the injection cycle the continuation
-// pauses; if its complete machine state equals the fault-free state at
-// that cycle, the rest of the run provably replays the golden run and the
-// fault is Masked. Simulator panics classify exactly as in RunFault.
+// at the fault's pre-injection cycle, so only apply-and-run remains — the
+// shared classifyAgainst does the rest, including the masked-equivalence
+// early exit at the golden sync snapshots. Simulator panics classify
+// exactly as in RunFault.
 func (r *Runner) runForkedClone(c *cpu.Core, f fault.Fault, golden *cpu.RunResult, ladder *CheckpointSet) (out Outcome) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -253,17 +269,5 @@ func (r *Runner) runForkedClone(c *cpu.Core, f fault.Fault, golden *cpu.RunResul
 		}
 	}()
 	applyFault(c, f)
-	for i := sort.Search(len(ladder.cycles), func(i int) bool { return ladder.cycles[i] > c.Cycle() }); i < len(ladder.cycles); i++ {
-		for c.Cycle() < ladder.cycles[i] && c.Halted() == cpu.Running {
-			c.Step()
-		}
-		if c.Halted() != cpu.Running {
-			break
-		}
-		if cpu.MaskedEquivalent(c, ladder.cores[i]) {
-			return Masked
-		}
-	}
-	res := c.Run(r.TimeoutFactor * golden.Cycles)
-	return Classify(res, golden)
+	return r.classifyAgainst(c, golden, ladder)
 }

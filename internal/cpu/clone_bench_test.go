@@ -1,0 +1,90 @@
+package cpu
+
+import (
+	"testing"
+
+	"merlin/internal/asm"
+)
+
+// cloneBenchCore assembles a store-heavy loop and steps it to the middle of
+// its run, so clones carry realistic cache, ROB and register pressure.
+func cloneBenchCore(b *testing.B) *Core {
+	b.Helper()
+	p, err := asm.Assemble("clonebench", `
+		.data
+	arr:	.space 8192
+		.text
+		li r1, 0
+		li r3, 1024
+		li r5, arr
+	fill:	mul r4, r1, r1
+		sd [r5], r4
+		addi r5, r5, 8
+		addi r1, r1, 1
+		blt r1, r3, fill
+		out r1
+		halt
+	`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := New(DefaultConfig(), p)
+	for i := 0; i < 2000 && c.halted == Running; i++ {
+		c.Step()
+	}
+	if c.halted != Running {
+		b.Fatal("bench program finished too early")
+	}
+	return c
+}
+
+// BenchmarkClone measures the cost of one machine snapshot: what every
+// per-fault fork and every checkpoint replay pays before simulating
+// anything. Run with -benchmem; allocs/op is the headline metric the
+// copy-on-write cache layers and the clone pool attack.
+func BenchmarkClone(b *testing.B) {
+	c := cloneBenchCore(b)
+	frozen := c.Clone() // freeze once so iterations measure the steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clone := frozen.Clone()
+		_ = clone
+	}
+}
+
+// BenchmarkClonePool measures the steady state the schedulers run in:
+// every clone is rebuilt by copy-over into a recycled shell, so the
+// per-fault allocation cost collapses to the copy-on-write bookkeeping.
+func BenchmarkClonePool(b *testing.B) {
+	c := cloneBenchCore(b)
+	frozen := c.Clone()
+	pool := NewClonePool(0)
+	pool.Release(frozen.Clone()) // prime one shell
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clone := pool.Clone(frozen)
+		pool.Release(clone)
+	}
+}
+
+// BenchmarkCloneAfterSteps measures the fork-on-fault sweep pattern: the
+// original advances a few cycles between snapshots, so every Clone pays
+// the freeze (generation merge) for the state the sweep just dirtied.
+func BenchmarkCloneAfterSteps(b *testing.B) {
+	c := cloneBenchCore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 8 && c.halted == Running; s++ {
+			c.Step()
+		}
+		if c.halted != Running {
+			b.StopTimer()
+			c = cloneBenchCore(b)
+			b.StartTimer()
+		}
+		_ = c.Clone()
+	}
+}

@@ -407,26 +407,59 @@ func (c *Core) FlushDataCaches() {
 	c.l1d.OnEvict, c.l1d.OnFill = evict, fill
 }
 
+// fnvPrime is the 64-bit FNV-1a prime; fnvZeroPageMul is the effect of
+// hashing one full page of zero bytes: each zero byte XORs in nothing and
+// multiplies the state by the prime, so a whole zero page is a single
+// multiplication by prime^PageSize (mod 2^64). StateHash uses it to skip
+// unmapped pages without changing the digest.
+const fnvPrime = 1099511628211
+
+var fnvZeroPageMul = func() uint64 {
+	m := uint64(1)
+	for i := 0; i < mem.PageSize; i++ {
+		m *= fnvPrime
+	}
+	return m
+}()
+
 // StateHash returns a deterministic FNV-1a digest of the architecturally
 // reachable state: mapped data memory (call FlushDataCaches first), the
 // architectural registers, resident cache lines, and valid store-queue
 // data. Table 4's truncated-run classification compares it against the
 // golden run at the same cut cycle: equal means the fault vanished
 // (Masked), different means it is still live (Unknown).
+//
+// Resident memory pages are hashed in place and unmapped (all-zero) pages
+// folded in with one precomputed multiplication, so the walk over
+// [DataBase, MemTop) costs O(resident bytes) instead of O(address space);
+// the digest is bit-identical to hashing the zero-filled range byte by
+// byte (pinned by TestStateHashPinned).
 func (c *Core) StateHash() uint64 {
-	const prime = 1099511628211
 	h := uint64(14695981039346656037)
-	byteIn := func(b byte) { h = (h ^ uint64(b)) * prime }
+	byteIn := func(b byte) { h = (h ^ uint64(b)) * fnvPrime }
 	u64In := func(v uint64) {
 		for i := 0; i < 8; i++ {
 			byteIn(byte(v >> (8 * i)))
 		}
 	}
-	buf := make([]byte, 4096)
-	for addr := uint64(isa.DataBase); addr < isa.MemTop; addr += uint64(len(buf)) {
-		c.dmem.ReadBytes(addr, buf)
-		for _, b := range buf {
-			byteIn(b)
+	if isa.DataBase%mem.PageSize == 0 && isa.MemTop%mem.PageSize == 0 {
+		for addr := uint64(isa.DataBase); addr < isa.MemTop; addr += mem.PageSize {
+			p := c.dmem.PageData(addr)
+			if p == nil {
+				h *= fnvZeroPageMul
+				continue
+			}
+			for _, b := range p {
+				byteIn(b)
+			}
+		}
+	} else { // unaligned mapping: generic chunked walk
+		buf := make([]byte, mem.PageSize)
+		for addr := uint64(isa.DataBase); addr < isa.MemTop; addr += uint64(len(buf)) {
+			c.dmem.ReadBytes(addr, buf)
+			for _, b := range buf {
+				byteIn(b)
+			}
 		}
 	}
 	for a := 0; a < isa.NumArchRegs; a++ {
@@ -438,7 +471,7 @@ func (c *Core) StateHash() uint64 {
 				continue
 			}
 			u64In(uint64(e))
-			for _, b := range cache.EntryData(e) {
+			for _, b := range cache.PeekEntryData(e) {
 				byteIn(b)
 			}
 		}

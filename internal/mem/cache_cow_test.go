@@ -1,0 +1,198 @@
+package mem
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func testCache(t testing.TB) (*Cache, *Memory) {
+	t.Helper()
+	mem := NewMemory(0, 1<<20, 4)
+	for a := uint64(0); a < 1<<14; a += 8 {
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(a + uint64(i))
+		}
+		mem.WriteBytes(a, b[:])
+	}
+	return NewCache(CacheConfig{Name: "T", Size: 4 << 10, LineSize: 64, Ways: 4, HitLatency: 1}, mem), mem
+}
+
+// cloneOver clones c together with its backing memory, mirroring what
+// cpu.Core.Clone does: each machine owns its whole hierarchy, and only
+// frozen copy-on-write generations are shared.
+func cloneOver(c *Cache, m *Memory) (*Cache, *Memory) {
+	nm := m.Clone()
+	return c.Clone(nm), nm
+}
+
+// touch performs a deterministic access pattern, mixing reads and writes.
+func touch(c *Cache, rounds int, salt uint64) {
+	cycle := uint64(0)
+	for r := 0; r < rounds; r++ {
+		for a := uint64(0); a < 1<<13; a += 192 {
+			cycle++
+			addr := (a + salt*64) & ^uint64(7)
+			e, _ := c.Access(addr, 8, r%2 == 1, cycle)
+			if r%2 == 1 {
+				d := c.EntryData(e)
+				d[c.Offset(addr)] ^= byte(salt + a)
+			}
+		}
+	}
+}
+
+// TestCacheCloneIsolation: after a Clone, writes on either side must not
+// leak into the other; the untouched side stays Equal to a deep reference.
+func TestCacheCloneIsolation(t *testing.T) {
+	orig, m := testCache(t)
+	touch(orig, 3, 1)
+
+	clone, _ := cloneOver(orig, m)
+	if !orig.Equal(clone) || !clone.Equal(orig) {
+		t.Fatal("fresh clone not equal to original")
+	}
+
+	// Snapshot the original's observable state for later comparison.
+	ref, _ := cloneOver(orig, m)
+
+	// Diverge the clone heavily; the original must be unaffected.
+	touch(clone, 4, 7)
+	if !orig.Equal(ref) {
+		t.Fatal("writes to a clone leaked into the original")
+	}
+	if orig.Equal(clone) {
+		t.Fatal("diverged caches compare equal")
+	}
+
+	// Diverge the original too; the ref snapshot must be unaffected.
+	touch(orig, 2, 3)
+	if ref.Equal(orig) {
+		t.Fatal("writes to the original leaked into its frozen snapshot")
+	}
+}
+
+// TestCacheCloneEqualDeep: a CoW clone must be byte-for-byte identical to
+// the original under every accessor, not just Equal.
+func TestCacheCloneEqualDeep(t *testing.T) {
+	orig, m := testCache(t)
+	touch(orig, 3, 2)
+	clone, _ := cloneOver(orig, m)
+	for e := 0; e < orig.Entries(); e++ {
+		if orig.Valid(e) != clone.Valid(e) {
+			t.Fatalf("entry %d: validity differs", e)
+		}
+		a, b := orig.PeekEntryData(e), clone.PeekEntryData(e)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("entry %d byte %d: %#x vs %#x", e, i, a[i], b[i])
+			}
+		}
+	}
+	if orig.Stats != clone.Stats {
+		t.Error("stats not carried over")
+	}
+}
+
+// TestCacheConvergedEquality: Equal must see content, not block identity —
+// two caches that privatised the same set with identical writes are equal.
+func TestCacheConvergedEquality(t *testing.T) {
+	orig, m := testCache(t)
+	touch(orig, 2, 1)
+	a, _ := cloneOver(orig, m)
+	b, _ := cloneOver(orig, m)
+	// Identical access sequences on both sides privatise the same sets
+	// with the same contents: different blocks, equal bytes.
+	touch(a, 2, 5)
+	touch(b, 2, 5)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("converged clones compare unequal")
+	}
+	if !a.EqualLive(b) {
+		t.Fatal("converged clones not live-equal")
+	}
+}
+
+// TestCacheEqualLiveInvalidLine: flips behind an invalid line must fail
+// Equal but pass EqualLive, across the copy-on-write boundary.
+func TestCacheEqualLiveInvalidLine(t *testing.T) {
+	orig, m := testCache(t)
+	touch(orig, 1, 1)
+	a, _ := cloneOver(orig, m)
+	b, _ := cloneOver(orig, m)
+	invalid := -1
+	for e := 0; e < a.Entries(); e++ {
+		if !a.Valid(e) {
+			invalid = e
+			break
+		}
+	}
+	if invalid < 0 {
+		t.Skip("no invalid line after the touch pattern")
+	}
+	a.FlipBit(invalid, 3)
+	if a.Equal(b) {
+		t.Error("Equal must see a flip behind an invalid line")
+	}
+	if !a.EqualLive(b) {
+		t.Error("EqualLive must ignore a flip behind an invalid line")
+	}
+}
+
+// TestCacheEntryDataPrivatises: writing through EntryData on a clone must
+// never reach the frozen generation the siblings read.
+func TestCacheEntryDataPrivatises(t *testing.T) {
+	orig, m := testCache(t)
+	touch(orig, 2, 1)
+	a, _ := cloneOver(orig, m)
+	b, _ := cloneOver(orig, m)
+	e := 0
+	for ; e < a.Entries() && !a.Valid(e); e++ {
+	}
+	if e == a.Entries() {
+		t.Fatal("no valid entry")
+	}
+	before := b.PeekEntryData(e)[0]
+	a.EntryData(e)[0] ^= 0xff
+	if got := b.PeekEntryData(e)[0]; got != before {
+		t.Fatalf("EntryData write on one clone reached its sibling: %#x -> %#x", before, got)
+	}
+	if orig.PeekEntryData(e)[0] != before {
+		t.Fatal("EntryData write on a clone reached the original")
+	}
+}
+
+// TestCacheConcurrentClones: many goroutines cloning one frozen snapshot
+// and writing into their clones must never observe each other's writes.
+// Run under -race this also proves Clone of a frozen cache is read-only.
+func TestCacheConcurrentClones(t *testing.T) {
+	orig, m := testCache(t)
+	touch(orig, 3, 1)
+	frozen, fm := cloneOver(orig, m)
+	ref, _ := cloneOver(frozen, fm)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(salt uint64) {
+			defer wg.Done()
+			c, _ := cloneOver(frozen, fm)
+			touch(c, 2, salt)
+			want, _ := cloneOver(frozen, fm)
+			touch(want, 2, salt)
+			if !c.Equal(want) {
+				errs <- fmt.Errorf("salt %d: concurrent clone diverged from its serial twin", salt)
+			}
+		}(uint64(w + 2))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if !frozen.Equal(ref) {
+		t.Fatal("concurrent clone writers mutated the frozen snapshot")
+	}
+}

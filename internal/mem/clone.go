@@ -1,25 +1,33 @@
 package mem
 
+// freeze folds any private pages into a frozen pool shared with future
+// clones. A frozen pool is never mutated (later freezes build a fresh
+// merged pool), which keeps snapshots safe for concurrent readers: calling
+// freeze on an already-frozen memory is a read-only no-op, so any number
+// of goroutines may Clone one frozen snapshot at once.
+func (m *Memory) freeze() {
+	if len(m.pages) == 0 && m.shared != nil {
+		return
+	}
+	merged := make(map[uint64]*[pageSize]byte, len(m.shared)+len(m.pages))
+	for pn, p := range m.shared {
+		merged[pn] = p
+	}
+	for pn, p := range m.pages {
+		merged[pn] = p
+	}
+	m.shared = merged
+	m.pages = make(map[uint64]*[pageSize]byte)
+}
+
 // Clone returns a copy-on-write snapshot of the memory. The current pages
 // are frozen into a shared pool referenced by both the original and the
 // clone; each side privatises a page only when it next writes it. A clone
 // costs O(resident pages) pointer copies when the original has written
 // since its last Clone (the merged pool is rebuilt) and O(1) when it has
-// not — never a deep copy of the mapped bytes. A frozen pool is never
-// mutated (later Clones build a fresh merged pool), which keeps snapshots
-// safe for concurrent readers in parallel injection campaigns.
+// not — never a deep copy of the mapped bytes.
 func (m *Memory) Clone() *Memory {
-	if len(m.pages) > 0 || m.shared == nil {
-		merged := make(map[uint64]*[pageSize]byte, len(m.shared)+len(m.pages))
-		for pn, p := range m.shared {
-			merged[pn] = p
-		}
-		for pn, p := range m.pages {
-			merged[pn] = p
-		}
-		m.shared = merged
-		m.pages = make(map[uint64]*[pageSize]byte)
-	}
+	m.freeze()
 	return &Memory{
 		pages:   make(map[uint64]*[pageSize]byte),
 		shared:  m.shared,
@@ -29,10 +37,70 @@ func (m *Memory) Clone() *Memory {
 	}
 }
 
-// Clone returns a deep copy of the cache wired to the given next level.
-// Event hooks are not copied; the owner must re-attach them.
+// CloneInto is Clone targeting an existing Memory shell (a retired clone
+// being recycled by a pool): the shell's page map is reused instead of
+// reallocated. Every field of n is overwritten; nothing about the shell's
+// previous life is trusted.
+func (m *Memory) CloneInto(n *Memory) {
+	m.freeze()
+	if n.pages == nil {
+		n.pages = make(map[uint64]*[pageSize]byte)
+	} else {
+		clear(n.pages)
+	}
+	n.shared = m.shared
+	n.lo, n.hi, n.Latency = m.lo, m.hi, m.Latency
+}
+
+// Reset drops every page reference — private and shared — while keeping
+// the page map's allocation for reuse. A reset memory reads as unmapped;
+// it is only meaningful on a retired clone shell about to be rebuilt by
+// CloneInto, so an idle pooled shell does not pin a campaign's frozen
+// snapshot lineage.
+func (m *Memory) Reset() {
+	clear(m.pages)
+	m.shared = nil
+}
+
+// ResidentBytes estimates the memory's footprint: every reachable page
+// counted at full page size. Pages shared with other clones are counted
+// here too, so summing ResidentBytes over a snapshot lineage overestimates
+// — callers budgeting memory (the daemon's snapshot cache) get a
+// conservative bound, never an undercount.
+func (m *Memory) ResidentBytes() int64 {
+	return int64(len(m.pages)+len(m.shared)) * pageSize
+}
+
+// freeze folds any private set blocks into a frozen generation shared with
+// future clones. Like Memory.freeze, it is a read-only no-op on an
+// already-frozen cache, so frozen snapshots clone concurrently without
+// synchronisation. Private blocks are donated to the generation by
+// pointer: a freeze costs O(sets) pointer copies, never a byte copy.
+func (c *Cache) freeze() {
+	if c.nPriv == 0 && c.shared != nil {
+		return
+	}
+	merged := make([]*setBlock, c.sets)
+	copy(merged, c.shared)
+	for s, b := range c.priv {
+		if b != nil {
+			merged[s] = b
+		}
+	}
+	c.shared = merged
+	c.priv = make([]*setBlock, c.sets)
+	c.nPriv = 0
+}
+
+// Clone returns a copy-on-write snapshot of the cache wired to the given
+// next level: the current set blocks are frozen into a generation shared
+// by both caches, and each side privatises a set only when it next touches
+// it. Cloning a frozen snapshot (one not written since its last Clone)
+// costs O(sets) pointer slots and no byte copies. Event hooks are not
+// copied; the owner must re-attach them.
 func (c *Cache) Clone(below Backend) *Cache {
-	n := &Cache{
+	c.freeze()
+	return &Cache{
 		Cfg:      c.Cfg,
 		Stats:    c.Stats,
 		sets:     c.sets,
@@ -40,10 +108,52 @@ func (c *Cache) Clone(below Backend) *Cache {
 		ways:     c.ways,
 		offBits:  c.offBits,
 		idxBits:  c.idxBits,
-		lines:    append([]line(nil), c.lines...),
-		data:     append([]byte(nil), c.data...),
+		priv:     make([]*setBlock, c.sets),
+		shared:   c.shared,
 		below:    below,
 		lruClock: c.lruClock,
 	}
-	return n
+}
+
+// CloneInto is Clone targeting an existing Cache shell of identical
+// geometry (a retired clone being recycled by a pool): the shell's private
+// slot slice is reused. Every field of n is overwritten by copy-over;
+// hooks are cleared for the owner to re-attach.
+func (c *Cache) CloneInto(n *Cache, below Backend) {
+	c.freeze()
+	n.Cfg = c.Cfg
+	n.Stats = c.Stats
+	n.sets, n.lineSz, n.ways = c.sets, c.lineSz, c.ways
+	n.offBits, n.idxBits = c.offBits, c.idxBits
+	if len(n.priv) == c.sets {
+		clear(n.priv)
+	} else {
+		n.priv = make([]*setBlock, c.sets)
+	}
+	n.nPriv = 0
+	n.shared = c.shared
+	n.below = below
+	n.lruClock = c.lruClock
+	n.OnFill, n.OnEvict = nil, nil
+}
+
+// Reset drops every set-block reference — privatised and shared — while
+// keeping the private slot slice for reuse, and detaches the hooks and
+// backend. Like Memory.Reset it leaves the cache unusable until the next
+// CloneInto: its purpose is to stop an idle pooled shell from pinning the
+// blocks and generations of the campaign that retired it.
+func (c *Cache) Reset() {
+	clear(c.priv)
+	c.nPriv = 0
+	c.shared = nil
+	c.below = nil
+	c.OnFill, c.OnEvict = nil, nil
+}
+
+// FootprintBytes is the cache's worst-case resident size: the full data
+// array plus line metadata, regardless of how much is currently shared
+// with other clones. The daemon's snapshot cache budgets with it.
+func (c *Cache) FootprintBytes() int64 {
+	const lineMeta = 24 // tag + lru + flags, padded
+	return int64(c.Cfg.Size) + int64(c.sets*c.ways)*lineMeta
 }

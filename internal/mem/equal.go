@@ -1,6 +1,9 @@
 package mem
 
-import "bytes"
+import (
+	"bytes"
+	"slices"
+)
 
 var zeroPage [pageSize]byte
 
@@ -47,40 +50,65 @@ func (m *Memory) pageByNumber(pn uint64) *[pageSize]byte {
 	return m.shared[pn]
 }
 
+// PageData returns the 4KB page backing addr read-only, or nil when the
+// page was never written (its bytes read as zero). It never privatises the
+// page: state hashing walks resident pages in place through it.
+func (m *Memory) PageData(addr uint64) []byte {
+	if p := m.readPage(addr); p != nil {
+		return p[:]
+	}
+	return nil
+}
+
 // Equal reports whether two caches of the same geometry are in identical
 // states: every line's tag/valid/dirty/LRU metadata, the full data array,
-// the replacement clock and the access statistics.
+// the replacement clock and the access statistics. Sets still referencing
+// the same frozen block (snapshots descending from a common clone that
+// neither side touched since) compare by pointer without scanning a byte.
 func (c *Cache) Equal(o *Cache) bool {
-	return c.metaEqual(o) && bytes.Equal(c.data, o.data)
+	if !c.scalarEqual(o) {
+		return false
+	}
+	for s := 0; s < c.sets; s++ {
+		a, b := c.blockRO(s), o.blockRO(s)
+		if a == b {
+			continue
+		}
+		if !slices.Equal(a.lines, b.lines) || !bytes.Equal(a.data, b.data) {
+			return false
+		}
+	}
+	return true
 }
 
 // EqualLive is Equal except that the data bytes of invalid lines are
 // ignored: lookups only ever hit valid lines and a fill rewrites the
 // whole line before validating it, so bytes behind an invalid tag are
-// dead storage that cannot influence the machine.
+// dead storage that cannot influence the machine. It shares Equal's
+// shared-block pointer short-circuit.
 func (c *Cache) EqualLive(o *Cache) bool {
-	if !c.metaEqual(o) {
+	if !c.scalarEqual(o) {
 		return false
 	}
-	for e := 0; e < len(c.lines); e++ {
-		if c.lines[e].valid && !bytes.Equal(c.EntryData(e), o.EntryData(e)) {
+	for s := 0; s < c.sets; s++ {
+		a, b := c.blockRO(s), o.blockRO(s)
+		if a == b {
+			continue
+		}
+		if !slices.Equal(a.lines, b.lines) {
 			return false
+		}
+		for w := 0; w < c.ways; w++ {
+			if a.lines[w].valid && !bytes.Equal(c.lineData(a, w), c.lineData(b, w)) {
+				return false
+			}
 		}
 	}
 	return true
 }
 
-func (c *Cache) metaEqual(o *Cache) bool {
-	if c.Cfg != o.Cfg || c.Stats != o.Stats || c.lruClock != o.lruClock {
-		return false
-	}
-	if len(c.lines) != len(o.lines) {
-		return false
-	}
-	for i := range c.lines {
-		if c.lines[i] != o.lines[i] {
-			return false
-		}
-	}
-	return true
+// scalarEqual compares everything outside the set blocks. Geometry is
+// implied by Cfg equality (both caches derive sets/ways/lineSz from it).
+func (c *Cache) scalarEqual(o *Cache) bool {
+	return c.Cfg == o.Cfg && c.Stats == o.Stats && c.lruClock == o.lruClock
 }

@@ -9,6 +9,10 @@ package mem
 const pageBits = 12
 const pageSize = 1 << pageBits
 
+// PageSize is the granularity of Memory's sparse pages and copy-on-write
+// sharing. StateHash-style consumers walk mapped ranges page by page.
+const PageSize = pageSize
+
 // Memory is the simulated main memory: a sparse collection of 4KB pages
 // inside a mapped address range. Reads of untouched pages return zeros.
 //

@@ -107,6 +107,12 @@ type Event struct {
 	// Preprocess events: whether the golden-run artifact cache served
 	// this campaign.
 	CacheHit *bool `json:"cache_hit,omitempty"`
+
+	// Inject events: whether the shared snapshot cache served the
+	// checkpoint ladder (skipping its rebuild), and the campaign's
+	// effective simulation throughput in cycles per wall-clock second.
+	SnapshotHit  *bool   `json:"snapshot_hit,omitempty"`
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
 }
 
 // RunFunc executes one campaign: it returns the JSON-marshalable report,
@@ -130,6 +136,9 @@ type Config struct {
 	// CacheStats, when non-nil, is folded into GET /statsz (the daemon
 	// passes the artifact cache's stats).
 	CacheStats func() any
+	// SnapshotStats, when non-nil, is folded into GET /statsz (the daemon
+	// passes the in-memory snapshot cache's stats).
+	SnapshotStats func() any
 
 	// Shards is the number of independent worker pools; campaigns are
 	// assigned by hash of their id. 0 means DefaultShards. Negative
@@ -590,6 +599,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cfg.CacheStats != nil {
 		stats["cache"] = s.cfg.CacheStats()
+	}
+	if s.cfg.SnapshotStats != nil {
+		stats["snapshots"] = s.cfg.SnapshotStats()
 	}
 	writeJSON(w, http.StatusOK, stats)
 }

@@ -120,6 +120,27 @@ type CacheStats = store.Stats
 // rooted at dir.
 func OpenCache(dir string) (*Cache, error) { return store.Open(dir) }
 
+// SnapshotCache is an in-memory, byte-budgeted LRU of checkpoint ladders
+// (the frozen machine snapshots the checkpointed and forked schedulers
+// clone injection runs from). Campaigns sharing one SnapshotCache and
+// agreeing on (workload, CPU config, golden cycles) reuse one immutable
+// ladder instead of each replaying the golden run to rebuild it — the
+// in-memory complement of the on-disk artifact Cache, which cannot hold
+// machine snapshots because they are not serializable. Safe for
+// concurrent use; the daemon shares one across all campaigns.
+type SnapshotCache = store.SnapshotCache
+
+// SnapshotCacheStats is a point-in-time snapshot of snapshot-cache
+// effectiveness.
+type SnapshotCacheStats = store.SnapshotStats
+
+// NewSnapshotCache returns a snapshot cache bounded to budgetBytes of
+// (conservatively estimated) resident snapshot memory; <= 0 means the
+// default budget (512 MB).
+func NewSnapshotCache(budgetBytes int64) *SnapshotCache {
+	return store.NewSnapshotCache(budgetBytes)
+}
+
 // Config describes one MeRLiN campaign.
 //
 // Deprecated: Config is the v1 knob-struct surface. New code should build
@@ -173,6 +194,12 @@ type Config struct {
 	// run once and are stored for every later campaign on the same
 	// (Workload, CPU) pair. Open one with OpenCache.
 	Cache *Cache
+
+	// Snapshots, when non-nil, shares checkpoint ladders across campaigns:
+	// the checkpointed and forked schedulers serve their frozen machine
+	// snapshots from it instead of rebuilding them per campaign. Create
+	// one with NewSnapshotCache; the daemon wires a process-wide instance.
+	Snapshots *SnapshotCache
 }
 
 // fillDefaults replaces zero knobs with their documented defaults. It is
@@ -281,6 +308,11 @@ func Preprocess(cfg Config) (*Artifacts, error) {
 	}
 	runner := campaign.NewRunner(campaign.Target{Cfg: cfg.CPU, Prog: w.Program()})
 	runner.Workers = cfg.Workers
+	if cfg.Snapshots != nil {
+		// Explicit nil check: assigning a typed nil pointer would make the
+		// SnapshotSource interface non-nil and panic on use.
+		runner.Snapshots = cfg.Snapshots
+	}
 	if err := runner.Validate(); err != nil {
 		return nil, err
 	}
@@ -421,6 +453,11 @@ func (a *Artifacts) inject(ctx context.Context, onOutcome func(int, fault.Fault,
 		Wall:          res.Wall,
 		Serial:        res.Serial,
 		CacheHit:      a.CacheHit,
+		SnapshotHit:   res.SnapshotHit,
+		Clones:        res.Clones,
+		CloneTime:     res.CloneTime,
+		SimCycles:     res.SimCycles,
+		CyclesPerSec:  res.CyclesPerSec(),
 	}
 	return rep, err
 }
@@ -448,6 +485,11 @@ func (a *Artifacts) baseline(ctx context.Context, onOutcome func(int, fault.Faul
 		FIT:          res.Dist.FIT(bits, RawFITPerBit),
 		Wall:         res.Wall,
 		Serial:       res.Serial,
+		SnapshotHit:  res.SnapshotHit,
+		Clones:       res.Clones,
+		CloneTime:    res.CloneTime,
+		SimCycles:    res.SimCycles,
+		CyclesPerSec: res.CyclesPerSec(),
 		Artifacts:    a,
 	}
 	return rep, err
@@ -540,6 +582,20 @@ type Report struct {
 	// CacheHit reports that Preprocess was served from the golden-run
 	// artifact cache (no golden run was simulated for this campaign).
 	CacheHit bool
+	// SnapshotHit reports that the injection phase's checkpoint ladder was
+	// served from a shared SnapshotCache instead of rebuilt (always false
+	// for StrategyReplay, which uses no ladder).
+	SnapshotHit bool
+	// Clones counts the machine snapshots the scheduler took and CloneTime
+	// the wall-clock spent taking them.
+	Clones    int64
+	CloneTime time.Duration
+	// SimCycles is the total number of machine cycles simulated during
+	// injection (shared pre-fault work plus every faulty continuation);
+	// CyclesPerSec divides it by Wall — the campaign's effective
+	// simulation throughput across all workers.
+	SimCycles    uint64
+	CyclesPerSec float64
 }
 
 // String renders a one-campaign summary.
@@ -575,6 +631,13 @@ type BaselineReport struct {
 	// summed per-injection (single-machine-equivalent) time.
 	Wall   time.Duration
 	Serial time.Duration
+	// SnapshotHit, Clones, CloneTime, SimCycles and CyclesPerSec mirror
+	// Report's injection-phase performance counters.
+	SnapshotHit  bool
+	Clones       int64
+	CloneTime    time.Duration
+	SimCycles    uint64
+	CyclesPerSec float64
 
 	// Artifacts retains the preprocessing products so MeRLiN and the
 	// Relyzer heuristic can be evaluated on the identical fault list.

@@ -45,6 +45,14 @@ type Progress struct {
 	CacheHit bool
 	CacheErr error
 
+	// SnapshotHit and CyclesPerSec are set on the inject/baseline
+	// ProgressPhaseDone event: whether the checkpoint ladder was served
+	// from a shared SnapshotCache (skipping the rebuild), and the
+	// campaign's effective simulation throughput (simulated cycles per
+	// wall-clock second across all injection workers).
+	SnapshotHit  bool
+	CyclesPerSec float64
+
 	// ProgressFault events: the fault's index in the injected list, the
 	// fault itself, and its classification.
 	Index   int

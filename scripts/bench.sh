@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Runs the repository's key performance benchmarks with a fixed -benchtime
+# and refreshes the BENCH_PR4.json trajectory file (preserving its recorded
+# pre-optimization baseline). Pass flags through to the Go tool, e.g.:
+#
+#   scripts/bench.sh                       # full run
+#   scripts/bench.sh -benchtime 1x -microtime 10x -out /tmp/b.json   # CI smoke
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./scripts/bench "$@"

@@ -1,0 +1,195 @@
+// Command bench runs the repository's key performance benchmarks with a
+// fixed -benchtime and records the results as a machine-readable
+// trajectory file (BENCH_PR4.json by default), so clone-cost and
+// scheduler-throughput regressions are visible across PRs.
+//
+// Usage:
+//
+//	go run ./scripts/bench                     # full run, writes BENCH_PR4.json
+//	go run ./scripts/bench -benchtime 1x -out /tmp/b.json   # CI smoke
+//
+// If the output file already exists, its "baseline" object is preserved
+// verbatim: record the pre-change numbers once, then re-run the tool after
+// every optimization to refresh "current" while keeping the comparison
+// anchor. Derived speedups (baseline/current) are recomputed on every run.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// metrics is one benchmark's parsed result: ns/op plus every custom
+// `-benchmem`/ReportMetric unit keyed by its name.
+type metrics map[string]float64
+
+type benchFile struct {
+	PR                int                `json:"pr"`
+	Generated         string             `json:"generated"`
+	Benchtime         string             `json:"benchtime"`
+	Host              map[string]any     `json:"host"`
+	Baseline          map[string]metrics `json:"baseline,omitempty"`
+	Current           map[string]metrics `json:"current"`
+	SpeedupVsBaseline map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR4.json", "output JSON file")
+	benchtime := flag.String("benchtime", "3x", "benchtime for the campaign-scale strategy benchmarks")
+	microtime := flag.String("microtime", "200x", "benchtime for the clone/simulator microbenchmarks")
+	flag.Parse()
+
+	runs := []struct {
+		pkg, pattern, benchtime string
+	}{
+		{".", "BenchmarkStrategy_(Replay|Checkpointed|Forked)$", *benchtime},
+		{".", "BenchmarkStrategy_Speedup$", "1x"},
+		{"./internal/cpu/", "BenchmarkClone$|BenchmarkClonePool$|BenchmarkCloneAfterSteps$|BenchmarkSimSpeed$", *microtime},
+	}
+
+	current := make(map[string]metrics)
+	for _, r := range runs {
+		if err := runBench(r.pkg, r.pattern, r.benchtime, current); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s %s: %v\n", r.pkg, r.pattern, err)
+			os.Exit(1)
+		}
+	}
+	// Simulator throughput in cycles/s falls out of SimSpeed's two metrics.
+	if m, ok := current["SimSpeed"]; ok && m["ns/op"] > 0 {
+		m["cycles/s"] = m["cycles/run"] / (m["ns/op"] / 1e9)
+	}
+
+	f := benchFile{
+		PR:        4,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Benchtime: *benchtime,
+		Host: map[string]any{
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"cpus":   runtime.NumCPU(),
+			"go":     runtime.Version(),
+		},
+		Current: current,
+	}
+	// Preserve a previously recorded baseline so the trajectory keeps its
+	// pre-optimization anchor across refreshes.
+	if old, err := os.ReadFile(*out); err == nil {
+		var prev benchFile
+		if json.Unmarshal(old, &prev) == nil && prev.Baseline != nil {
+			f.Baseline = prev.Baseline
+		}
+	}
+	f.SpeedupVsBaseline = speedups(f.Baseline, f.Current)
+
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("bench: wrote %s (%d benchmarks)\n", *out, len(current))
+}
+
+// runBench executes one `go test -bench` invocation and folds its parsed
+// results into dst.
+func runBench(pkg, pattern, benchtime string, dst map[string]metrics) error {
+	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchtime", benchtime, "-benchmem", pkg}
+	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("%w\n%s", err, buf.String())
+	}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		name, m, ok := parseBenchLine(sc.Text())
+		if ok {
+			dst[name] = m
+		}
+	}
+	return sc.Err()
+}
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkClone-8   100   55447 ns/op   183072 B/op   27 allocs/op
+//
+// returning the trimmed name ("Clone") and its value/unit pairs.
+func parseBenchLine(line string) (string, metrics, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 { // strip -GOMAXPROCS suffix
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	// fields[1] is the iteration count; value/unit pairs follow it.
+	m := make(metrics)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		m[fields[i+1]] = v
+	}
+	if len(m) == 0 {
+		return "", nil, false
+	}
+	return name, m, true
+}
+
+// speedups derives baseline/current ratios for the headline metrics (so
+// >1 means the current tree is faster / lighter than the baseline).
+func speedups(baseline, current map[string]metrics) map[string]float64 {
+	if baseline == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	ratio := func(key, bench, unit string) {
+		b, okB := baseline[bench]
+		c, okC := current[bench]
+		if okB && okC && b[unit] > 0 && c[unit] > 0 {
+			out[key] = b[unit] / c[unit]
+		}
+	}
+	ratio("forked_wall_x", "Strategy_Forked", "wall-ms")
+	ratio("checkpointed_wall_x", "Strategy_Checkpointed", "wall-ms")
+	ratio("replay_wall_x", "Strategy_Replay", "wall-ms")
+	ratio("forked_bytes_x", "Strategy_Forked", "B/op")
+	ratio("clone_ns_x", "Clone", "ns/op")
+	ratio("clone_bytes_x", "Clone", "B/op")
+	ratio("clone_allocs_x", "Clone", "allocs/op")
+	// The schedulers take their clones through the shell pool, so the
+	// per-clone cost they actually pay is baseline Clone vs ClonePool.
+	cross := func(key, bBench, cBench, unit string) {
+		b, okB := baseline[bBench]
+		c, okC := current[cBench]
+		if okB && okC && b[unit] > 0 && c[unit] > 0 {
+			out[key] = b[unit] / c[unit]
+		}
+	}
+	cross("pooled_clone_ns_x", "Clone", "ClonePool", "ns/op")
+	cross("pooled_clone_bytes_x", "Clone", "ClonePool", "B/op")
+	cross("pooled_clone_allocs_x", "Clone", "ClonePool", "allocs/op")
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

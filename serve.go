@@ -37,6 +37,13 @@ type ServeOptions struct {
 	// its own golden run). Open one with OpenCache.
 	Cache *Cache
 
+	// SnapshotBudget bounds the in-memory snapshot cache that shares
+	// checkpoint ladders (frozen machine snapshots) across concurrent and
+	// repeat campaigns: on a warm golden-artifact hit, a campaign skips
+	// the ladder rebuild entirely. 0 means the default budget (512 MB);
+	// negative disables snapshot sharing.
+	SnapshotBudget int64
+
 	// Shards is the number of independent worker pools (campaigns are
 	// assigned by id hash), WorkersPerShard how many campaigns one shard
 	// runs concurrently, and QueueDepth the pending-campaign bound per
@@ -56,8 +63,12 @@ type ServeOptions struct {
 // service. Expose it over HTTP with (*Server).Handler; stop it with
 // (*Server).Close.
 func NewServer(opt ServeOptions) (*Server, error) {
+	var snapshots *SnapshotCache
+	if opt.SnapshotBudget >= 0 {
+		snapshots = NewSnapshotCache(opt.SnapshotBudget)
+	}
 	cfg := server.Config{
-		Run:             runCampaign(opt.Cache),
+		Run:             runCampaign(opt.Cache, snapshots),
 		Validate:        validateRequest(opt.Cache),
 		Shards:          opt.Shards,
 		WorkersPerShard: opt.WorkersPerShard,
@@ -67,6 +78,9 @@ func NewServer(opt ServeOptions) (*Server, error) {
 	if opt.Cache != nil {
 		cache := opt.Cache
 		cfg.CacheStats = func() any { return cache.Stats() }
+	}
+	if snapshots != nil {
+		cfg.SnapshotStats = func() any { return snapshots.Stats() }
 	}
 	return server.New(cfg)
 }
@@ -176,7 +190,9 @@ func progressEvent(p Progress) (CampaignEvent, bool) {
 		case PhaseReduce:
 			return CampaignEvent{Type: "reduce", Msg: p.Msg}, true
 		default:
-			return CampaignEvent{Type: "inject", Msg: p.Msg}, true
+			snapHit := p.SnapshotHit
+			return CampaignEvent{Type: "inject", Msg: p.Msg,
+				SnapshotHit: &snapHit, CyclesPerSec: p.CyclesPerSec}, true
 		}
 	case ProgressFault:
 		return CampaignEvent{Type: "fault", Index: p.Index,
@@ -189,12 +205,17 @@ func progressEvent(p Progress) (CampaignEvent, bool) {
 // per campaign, its progress stream forwarded to the event log, its
 // context wired to the service's per-campaign cancellation. A cancelled
 // campaign returns ctx.Err(), which the service records as the
-// "cancelled" terminal state.
-func runCampaign(cache *Cache) server.RunFunc {
+// "cancelled" terminal state. All campaigns share the process-wide
+// snapshot cache, so repeat and concurrent campaigns reuse one frozen
+// checkpoint ladder instead of each rebuilding it.
+func runCampaign(cache *Cache, snapshots *SnapshotCache) server.RunFunc {
 	return func(ctx context.Context, req CampaignRequest, emit func(CampaignEvent)) (any, error) {
 		opts, err := requestOptions(req, cache)
 		if err != nil {
 			return nil, err
+		}
+		if snapshots != nil {
+			opts = append(opts, WithSnapshotCache(snapshots))
 		}
 		opts = append(opts, WithProgress(func(p Progress) {
 			if ev, ok := progressEvent(p); ok {

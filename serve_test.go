@@ -138,6 +138,90 @@ func TestDaemonCacheHitOnResubmit(t *testing.T) {
 	}
 }
 
+// TestDaemonSnapshotHitOnResubmit is the snapshot-cache acceptance test:
+// with a warm golden-artifact cache, a repeat campaign skips the
+// checkpoint-ladder rebuild entirely — visible as the report's
+// SnapshotHit, the inject event's snapshot_hit field, and the /statsz
+// snapshot hit counter — while producing a bit-identical Dist.
+func TestDaemonSnapshotHitOnResubmit(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := daemon(t, ServeOptions{Cache: cache})
+
+	const body = `{"workload":"sha","structure":"RF","faults":300,"seed":9,"strategy":"forked"}`
+	firstID := postCampaign(t, hs.URL, body)
+	_, first := campaignWait(t, hs.URL, firstID)
+	if first.SnapshotHit {
+		t.Fatal("first campaign reported a snapshot hit on a cold cache")
+	}
+
+	secondID := postCampaign(t, hs.URL, body)
+	_, second := campaignWait(t, hs.URL, secondID)
+	if !second.CacheHit {
+		t.Fatal("second campaign missed the artifact cache")
+	}
+	if !second.SnapshotHit {
+		t.Fatal("second identical campaign rebuilt the checkpoint ladder despite a warm snapshot cache")
+	}
+	if second.Dist != first.Dist {
+		t.Fatalf("Dist not bit-identical across snapshot hit:\nfirst  %v\nsecond %v", first.Dist, second.Dist)
+	}
+	if second.CyclesPerSec <= 0 || first.CyclesPerSec <= 0 {
+		t.Errorf("cycles/s not reported: first %v, second %v", first.CyclesPerSec, second.CyclesPerSec)
+	}
+
+	// The inject event of the second campaign carries the hit.
+	resp, err := http.Get(hs.URL + "/campaigns/" + secondID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var injectSeen, injectHit bool
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev CampaignEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		if ev.Type == "inject" {
+			injectSeen = true
+			if ev.SnapshotHit != nil && *ev.SnapshotHit {
+				injectHit = true
+			}
+			if ev.CyclesPerSec <= 0 {
+				t.Errorf("inject event missing cycles_per_sec: %+v", ev)
+			}
+		}
+	}
+	if !injectSeen {
+		t.Fatal("no inject event in the second campaign's stream")
+	}
+	if !injectHit {
+		t.Fatal("second campaign's inject event does not carry snapshot_hit=true")
+	}
+
+	// /statsz exports the snapshot cache counters.
+	sresp, err := http.Get(hs.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats struct {
+		Snapshots SnapshotCacheStats `json:"snapshots"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Snapshots.Hits < 1 || stats.Snapshots.Misses < 1 || stats.Snapshots.Entries < 1 {
+		t.Fatalf("snapshot stats = %+v, want >=1 hit, miss and entry", stats.Snapshots)
+	}
+	if stats.Snapshots.Bytes <= 0 || stats.Snapshots.Budget <= 0 {
+		t.Fatalf("snapshot stats missing byte accounting: %+v", stats.Snapshots)
+	}
+}
+
 // TestDaemonConcurrentEventStreams runs two campaigns concurrently and
 // asserts both event streams carry per-fault outcomes while the campaigns
 // overlap in time.

@@ -153,6 +153,19 @@ func WithCache(c *Cache) Option {
 	}
 }
 
+// WithSnapshotCache attaches a shared checkpoint-ladder cache: the
+// checkpointed and forked schedulers serve their frozen machine snapshots
+// from it instead of rebuilding them, so concurrent and repeat campaigns
+// over one (workload, CPU config, golden cycles) pay the ladder build
+// once. Create one with NewSnapshotCache; the daemon wires a process-wide
+// instance into every campaign.
+func WithSnapshotCache(c *SnapshotCache) Option {
+	return func(o *sessionConfig) error {
+		o.cfg.Snapshots = c
+		return nil
+	}
+}
+
 // WithProgress subscribes fn to the Session's typed progress stream. See
 // Progress for the concurrency contract.
 func WithProgress(fn func(Progress)) Option {
@@ -324,10 +337,35 @@ func (s *Session) Inject(ctx context.Context) (*Report, error) {
 	}
 	s.emitEvent(Progress{
 		Kind: ProgressPhaseDone, Phase: PhaseInject,
-		Msg: fmt.Sprintf("injected %d representatives in %v: %v",
-			rep.Injected, rep.Wall.Round(time.Millisecond), rep.Dist),
+		SnapshotHit: rep.SnapshotHit, CyclesPerSec: rep.CyclesPerSec,
+		Msg: fmt.Sprintf("injected %d representatives in %v (%s cycles/s, %d clones%s): %v",
+			rep.Injected, rep.Wall.Round(time.Millisecond),
+			siCount(rep.CyclesPerSec), rep.Clones, snapshotNote(rep.SnapshotHit), rep.Dist),
 	})
 	return rep, nil
+}
+
+// siCount renders a rate with an SI suffix for the phase summaries.
+func siCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// snapshotNote annotates a phase summary when the checkpoint ladder was
+// served from the shared snapshot cache.
+func snapshotNote(hit bool) string {
+	if hit {
+		return ", snapshot cache hit"
+	}
+	return ""
 }
 
 // Run executes the full MeRLiN pipeline (Preprocess, Reduce, Inject) and
@@ -353,8 +391,10 @@ func (s *Session) Baseline(ctx context.Context) (*BaselineReport, error) {
 	}
 	s.emitEvent(Progress{
 		Kind: ProgressPhaseDone, Phase: PhaseBaseline,
-		Msg: fmt.Sprintf("injected all %d faults in %v: %v",
-			rep.Faults, rep.Wall.Round(time.Millisecond), rep.Dist),
+		SnapshotHit: rep.SnapshotHit, CyclesPerSec: rep.CyclesPerSec,
+		Msg: fmt.Sprintf("injected all %d faults in %v (%s cycles/s%s): %v",
+			rep.Faults, rep.Wall.Round(time.Millisecond),
+			siCount(rep.CyclesPerSec), snapshotNote(rep.SnapshotHit), rep.Dist),
 	})
 	return rep, nil
 }
