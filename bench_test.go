@@ -8,6 +8,7 @@ package merlin_test
 import (
 	"context"
 	"testing"
+	"time"
 
 	"merlin"
 
@@ -404,4 +405,62 @@ func BenchmarkAblation_GroupingChoices(b *testing.B) {
 		b.ReportMetric(r.Rows[0].WorstDiff, "step1-only-pp")
 		b.ReportMetric(r.Rows[1].WorstDiff, "paper-pp")
 	}
+}
+
+// benchBatch3 is the shared harness of the batch benchmarks: a
+// 3-structure qsort campaign, big enough that the golden run dominates a
+// sequential re-trace. wall-ms is the mean per-iteration wall-clock
+// across all of b.N (ReportMetric is last-call-wins, so per-iteration
+// reporting would record only the warmest run).
+func benchBatch3(b *testing.B, run func(b *testing.B)) {
+	b.Helper()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		run(b)
+	}
+	b.ReportMetric(time.Since(start).Seconds()*1000/float64(b.N), "wall-ms")
+}
+
+// BenchmarkBatch_SharedGolden times a 3-structure batch campaign: one
+// golden run traced for RF, SQ and L1D, per-structure injections sharing
+// the clone pool and checkpoint ladder.
+func BenchmarkBatch_SharedGolden(b *testing.B) {
+	benchBatch3(b, func(b *testing.B) {
+		ctx := context.Background()
+		batch, err := merlin.StartBatch(ctx, "qsort",
+			merlin.WithStructures(merlin.RF, merlin.SQ, merlin.L1D),
+			merlin.WithFaults(300), merlin.WithSeed(1),
+			merlin.WithStrategy(merlin.StrategyForked))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := batch.Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.GoldenRuns != 1 {
+			b.Fatalf("batch ran %d golden runs", rep.GoldenRuns)
+		}
+	})
+}
+
+// BenchmarkBatch_Sequential3x times the pre-batch equivalent: three
+// standalone sessions, each paying its own golden run and ladder — the
+// baseline the batch's shared-golden design is measured against.
+func BenchmarkBatch_Sequential3x(b *testing.B) {
+	benchBatch3(b, func(b *testing.B) {
+		ctx := context.Background()
+		for _, structure := range []merlin.Structure{merlin.RF, merlin.SQ, merlin.L1D} {
+			s, err := merlin.Start(ctx, "qsort",
+				merlin.WithStructure(structure),
+				merlin.WithFaults(300), merlin.WithSeed(1),
+				merlin.WithStrategy(merlin.StrategyForked))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Run(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -9,7 +9,13 @@
 //	merlin -workload bzip2 -structure L1D -l1d 16384 -faults 5000 -baseline
 //	merlin -workload sha -structure SQ -strategy forked
 //	merlin -workload qsort -structure RF -cache ./merlind-cache
+//	merlin -workload qsort -structures RF,SQ,L1D -faults 2000
 //	merlin -list
+//
+// -structures runs a batch campaign: every listed structure is evaluated
+// over a single shared golden run (one profiling pass, one artifact-cache
+// entry, one checkpoint ladder), with per-structure reports bit-identical
+// to standalone runs and cross-structure AVF/FIT totals at the end.
 //
 // -strategy selects how injection runs reproduce the pre-fault execution
 // prefix: replay (from reset), checkpointed (from k frozen snapshots), or
@@ -50,25 +56,26 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		workload  = flag.String("workload", "qsort", "workload name (see -list)")
-		structure = flag.String("structure", "RF", "injection target: RF, SQ, or L1D")
-		faults    = flag.Int("faults", 2000, "initial statistical fault list size (0 = derive from -confidence/-margin; the paper uses 60000)")
-		conf      = flag.Float64("confidence", 0.998, "statistical confidence level")
-		margin    = flag.Float64("margin", 0.0063, "statistical error margin")
-		seed      = flag.Int64("seed", 1, "fault sampling seed")
-		regs      = flag.Int("regs", 256, "physical integer registers (256/128/64)")
-		sq        = flag.Int("sq", 64, "store-queue (and load-queue) entries (64/32/16)")
-		l1d       = flag.Int("l1d", 32<<10, "L1 data cache bytes (65536/32768/16384)")
-		reps      = flag.Int("reps", 1, "representatives injected per final group")
-		baseline  = flag.Bool("baseline", false, "also run the comprehensive baseline campaign for comparison")
-		workers   = flag.Int("workers", 0, "injection parallelism (0 = all cores)")
-		strategy  = flag.String("strategy", "replay", "injection strategy: replay, checkpointed, or forked (bit-identical outcomes, different wall-clock)")
-		ckpts     = flag.Int("checkpoints", 0, "snapshot count (>0 implies -strategy checkpointed)")
-		cacheDir  = flag.String("cache", "", "golden-run artifact cache directory (empty disables; shareable with merlind)")
-		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
-		memProf   = flag.String("memprofile", "", "write a pprof heap profile (after the campaign) to this file")
-		verbose   = flag.Bool("v", false, "print phase progress to stderr")
-		list      = flag.Bool("list", false, "list available workloads and exit")
+		workload   = flag.String("workload", "qsort", "workload name (see -list)")
+		structure  = flag.String("structure", "RF", "injection target: RF, SQ, or L1D")
+		structures = flag.String("structures", "", "comma-separated batch targets (e.g. RF,SQ,L1D): run one batch campaign whose structures share a single golden run; overrides -structure, incompatible with -baseline")
+		faults     = flag.Int("faults", 2000, "initial statistical fault list size (0 = derive from -confidence/-margin; the paper uses 60000)")
+		conf       = flag.Float64("confidence", 0.998, "statistical confidence level")
+		margin     = flag.Float64("margin", 0.0063, "statistical error margin")
+		seed       = flag.Int64("seed", 1, "fault sampling seed")
+		regs       = flag.Int("regs", 256, "physical integer registers (256/128/64)")
+		sq         = flag.Int("sq", 64, "store-queue (and load-queue) entries (64/32/16)")
+		l1d        = flag.Int("l1d", 32<<10, "L1 data cache bytes (65536/32768/16384)")
+		reps       = flag.Int("reps", 1, "representatives injected per final group")
+		baseline   = flag.Bool("baseline", false, "also run the comprehensive baseline campaign for comparison")
+		workers    = flag.Int("workers", 0, "injection parallelism (0 = all cores)")
+		strategy   = flag.String("strategy", "replay", "injection strategy: replay, checkpointed, or forked (bit-identical outcomes, different wall-clock)")
+		ckpts      = flag.Int("checkpoints", 0, "snapshot count (>0 implies -strategy checkpointed)")
+		cacheDir   = flag.String("cache", "", "golden-run artifact cache directory (empty disables; shareable with merlind)")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof heap profile (after the campaign) to this file")
+		verbose    = flag.Bool("v", false, "print phase progress to stderr")
+		list       = flag.Bool("list", false, "list available workloads and exit")
 	)
 	flag.Parse()
 
@@ -111,14 +118,25 @@ func run() int {
 		return 0
 	}
 
-	target, err := merlin.ParseStructure(*structure)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 2
+	// -structures selects batch mode: one campaign per listed structure
+	// over a single shared golden run. Batch targets replace -structure.
+	var batchTargets []merlin.Structure
+	if *structures != "" {
+		if *baseline {
+			fmt.Fprintln(os.Stderr, "merlin: -baseline is a single-structure mode; drop -structures (or run per structure)")
+			return 2
+		}
+		for _, name := range strings.Split(*structures, ",") {
+			t, err := merlin.ParseStructure(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			batchTargets = append(batchTargets, t)
+		}
 	}
 
 	opts := []merlin.Option{
-		merlin.WithStructure(target),
 		merlin.WithCPU(cpu.DefaultConfig().WithRF(*regs).WithSQ(*sq).WithL1D(*l1d)),
 		merlin.WithFaults(*faults),
 		merlin.WithSampling(*conf, *margin),
@@ -160,7 +178,19 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	s, err := merlin.Start(ctx, *workload, opts...)
+	if len(batchTargets) > 0 {
+		return runBatch(ctx, *workload, append(opts, merlin.WithStructures(batchTargets...)))
+	}
+
+	// -structure is only consulted in single-campaign mode; batch mode
+	// takes its targets from -structures and ignores it entirely.
+	target, err := merlin.ParseStructure(*structure)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	s, err := merlin.Start(ctx, *workload, append(opts, merlin.WithStructure(target))...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "merlin:", err)
 		return 2
@@ -212,6 +242,41 @@ func run() int {
 		fmt.Printf("observed speedup: %.1fx fewer injections, %.1fx less injection time\n",
 			float64(base.Faults)/float64(rep.Injected),
 			base.Serial.Seconds()/rep.Serial.Seconds())
+	}
+	return 0
+}
+
+// runBatch runs the -structures batch mode: one shared golden run, one
+// report per structure, cross-structure totals.
+func runBatch(ctx context.Context, workload string, opts []merlin.Option) int {
+	b, err := merlin.StartBatch(ctx, workload, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "merlin:", err)
+		return 2
+	}
+	rep, err := b.Run(ctx)
+	if errors.Is(err, context.Canceled) && rep != nil {
+		fmt.Fprintf(os.Stderr, "merlin: batch cancelled with %d of %d structures reporting\n",
+			len(rep.Reports), len(rep.Structures))
+		for _, r := range rep.Reports {
+			fmt.Printf("%s/%s partial dist (%d classified): %v\n", r.Workload, r.Structure, r.Dist.Total(), r.Dist)
+		}
+		return 130
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "merlin:", err)
+		return 1
+	}
+	fmt.Println(rep)
+	goldenSrc := "simulated once"
+	if rep.CacheHit {
+		goldenSrc = "served from artifact cache"
+	}
+	fmt.Printf("  golden run: %d cycles, %s, shared by %d structures; batch wall %v\n",
+		rep.GoldenCycles, goldenSrc, len(rep.Reports), rep.Wall.Round(1000000))
+	for i, v := range rep.Variance {
+		fmt.Printf("  %v §4.4.5 variance: baseline %.3g, MeRLiN %.3g (orders below mean: %.1f / %.1f)\n",
+			rep.Reports[i].Structure, v.VarBaseline, v.VarMerlin, v.OrdersBaseline, v.OrdersMerlin)
 	}
 	return 0
 }

@@ -15,9 +15,21 @@
 //	curl -s -X DELETE localhost:7411/campaigns/c000001  # cancel queued or running
 //	curl -s localhost:7411/statsz                       # queues + cache hits/misses
 //
-// Campaigns that share (workload, core config, structure) reuse one golden
-// run: the first campaign pays for Preprocess, every later one — different
-// fault budget, seed, strategy, grouping ablation — skips it entirely.
+// Batch campaigns evaluate one workload across several structures over a
+// single shared golden run (one profiling pass, one artifact, one
+// checkpoint ladder), streaming structure-tagged events; DELETE cancels
+// the whole batch:
+//
+//	curl -s -X POST localhost:7411/batches \
+//	    -d '{"workload":"qsort","structures":["RF","SQ","L1D"],"faults":2000,"strategy":"forked"}'
+//	curl -s localhost:7411/batches/b000002              # status + batch report
+//	curl -sN localhost:7411/batches/b000002/events      # NDJSON tagged by structure
+//	curl -s -X DELETE localhost:7411/batches/b000002    # cancel all structures
+//
+// Campaigns that share (workload, core config, structure set) reuse one
+// golden run: the first campaign pays for Preprocess, every later one —
+// different fault budget, seed, strategy, grouping ablation — skips it
+// entirely.
 //
 // Campaigns are first-class, interruptible objects: DELETE cancels a
 // queued campaign instantly and stops a running one between injections

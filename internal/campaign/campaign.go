@@ -209,7 +209,17 @@ type Runner struct {
 	// Runners of the same configuration. Like the other knobs, it must not
 	// be swapped while a campaign is running.
 	Pool *cpu.ClonePool
+
+	// goldenRuns counts the fault-free reference runs this Runner has
+	// simulated; batch pipelines assert exactly one per shared golden.
+	goldenRuns atomic.Int64
 }
+
+// GoldenRuns reports how many fault-free reference runs this Runner has
+// simulated (RunGolden calls). Campaigns sharing one Runner over a single
+// golden run — the batch pipeline — observe 1 here no matter how many
+// structures they inject; an artifact-cache hit leaves it at 0.
+func (r *Runner) GoldenRuns() int64 { return r.goldenRuns.Load() }
 
 // DefaultGoldenBudget is NewRunner's bound on the fault-free reference
 // run: generous enough for every registered workload at every Table 1
@@ -289,6 +299,7 @@ func (m *runMetrics) fill(res *Result) {
 // RunGolden performs the fault-free reference run, tracking lifetimes of
 // the given structures (none for plain baseline campaigns).
 func (r *Runner) RunGolden(track ...lifetime.StructureID) (*Golden, error) {
+	r.goldenRuns.Add(1)
 	c := r.NewCore()
 	var tr *lifetime.Tracer
 	if len(track) > 0 {

@@ -143,9 +143,17 @@ func NewTracer(track ...StructureID) *Tracer {
 // every read-side Tracer use — Log, Branches, re-running Build — exactly
 // like the tracer that recorded the run.
 func RehydrateTracer(s StructureID, log *Log, branches []BranchRec, cycles uint64) *Tracer {
-	t := &Tracer{Branches: branches, Cycles: cycles}
-	t.logs[s] = log
-	return t
+	var logs [NumStructures]*Log
+	logs[s] = log
+	return RehydrateTracerLogs(logs, branches, cycles)
+}
+
+// RehydrateTracerLogs is RehydrateTracer for a multi-structure golden
+// trace (a batch campaign's cached artifact): logs is indexed by
+// StructureID, and nil entries leave that structure untracked, exactly as
+// if NewTracer had omitted it.
+func RehydrateTracerLogs(logs [NumStructures]*Log, branches []BranchRec, cycles uint64) *Tracer {
+	return &Tracer{logs: logs, Branches: branches, Cycles: cycles}
 }
 
 // Log returns the event log for s, or nil if s is untracked.

@@ -241,6 +241,28 @@ func pickDiverse(a *lifetime.Analysis, r *Reduction, members []int32, rotation, 
 	return reps
 }
 
+// ExtrapolateGroups walks the groups together with each group's
+// extrapolated member distribution: repOutcomes is the concatenation of
+// every group's representative outcomes in Groups order (i.e. aligned
+// with Reduced()), and each member inherits its representative's outcome,
+// cycling through the group's representatives when RepsPerGroup > 1. It
+// is the single place that alignment and inheritance rule live;
+// Extrapolate and the batch report's per-group variance model both build
+// on it.
+func (r *Reduction) ExtrapolateGroups(repOutcomes []campaign.Outcome, fn func(g *Group, d campaign.Dist)) {
+	pos := 0
+	for i := range r.Groups {
+		g := &r.Groups[i]
+		reps := repOutcomes[pos : pos+len(g.Reps)]
+		pos += len(g.Reps)
+		var d campaign.Dist
+		for j := range g.Members {
+			d.Add(reps[j%len(reps)])
+		}
+		fn(g, d)
+	}
+}
+
 // Extrapolate builds the fault-effect distribution of the entire initial
 // fault list from the outcomes of the injected representatives (aligned
 // with Reduced()). Phase-1-pruned faults count as Masked; every group
@@ -248,14 +270,11 @@ func pickDiverse(a *lifetime.Analysis, r *Reduction, members []int32, rotation, 
 func (r *Reduction) Extrapolate(repOutcomes []campaign.Outcome) campaign.Dist {
 	var d campaign.Dist
 	d.AddN(campaign.Masked, r.ACEMasked)
-	pos := 0
-	for _, g := range r.Groups {
-		reps := repOutcomes[pos : pos+len(g.Reps)]
-		pos += len(g.Reps)
-		for j := range g.Members {
-			d.Add(reps[j%len(reps)])
+	r.ExtrapolateGroups(repOutcomes, func(_ *Group, gd campaign.Dist) {
+		for o, n := range gd {
+			d.AddN(campaign.Outcome(o), n)
 		}
-	}
+	})
 	return d
 }
 

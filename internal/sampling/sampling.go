@@ -89,7 +89,15 @@ func Population(entries, entryBits int, cycles uint64) float64 {
 
 // Generate draws n uniform faults over (entry, bit, cycle in [1, cycles])
 // for structure s, deterministically from seed.
+//
+// A degenerate geometry — zero entries, zero entry bits, or a zero-cycle
+// run (an empty or instant workload) — has an empty fault population, so
+// Generate returns an empty list instead of panicking inside the uniform
+// draws. n <= 0 likewise yields an empty list.
 func Generate(s lifetime.StructureID, entries, entryBits int, cycles uint64, n int, seed int64) []fault.Fault {
+	if n <= 0 || entries <= 0 || entryBits <= 0 || cycles == 0 {
+		return []fault.Fault{}
+	}
 	rng := rand.New(rand.NewSource(seed))
 	faults := make([]fault.Fault, n)
 	for i := range faults {
@@ -106,10 +114,22 @@ func Generate(s lifetime.StructureID, entries, entryBits int, cycles uint64, n i
 // GenerateMultiBit draws n uniform faults like Generate but flips width
 // adjacent bits per fault (multi-bit upset model; width 1 degenerates to
 // the paper's single-bit model). The first bit is chosen so the whole
-// burst stays within the entry.
+// burst stays within the entry; a width wider than the entry itself is
+// clamped to entryBits (the burst then always covers the whole entry,
+// starting at bit 0) instead of panicking on the impossible placement.
+// Degenerate geometries return an empty list exactly like Generate.
 func GenerateMultiBit(s lifetime.StructureID, entries, entryBits int, cycles uint64, n int, width int, seed int64) []fault.Fault {
+	if n <= 0 || entries <= 0 || entryBits <= 0 || cycles == 0 {
+		return []fault.Fault{}
+	}
 	if width < 1 {
 		width = 1
+	}
+	if width > entryBits {
+		width = entryBits
+	}
+	if width > 255 {
+		width = 255 // Fault.Width is a uint8
 	}
 	rng := rand.New(rand.NewSource(seed))
 	faults := make([]fault.Fault, n)

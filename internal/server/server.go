@@ -27,7 +27,17 @@
 //	                              following live progress until the
 //	                              campaign finishes (?from=N resumes after
 //	                              event N-1)
-//	GET    /healthz               liveness + campaign counts
+//	POST   /batches               submit a multi-structure batch campaign
+//	                              (a "structures" list instead of a single
+//	                              "structure"): one shared golden run, one
+//	                              worker slot, one event log interleaving
+//	                              every structure
+//	GET    /batches               list batches, most recent first
+//	GET    /batches/{id}          status, plus the batch report once done
+//	DELETE /batches/{id}          cancel the whole batch (all structures)
+//	GET    /batches/{id}/events   the batch's event log as NDJSON; fault
+//	                              and phase events carry a "structure" tag
+//	GET    /healthz               liveness + campaign/batch counts
 //	GET    /statsz                queue depths, campaign counts, cache stats
 package server
 
@@ -45,13 +55,19 @@ import (
 )
 
 // Request is the wire form of one campaign submission (the JSON body of
-// POST /campaigns). Zero fields mean "use the pipeline default"; negative
-// values are rejected at submission time by the injected Validate hook.
+// POST /campaigns and POST /batches). Zero fields mean "use the pipeline
+// default"; negative values are rejected at submission time by the
+// injected Validate hook.
 type Request struct {
 	// Workload is the registered benchmark name (required).
 	Workload string `json:"workload"`
-	// Structure is the injection target: "RF", "SQ" or "L1D" (required).
-	Structure string `json:"structure"`
+	// Structure is the injection target: "RF", "SQ" or "L1D" (required
+	// for POST /campaigns; forbidden for batches).
+	Structure string `json:"structure,omitempty"`
+	// Structures is the batch target list (required for POST /batches;
+	// forbidden for single campaigns). The batch shares one golden run
+	// across all of them and reports each separately.
+	Structures []string `json:"structures,omitempty"`
 
 	// Faults sets the initial statistical fault list size; 0 derives it
 	// from Confidence and ErrorMargin.
@@ -92,8 +108,14 @@ type Event struct {
 	Seq  int       `json:"seq"`
 	Time time.Time `json:"time"`
 	// Type is "queued", "started", "preprocess", "reduce", "fault",
-	// "inject", "done", "failed" or "cancelled".
+	// "inject", "batch", "done", "failed" or "cancelled".
 	Type string `json:"type"`
+	// Structure tags the event with the structure it belongs to ("RF",
+	// "SQ", "L1D"). Batch campaigns interleave several structures in one
+	// event log, so per-fault and per-structure phase events carry it;
+	// batch-level events (the shared preprocess, the batch summary) and
+	// lifecycle events do not.
+	Structure string `json:"structure,omitempty"`
 	// Msg is a human-readable summary (phase events).
 	Msg string `json:"msg,omitempty"`
 
@@ -122,7 +144,9 @@ type Event struct {
 // when the campaign is cancelled via DELETE, or when its per-request
 // deadline expires — a RunFunc should observe it and return ctx.Err()
 // promptly (cancelled campaigns whose RunFunc returns a context error are
-// recorded with the "cancelled" terminal status).
+// recorded with the "cancelled" terminal status; a non-nil report
+// returned together with that error is retained as the record's partial
+// report).
 type RunFunc func(ctx context.Context, req Request, emit func(Event)) (any, error)
 
 // Config configures a Server. Run is required; everything else defaults.
@@ -188,9 +212,21 @@ func terminalStatus(status string) bool {
 	return status == StatusDone || status == StatusFailed || status == StatusCancelled
 }
 
-// campaign is the server-side record of one submission.
+// Kinds of submission the service runs. Both flow through the same
+// queues, workers, event logs and cancellation; they differ only in which
+// endpoints serve them and in what the injected RunFunc does with the
+// request (a batch request carries Structures and returns a batch
+// report).
+const (
+	KindCampaign = "campaign"
+	KindBatch    = "batch"
+)
+
+// campaign is the server-side record of one submission (single campaign
+// or batch).
 type campaign struct {
 	id        string
+	kind      string
 	shard     int
 	req       Request
 	submitted time.Time
@@ -387,8 +423,10 @@ func (s *Server) run(c *campaign) {
 	case cancelled && ctxErr:
 		// Only a genuine context error counts as the requested
 		// cancellation; a pipeline failure that raced with the DELETE
-		// must still surface as "failed" below.
-		c.finish(StatusCancelled, nil, err.Error(),
+		// must still surface as "failed" below. A partial report returned
+		// alongside the context error is kept — for a batch, the finished
+		// structures' results survive the DELETE.
+		c.finish(StatusCancelled, report, err.Error(),
 			Event{Type: "cancelled", Msg: "campaign cancelled: " + err.Error()})
 	case !cancelled && errors.Is(err, context.DeadlineExceeded) && c.req.DeadlineMS > 0:
 		msg := fmt.Sprintf("deadline of %dms exceeded", c.req.DeadlineMS)
@@ -405,9 +443,32 @@ func (s *Server) shardOf(id string) int {
 	return int(h.Sum32() % uint32(len(s.queues)))
 }
 
-// Submit enqueues a campaign and returns its id. It fails fast with
-// ErrQueueFull when the target shard's queue is at capacity.
+// Submit enqueues a single-structure campaign and returns its id. It
+// fails fast with ErrQueueFull when the target shard's queue is at
+// capacity.
 func (s *Server) Submit(req Request) (string, error) {
+	if len(req.Structures) > 0 {
+		return "", &badRequestError{fmt.Errorf("structures is a batch field; submit via POST /batches (or set structure)")}
+	}
+	return s.submit(req, KindCampaign)
+}
+
+// SubmitBatch enqueues a multi-structure batch campaign and returns its
+// id. The batch runs as one cancellable unit: a single worker slot, a
+// single event log interleaving every structure, and one DELETE cancels
+// all of it.
+func (s *Server) SubmitBatch(req Request) (string, error) {
+	if len(req.Structures) == 0 {
+		return "", &badRequestError{fmt.Errorf("batch submissions require a non-empty structures list")}
+	}
+	if req.Structure != "" {
+		return "", &badRequestError{fmt.Errorf("structure is a single-campaign field; batches take structures")}
+	}
+	return s.submit(req, KindBatch)
+}
+
+// submit is the shared enqueue path of Submit and SubmitBatch.
+func (s *Server) submit(req Request, kind string) (string, error) {
 	if req.DeadlineMS < 0 {
 		return "", &badRequestError{fmt.Errorf("deadline_ms is %d; want >= 0 (0 = no deadline)", req.DeadlineMS)}
 	}
@@ -420,11 +481,16 @@ func (s *Server) Submit(req Request) (string, error) {
 		return "", fmt.Errorf("server: shutting down")
 	}
 
+	prefix := "c"
+	if kind == KindBatch {
+		prefix = "b"
+	}
 	s.mu.Lock()
 	s.nextID++
-	id := fmt.Sprintf("c%06d", s.nextID)
+	id := fmt.Sprintf("%s%06d", prefix, s.nextID)
 	c := &campaign{
 		id:        id,
+		kind:      kind,
 		shard:     s.shardOf(id),
 		req:       req,
 		submitted: time.Now(),
@@ -507,10 +573,21 @@ func (s *Server) get(id string) (*campaign, bool) {
 	return c, ok
 }
 
+// getKind looks up a record by id, visible only through its own kind's
+// endpoint tree (a batch id 404s under /campaigns and vice versa).
+func (s *Server) getKind(id, kind string) (*campaign, bool) {
+	c, ok := s.get(id)
+	if !ok || c.kind != kind {
+		return nil, false
+	}
+	return c, true
+}
+
 // statusJSON is the wire form of GET /campaigns/{id} (and the per-entry
 // form of GET /campaigns).
 type statusJSON struct {
 	ID        string    `json:"id"`
+	Kind      string    `json:"kind"`
 	Status    string    `json:"status"`
 	Shard     int       `json:"shard"`
 	Request   Request   `json:"request"`
@@ -527,6 +604,7 @@ func (c *campaign) statusJSON(withReport bool) statusJSON {
 	defer c.mu.Unlock()
 	st := statusJSON{
 		ID:        c.id,
+		Kind:      c.kind,
 		Status:    c.status,
 		Shard:     c.shard,
 		Request:   c.req,
@@ -542,16 +620,23 @@ func (c *campaign) statusJSON(withReport bool) statusJSON {
 	return st
 }
 
-// Handler returns the service's HTTP handler.
+// Handler returns the service's HTTP handler. The /batches tree mirrors
+// /campaigns — submit, list, status, cancel, event streaming — over the
+// same queues and workers; each tree only serves records of its own kind.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("POST /campaigns", s.handleSubmit)
-	mux.HandleFunc("GET /campaigns", s.handleList)
-	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
-	mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancel)
-	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /campaigns", s.handleList(KindCampaign))
+	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus(KindCampaign))
+	mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancel(KindCampaign))
+	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents(KindCampaign))
+	mux.HandleFunc("POST /batches", s.handleSubmitBatch)
+	mux.HandleFunc("GET /batches", s.handleList(KindBatch))
+	mux.HandleFunc("GET /batches/{id}", s.handleStatus(KindBatch))
+	mux.HandleFunc("DELETE /batches/{id}", s.handleCancel(KindBatch))
+	mux.HandleFunc("GET /batches/{id}/events", s.handleEvents(KindBatch))
 	return mux
 }
 
@@ -563,24 +648,28 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-// countByStatus snapshots how many campaigns sit in each state.
-func (s *Server) countByStatus() map[string]int {
+// countByStatus snapshots how many records of each kind sit in each
+// state, in one pass over the records (healthz/statsz scrapers should
+// not double the lock churn of the submit path).
+func (s *Server) countByStatus() map[string]map[string]int {
+	counts := map[string]map[string]int{KindCampaign: {}, KindBatch: {}}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	counts := map[string]int{}
 	for _, c := range s.campaigns {
 		c.mu.Lock()
-		counts[c.status]++
+		counts[c.kind][c.status]++
 		c.mu.Unlock()
 	}
 	return counts
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	counts := s.countByStatus()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":             true,
 		"uptime_seconds": time.Since(s.start).Seconds(),
-		"campaigns":      s.countByStatus(),
+		"campaigns":      counts[KindCampaign],
+		"batches":        counts[KindBatch],
 	})
 }
 
@@ -589,13 +678,15 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	for i, q := range s.queues {
 		depths[i] = len(q)
 	}
+	counts := s.countByStatus()
 	stats := map[string]any{
 		"uptime_seconds":    time.Since(s.start).Seconds(),
 		"shards":            len(s.queues),
 		"workers_per_shard": s.cfg.WorkersPerShard,
 		"queue_capacity":    s.cfg.QueueDepth,
 		"queue_depths":      depths,
-		"campaigns":         s.countByStatus(),
+		"campaigns":         counts[KindCampaign],
+		"batches":           counts[KindBatch],
 	}
 	if s.cfg.CacheStats != nil {
 		stats["cache"] = s.cfg.CacheStats()
@@ -607,6 +698,14 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.serveSubmit(w, r, s.Submit)
+}
+
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	s.serveSubmit(w, r, s.SubmitBatch)
+}
+
+func (s *Server) serveSubmit(w http.ResponseWriter, r *http.Request, submit func(Request) (string, error)) {
 	var req Request
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -614,7 +713,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
 		return
 	}
-	id, err := s.Submit(req)
+	id, err := submit(req)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
@@ -631,27 +730,35 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	ids := append([]string(nil), s.order...)
-	s.mu.Unlock()
-	sort.Sort(sort.Reverse(sort.StringSlice(ids))) // ids are zero-padded: reverse-lexicographic = newest first
-	out := make([]statusJSON, 0, len(ids))
-	for _, id := range ids {
-		if c, ok := s.get(id); ok {
-			out = append(out, c.statusJSON(false))
-		}
+func (s *Server) handleList(kind string) http.HandlerFunc {
+	listKey := "campaigns"
+	if kind == KindBatch {
+		listKey = "batches"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"campaigns": out})
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		ids := append([]string(nil), s.order...)
+		s.mu.Unlock()
+		sort.Sort(sort.Reverse(sort.StringSlice(ids))) // ids are zero-padded: reverse-lexicographic = newest first per kind
+		out := make([]statusJSON, 0, len(ids))
+		for _, id := range ids {
+			if c, ok := s.getKind(id, kind); ok {
+				out = append(out, c.statusJSON(false))
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{listKey: out})
+	}
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	c, ok := s.get(r.PathValue("id"))
-	if !ok {
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown campaign"})
-		return
+func (s *Server) handleStatus(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c, ok := s.getKind(r.PathValue("id"), kind)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown " + kind})
+			return
+		}
+		writeJSON(w, http.StatusOK, c.statusJSON(true))
 	}
-	writeJSON(w, http.StatusOK, c.statusJSON(true))
 }
 
 // ErrFinished is returned by Cancel (and served as 409) when the campaign
@@ -695,34 +802,51 @@ func (s *Server) Cancel(id string) (status string, err error) {
 	}
 }
 
-// handleCancel serves DELETE /campaigns/{id}: 200 with the resulting
-// status for queued ("cancelled") and running ("cancelling", terminal
-// "cancelled" follows once the worker unwinds) campaigns, 409 for
-// finished ones, 404 for unknown ids.
-func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	status, err := s.Cancel(id)
-	switch err {
-	case nil:
-		writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": status})
-	case ErrUnknownCampaign:
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown campaign"})
-	case ErrFinished:
-		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
-	default:
-		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+// handleCancel serves DELETE /campaigns/{id} and DELETE /batches/{id}:
+// 200 with the resulting status for queued ("cancelled") and running
+// ("cancelling", terminal "cancelled" follows once the worker unwinds)
+// records, 409 for finished ones, 404 for unknown or wrong-kind ids.
+// Cancelling a batch cancels the whole batch: its one context covers
+// every structure, so finished structures keep their reports and the
+// rest never inject.
+func (s *Server) handleCancel(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if _, ok := s.getKind(id, kind); !ok {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown " + kind})
+			return
+		}
+		status, err := s.Cancel(id)
+		switch err {
+		case nil:
+			writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": status})
+		case ErrUnknownCampaign:
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown " + kind})
+		case ErrFinished:
+			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		}
 	}
 }
 
-// handleEvents streams a campaign's event log as NDJSON: everything
+// handleEvents streams a record's event log as NDJSON: everything
 // already recorded, then live events as they happen, closing once the
-// campaign reaches a terminal state (or the client goes away).
-func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	c, ok := s.get(r.PathValue("id"))
-	if !ok {
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown campaign"})
-		return
+// record reaches a terminal state (or the client goes away). Batch logs
+// interleave all structures; each fault/phase event carries its
+// "structure" tag so clients can demultiplex.
+func (s *Server) handleEvents(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c, ok := s.getKind(r.PathValue("id"), kind)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown " + kind})
+			return
+		}
+		s.streamEvents(w, r, c)
 	}
+}
+
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, c *campaign) {
 	from := 0
 	if v := r.URL.Query().Get("from"); v != "" {
 		n, err := strconv.Atoi(v)

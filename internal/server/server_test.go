@@ -34,15 +34,27 @@ func (p *fakePipeline) run(ctx context.Context, req Request, emit func(Event)) (
 	p.mu.Lock()
 	gate := p.gate[req.Workload]
 	p.mu.Unlock()
-	for i := 0; i < req.Faults; i++ {
-		if gate != nil {
-			select {
-			case <-gate:
-			case <-ctx.Done():
-				return nil, ctx.Err()
+	// Batch requests fan the faults out per structure, tagging each event,
+	// mirroring the real pipeline's interleaved batch log.
+	structures := req.Structures
+	if len(structures) == 0 {
+		structures = []string{""}
+	}
+	for _, structure := range structures {
+		for i := 0; i < req.Faults; i++ {
+			if gate != nil {
+				select {
+				case <-gate:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
 			}
+			emit(Event{Type: "fault", Structure: structure, Index: i,
+				Fault: fmt.Sprintf("%s-fault-%d", req.Workload, i), Outcome: "Masked"})
 		}
-		emit(Event{Type: "fault", Index: i, Fault: fmt.Sprintf("%s-fault-%d", req.Workload, i), Outcome: "Masked"})
+	}
+	if len(req.Structures) > 0 {
+		emit(Event{Type: "batch", Msg: "batch done"})
 	}
 	return map[string]any{"workload": req.Workload, "injected": req.Faults}, nil
 }
@@ -58,10 +70,12 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	return s, hs
 }
 
-func submit(t *testing.T, base string, req Request) string {
+// The *At helpers take the endpoint tree ("/campaigns" or "/batches");
+// the plain wrappers keep the single-campaign tests readable.
+func submitAt(t *testing.T, base, tree string, req Request) string {
 	t.Helper()
 	body, _ := json.Marshal(req)
-	resp, err := http.Post(base+"/campaigns", "application/json", strings.NewReader(string(body)))
+	resp, err := http.Post(base+tree, "application/json", strings.NewReader(string(body)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,9 +91,14 @@ func submit(t *testing.T, base string, req Request) string {
 	return out.ID
 }
 
-func getStatus(t *testing.T, base, id string) statusJSON {
+func submit(t *testing.T, base string, req Request) string {
 	t.Helper()
-	resp, err := http.Get(base + "/campaigns/" + id)
+	return submitAt(t, base, "/campaigns", req)
+}
+
+func getStatusAt(t *testing.T, base, tree, id string) statusJSON {
+	t.Helper()
+	resp, err := http.Get(base + tree + "/" + id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,28 +110,38 @@ func getStatus(t *testing.T, base, id string) statusJSON {
 	return st
 }
 
-// waitDone polls until the campaign reaches any terminal status and
+func getStatus(t *testing.T, base, id string) statusJSON {
+	t.Helper()
+	return getStatusAt(t, base, "/campaigns", id)
+}
+
+// waitDoneAt polls until the record reaches any terminal status and
 // returns it — callers assert which terminal state they expected, and an
 // unexpected "cancelled" surfaces immediately instead of timing out.
-func waitDone(t *testing.T, base, id string) statusJSON {
+func waitDoneAt(t *testing.T, base, tree, id string) statusJSON {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
-		st := getStatus(t, base, id)
+		st := getStatusAt(t, base, tree, id)
 		if terminalStatus(st.Status) {
 			return st
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	t.Fatalf("campaign %s did not finish", id)
+	t.Fatalf("record %s did not finish", id)
 	return statusJSON{}
 }
 
-// streamEvents collects a campaign's full event stream (blocking until the
-// campaign finishes and the server closes the stream).
-func streamEvents(t *testing.T, base, id string) []Event {
+func waitDone(t *testing.T, base, id string) statusJSON {
 	t.Helper()
-	resp, err := http.Get(base + "/campaigns/" + id + "/events")
+	return waitDoneAt(t, base, "/campaigns", id)
+}
+
+// streamEventsAt collects a record's full event stream (blocking until it
+// finishes and the server closes the stream).
+func streamEventsAt(t *testing.T, base, tree, id string) []Event {
+	t.Helper()
+	resp, err := http.Get(base + tree + "/" + id + "/events")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,6 +159,11 @@ func streamEvents(t *testing.T, base, id string) []Event {
 		evs = append(evs, ev)
 	}
 	return evs
+}
+
+func streamEvents(t *testing.T, base, id string) []Event {
+	t.Helper()
+	return streamEventsAt(t, base, "/campaigns", id)
 }
 
 func TestSubmitRunAndReport(t *testing.T) {
@@ -625,5 +659,151 @@ func TestDeadlineMS(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("negative deadline: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestBatchSubmitRunAndEvents: the /batches tree runs a multi-structure
+// submission through the same machinery — status carries kind "batch",
+// the report arrives, and the event stream interleaves structure-tagged
+// fault events.
+func TestBatchSubmitRunAndEvents(t *testing.T) {
+	p := &fakePipeline{}
+	_, hs := newTestServer(t, Config{Run: p.run})
+
+	id := submitAt(t, hs.URL, "/batches", Request{
+		Workload: "sha", Structures: []string{"RF", "SQ"}, Faults: 2})
+	if !strings.HasPrefix(id, "b") {
+		t.Fatalf("batch id = %q, want b-prefixed", id)
+	}
+	st := waitDoneAt(t, hs.URL, "/batches", id)
+	if st.Status != StatusDone || st.Kind != KindBatch {
+		t.Fatalf("status = %q kind = %q, want done/batch (err %q)", st.Status, st.Kind, st.Error)
+	}
+	if st.Report == nil {
+		t.Fatal("finished batch has no report")
+	}
+
+	evs := streamEventsAt(t, hs.URL, "/batches", id)
+	perStructure := map[string]int{}
+	var batchEvent bool
+	for _, ev := range evs {
+		switch ev.Type {
+		case "fault":
+			perStructure[ev.Structure]++
+		case "batch":
+			batchEvent = true
+		}
+	}
+	if perStructure["RF"] != 2 || perStructure["SQ"] != 2 {
+		t.Fatalf("structure-tagged fault events = %v, want 2 per structure", perStructure)
+	}
+	if !batchEvent {
+		t.Fatal("stream carried no batch summary event")
+	}
+}
+
+// TestBatchAndCampaignTreesAreSeparate: a batch id is invisible under
+// /campaigns (status, events, cancel, list) and vice versa.
+func TestBatchAndCampaignTreesAreSeparate(t *testing.T) {
+	p := &fakePipeline{}
+	_, hs := newTestServer(t, Config{Run: p.run})
+
+	bid := submitAt(t, hs.URL, "/batches", Request{Workload: "sha", Structures: []string{"RF"}, Faults: 1})
+	cid := submit(t, hs.URL, Request{Workload: "sha", Structure: "RF", Faults: 1})
+	waitDoneAt(t, hs.URL, "/batches", bid)
+	waitDone(t, hs.URL, cid)
+
+	for _, probe := range []string{
+		"/campaigns/" + bid, "/campaigns/" + bid + "/events",
+		"/batches/" + cid, "/batches/" + cid + "/events",
+	} {
+		resp, err := http.Get(hs.URL + probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s = %d, want 404 (kind separation)", probe, resp.StatusCode)
+		}
+	}
+
+	var lists struct {
+		Campaigns []statusJSON `json:"campaigns"`
+		Batches   []statusJSON `json:"batches"`
+	}
+	for _, tree := range []string{"/campaigns", "/batches"} {
+		resp, err := http.Get(hs.URL + tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&lists); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if len(lists.Campaigns) != 1 || lists.Campaigns[0].ID != cid {
+		t.Fatalf("campaign list = %+v, want just %s", lists.Campaigns, cid)
+	}
+	if len(lists.Batches) != 1 || lists.Batches[0].ID != bid {
+		t.Fatalf("batch list = %+v, want just %s", lists.Batches, bid)
+	}
+}
+
+// TestBatchSubmitValidation: the structures list is required on /batches,
+// forbidden on /campaigns, and exclusive with the single structure field.
+func TestBatchSubmitValidation(t *testing.T) {
+	p := &fakePipeline{}
+	_, hs := newTestServer(t, Config{Run: p.run})
+
+	post := func(tree string, req Request) int {
+		t.Helper()
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(hs.URL+tree, "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("/batches", Request{Workload: "sha"}); code != http.StatusBadRequest {
+		t.Fatalf("batch without structures = %d, want 400", code)
+	}
+	if code := post("/batches", Request{Workload: "sha", Structure: "RF", Structures: []string{"RF"}}); code != http.StatusBadRequest {
+		t.Fatalf("batch with both structure fields = %d, want 400", code)
+	}
+	if code := post("/campaigns", Request{Workload: "sha", Structures: []string{"RF"}}); code != http.StatusBadRequest {
+		t.Fatalf("campaign with structures list = %d, want 400", code)
+	}
+}
+
+// TestBatchCancelCancelsWholeBatch: one DELETE on a mid-flight batch
+// stops every structure — the terminal status is "cancelled" and the
+// stream ends with the cancelled event.
+func TestBatchCancelCancelsWholeBatch(t *testing.T) {
+	gate := make(chan struct{})
+	p := &fakePipeline{gate: map[string]chan struct{}{"gated": gate}}
+	_, hs := newTestServer(t, Config{Run: p.run})
+
+	id := submitAt(t, hs.URL, "/batches", Request{
+		Workload: "gated", Structures: []string{"RF", "SQ", "L1D"}, Faults: 100})
+	gate <- struct{}{} // first fault of the first structure is in flight
+
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/batches/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE batch = %d, want 200", resp.StatusCode)
+	}
+
+	st := waitDoneAt(t, hs.URL, "/batches", id)
+	if st.Status != StatusCancelled {
+		t.Fatalf("cancelled batch status = %q, want cancelled", st.Status)
+	}
+	evs := streamEventsAt(t, hs.URL, "/batches", id)
+	if last := evs[len(evs)-1]; last.Type != "cancelled" {
+		t.Fatalf("last event = %+v, want cancelled", last)
 	}
 }

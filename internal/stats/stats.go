@@ -15,7 +15,10 @@
 // 1) and small relative to F, which §4.4.1 establishes empirically.
 package stats
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Campaign describes the grouped structure of a fault campaign.
 type Campaign struct {
@@ -24,8 +27,45 @@ type Campaign struct {
 	Ps    []float64 // per-group probability of non-masking p_i
 }
 
-// Mean returns E(k) = E(k_MeRLiN).
+// Validate reports whether the campaign describes a well-formed binomial
+// experiment: a positive fault total, one probability per group, and every
+// (size, probability) pair inside its domain. Mean, VarBaseline and
+// VarMerlin return 0 for any campaign Validate rejects — callers that need
+// to distinguish "zero variance" from "malformed input" (the CLI, the
+// daemon's batch aggregation) must call Validate first.
+func (c Campaign) Validate() error {
+	if c.F <= 0 {
+		return fmt.Errorf("stats: campaign F is %d; want > 0 faults", c.F)
+	}
+	if len(c.Sizes) != len(c.Ps) {
+		return fmt.Errorf("stats: campaign has %d group sizes but %d probabilities", len(c.Sizes), len(c.Ps))
+	}
+	total := 0
+	for i, s := range c.Sizes {
+		if s < 0 {
+			return fmt.Errorf("stats: group %d has negative size %d", i, s)
+		}
+		total += s
+		if p := c.Ps[i]; math.IsNaN(p) || p < 0 || p > 1 {
+			return fmt.Errorf("stats: group %d has probability %v outside [0, 1]", i, c.Ps[i])
+		}
+	}
+	if total > c.F {
+		return fmt.Errorf("stats: group sizes sum to %d, exceeding the %d-fault list they partition", total, c.F)
+	}
+	return nil
+}
+
+// wellFormed is the internal guard shared by the moment accessors: a
+// campaign Validate rejects contributes 0 instead of NaN/±Inf (F == 0) or
+// an index panic (len(Sizes) != len(Ps)).
+func (c Campaign) wellFormed() bool { return c.Validate() == nil }
+
+// Mean returns E(k) = E(k_MeRLiN), or 0 for a campaign Validate rejects.
 func (c Campaign) Mean() float64 {
+	if !c.wellFormed() {
+		return 0
+	}
 	var sum float64
 	for i, s := range c.Sizes {
 		sum += float64(s) * c.Ps[i]
@@ -33,8 +73,12 @@ func (c Campaign) Mean() float64 {
 	return sum / float64(c.F)
 }
 
-// VarBaseline returns Var(k) of the comprehensive campaign.
+// VarBaseline returns Var(k) of the comprehensive campaign, or 0 for a
+// campaign Validate rejects.
 func (c Campaign) VarBaseline() float64 {
+	if !c.wellFormed() {
+		return 0
+	}
 	var sum float64
 	for i, s := range c.Sizes {
 		sum += float64(s) * c.Ps[i] * (1 - c.Ps[i])
@@ -43,8 +87,11 @@ func (c Campaign) VarBaseline() float64 {
 }
 
 // VarMerlin returns Var(k_MeRLiN) of the one-representative-per-group
-// measurement.
+// measurement, or 0 for a campaign Validate rejects.
 func (c Campaign) VarMerlin() float64 {
+	if !c.wellFormed() {
+		return 0
+	}
 	var sum float64
 	for i, s := range c.Sizes {
 		sum += float64(s) * float64(s) * c.Ps[i] * (1 - c.Ps[i])

@@ -115,3 +115,64 @@ func TestFromObserved(t *testing.T) {
 		t.Errorf("mean = %v", got)
 	}
 }
+
+// TestCampaignValidate: malformed campaigns are named explicitly instead
+// of surfacing as NaN means or index panics.
+func TestCampaignValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		c       Campaign
+		wantErr bool
+	}{
+		{"well-formed", Campaign{F: 100, Sizes: []int{10, 20}, Ps: []float64{0, 1}}, false},
+		{"empty groups", Campaign{F: 100}, false},
+		{"zero faults", Campaign{F: 0, Sizes: []int{10}, Ps: []float64{0.5}}, true},
+		{"negative faults", Campaign{F: -5, Sizes: []int{10}, Ps: []float64{0.5}}, true},
+		{"length mismatch", Campaign{F: 100, Sizes: []int{10, 20}, Ps: []float64{0.5}}, true},
+		{"negative size", Campaign{F: 100, Sizes: []int{-1}, Ps: []float64{0.5}}, true},
+		{"probability above one", Campaign{F: 100, Sizes: []int{10}, Ps: []float64{1.5}}, true},
+		{"negative probability", Campaign{F: 100, Sizes: []int{10}, Ps: []float64{-0.1}}, true},
+		{"NaN probability", Campaign{F: 100, Sizes: []int{10}, Ps: []float64{math.NaN()}}, true},
+		{"groups exceed list", Campaign{F: 25, Sizes: []int{20, 10}, Ps: []float64{0.5, 0.5}}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.c.Validate()
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Validate() = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestDegenerateCampaignsYieldZero: the moment accessors are total
+// functions — a campaign Validate rejects contributes 0, never NaN, ±Inf
+// or an index panic.
+func TestDegenerateCampaignsYieldZero(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Campaign
+	}{
+		{"zero faults", Campaign{F: 0, Sizes: []int{10, 20}, Ps: []float64{0.5, 0.5}}},
+		{"length mismatch long sizes", Campaign{F: 100, Sizes: []int{10, 20, 30}, Ps: []float64{0.5}}},
+		{"length mismatch long ps", Campaign{F: 100, Sizes: []int{10}, Ps: []float64{0.5, 0.5, 0.5}}},
+		{"zero value", Campaign{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for name, got := range map[string]float64{
+				"Mean":        tc.c.Mean(),
+				"VarBaseline": tc.c.VarBaseline(),
+				"VarMerlin":   tc.c.VarMerlin(),
+			} {
+				if got != 0 || math.IsNaN(got) {
+					t.Fatalf("%s = %v on a degenerate campaign, want 0", name, got)
+				}
+			}
+			r := tc.c.Analyze()
+			if r.Mean != 0 || r.VarBaseline != 0 || r.VarMerlin != 0 {
+				t.Fatalf("Analyze on a degenerate campaign = %+v, want zeros", r)
+			}
+		})
+	}
+}

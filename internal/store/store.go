@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync/atomic"
 
@@ -38,8 +39,11 @@ import (
 
 // formatVersion invalidates all cached artifacts when the serialized
 // layout (or anything that feeds it: trace semantics, interval
-// derivation, simulator timing) changes incompatibly.
-const formatVersion = 1
+// derivation, simulator timing) changes incompatibly. Version 2
+// introduced multi-structure artifacts (one golden run carrying the
+// lifetime traces of every structure a batch campaign targets); version-1
+// single-structure files read as a clean miss and are recomputed.
+const formatVersion = 2
 
 // Key identifies one golden-run artifact: everything the fault-free run
 // depends on. Fault list size, sampling seed, injection strategy and
@@ -53,15 +57,47 @@ type Key struct {
 	CPU cpu.Config
 	// Budget is the golden-run cycle budget (Runner.GoldenBudget).
 	Budget uint64
-	// Structure is the traced injection target; the lifetime event log
-	// and intervals are per-structure.
-	Structure lifetime.StructureID
+	// Structures are the traced injection targets; the lifetime event
+	// logs and intervals are per-structure, and a batch campaign's single
+	// golden run carries all of them. The set is canonicalized (sorted,
+	// deduplicated) by NewKey and again inside ID, so request order never
+	// splits the cache.
+	Structures []lifetime.StructureID
+}
+
+// NewKey builds the canonical key for a golden run tracing the given
+// structures: the structure set is sorted and deduplicated so campaigns
+// requesting the same set in any order share one artifact.
+func NewKey(workload string, cpu cpu.Config, budget uint64, structures ...lifetime.StructureID) Key {
+	return Key{Workload: workload, CPU: cpu, Budget: budget,
+		Structures: CanonicalStructures(structures)}
+}
+
+// CanonicalStructures returns the sorted, deduplicated copy of a
+// structure list: the canonical set form used by artifact keys. Invalid
+// ids (>= NumStructures) are dropped uniformly — they can never name a
+// traced structure, so keeping any of them would only mint unreachable
+// cache keys.
+func CanonicalStructures(structures []lifetime.StructureID) []lifetime.StructureID {
+	out := make([]lifetime.StructureID, 0, len(structures))
+	seen := [lifetime.NumStructures]bool{}
+	for _, s := range structures {
+		if s < lifetime.NumStructures && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // ID returns the content address of the key: the hex SHA-256 of its
 // canonical JSON encoding. JSON struct encoding is deterministic (fields
-// in declaration order), so equal keys always map to equal IDs.
+// in declaration order), so equal keys always map to equal IDs; the
+// structure set is re-canonicalized here so hand-built keys address the
+// same artifact as NewKey-built ones.
 func (k Key) ID() string {
+	k.Structures = CanonicalStructures(k.Structures)
 	b, err := json.Marshal(k)
 	if err != nil { // Key is a plain value type; this cannot fail
 		panic(fmt.Sprintf("store: encoding key: %v", err))
@@ -70,15 +106,11 @@ func (k Key) ID() string {
 	return hex.EncodeToString(sum[:])
 }
 
-// Artifact is one cached Preprocess product set. All fields are plain
-// values so the gob round trip is exact; Runner state and machine
-// snapshots are deliberately excluded (cores are rebuilt deterministically
-// from the workload program, which is cheap — it is the golden *run* that
-// is expensive).
-type Artifact struct {
-	// Workload and Structure echo the key for human inspection of cache
-	// directories; Get verifies they match the requested key.
-	Workload  string
+// StructureTrace is the per-structure slice of an artifact: the raw
+// lifetime event log of one structure plus its derived vulnerable
+// intervals and geometry.
+type StructureTrace struct {
+	// Structure names the traced injection target.
 	Structure lifetime.StructureID
 
 	// Entries and EntryBytes size the structure (needed to regenerate
@@ -87,20 +119,39 @@ type Artifact struct {
 	Entries    int
 	EntryBytes int
 
-	// Golden is the architectural outcome of the fault-free run: the
-	// classification reference of every injection.
-	Golden cpu.RunResult
-
-	// Events is the golden trace: the structure's raw lifetime event log,
+	// Events is the structure's golden trace: the raw lifetime event log,
 	// from which the analysis can be re-derived bit-identically.
 	Events []lifetime.Event
-	// Branches is the committed branch trace (the Relyzer
-	// control-equivalence comparison input).
-	Branches []lifetime.BranchRec
 
 	// Intervals are the derived ACE-like vulnerable intervals, stored so
 	// a cache hit skips even the analysis rebuild.
 	Intervals []lifetime.Interval
+}
+
+// Artifact is one cached Preprocess product set: the fault-free golden
+// run plus one StructureTrace per traced structure (a single-structure
+// campaign stores one; a batch stores all of its targets, which is the
+// whole point — one golden run, every structure's trace). All fields are
+// plain values so the gob round trip is exact; Runner state and machine
+// snapshots are deliberately excluded (cores are rebuilt deterministically
+// from the workload program, which is cheap — it is the golden *run* that
+// is expensive).
+type Artifact struct {
+	// Workload echoes the key for human inspection of cache directories;
+	// Get verifies it (and the structure set) matches the requested key.
+	Workload string
+
+	// Structures carries one trace per structure of the golden run, in
+	// canonical (ascending StructureID) order.
+	Structures []StructureTrace
+
+	// Golden is the architectural outcome of the fault-free run: the
+	// classification reference of every injection.
+	Golden cpu.RunResult
+
+	// Branches is the committed branch trace (the Relyzer
+	// control-equivalence comparison input).
+	Branches []lifetime.BranchRec
 
 	// CheckpointCycles is the snapshot schedule of the injection ladder
 	// (cycles at which the checkpointed/forked strategies freeze golden
@@ -110,9 +161,34 @@ type Artifact struct {
 	CheckpointCycles []uint64
 }
 
-// Analysis rehydrates the ACE-like analysis from the cached intervals.
-func (a *Artifact) Analysis() *lifetime.Analysis {
-	return lifetime.Rehydrate(a.Structure, a.Entries, a.EntryBytes, a.Golden.Cycles, a.Intervals)
+// Trace returns the artifact's trace for structure s.
+func (a *Artifact) Trace(s lifetime.StructureID) (*StructureTrace, bool) {
+	for i := range a.Structures {
+		if a.Structures[i].Structure == s {
+			return &a.Structures[i], true
+		}
+	}
+	return nil, false
+}
+
+// Analysis rehydrates the ACE-like analysis of structure s from its
+// cached intervals; ok is false when the artifact does not trace s.
+func (a *Artifact) Analysis(s lifetime.StructureID) (*lifetime.Analysis, bool) {
+	t, ok := a.Trace(s)
+	if !ok {
+		return nil, false
+	}
+	return lifetime.Rehydrate(t.Structure, t.Entries, t.EntryBytes, a.Golden.Cycles, t.Intervals), true
+}
+
+// structureSet returns the artifact's traced structures in canonical form
+// (Get compares it against the key's set).
+func (a *Artifact) structureSet() []lifetime.StructureID {
+	ss := make([]lifetime.StructureID, len(a.Structures))
+	for i := range a.Structures {
+		ss[i] = a.Structures[i].Structure
+	}
+	return CanonicalStructures(ss)
 }
 
 // Stats is a point-in-time snapshot of cache effectiveness, served by the
@@ -166,7 +242,7 @@ func (s *Store) Get(k Key) (*Artifact, bool) {
 		return nil, false
 	}
 	a, err := decode(raw)
-	if err == nil && (a.Workload != k.Workload || a.Structure != k.Structure) {
+	if err == nil && !artifactMatches(a, k) {
 		err = fmt.Errorf("store: artifact key mismatch")
 	}
 	if err != nil {
@@ -176,6 +252,25 @@ func (s *Store) Get(k Key) (*Artifact, bool) {
 	}
 	s.hits.Add(1)
 	return a, true
+}
+
+// artifactMatches verifies the artifact's embedded echo against the key it
+// was filed under: same workload, same canonical structure set.
+func artifactMatches(a *Artifact, k Key) bool {
+	if a.Workload != k.Workload {
+		return false
+	}
+	want := CanonicalStructures(k.Structures)
+	got := a.structureSet()
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Put writes the artifact for k atomically: concurrent writers of the

@@ -12,35 +12,32 @@ import (
 )
 
 func sampleKey() Key {
-	return Key{
-		Workload:  "qsort",
-		CPU:       cpu.DefaultConfig(),
-		Budget:    500_000_000,
-		Structure: lifetime.StructRF,
-	}
+	return NewKey("qsort", cpu.DefaultConfig(), 500_000_000, lifetime.StructRF)
 }
 
 func sampleArtifact() *Artifact {
 	return &Artifact{
-		Workload:   "qsort",
-		Structure:  lifetime.StructRF,
-		Entries:    256,
-		EntryBytes: 64,
+		Workload: "qsort",
+		Structures: []StructureTrace{{
+			Structure:  lifetime.StructRF,
+			Entries:    256,
+			EntryBytes: 64,
+			Events: []lifetime.Event{
+				{Seq: 1, Cycle: 10, Entry: 3, Mask: 0xff, Kind: lifetime.EvWrite},
+				{Seq: 2, Cycle: 20, CommitSeq: 5, Entry: 3, Mask: 0xff, RIP: 42, Kind: lifetime.EvRead, UPC: 1},
+			},
+			Intervals: []lifetime.Interval{
+				{Entry: 3, Mask: 0xff, Start: 10, End: 20, EndSeq: 5, RIP: 42, UPC: 1},
+			},
+		}},
 		Golden: cpu.RunResult{
 			Halt:   cpu.HaltOK,
 			Cycles: 12345,
 			Output: []uint64{1, 2, 3, 0xdeadbeef},
 			ExcLog: []uint32{7, 9},
 		},
-		Events: []lifetime.Event{
-			{Seq: 1, Cycle: 10, Entry: 3, Mask: 0xff, Kind: lifetime.EvWrite},
-			{Seq: 2, Cycle: 20, CommitSeq: 5, Entry: 3, Mask: 0xff, RIP: 42, Kind: lifetime.EvRead, UPC: 1},
-		},
 		Branches: []lifetime.BranchRec{
 			{CommitSeq: 5, RIP: 42, Target: 43, Taken: true},
-		},
-		Intervals: []lifetime.Interval{
-			{Entry: 3, Mask: 0xff, Start: 10, End: 20, EndSeq: 5, RIP: 42, UPC: 1},
 		},
 		CheckpointCycles: []uint64{0, 4096, 8192},
 	}
@@ -87,10 +84,12 @@ func TestKeyID(t *testing.T) {
 		t.Fatal("equal keys produced different IDs")
 	}
 	variants := []Key{
-		{Workload: "sha", CPU: base.CPU, Budget: base.Budget, Structure: base.Structure},
-		{Workload: base.Workload, CPU: base.CPU.WithRF(128), Budget: base.Budget, Structure: base.Structure},
-		{Workload: base.Workload, CPU: base.CPU, Budget: 1000, Structure: base.Structure},
-		{Workload: base.Workload, CPU: base.CPU, Budget: base.Budget, Structure: lifetime.StructSQ},
+		NewKey("sha", base.CPU, base.Budget, lifetime.StructRF),
+		NewKey(base.Workload, base.CPU.WithRF(128), base.Budget, lifetime.StructRF),
+		NewKey(base.Workload, base.CPU, 1000, lifetime.StructRF),
+		NewKey(base.Workload, base.CPU, base.Budget, lifetime.StructSQ),
+		NewKey(base.Workload, base.CPU, base.Budget, lifetime.StructRF, lifetime.StructSQ),
+		NewKey(base.Workload, base.CPU, base.Budget, lifetime.StructRF, lifetime.StructSQ, lifetime.StructL1D),
 	}
 	seen := map[string]bool{base.ID(): true}
 	for _, v := range variants {
@@ -98,6 +97,24 @@ func TestKeyID(t *testing.T) {
 			t.Fatalf("key %+v collides with a prior key", v)
 		}
 		seen[v.ID()] = true
+	}
+}
+
+// TestKeyStructureSetCanonical: the structure set is a set — request
+// order and duplicates must not split the cache, and hand-built keys must
+// address the same artifact as NewKey-built ones.
+func TestKeyStructureSetCanonical(t *testing.T) {
+	base := NewKey("qsort", cpu.DefaultConfig(), 1000, lifetime.StructRF, lifetime.StructSQ, lifetime.StructL1D)
+	same := []Key{
+		NewKey("qsort", cpu.DefaultConfig(), 1000, lifetime.StructL1D, lifetime.StructSQ, lifetime.StructRF),
+		NewKey("qsort", cpu.DefaultConfig(), 1000, lifetime.StructSQ, lifetime.StructRF, lifetime.StructL1D, lifetime.StructRF),
+		{Workload: "qsort", CPU: cpu.DefaultConfig(), Budget: 1000,
+			Structures: []lifetime.StructureID{lifetime.StructL1D, lifetime.StructRF, lifetime.StructSQ}},
+	}
+	for i, k := range same {
+		if k.ID() != base.ID() {
+			t.Fatalf("variant %d (%v) maps to a different ID than the canonical key", i, k.Structures)
+		}
 	}
 }
 
@@ -162,7 +179,10 @@ func TestMismatchedKeyEcho(t *testing.T) {
 // answers Find and AVF exactly like one built from the live trace.
 func TestAnalysisRehydration(t *testing.T) {
 	a := sampleArtifact()
-	an := a.Analysis()
+	an, ok := a.Analysis(lifetime.StructRF)
+	if !ok {
+		t.Fatal("artifact lost its RF trace")
+	}
 	if got := an.AVF(); got == 0 {
 		t.Fatal("rehydrated analysis has zero AVF despite a vulnerable interval")
 	}
@@ -171,6 +191,86 @@ func TestAnalysisRehydration(t *testing.T) {
 	}
 	if _, ok := an.Find(3, 0, 25); ok {
 		t.Fatal("rehydrated analysis covers a flip outside all intervals")
+	}
+	if _, ok := a.Analysis(lifetime.StructSQ); ok {
+		t.Fatal("artifact served an analysis for a structure it never traced")
+	}
+}
+
+// TestMultiStructureRoundTrip: a batch artifact carries one trace per
+// structure and serves each back bit-identically under one key.
+func TestMultiStructureRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sampleArtifact()
+	a.Structures = append(a.Structures, StructureTrace{
+		Structure:  lifetime.StructSQ,
+		Entries:    64,
+		EntryBytes: 8,
+		Events: []lifetime.Event{
+			{Seq: 3, Cycle: 30, Entry: 1, Mask: 0x0f, Kind: lifetime.EvWrite},
+		},
+		Intervals: []lifetime.Interval{
+			{Entry: 1, Mask: 0x0f, Start: 30, End: 40, EndSeq: 9, RIP: 50},
+		},
+	})
+	k := NewKey("qsort", cpu.DefaultConfig(), 500_000_000, lifetime.StructSQ, lifetime.StructRF)
+	if err := s.Put(k, a); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k)
+	if !ok {
+		t.Fatal("multi-structure Get after Put missed")
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Fatalf("multi-structure round trip not bit-identical:\n got %+v\nwant %+v", got, a)
+	}
+	for _, want := range []lifetime.StructureID{lifetime.StructRF, lifetime.StructSQ} {
+		if _, ok := got.Trace(want); !ok {
+			t.Fatalf("round-tripped artifact lost the %v trace", want)
+		}
+	}
+	// The single-structure key must not be served the batch artifact: its
+	// structure set differs.
+	if _, ok := s.Get(NewKey("qsort", cpu.DefaultConfig(), 500_000_000, lifetime.StructRF)); ok {
+		t.Fatal("single-structure key hit a multi-structure artifact")
+	}
+}
+
+// TestOldFormatVersionIsACleanMiss: a version-1 (pre-batch) artifact file
+// sitting at a current key's path reads as a miss — the format bump
+// invalidates it — and a fresh Put repairs the slot.
+func TestOldFormatVersionIsACleanMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	k := sampleKey()
+	if err := s.Put(k, sampleArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, k.ID()+".artifact")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the file under the previous format's magic line, keeping the
+	// (now version-skewed) payload intact.
+	old := append([]byte("merlin-artifact/1\n"), raw[len(fileMagic):]...)
+	if err := os.WriteFile(path, old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("version-1 artifact served as a hit under the version-2 reader")
+	}
+	if st := s.Stats(); st.Errors == 0 {
+		t.Fatal("version skew not counted as a read error")
+	}
+	if err := s.Put(k, sampleArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); !ok {
+		t.Fatal("Get after repair Put missed")
 	}
 }
 

@@ -26,6 +26,7 @@ package merlin
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"merlin/internal/campaign"
@@ -46,7 +47,13 @@ const (
 	RF  = lifetime.StructRF
 	SQ  = lifetime.StructSQ
 	L1D = lifetime.StructL1D
+	// NumStructures bounds the Structure space (valid targets are < it).
+	NumStructures = lifetime.NumStructures
 )
+
+// AllStructures returns the paper's three injection targets in their
+// canonical order (RF, SQ, L1D): the default target list of StartBatch.
+func AllStructures() []Structure { return []Structure{RF, SQ, L1D} }
 
 // Re-exported result types.
 type (
@@ -302,6 +309,23 @@ func Preprocess(cfg Config) (*Artifacts, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	arts, err := preprocessStructures(cfg, []Structure{cfg.Structure})
+	if err != nil {
+		return nil, err
+	}
+	return arts[0], nil
+}
+
+// preprocessStructures is the shared core of phase 1: one golden run (or
+// one artifact-cache load) tracing every listed structure, yielding one
+// *Artifacts per structure — all sharing the same Runner (and therefore
+// clone pool and snapshot source) and the same Golden. A single-structure
+// campaign passes its one target; a batch passes its whole list and pays
+// for exactly one golden run.
+//
+// cfg must already have defaults applied and be validated; structures must
+// be non-empty and duplicate-free (Start and StartBatch guarantee both).
+func preprocessStructures(cfg Config, structures []Structure) ([]*Artifacts, error) {
 	w, err := workloads.Get(cfg.Workload)
 	if err != nil {
 		return nil, err
@@ -317,73 +341,96 @@ func Preprocess(cfg Config) (*Artifacts, error) {
 		return nil, err
 	}
 
-	key := store.Key{
-		Workload:  cfg.Workload,
-		CPU:       cfg.CPU,
-		Budget:    runner.GoldenBudget,
-		Structure: cfg.Structure,
-	}
+	key := store.NewKey(cfg.Workload, cfg.CPU, runner.GoldenBudget, structures...)
 	if cfg.Cache != nil {
 		if art, ok := cfg.Cache.Get(key); ok {
-			return rehydrateArtifacts(cfg, runner, art), nil
+			return rehydrateArtifacts(cfg, runner, structures, art)
 		}
 	}
 
-	golden, err := runner.RunGolden(cfg.Structure)
+	golden, err := runner.RunGolden(structures...)
 	if err != nil {
 		return nil, err
 	}
 
 	core := runner.NewCore()
-	entries := core.StructureEntries(cfg.Structure)
-	entryBits := core.StructureEntryBits(cfg.Structure)
 	cycles := golden.Result.Cycles
-
-	analysis := lifetime.Build(golden.Tracer.Log(cfg.Structure), cfg.Structure,
-		entries, entryBits/8, cycles)
-
-	a := &Artifacts{
-		Config:   cfg,
-		Runner:   runner,
-		Golden:   golden,
-		Analysis: analysis,
-		Faults:   sampleFaults(cfg, entries, entryBits, cycles),
-	}
-	if cfg.Cache != nil {
-		a.CacheErr = cfg.Cache.Put(key, &store.Artifact{
-			Workload:         cfg.Workload,
-			Structure:        cfg.Structure,
-			Entries:          entries,
-			EntryBytes:       entryBits / 8,
-			Golden:           golden.Result,
-			Events:           golden.Tracer.Log(cfg.Structure).Events,
-			Branches:         golden.Tracer.Branches,
-			Intervals:        analysis.Intervals,
-			CheckpointCycles: campaign.CheckpointSchedule(campaign.ForkSyncPoints, cycles),
+	out := make([]*Artifacts, len(structures))
+	traces := make([]store.StructureTrace, 0, len(structures))
+	for i, s := range structures {
+		entries := core.StructureEntries(s)
+		entryBits := core.StructureEntryBits(s)
+		analysis := lifetime.Build(golden.Tracer.Log(s), s, entries, entryBits/8, cycles)
+		cfgS := cfg
+		cfgS.Structure = s
+		out[i] = &Artifacts{
+			Config:   cfgS,
+			Runner:   runner,
+			Golden:   golden,
+			Analysis: analysis,
+			Faults:   sampleFaults(cfgS, entries, entryBits, cycles),
+		}
+		traces = append(traces, store.StructureTrace{
+			Structure:  s,
+			Entries:    entries,
+			EntryBytes: entryBits / 8,
+			Events:     golden.Tracer.Log(s).Events,
+			Intervals:  analysis.Intervals,
 		})
 	}
-	return a, nil
+	if cfg.Cache != nil {
+		// Artifact traces are stored in canonical (ascending StructureID)
+		// order, matching the key's canonical structure set.
+		sort.Slice(traces, func(i, j int) bool { return traces[i].Structure < traces[j].Structure })
+		cacheErr := cfg.Cache.Put(key, &store.Artifact{
+			Workload:         cfg.Workload,
+			Structures:       traces,
+			Golden:           golden.Result,
+			Branches:         golden.Tracer.Branches,
+			CheckpointCycles: campaign.CheckpointSchedule(campaign.ForkSyncPoints, cycles),
+		})
+		for _, a := range out {
+			a.CacheErr = cacheErr
+		}
+	}
+	return out, nil
 }
 
-// rehydrateArtifacts rebuilds the Preprocess products from a cached
-// artifact. The fault list is regenerated rather than cached: sampling is
-// deterministic in (structure geometry, cycles, seed) — all cached — and
-// different campaigns over one artifact want different lists.
-func rehydrateArtifacts(cfg Config, runner *campaign.Runner, art *store.Artifact) *Artifacts {
-	log := &lifetime.Log{Events: art.Events}
+// rehydrateArtifacts rebuilds the per-structure Preprocess products from a
+// cached artifact. The fault lists are regenerated rather than cached:
+// sampling is deterministic in (structure geometry, cycles, seed) — all
+// cached — and different campaigns over one artifact want different lists.
+func rehydrateArtifacts(cfg Config, runner *campaign.Runner, structures []Structure, art *store.Artifact) ([]*Artifacts, error) {
+	var logs [lifetime.NumStructures]*lifetime.Log
+	for _, s := range structures {
+		tr, ok := art.Trace(s)
+		if !ok {
+			// Get verified the structure set, so this is unreachable; fail
+			// loudly rather than serving a half-rehydrated campaign.
+			return nil, fmt.Errorf("merlin: cached artifact is missing the %v trace", s)
+		}
+		logs[s] = &lifetime.Log{Events: tr.Events}
+	}
 	golden := &campaign.Golden{
 		Result: art.Golden,
-		Tracer: lifetime.RehydrateTracer(cfg.Structure, log, art.Branches, art.Golden.Cycles),
+		Tracer: lifetime.RehydrateTracerLogs(logs, art.Branches, art.Golden.Cycles),
 	}
-	entryBits := art.EntryBytes * 8
-	return &Artifacts{
-		Config:   cfg,
-		Runner:   runner,
-		Golden:   golden,
-		Analysis: art.Analysis(),
-		Faults:   sampleFaults(cfg, art.Entries, entryBits, art.Golden.Cycles),
-		CacheHit: true,
+	out := make([]*Artifacts, len(structures))
+	for i, s := range structures {
+		tr, _ := art.Trace(s)
+		analysis, _ := art.Analysis(s)
+		cfgS := cfg
+		cfgS.Structure = s
+		out[i] = &Artifacts{
+			Config:   cfgS,
+			Runner:   runner,
+			Golden:   golden,
+			Analysis: analysis,
+			Faults:   sampleFaults(cfgS, tr.Entries, tr.EntryBytes*8, art.Golden.Cycles),
+			CacheHit: true,
+		}
 	}
+	return out, nil
 }
 
 // sampleFaults draws the initial statistical fault list for a structure of

@@ -18,12 +18,16 @@ const (
 // Phase names a pipeline phase of a Session, mirroring the paper's Fig 2.
 type Phase string
 
-// The phases a Session reports progress for.
+// The phases a Session reports progress for. PhaseBatch is emitted only
+// by Batch: its preprocess event covers the one golden run every
+// structure shares, and its done event carries the cross-structure
+// summary.
 const (
 	PhasePreprocess Phase = "preprocess"
 	PhaseReduce     Phase = "reduce"
 	PhaseInject     Phase = "inject"
 	PhaseBaseline   Phase = "baseline"
+	PhaseBatch      Phase = "batch"
 )
 
 // Progress is one event of a Session's typed progress stream: phase
@@ -35,6 +39,11 @@ const (
 type Progress struct {
 	Kind  ProgressKind
 	Phase Phase
+	// Structure names the structure the event belongs to ("RF", "SQ",
+	// "L1D"): the session's injection target for session-phase and fault
+	// events, empty for batch-level events (the shared-golden preprocess
+	// and the batch summary, which span every structure of the batch).
+	Structure string
 	// Msg is a one-line human-readable summary (ProgressPhaseDone only).
 	Msg string
 

@@ -1,14 +1,16 @@
 // Command bench runs the repository's key performance benchmarks with a
-// fixed -benchtime and records the results as a machine-readable
-// trajectory file (BENCH_PR4.json by default), so clone-cost and
-// scheduler-throughput regressions are visible across PRs.
+// fixed -benchtime and records the results as machine-readable trajectory
+// files: the clone-cost / scheduler-throughput suite (BENCH_PR4.json by
+// default) and the batch-vs-3x-sequential wall-clock comparison
+// (BENCH_PR5.json by default), so regressions in either are visible
+// across PRs.
 //
 // Usage:
 //
-//	go run ./scripts/bench                     # full run, writes BENCH_PR4.json
-//	go run ./scripts/bench -benchtime 1x -out /tmp/b.json   # CI smoke
+//	go run ./scripts/bench                     # full run, writes BENCH_PR4.json + BENCH_PR5.json
+//	go run ./scripts/bench -benchtime 1x -out /tmp/b.json -batch-out /tmp/b5.json   # CI smoke
 //
-// If the output file already exists, its "baseline" object is preserved
+// If an output file already exists, its "baseline" object is preserved
 // verbatim: record the pre-change numbers once, then re-run the tool after
 // every optimization to refresh "current" while keeping the comparison
 // anchor. Derived speedups (baseline/current) are recomputed on every run.
@@ -44,6 +46,7 @@ type benchFile struct {
 
 func main() {
 	out := flag.String("out", "BENCH_PR4.json", "output JSON file")
+	batchOut := flag.String("batch-out", "BENCH_PR5.json", "batch-vs-sequential comparison output (empty disables)")
 	benchtime := flag.String("benchtime", "3x", "benchtime for the campaign-scale strategy benchmarks")
 	microtime := flag.String("microtime", "200x", "benchtime for the clone/simulator microbenchmarks")
 	flag.Parse()
@@ -68,10 +71,31 @@ func main() {
 		m["cycles/s"] = m["cycles/run"] / (m["ns/op"] / 1e9)
 	}
 
+	if err := writeTrajectory(*out, 4, *benchtime, current, func(baseline map[string]metrics) map[string]float64 {
+		return speedups(baseline, current)
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+
+	if *batchOut != "" {
+		if err := writeBatchComparison(*batchOut, *benchtime); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrajectory assembles and writes one trajectory file: host info,
+// the current results, the previously recorded baseline (preserved
+// verbatim so the pre-optimization anchor survives refreshes), and the
+// derived speedup ratios computed by speedup from that baseline.
+func writeTrajectory(out string, pr int, benchtime string, current map[string]metrics,
+	speedup func(baseline map[string]metrics) map[string]float64) error {
 	f := benchFile{
-		PR:        4,
+		PR:        pr,
 		Generated: time.Now().UTC().Format(time.RFC3339),
-		Benchtime: *benchtime,
+		Benchtime: benchtime,
 		Host: map[string]any{
 			"goos":   runtime.GOOS,
 			"goarch": runtime.GOARCH,
@@ -80,26 +104,43 @@ func main() {
 		},
 		Current: current,
 	}
-	// Preserve a previously recorded baseline so the trajectory keeps its
-	// pre-optimization anchor across refreshes.
-	if old, err := os.ReadFile(*out); err == nil {
+	if old, err := os.ReadFile(out); err == nil {
 		var prev benchFile
 		if json.Unmarshal(old, &prev) == nil && prev.Baseline != nil {
 			f.Baseline = prev.Baseline
 		}
 	}
-	f.SpeedupVsBaseline = speedups(f.Baseline, f.Current)
+	f.SpeedupVsBaseline = speedup(f.Baseline)
 
 	enc, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		return err
 	}
-	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+	if err := os.WriteFile(out, append(enc, '\n'), 0o644); err != nil {
+		return err
 	}
-	fmt.Printf("bench: wrote %s (%d benchmarks)\n", *out, len(current))
+	fmt.Printf("bench: wrote %s (%d benchmarks)\n", out, len(current))
+	return nil
+}
+
+// writeBatchComparison runs the batch-vs-3x-sequential benchmarks (one
+// shared golden run for three structures versus three standalone
+// campaigns) and records the wall-clock comparison as its own trajectory
+// file. The headline ratio says how much wall-clock the shared golden
+// run saves over running the structures as standalone campaigns.
+func writeBatchComparison(out, benchtime string) error {
+	results := make(map[string]metrics)
+	if err := runBench(".", "BenchmarkBatch_(SharedGolden|Sequential3x)$", benchtime, results); err != nil {
+		return err
+	}
+	return writeTrajectory(out, 5, benchtime, results, func(map[string]metrics) map[string]float64 {
+		batch, okB := results["Batch_SharedGolden"]
+		seq, okS := results["Batch_Sequential3x"]
+		if !okB || !okS || batch["wall-ms"] <= 0 || seq["wall-ms"] <= 0 {
+			return nil
+		}
+		return map[string]float64{"batch_vs_sequential_x": seq["wall-ms"] / batch["wall-ms"]}
+	})
 }
 
 // runBench executes one `go test -bench` invocation and folds its parsed

@@ -17,11 +17,13 @@ import (
 
 // Server is the long-running campaign service behind cmd/merlind: an
 // HTTP+JSON API (POST /campaigns, GET /campaigns/{id}, DELETE
-// /campaigns/{id}, streamed /campaigns/{id}/events, /healthz, /statsz)
-// over a sharded worker pool with bounded queues. Campaigns are
-// cancellable — DELETE cancels queued and running campaigns alike — and
-// may carry a per-request deadline. Construct with NewServer, or let
-// Serve manage the whole lifecycle.
+// /campaigns/{id}, streamed /campaigns/{id}/events, the mirrored
+// /batches tree for multi-structure batch campaigns over one shared
+// golden run, /healthz, /statsz) over a sharded worker pool with bounded
+// queues. Campaigns and batches are cancellable — DELETE cancels queued
+// and running submissions alike, and cancelling a batch cancels all of
+// its structures — and may carry a per-request deadline. Construct with
+// NewServer, or let Serve manage the whole lifecycle.
 type Server = server.Server
 
 // CampaignRequest is the wire form of one campaign submission.
@@ -107,13 +109,29 @@ func Serve(ctx context.Context, addr string, opt ServeOptions) error {
 	}
 }
 
-// requestOptions translates a wire request into Session options,
-// rejecting unknown names and negative knobs. The returned options do not
+// requestOptions translates a wire request into Session (or Batch)
+// options, rejecting unknown names and negative knobs. A request carrying
+// a structures list yields batch options (WithStructures); one carrying a
+// single structure yields WithStructure. The returned options do not
 // include the progress subscription — runCampaign appends its own.
 func requestOptions(req CampaignRequest, cache *Cache) ([]Option, error) {
-	target, err := ParseStructure(req.Structure)
-	if err != nil {
-		return nil, err
+	var opts []Option
+	if len(req.Structures) > 0 {
+		targets := make([]Structure, len(req.Structures))
+		for i, name := range req.Structures {
+			t, err := ParseStructure(name)
+			if err != nil {
+				return nil, err
+			}
+			targets[i] = t
+		}
+		opts = append(opts, WithStructures(targets...))
+	} else {
+		target, err := ParseStructure(req.Structure)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, WithStructure(target))
 	}
 	if req.PhysRegs < 0 || req.SQEntries < 0 || req.L1DBytes < 0 {
 		return nil, fmt.Errorf("core configuration knobs must be >= 0 (0 = paper baseline)")
@@ -128,11 +146,10 @@ func requestOptions(req CampaignRequest, cache *Cache) ([]Option, error) {
 	if req.L1DBytes > 0 {
 		cpuCfg = cpuCfg.WithL1D(req.L1DBytes)
 	}
-	opts := []Option{
-		WithStructure(target),
+	opts = append(opts,
 		WithCPU(cpuCfg),
 		WithSeed(req.Seed),
-	}
+	)
 	if req.Faults != 0 {
 		opts = append(opts, WithFaults(req.Faults))
 	}
@@ -164,50 +181,62 @@ func requestOptions(req CampaignRequest, cache *Cache) ([]Option, error) {
 	return opts, nil
 }
 
-// validateRequest vets a submission synchronously — Start performs the
-// full option validation without simulating anything — so malformed
-// campaigns fail the POST with 400 instead of failing later in the queue.
+// validateRequest vets a submission synchronously — Start and StartBatch
+// perform the full option validation without simulating anything — so
+// malformed campaigns fail the POST with 400 instead of failing later in
+// the queue.
 func validateRequest(cache *Cache) func(CampaignRequest) error {
 	return func(req CampaignRequest) error {
 		opts, err := requestOptions(req, cache)
 		if err != nil {
 			return err
 		}
-		_, err = Start(context.Background(), req.Workload, opts...)
+		if len(req.Structures) > 0 {
+			_, err = StartBatch(context.Background(), req.Workload, opts...)
+		} else {
+			_, err = Start(context.Background(), req.Workload, opts...)
+		}
 		return err
 	}
 }
 
-// progressEvent maps one typed Session progress event onto the service's
-// wire event log. Phase-start events are internal pacing and not logged.
+// progressEvent maps one typed progress event onto the service's wire
+// event log, carrying the structure tag through (batch logs interleave
+// several structures). Phase-start events are internal pacing and not
+// logged.
 func progressEvent(p Progress) (CampaignEvent, bool) {
 	switch p.Kind {
 	case ProgressPhaseDone:
 		switch p.Phase {
 		case PhasePreprocess:
 			hit := p.CacheHit
-			return CampaignEvent{Type: "preprocess", CacheHit: &hit, Msg: p.Msg}, true
+			return CampaignEvent{Type: "preprocess", Structure: p.Structure, CacheHit: &hit, Msg: p.Msg}, true
 		case PhaseReduce:
-			return CampaignEvent{Type: "reduce", Msg: p.Msg}, true
+			return CampaignEvent{Type: "reduce", Structure: p.Structure, Msg: p.Msg}, true
+		case PhaseBatch:
+			return CampaignEvent{Type: "batch", Msg: p.Msg}, true
 		default:
 			snapHit := p.SnapshotHit
-			return CampaignEvent{Type: "inject", Msg: p.Msg,
+			return CampaignEvent{Type: "inject", Structure: p.Structure, Msg: p.Msg,
 				SnapshotHit: &snapHit, CyclesPerSec: p.CyclesPerSec}, true
 		}
 	case ProgressFault:
-		return CampaignEvent{Type: "fault", Index: p.Index,
+		return CampaignEvent{Type: "fault", Structure: p.Structure, Index: p.Index,
 			Fault: p.Fault.String(), Outcome: p.Outcome.String()}, true
 	}
 	return CampaignEvent{}, false
 }
 
-// runCampaign adapts the Session API to the service's RunFunc: one Session
-// per campaign, its progress stream forwarded to the event log, its
-// context wired to the service's per-campaign cancellation. A cancelled
-// campaign returns ctx.Err(), which the service records as the
+// runCampaign adapts the Session and Batch APIs to the service's RunFunc:
+// one Session (or Batch, when the request carries a structures list) per
+// record, its progress stream forwarded to the event log, its context
+// wired to the service's per-record cancellation — for a batch that
+// context covers every structure, so one DELETE cancels the whole batch.
+// A cancelled record returns ctx.Err(), which the service records as the
 // "cancelled" terminal state. All campaigns share the process-wide
-// snapshot cache, so repeat and concurrent campaigns reuse one frozen
-// checkpoint ladder instead of each rebuilding it.
+// snapshot cache, so repeat and concurrent campaigns (and the structures
+// of one batch) reuse one frozen checkpoint ladder instead of each
+// rebuilding it.
 func runCampaign(cache *Cache, snapshots *SnapshotCache) server.RunFunc {
 	return func(ctx context.Context, req CampaignRequest, emit func(CampaignEvent)) (any, error) {
 		opts, err := requestOptions(req, cache)
@@ -222,14 +251,31 @@ func runCampaign(cache *Cache, snapshots *SnapshotCache) server.RunFunc {
 				emit(ev)
 			}
 		}))
+		// On cancellation Run returns a partial report together with
+		// ctx.Err(); both are handed to the service, which retains the
+		// report on the cancelled record — for a batch, the structures
+		// that finished before the DELETE keep their results. The
+		// explicit nil returns avoid wrapping a typed nil pointer in the
+		// RunFunc's any.
+		if len(req.Structures) > 0 {
+			b, err := StartBatch(ctx, req.Workload, opts...)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := b.Run(ctx)
+			if rep == nil {
+				return nil, err
+			}
+			return rep, err
+		}
 		s, err := Start(ctx, req.Workload, opts...)
 		if err != nil {
 			return nil, err
 		}
 		rep, err := s.Run(ctx)
-		if err != nil {
+		if rep == nil {
 			return nil, err
 		}
-		return rep, nil
+		return rep, err
 	}
 }

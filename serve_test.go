@@ -372,7 +372,8 @@ func TestDaemonCancelMidInjection(t *testing.T) {
 		t.Fatalf("stream ended on %q, want terminal cancelled event", last)
 	}
 
-	// Status is terminal cancelled, with no report.
+	// Status is terminal cancelled, retaining the partial report (the
+	// classified-so-far distribution plus the Cancelled count).
 	sresp, err := http.Get(hs.URL + "/campaigns/" + id)
 	if err != nil {
 		t.Fatal(err)
@@ -385,6 +386,13 @@ func TestDaemonCancelMidInjection(t *testing.T) {
 	}
 	if st.Status != "cancelled" {
 		t.Fatalf("status = %q, want cancelled", st.Status)
+	}
+	partial := new(Report)
+	if err := json.Unmarshal(st.Report, partial); err != nil {
+		t.Fatalf("cancelled campaign lost its partial report: %v", err)
+	}
+	if partial.Cancelled == 0 {
+		t.Fatalf("partial report has no Cancelled count: %+v", partial)
 	}
 
 	// The worker shard is freed: a follow-up campaign on the same single
@@ -435,4 +443,182 @@ func TestDaemonRejectsStrategyCheckpointConflict(t *testing.T) {
 	if resp2.StatusCode != http.StatusAccepted {
 		t.Fatalf("checkpoints-only submit: status %d, want 202", resp2.StatusCode)
 	}
+}
+
+// TestDaemonBatchEndToEnd is the daemon-level batch acceptance test: POST
+// /batches runs a real 3-structure batch over one shared golden run,
+// streams structure-tagged NDJSON events, and serves a BatchReport whose
+// per-structure entries match standalone campaigns.
+func TestDaemonBatchEndToEnd(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := daemon(t, ServeOptions{Cache: cache})
+
+	body := `{"workload":"sha","structures":["RF","SQ","L1D"],"faults":200,"seed":11,"strategy":"forked"}`
+	resp, err := http.Post(hs.URL+"/batches", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var posted struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&posted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /batches = %d: %s", resp.StatusCode, posted.Error)
+	}
+
+	// Wait for the batch report.
+	var rep *BatchReport
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(hs.URL + "/batches/" + posted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st campaignStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Status == "failed" {
+			t.Fatalf("batch failed: %s", st.Error)
+		}
+		if st.Status == "done" {
+			rep = new(BatchReport)
+			if err := json.Unmarshal(st.Report, rep); err != nil {
+				t.Fatalf("decoding batch report: %v", err)
+			}
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if rep == nil {
+		t.Fatal("batch did not finish")
+	}
+
+	if rep.GoldenRuns != 1 {
+		t.Fatalf("batch performed %d golden runs, want exactly 1", rep.GoldenRuns)
+	}
+	if len(rep.Reports) != 3 {
+		t.Fatalf("batch report carries %d structures, want 3", len(rep.Reports))
+	}
+
+	// Per-structure results match standalone campaigns over the same knobs.
+	for i, structure := range []string{"RF", "SQ", "L1D"} {
+		body := `{"workload":"sha","structure":"` + structure + `","faults":200,"seed":11,"strategy":"forked"}`
+		_, solo := campaignWait(t, hs.URL, postCampaign(t, hs.URL, body))
+		got := rep.Reports[i]
+		if got.Dist != solo.Dist || got.AVF != solo.AVF || got.FIT != solo.FIT ||
+			got.Injected != solo.Injected || got.InitialFaults != solo.InitialFaults {
+			t.Fatalf("%s: batch member diverged from standalone campaign:\nbatch      %+v\nstandalone %+v",
+				structure, got, solo)
+		}
+	}
+
+	// The event stream is structure-tagged and ends with the batch summary
+	// before the terminal done event.
+	resp, err = http.Get(hs.URL + "/batches/" + posted.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	perStructure := map[string]int{}
+	var sawBatch bool
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev CampaignEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch ev.Type {
+		case "fault", "inject":
+			perStructure[ev.Structure]++
+		case "batch":
+			sawBatch = true
+		}
+	}
+	for _, s := range []string{"RF", "SQ", "L1D"} {
+		if perStructure[s] == 0 {
+			t.Fatalf("event stream carried no %s-tagged events: %v", s, perStructure)
+		}
+	}
+	if !sawBatch {
+		t.Fatal("event stream carried no batch summary event")
+	}
+}
+
+// TestDaemonBatchCancelWholeBatch: DELETE /batches/{id} cancels every
+// structure of a running batch — the record turns "cancelled" and frees
+// its worker.
+func TestDaemonBatchCancelWholeBatch(t *testing.T) {
+	hs := daemon(t, ServeOptions{})
+
+	// Big enough to still be mid-injection when the DELETE lands.
+	body := `{"workload":"sha","structures":["RF","SQ","L1D"],"faults":60000,"seed":3,"workers":1}`
+	resp, err := http.Post(hs.URL+"/batches", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var posted struct{ ID string }
+	if err := json.NewDecoder(resp.Body).Decode(&posted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Wait until it is actually running (status flips from queued).
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(hs.URL + "/batches/" + posted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st campaignStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Status == "running" {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/batches/"+posted.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE /batches/{id} = %d, want 200", dresp.StatusCode)
+	}
+
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(hs.URL + "/batches/" + posted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st campaignStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Status == "cancelled" {
+			return
+		}
+		if st.Status == "done" || st.Status == "failed" {
+			t.Fatalf("batch reached %q, want cancelled", st.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("batch never reached cancelled")
 }

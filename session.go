@@ -23,10 +23,13 @@ type Option func(*sessionConfig) error
 // sessionConfig accumulates options before validation. strategySet
 // records whether WithStrategy was given explicitly, which is what lets
 // Start distinguish "WithCheckpoints implies checkpointed" from
-// "WithStrategy(replay) + WithCheckpoints conflict".
+// "WithStrategy(replay) + WithCheckpoints conflict". structures is the
+// batch target list of WithStructures, consumed by StartBatch and
+// rejected by Start.
 type sessionConfig struct {
 	cfg         Config
 	strategySet bool
+	structures  []Structure
 	progress    func(Progress)
 }
 
@@ -34,6 +37,31 @@ type sessionConfig struct {
 func WithStructure(s Structure) Option {
 	return func(o *sessionConfig) error {
 		o.cfg.Structure = s
+		return nil
+	}
+}
+
+// WithStructures selects the injection targets of a batch campaign, in
+// report order; duplicates are dropped. It is a StartBatch option — Start
+// runs a single-structure campaign and rejects it (use WithStructure
+// there). StartBatch without WithStructures targets all structures.
+func WithStructures(ss ...Structure) Option {
+	return func(o *sessionConfig) error {
+		if len(ss) == 0 {
+			return fmt.Errorf("merlin: WithStructures: want at least one structure")
+		}
+		var out []Structure
+		seen := [NumStructures]bool{}
+		for _, s := range ss {
+			if s >= NumStructures {
+				return fmt.Errorf("merlin: WithStructures: unknown structure %d", s)
+			}
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+		o.structures = out
 		return nil
 	}
 }
@@ -193,6 +221,38 @@ type Session struct {
 	art *Artifacts // phase products; art.Red memoizes the reduction
 }
 
+// buildSessionConfig applies the options, resolves the checkpoint/strategy
+// implication, verifies the workload exists, and returns the validated,
+// defaults-applied configuration. Start and StartBatch share it.
+func buildSessionConfig(workload string, opts []Option) (sessionConfig, error) {
+	var sc sessionConfig
+	sc.cfg.Workload = workload
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&sc); err != nil {
+			return sc, err
+		}
+	}
+	if sc.cfg.Checkpoints > 0 {
+		if sc.strategySet && sc.cfg.Strategy != StrategyCheckpointed {
+			return sc, fmt.Errorf(
+				"merlin: WithCheckpoints(%d) implies StrategyCheckpointed, conflicting with WithStrategy(%v)",
+				sc.cfg.Checkpoints, sc.cfg.Strategy)
+		}
+		sc.cfg.Strategy = StrategyCheckpointed
+	}
+	if _, err := workloads.Get(workload); err != nil {
+		return sc, err
+	}
+	sc.cfg = sc.cfg.fillDefaults()
+	if err := sc.cfg.validate(); err != nil {
+		return sc, err
+	}
+	return sc, nil
+}
+
 // Start validates workload and options and returns a Session ready to
 // run. No simulation happens here — Start is cheap enough to double as a
 // request validator (the campaign daemon uses it that way). ctx only
@@ -201,32 +261,14 @@ func Start(ctx context.Context, workload string, opts ...Option) (*Session, erro
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	var sc sessionConfig
-	sc.cfg.Workload = workload
-	for _, opt := range opts {
-		if opt == nil {
-			continue
-		}
-		if err := opt(&sc); err != nil {
-			return nil, err
-		}
-	}
-	if sc.cfg.Checkpoints > 0 {
-		if sc.strategySet && sc.cfg.Strategy != StrategyCheckpointed {
-			return nil, fmt.Errorf(
-				"merlin: WithCheckpoints(%d) implies StrategyCheckpointed, conflicting with WithStrategy(%v)",
-				sc.cfg.Checkpoints, sc.cfg.Strategy)
-		}
-		sc.cfg.Strategy = StrategyCheckpointed
-	}
-	if _, err := workloads.Get(workload); err != nil {
+	sc, err := buildSessionConfig(workload, opts)
+	if err != nil {
 		return nil, err
 	}
-	cfg := sc.cfg.fillDefaults()
-	if err := cfg.validate(); err != nil {
-		return nil, err
+	if len(sc.structures) > 0 {
+		return nil, fmt.Errorf("merlin: WithStructures is a batch option; use StartBatch (single campaigns take WithStructure)")
 	}
-	return &Session{cfg: cfg, emit: sc.progress}, nil
+	return &Session{cfg: sc.cfg, emit: sc.progress}, nil
 }
 
 // Config returns the session's configuration after defaults were applied.
@@ -240,6 +282,7 @@ func (s *Session) Artifacts() *Artifacts { return s.art }
 
 func (s *Session) emitEvent(p Progress) {
 	if s.emit != nil {
+		p.Structure = s.cfg.Structure.String()
 		s.emit(p)
 	}
 }
@@ -251,7 +294,7 @@ func (s *Session) faultEmitter(phase Phase) func(int, Fault, Outcome) {
 		return nil
 	}
 	return func(idx int, f Fault, o Outcome) {
-		s.emit(Progress{Kind: ProgressFault, Phase: phase, Index: idx, Fault: f, Outcome: o})
+		s.emitEvent(Progress{Kind: ProgressFault, Phase: phase, Index: idx, Fault: f, Outcome: o})
 	}
 }
 
