@@ -35,6 +35,21 @@
 // queued campaign instantly and stops a running one between injections
 // (terminal status "cancelled", worker shard freed), and a submission may
 // carry "deadline_ms" to bound its execution time.
+//
+// merlind also scales out. A coordinator (the default role) shards each
+// campaign's fault groups across fleet workers that joined it, merges
+// their streamed outcomes, and — with -registry — persists campaign state
+// so a restart resumes in-flight campaigns from their last checkpoint.
+// Workers are the same binary pointed at the coordinator:
+//
+//	merlind -addr :7411 -registry ./merlind-registry &      # coordinator
+//	merlind -role worker -addr :7412 -join http://localhost:7411 &
+//	merlind -role worker -addr :7413 -join http://localhost:7411 &
+//	curl -s localhost:7411/fleet/workers                    # the fleet
+//
+// Campaigns submit to the coordinator exactly as before; with no workers
+// joined it degrades to the single-process pipeline, and a worker lost
+// mid-campaign has its unfinished fault groups requeued onto survivors.
 package main
 
 import (
@@ -49,13 +64,21 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":7411", "listen address")
-		cache  = flag.String("cache", "merlind-cache", "golden-run artifact cache directory (empty disables caching)")
-		shards = flag.Int("shards", 0, "independent campaign worker pools (0 = default 4)")
-		shardW = flag.Int("shard-workers", 0, "concurrent campaigns per shard (0 = default 1)")
-		queue  = flag.Int("queue", 0, "pending-campaign bound per shard, beyond which submissions get 429 (0 = default 64)")
-		retain = flag.Int("retain", 0, "finished campaigns kept queryable before the oldest are evicted (0 = default 1024)")
-		snapMB = flag.Int64("snapshot-budget", 0, "in-memory checkpoint-snapshot cache budget in MB, shared across campaigns (0 = default 512, negative disables)")
+		addr      = flag.String("addr", ":7411", "listen address")
+		cache     = flag.String("cache", "merlind-cache", "golden-run artifact cache directory (empty disables caching)")
+		shards    = flag.Int("shards", 0, "independent campaign worker pools (0 = default 4)")
+		shardW    = flag.Int("shard-workers", 0, "concurrent campaigns per shard (0 = default 1)")
+		queue     = flag.Int("queue", 0, "pending-campaign bound per shard, beyond which submissions get 429 (0 = default 64)")
+		retain    = flag.Int("retain", 0, "finished campaigns kept queryable before the oldest are evicted (0 = default 1024)")
+		maxEvents = flag.Int("max-events", 0, "per-campaign event log cap before the oldest entries are dropped (0 = default 8192)")
+		snapMB    = flag.Int64("snapshot-budget", 0, "in-memory checkpoint-snapshot cache budget in MB, shared across campaigns (0 = default 512, negative disables)")
+
+		role      = flag.String("role", "coordinator", `"coordinator" accepts campaigns and shards them over joined workers; "worker" joins a coordinator and executes shards`)
+		join      = flag.String("join", "", "coordinator base URL to join (worker role; setting it implies -role worker)")
+		advertise = flag.String("advertise", "", "base URL the coordinator reaches this worker at (worker role; default http://127.0.0.1<addr>)")
+		workerID  = flag.String("worker-id", "", "worker name in the coordinator's pool (worker role; default derived from the advertise URL)")
+		registry  = flag.String("registry", "", "durable campaign registry directory: campaigns survive and resume across restarts (coordinator role; empty disables)")
+		fleetTTL  = flag.Duration("worker-ttl", 0, "heartbeat window before a silent worker is considered dead (coordinator role; 0 = default 10s, negative disables the fleet endpoints)")
 	)
 	flag.Parse()
 
@@ -63,19 +86,13 @@ func main() {
 	if snapBudget > 0 {
 		snapBudget <<= 20
 	}
-	opt := merlin.ServeOptions{
-		Shards:          *shards,
-		WorkersPerShard: *shardW,
-		QueueDepth:      *queue,
-		RetainFinished:  *retain,
-		SnapshotBudget:  snapBudget,
-	}
+	var artifacts *merlin.Cache
 	if *cache != "" {
 		c, err := merlin.OpenCache(*cache)
 		if err != nil {
 			log.Fatalf("merlind: %v", err)
 		}
-		opt.Cache = c
+		artifacts = c
 		st := c.Stats()
 		log.Printf("artifact cache at %s (%d artifacts, %d bytes)", c.Dir(), st.Entries, st.Bytes)
 	} else {
@@ -84,6 +101,49 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if *join != "" || *role == "worker" {
+		if *join == "" {
+			log.Fatalf("merlind: -role worker requires -join <coordinator URL>")
+		}
+		log.Printf("merlind worker listening on %s, joining %s", *addr, *join)
+		err := merlin.ServeWorker(ctx, *addr, merlin.WorkerOptions{
+			Coordinator:    *join,
+			ID:             *workerID,
+			Advertise:      *advertise,
+			Cache:          artifacts,
+			SnapshotBudget: snapBudget,
+			Logf:           log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("merlind: %v", err)
+		}
+		log.Printf("worker shut down cleanly")
+		return
+	}
+	if *role != "coordinator" {
+		log.Fatalf("merlind: unknown -role %q (want coordinator or worker)", *role)
+	}
+
+	opt := merlin.ServeOptions{
+		Cache:                artifacts,
+		Shards:               *shards,
+		WorkersPerShard:      *shardW,
+		QueueDepth:           *queue,
+		RetainFinished:       *retain,
+		MaxEventsPerCampaign: *maxEvents,
+		SnapshotBudget:       snapBudget,
+		FleetTTL:             *fleetTTL,
+	}
+	if *registry != "" {
+		reg, err := merlin.OpenRegistry(*registry)
+		if err != nil {
+			log.Fatalf("merlind: %v", err)
+		}
+		opt.Registry = reg
+		st := reg.Stats()
+		log.Printf("campaign registry at %s (%d records, %d bytes): campaigns survive restarts", *registry, st.Records, st.Bytes)
+	}
 
 	log.Printf("merlind listening on %s", *addr)
 	if err := merlin.Serve(ctx, *addr, opt); err != nil {

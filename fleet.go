@@ -1,0 +1,462 @@
+package merlin
+
+// This file wires the distributed campaign fleet: the coordinator side
+// (durable registry adapter, the shard-merge RunFunc that spreads a
+// campaign's fault groups over internal/fleet workers and recombines
+// their outcome streams) and the worker side (ServeWorker, which joins a
+// coordinator, heartbeats, and executes shard jobs against the local
+// pipeline). MeRLiN's determinism keeps the protocol thin: a worker
+// re-derives Preprocess and Reduce bit-identically from the campaign
+// request, so shard jobs carry only the request JSON and global
+// representative indices, and golden artifacts travel separately by
+// content address.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"merlin/internal/campaign"
+	"merlin/internal/fault"
+	"merlin/internal/fleet"
+	"merlin/internal/server"
+	"merlin/internal/store"
+)
+
+// CampaignRegistry is the durable campaign registry: per-record
+// checksummed files under one directory, written atomically, holding
+// everything a restarted coordinator needs to restore finished campaigns
+// and resume interrupted ones from their last outcome checkpoint. Open
+// one with OpenRegistry and pass it in ServeOptions.Registry.
+type CampaignRegistry = store.Registry
+
+// CampaignRegistryStats is a point-in-time snapshot of registry activity.
+type CampaignRegistryStats = store.RegistryStats
+
+// OpenRegistry creates (if needed) and opens a durable campaign registry
+// rooted at dir.
+func OpenRegistry(dir string) (*CampaignRegistry, error) { return store.OpenRegistry(dir) }
+
+// registryAdapter bridges the pipeline-agnostic server.Registry interface
+// to the store's durable registry. server.Record and store.CampaignRecord
+// are deliberately struct-identical, so the bridge is a plain conversion.
+type registryAdapter struct{ reg *store.Registry }
+
+func (a registryAdapter) Put(rec server.Record) error {
+	return a.reg.Put(store.CampaignRecord(rec))
+}
+
+func (a registryAdapter) List() ([]server.Record, error) {
+	recs, err := a.reg.List()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]server.Record, len(recs))
+	for i, r := range recs {
+		out[i] = server.Record(r)
+	}
+	return out, nil
+}
+
+func (a registryAdapter) Delete(id string) error { return a.reg.Delete(id) }
+
+// outcomeLedger is the coordinator's merge point: per-shard outcome
+// streams, resumed checkpoints and local fallback runs all land here,
+// deduplicated by representative index (a rep that streamed just before
+// its worker died may be re-injected elsewhere; by determinism the
+// duplicate carries the same outcome, and the first write wins). Every
+// fresh outcome is forwarded to the campaign's event log and the durable
+// checkpoint.
+type outcomeLedger struct {
+	mu       sync.Mutex
+	outcomes []campaign.Outcome // indexed by rep; Cancelled = unclassified
+	done     []bool
+
+	structure  string
+	emit       func(CampaignEvent)
+	checkpoint func(map[int]string)
+}
+
+func newOutcomeLedger(total int, structure string, emit func(CampaignEvent), checkpoint func(map[int]string)) *outcomeLedger {
+	l := &outcomeLedger{
+		outcomes:   make([]campaign.Outcome, total),
+		done:       make([]bool, total),
+		structure:  structure,
+		emit:       emit,
+		checkpoint: checkpoint,
+	}
+	for i := range l.outcomes {
+		l.outcomes[i] = campaign.Cancelled
+	}
+	return l
+}
+
+// resume seeds the ledger with a previous incarnation's checkpointed
+// outcomes, returning how many applied. Unknown outcome names and
+// out-of-range indices are dropped — a corrupted checkpoint degrades to
+// re-injecting, never to a wrong report.
+func (l *outcomeLedger) resume(resume map[int]string) int {
+	n := 0
+	for rep, name := range resume {
+		o, err := campaign.ParseOutcome(name)
+		if err != nil || o == campaign.Cancelled || rep < 0 || rep >= len(l.outcomes) {
+			continue
+		}
+		l.outcomes[rep] = o
+		l.done[rep] = true
+		n++
+	}
+	return n
+}
+
+// record merges one classified representative; duplicates are no-ops.
+func (l *outcomeLedger) record(rep int, faultStr string, o campaign.Outcome) {
+	l.mu.Lock()
+	if rep < 0 || rep >= len(l.outcomes) || l.done[rep] {
+		l.mu.Unlock()
+		return
+	}
+	l.done[rep] = true
+	l.outcomes[rep] = o
+	l.mu.Unlock()
+	l.emit(CampaignEvent{Type: "fault", Structure: l.structure, Index: rep,
+		Fault: faultStr, Outcome: o.String()})
+	l.checkpoint(map[int]string{rep: o.String()})
+}
+
+func (l *outcomeLedger) pendingCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, d := range l.done {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// pendingShards partitions the unclassified representatives into shards
+// along group boundaries: the reduction's deterministic whole-group
+// sharding, filtered down to what is still pending (resumed campaigns
+// only re-inject the remainder).
+func (l *outcomeLedger) pendingShards(red *Reduction, n int) [][]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out [][]int
+	for _, shard := range red.ShardReps(n) {
+		var keep []int
+		for _, rep := range shard {
+			if !l.done[rep] {
+				keep = append(keep, rep)
+			}
+		}
+		if len(keep) > 0 {
+			out = append(out, keep)
+		}
+	}
+	return out
+}
+
+// result assembles the merged campaign Result; entries still carrying the
+// Cancelled sentinel count as never-injected.
+func (l *outcomeLedger) result() *campaign.Result {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return campaign.NewResultFrom(l.outcomes)
+}
+
+// runFleetCampaign is the coordinator's durable, shardable execution of a
+// single-structure campaign: Preprocess and Reduce run once here, the
+// representative space is sharded along group boundaries, shards stream
+// from live workers (or run in-process when none are alive — the
+// degradation path is exactly the single-node pipeline), lost workers'
+// reps requeue onto survivors, and every classified outcome is
+// checkpointed through the job so a coordinator restart resumes instead
+// of restarting. The merged report is bit-identical to a single-node
+// run's in everything but the timing counters, because the outcomes are.
+func runFleetCampaign(ctx context.Context, job server.Job, emit func(CampaignEvent), cache *Cache, snapshots *SnapshotCache, pool *fleet.Pool) (any, error) {
+	req := job.Request
+	opts, err := requestOptions(req, cache)
+	if err != nil {
+		return nil, err
+	}
+	if snapshots != nil {
+		opts = append(opts, WithSnapshotCache(snapshots))
+	}
+	opts = append(opts, WithProgress(func(p Progress) {
+		if ev, ok := progressEvent(p); ok {
+			emit(ev)
+		}
+	}))
+	s, err := Start(ctx, req.Workload, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Preprocess(ctx); err != nil {
+		return nil, err
+	}
+	red, err := s.Reduce()
+	if err != nil {
+		return nil, err
+	}
+	art := s.Artifacts()
+
+	led := newOutcomeLedger(red.ReducedCount(), art.Config.Structure.String(), emit, job.Checkpoint)
+	if n := led.resume(job.Resume); n > 0 {
+		emit(CampaignEvent{Type: "shard", Structure: led.structure,
+			Msg: fmt.Sprintf("%d of %d representatives already classified by checkpoint; injecting the remainder", n, red.ReducedCount())})
+	}
+
+	reqJSON, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	artifactID := ""
+	if cache != nil {
+		artifactID = store.NewKey(art.Config.Workload, art.Config.CPU, art.Runner.GoldenBudget, art.Config.Structure).ID()
+	}
+	local := func(ctx context.Context, reps []int) error {
+		return art.injectSubset(ctx, reps, func(rep int, f fault.Fault, o campaign.Outcome) {
+			led.record(rep, f.String(), o)
+		})
+	}
+
+	start := time.Now()
+	var runErr error
+	if led.pendingCount() > 0 {
+		workers := 0
+		if pool != nil {
+			workers = len(pool.Alive())
+		}
+		// Two shards per worker keep everyone busy even when group sizes
+		// skew, and give the work-stealing rounds units to requeue.
+		shardCount := 2 * workers
+		if shardCount < 1 {
+			shardCount = 1
+		}
+		shards := led.pendingShards(red, shardCount)
+		if pool == nil {
+			for _, reps := range shards {
+				if runErr = local(ctx, reps); runErr != nil {
+					break
+				}
+			}
+		} else {
+			disp := &fleet.Dispatcher{
+				Pool: pool,
+				Job: func(reps []int) fleet.ShardJob {
+					sj := fleet.ShardJob{Campaign: job.ID, Request: reqJSON, Reps: reps}
+					if artifactID != "" {
+						sj.ArtifactID = artifactID
+						sj.ArtifactURL = "/artifacts/" + artifactID
+					}
+					return sj
+				},
+				OnOutcome: func(o fleet.Outcome) {
+					out, err := campaign.ParseOutcome(o.Outcome)
+					if err != nil || out == campaign.Cancelled {
+						return
+					}
+					led.record(o.Rep, o.Fault, out)
+				},
+				Local: local,
+				Emit: func(typ, msg string) {
+					emit(CampaignEvent{Type: typ, Structure: led.structure, Msg: msg})
+				},
+			}
+			runErr = disp.Run(ctx, shards)
+		}
+	}
+
+	res := led.result()
+	res.Wall = time.Since(start)
+	complete := runErr == nil && res.Cancelled == 0
+	rep := art.reportFrom(res, complete)
+	if runErr != nil {
+		// A cancelled or interrupted campaign keeps its partial report (raw
+		// representative distribution, Cancelled count set), matching the
+		// local pipeline's cancellation contract.
+		return rep, runErr
+	}
+	if res.Cancelled > 0 {
+		return rep, fmt.Errorf("merlin: fleet dispatch left %d representatives unclassified", res.Cancelled)
+	}
+	emit(CampaignEvent{Type: "inject", Structure: led.structure,
+		Msg: fmt.Sprintf("merged %d representative outcomes in %v: %v",
+			res.Injected, res.Wall.Round(time.Millisecond), res.Dist)})
+	return rep, nil
+}
+
+// WorkerOptions configures a fleet worker process (see ServeWorker).
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL (required), e.g.
+	// "http://coordinator:7411".
+	Coordinator string
+	// ID names the worker in the coordinator's pool; empty derives it from
+	// the advertise address.
+	ID string
+	// Advertise is the base URL the coordinator reaches this worker at;
+	// empty derives "http://127.0.0.1<addr>" — fine for same-host fleets,
+	// set it explicitly across machines.
+	Advertise string
+	// Interval is the heartbeat period (0 = a third of the coordinator's
+	// TTL).
+	Interval time.Duration
+
+	// Cache is the worker's golden-run artifact cache; with one attached
+	// the worker prefetches the campaign's golden artifact from the
+	// coordinator by content address and skips its own golden run. Nil
+	// disables (the worker recomputes — slower, still correct).
+	Cache *Cache
+	// SnapshotBudget bounds the worker's in-memory snapshot cache
+	// (0 = default 512 MB, negative disables), as in ServeOptions.
+	SnapshotBudget int64
+	// Logf, when non-nil, receives worker lifecycle log lines.
+	Logf func(format string, args ...any)
+}
+
+// maxArtifactBytes bounds one artifact transfer; the raw payload is
+// checksum-validated before it enters the cache, so a truncated fetch is
+// rejected, not served.
+const maxArtifactBytes = 256 << 20
+
+// prefetchArtifact pulls the campaign's golden artifact by content
+// address into the worker's cache, best-effort: any failure just means
+// the worker recomputes its golden run.
+func prefetchArtifact(ctx context.Context, client *http.Client, cache *Cache, coordinator string, job fleet.ShardJob) {
+	if cache == nil || job.ArtifactID == "" || cache.HasRaw(job.ArtifactID) {
+		return
+	}
+	url := job.ArtifactURL
+	if url == "" {
+		url = "/artifacts/" + job.ArtifactID
+	}
+	if strings.HasPrefix(url, "/") {
+		url = coordinator + url
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxArtifactBytes))
+	if err != nil {
+		return
+	}
+	cache.PutRaw(job.ArtifactID, raw)
+}
+
+// workerShardRun executes one shard job against the local pipeline: the
+// worker re-derives Preprocess (served from its artifact cache when the
+// prefetch landed) and Reduce deterministically from the request, then
+// injects exactly the job's representatives, streaming each outcome back.
+func workerShardRun(cache *Cache, snapshots *SnapshotCache, coordinator string) fleet.ShardRunFunc {
+	client := &http.Client{Timeout: 60 * time.Second}
+	return func(ctx context.Context, job fleet.ShardJob, emit func(fleet.Outcome)) error {
+		var req CampaignRequest
+		if err := json.Unmarshal(job.Request, &req); err != nil {
+			return fmt.Errorf("merlin: bad shard request: %w", err)
+		}
+		if len(req.Structures) > 0 {
+			return fmt.Errorf("merlin: batch campaigns are not sharded across workers")
+		}
+		prefetchArtifact(ctx, client, cache, coordinator, job)
+		opts, err := requestOptions(req, cache)
+		if err != nil {
+			return err
+		}
+		if snapshots != nil {
+			opts = append(opts, WithSnapshotCache(snapshots))
+		}
+		s, err := Start(ctx, req.Workload, opts...)
+		if err != nil {
+			return err
+		}
+		if err := s.Preprocess(ctx); err != nil {
+			return err
+		}
+		if _, err := s.Reduce(); err != nil {
+			return err
+		}
+		return s.Artifacts().injectSubset(ctx, job.Reps, func(rep int, f fault.Fault, o campaign.Outcome) {
+			emit(fleet.Outcome{Rep: rep, Fault: f.String(), Outcome: o.String()})
+		})
+	}
+}
+
+// ServeWorker runs a fleet worker on addr until ctx is cancelled: it
+// joins the coordinator (retrying until it answers), heartbeats, and
+// serves shard jobs over HTTP. A coordinator restart is absorbed
+// transparently — heartbeats auto-register against the fresh pool. The
+// worker's listener carries the same header/idle timeouts and drain
+// deadline as the coordinator's.
+func ServeWorker(ctx context.Context, addr string, opt WorkerOptions) error {
+	if opt.Coordinator == "" {
+		return fmt.Errorf("merlin: ServeWorker requires a coordinator URL")
+	}
+	coordinator := strings.TrimSuffix(opt.Coordinator, "/")
+	advertise := strings.TrimSuffix(opt.Advertise, "/")
+	if advertise == "" {
+		if strings.HasPrefix(addr, ":") {
+			advertise = "http://127.0.0.1" + addr
+		} else {
+			advertise = "http://" + addr
+		}
+	}
+	id := opt.ID
+	if id == "" {
+		id = "worker-" + strings.TrimPrefix(strings.TrimPrefix(advertise, "http://"), "https://")
+	}
+	var snapshots *SnapshotCache
+	if opt.SnapshotBudget >= 0 {
+		snapshots = NewSnapshotCache(opt.SnapshotBudget)
+	}
+	agent := &fleet.Agent{
+		ID:          id,
+		Coordinator: coordinator,
+		Advertise:   advertise,
+		Interval:    opt.Interval,
+		Logf:        opt.Logf,
+		Run:         workerShardRun(opt.Cache, snapshots, coordinator),
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/fleet/", agent.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"ok":true,"worker":%q,"coordinator":%q}`+"\n", id, coordinator)
+	})
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: readHeaderTimeout,
+		IdleTimeout:       idleTimeout,
+	}
+	errc := make(chan error, 2)
+	go func() { errc <- hs.ListenAndServe() }()
+	go func() { errc <- agent.Start(ctx) }()
+	select {
+	case err := <-errc:
+		if ctx.Err() == nil { // listener died or the join never succeeded
+			hs.Close()
+			return err
+		}
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	return hs.Shutdown(shutdownCtx)
+}

@@ -1,0 +1,390 @@
+package merlin
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"merlin/internal/fleet"
+)
+
+// normalizedReport strips the timing and locality counters that
+// legitimately differ between a single-node run and a distributed or
+// resumed one; everything left — outcomes, distributions, AVF/FIT, group
+// accounting — must be bit-identical by determinism.
+func normalizedReport(r *Report) Report {
+	n := *r
+	n.Wall, n.Serial, n.CloneTime = 0, 0, 0
+	n.Clones, n.SimCycles = 0, 0
+	n.CyclesPerSec = 0
+	n.SnapshotHit, n.CacheHit = false, false
+	return n
+}
+
+// campaignEvents drains a finished campaign's NDJSON event stream.
+func campaignEvents(t *testing.T, base, id string) []CampaignEvent {
+	t.Helper()
+	resp, err := http.Get(base + "/campaigns/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var evs []CampaignEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		var ev CampaignEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+func countEvents(evs []CampaignEvent, typ string) int {
+	n := 0
+	for _, ev := range evs {
+		if ev.Type == typ {
+			n++
+		}
+	}
+	return n
+}
+
+// joinFleet registers a worker with a coordinator, as the agent's join
+// call would.
+func joinFleet(t *testing.T, coordURL, id, addr string) {
+	t.Helper()
+	body := fmt.Sprintf(`{"id":%q,"addr":%q}`, id, addr)
+	resp, err := http.Post(coordURL+"/fleet/join", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join %s: status %d", id, resp.StatusCode)
+	}
+}
+
+// fleetWorker serves the real worker pipeline behind an httptest
+// listener. dieAfter >= 0 turns it into a crashing worker: every shard
+// request streams that many outcomes and then aborts the connection
+// without a done marker — exactly what the coordinator sees when a
+// worker process is killed mid-shard.
+func fleetWorker(t *testing.T, coordURL string, cache *Cache, dieAfter int) *httptest.Server {
+	t.Helper()
+	run := workerShardRun(cache, nil, coordURL)
+	if dieAfter >= 0 {
+		inner := run
+		run = func(ctx context.Context, job fleet.ShardJob, emit func(fleet.Outcome)) error {
+			var n atomic.Int32
+			inner(ctx, job, func(o fleet.Outcome) {
+				if int(n.Add(1)) <= dieAfter {
+					emit(o)
+				}
+			})
+			panic(http.ErrAbortHandler) // abort the response stream: no done marker
+		}
+	}
+	agent := &fleet.Agent{ID: "test-worker", Run: run}
+	hs := httptest.NewServer(agent.Handler())
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+// TestFleetWorkerLossRequeue is the distributed acceptance test: a
+// campaign sharded over two workers, one of which dies mid-shard, still
+// completes — the lost reps requeue onto the survivor — and the merged
+// report matches a single-node run of the same request bit-identically
+// (timing counters aside).
+func TestFleetWorkerLossRequeue(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const body = `{"workload":"sha","structure":"RF","faults":300,"seed":9,"strategy":"forked"}`
+
+	// Single-node reference.
+	ref := daemon(t, ServeOptions{Cache: cache})
+	_, want := campaignWait(t, ref.URL, postCampaign(t, ref.URL, body))
+
+	// Coordinator plus two workers; w1 streams two outcomes per shard and
+	// then drops the connection, every time.
+	coord := daemon(t, ServeOptions{Cache: cache})
+	w1Cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2Cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := fleetWorker(t, coord.URL, w1Cache, 2)
+	w2 := fleetWorker(t, coord.URL, w2Cache, -1)
+	joinFleet(t, coord.URL, "w1", w1.URL)
+	joinFleet(t, coord.URL, "w2", w2.URL)
+
+	id := postCampaign(t, coord.URL, body)
+	_, got := campaignWait(t, coord.URL, id)
+
+	if !reflect.DeepEqual(normalizedReport(got), normalizedReport(want)) {
+		t.Fatalf("distributed report diverged from single-node run:\n got %+v\nwant %+v",
+			normalizedReport(got), normalizedReport(want))
+	}
+	if got.Injected != want.Injected || got.Dist != want.Dist {
+		t.Fatalf("merged outcomes differ: got %v (%d injected), want %v (%d)",
+			got.Dist, got.Injected, want.Dist, want.Injected)
+	}
+
+	evs := campaignEvents(t, coord.URL, id)
+	if countEvents(evs, "requeue") == 0 {
+		t.Fatal("no requeue event despite the worker dying mid-shard")
+	}
+	if n := countEvents(evs, "fault"); n != want.Injected {
+		t.Fatalf("fault events = %d, want exactly %d (one per representative, duplicates merged)",
+			n, want.Injected)
+	}
+
+	// The dead worker was dropped from the pool; the survivor remains.
+	resp, err := http.Get(coord.URL + "/fleet/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Workers []fleet.WorkerInfo `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Workers) != 1 || list.Workers[0].ID != "w2" {
+		t.Fatalf("pool after worker loss = %+v, want only w2", list.Workers)
+	}
+
+	// The survivor prefetched the golden artifact by content address
+	// instead of repeating the golden run.
+	if st := w2Cache.Stats(); st.Entries == 0 {
+		t.Fatal("surviving worker never received the golden artifact")
+	}
+}
+
+// TestFleetCoordinatorRestartResume is the durability acceptance test: a
+// coordinator killed mid-campaign leaves a resumable record in the
+// registry; its successor re-enqueues the campaign, re-injects only the
+// unclassified remainder, and the final report matches an uninterrupted
+// single-node run bit-identically.
+func TestFleetCoordinatorRestartResume(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// replay over qsort is the slowest per-representative pipeline in the
+	// suite (~7ms each over ~24 reps), which gives the poll below a wide,
+	// deterministic window to kill the coordinator mid-injection.
+	const body = `{"workload":"qsort","structure":"RF","faults":800,"seed":5,"strategy":"replay","workers":1}`
+
+	// Uninterrupted reference.
+	ref := daemon(t, ServeOptions{Cache: cache})
+	_, want := campaignWait(t, ref.URL, postCampaign(t, ref.URL, body))
+
+	reg, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1, err := NewServer(ServeOptions{Cache: cache, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs1 := httptest.NewServer(srv1.Handler())
+	id := postCampaign(t, hs1.URL, body)
+
+	// Wait for a few checkpointed outcomes, then kill the coordinator
+	// mid-injection.
+	type liveStatus struct {
+		Status       string `json:"status"`
+		Checkpointed int    `json:"checkpointed"`
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(hs1.URL + "/campaigns/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st liveStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Status == "running" && st.Checkpointed >= 3 {
+			break
+		}
+		if st.Status == "done" || st.Status == "failed" {
+			t.Fatalf("campaign reached %q before the coordinator could be killed; raise the fault count", st.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign never checkpointed (status %q, %d outcomes)", st.Status, st.Checkpointed)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv1.Close() // the "crash": in-flight campaign interrupted, record stays resumable
+	hs1.Close()
+
+	// Registry holds a running record with its checkpoint.
+	rec, ok := reg.Get(id)
+	if !ok {
+		t.Fatal("interrupted record missing from registry")
+	}
+	if rec.Status != "running" || len(rec.Outcomes) < 3 {
+		t.Fatalf("interrupted record = status %q with %d outcomes, want a resumable running record",
+			rec.Status, len(rec.Outcomes))
+	}
+	checkpointed := len(rec.Outcomes)
+
+	// Successor coordinator over the same registry: the campaign resumes
+	// and completes.
+	srv2, err := NewServer(ServeOptions{Cache: cache, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(func() { hs2.Close(); srv2.Close() })
+	_, got := campaignWait(t, hs2.URL, id)
+
+	if !reflect.DeepEqual(normalizedReport(got), normalizedReport(want)) {
+		t.Fatalf("resumed report diverged from uninterrupted run:\n got %+v\nwant %+v",
+			normalizedReport(got), normalizedReport(want))
+	}
+
+	// The second incarnation resumed rather than restarted: its log opens
+	// with the resume marker and re-injects only the remainder.
+	evs := campaignEvents(t, hs2.URL, id)
+	if len(evs) == 0 || evs[0].Type != "resumed" {
+		t.Fatalf("restored log does not open with a resumed event: %+v", evs[:min(len(evs), 3)])
+	}
+	if n := countEvents(evs, "fault"); n > want.Injected-checkpointed {
+		t.Fatalf("resumed incarnation injected %d faults, want <= %d (%d were checkpointed)",
+			n, want.Injected-checkpointed, checkpointed)
+	}
+
+	// The finished record is durable too: it survives into a third
+	// incarnation as a queryable report without re-running anything.
+	srv3, err := NewServer(ServeOptions{Cache: cache, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs3 := httptest.NewServer(srv3.Handler())
+	t.Cleanup(func() { hs3.Close(); srv3.Close() })
+	_, restored := campaignWait(t, hs3.URL, id)
+	if !reflect.DeepEqual(normalizedReport(restored), normalizedReport(want)) {
+		t.Fatal("restored report diverged from the original")
+	}
+}
+
+// benchSubmitAndWait drives one campaign through a daemon and blocks
+// until it finishes, failing the benchmark on any non-done terminal.
+func benchSubmitAndWait(b *testing.B, base, body string) {
+	b.Helper()
+	resp, err := http.Post(base+"/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&submitted)
+	resp.Body.Close()
+	if err != nil || submitted.ID == "" {
+		b.Fatalf("submit: id=%q err=%v", submitted.ID, err)
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(base + "/campaigns/" + submitted.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		switch st.Status {
+		case "done":
+			return
+		case "failed", "cancelled":
+			b.Fatalf("benchmark campaign %s: %s", st.Status, st.Error)
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("benchmark campaign never finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// benchFleetWall is the shared harness of the fleet benchmarks: a
+// single-structure replay campaign with per-node parallelism pinned to
+// one worker thread ("workers":1), so the wall-clock ratio between the
+// local daemon and a two-worker fleet isolates what sharding buys at
+// fixed per-node compute. The golden artifact is warmed outside the
+// timer (one throwaway campaign, which also prefetches it into every
+// fleet worker's cache), leaving the measured loop dominated by the
+// injection phase plus coordination overhead.
+func benchFleetWall(b *testing.B, nWorkers int) {
+	b.Helper()
+	cache, err := OpenCache(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewServer(ServeOptions{Cache: cache})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer func() { hs.Close(); srv.Close() }()
+
+	for i := 0; i < nWorkers; i++ {
+		wc, err := OpenCache(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		agent := &fleet.Agent{ID: fmt.Sprintf("bench-w%d", i), Run: workerShardRun(wc, nil, hs.URL)}
+		ws := httptest.NewServer(agent.Handler())
+		defer ws.Close()
+		resp, err := http.Post(hs.URL+"/fleet/join", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"id":"bench-w%d","addr":%q}`, i, ws.URL)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	const body = `{"workload":"qsort","structure":"L1D","faults":3000,"seed":5,"strategy":"replay","workers":1}`
+	benchSubmitAndWait(b, hs.URL, body) // warm golden artifact + worker caches
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		benchSubmitAndWait(b, hs.URL, body)
+	}
+	b.ReportMetric(time.Since(start).Seconds()*1000/float64(b.N), "wall-ms")
+}
+
+// BenchmarkFleet_Local times the campaign on a plain single-process
+// daemon — the baseline the fleet is measured against.
+func BenchmarkFleet_Local(b *testing.B) { benchFleetWall(b, 0) }
+
+// BenchmarkFleet_TwoWorkers times the same campaign sharded across two
+// fleet workers.
+func BenchmarkFleet_TwoWorkers(b *testing.B) { benchFleetWall(b, 2) }

@@ -419,6 +419,25 @@ func newResult(n int) *Result {
 	return res
 }
 
+// NewResultFrom assembles a Result from outcomes classified elsewhere —
+// the distributed path's merge point, where per-shard outcome streams
+// (and checkpointed outcomes from a resumed campaign) recombine into the
+// same aggregate a local Runner would have produced. Entries still
+// carrying the Cancelled sentinel count as never-injected, exactly as in
+// a locally cancelled campaign.
+func NewResultFrom(outcomes []Outcome) *Result {
+	res := &Result{Outcomes: outcomes}
+	for _, o := range outcomes {
+		if o == Cancelled {
+			res.Cancelled++
+			continue
+		}
+		res.Dist.Add(o)
+		res.Injected++
+	}
+	return res
+}
+
 // finalize aggregates the classified outcomes into Dist, counts the
 // cancelled remainder, and propagates ctx.Err() when the campaign was cut
 // short (a fully classified campaign returns nil even if ctx was cancelled

@@ -1,0 +1,552 @@
+// Package fleet is the coordinator/worker layer of the campaign service:
+// worker registration and heartbeat-based liveness (Pool), the worker
+// agent that joins a coordinator and executes shard jobs (Agent), and the
+// work-stealing dispatcher that spreads a campaign's fault groups across
+// live workers and requeues a lost worker's unfinished groups (Dispatcher).
+//
+// The protocol is deliberately thin, because MeRLiN's determinism does
+// the heavy lifting: a worker re-derives Preprocess and Reduce from the
+// campaign request bit-identically (same binary, registered workloads,
+// deterministic sampling), so a shard job only needs to carry the request
+// JSON plus the global representative indices to inject — not fault
+// lists or traces. Golden artifacts travel separately by content address
+// so a warm worker skips its golden run entirely. Per-fault outcomes
+// stream back as NDJSON with a final done marker; any stream that ends
+// without the marker (worker crash, network partition) simply leaves its
+// reps pending, and the next dispatch round reassigns them to whoever is
+// still alive.
+//
+// Like internal/server, this package never imports the simulator: the
+// shard execution is an injected ShardRunFunc, and the request payload is
+// an opaque JSON blob. The root merlin package wires both sides.
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ShardJob is the wire form of one shard assignment: everything a worker
+// needs to execute its slice of a campaign.
+type ShardJob struct {
+	// Campaign is the coordinator's record id (for logs and idempotence).
+	Campaign string `json:"campaign"`
+	// Request is the campaign's submission JSON (server.Request); the
+	// worker re-derives Preprocess and Reduce from it deterministically.
+	Request json.RawMessage `json:"request"`
+	// Reps are the global representative indices (positions in the
+	// reduction's Reduced() order) this shard must inject.
+	Reps []int `json:"reps"`
+	// ArtifactID and ArtifactURL let the worker prefetch the campaign's
+	// golden-run artifact by content address instead of repeating the
+	// golden run; both optional — a worker that cannot fetch recomputes.
+	ArtifactID  string `json:"artifact_id,omitempty"`
+	ArtifactURL string `json:"artifact_url,omitempty"`
+}
+
+// Outcome is one line of a shard job's NDJSON response stream: a
+// classified representative, or the final done marker (Done true, Err
+// carrying the shard's failure if it did not complete cleanly).
+type Outcome struct {
+	Rep     int    `json:"rep"`
+	Fault   string `json:"fault,omitempty"`
+	Outcome string `json:"outcome,omitempty"`
+	Done    bool   `json:"done,omitempty"`
+	Err     string `json:"error,omitempty"`
+}
+
+// ShardRunFunc executes one shard job on a worker, emitting each
+// classified representative as it lands. It must observe ctx (the HTTP
+// request's context: coordinator gone = stop injecting).
+type ShardRunFunc func(ctx context.Context, job ShardJob, emit func(Outcome)) error
+
+// WorkerInfo describes one registered worker.
+type WorkerInfo struct {
+	ID       string    `json:"id"`
+	Addr     string    `json:"addr"`
+	LastSeen time.Time `json:"last_seen"`
+	Alive    bool      `json:"alive"`
+}
+
+// DefaultTTL is the heartbeat liveness window: a worker silent for
+// longer is considered dead and stops receiving shards (its in-flight
+// shards requeue when their streams break).
+const DefaultTTL = 10 * time.Second
+
+// Pool tracks registered workers and their liveness on the coordinator.
+// Heartbeats auto-register, so a restarted coordinator re-learns its
+// fleet within one heartbeat interval without any worker-side logic.
+type Pool struct {
+	ttl time.Duration
+	now func() time.Time // test hook
+
+	mu      sync.Mutex
+	workers map[string]*WorkerInfo
+}
+
+// NewPool creates a worker pool with the given liveness TTL (0 means
+// DefaultTTL).
+func NewPool(ttl time.Duration) *Pool {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &Pool{ttl: ttl, now: time.Now, workers: make(map[string]*WorkerInfo)}
+}
+
+// Heartbeat registers or refreshes a worker. Address changes (a worker
+// restarted on a new port) take effect immediately.
+func (p *Pool) Heartbeat(id, addr string) error {
+	if id == "" || addr == "" {
+		return fmt.Errorf("fleet: heartbeat requires id and addr")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w := p.workers[id]
+	if w == nil {
+		w = &WorkerInfo{ID: id}
+		p.workers[id] = w
+	}
+	w.Addr = addr
+	w.LastSeen = p.now()
+	return nil
+}
+
+// Remove forgets a worker immediately (e.g. after a failed dispatch, so
+// the next round does not wait out the TTL to route around it).
+func (p *Pool) Remove(id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.workers, id)
+}
+
+// Alive returns the workers seen within the TTL, sorted by id for
+// deterministic shard assignment.
+func (p *Pool) Alive() []WorkerInfo {
+	cutoff := p.now().Add(-p.ttl)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []WorkerInfo
+	for _, w := range p.workers {
+		if w.LastSeen.After(cutoff) {
+			wi := *w
+			wi.Alive = true
+			out = append(out, wi)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// All returns every registered worker with its liveness flag, sorted by
+// id (the /fleet/workers listing).
+func (p *Pool) All() []WorkerInfo {
+	cutoff := p.now().Add(-p.ttl)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(p.workers))
+	for _, w := range p.workers {
+		wi := *w
+		wi.Alive = w.LastSeen.After(cutoff)
+		out = append(out, wi)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// joinBody is the wire form of POST /fleet/join and /fleet/heartbeat.
+type joinBody struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// Handler serves the coordinator's fleet endpoints over the pool:
+//
+//	POST /fleet/join       register a worker ({"id","addr"})
+//	POST /fleet/heartbeat  refresh liveness (same body; auto-registers)
+//	GET  /fleet/workers    list workers with liveness flags
+func (p *Pool) Handler() http.Handler {
+	mux := http.NewServeMux()
+	beat := func(w http.ResponseWriter, r *http.Request) {
+		var body joinBody
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, `{"error":"bad join body"}`, http.StatusBadRequest)
+			return
+		}
+		if err := p.Heartbeat(body.ID, body.Addr); err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"ok":true,"ttl_ms":%d}`+"\n", p.ttl.Milliseconds())
+	}
+	mux.HandleFunc("POST /fleet/join", beat)
+	mux.HandleFunc("POST /fleet/heartbeat", beat)
+	mux.HandleFunc("GET /fleet/workers", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"workers": p.All()})
+	})
+	return mux
+}
+
+// retry runs f up to attempts times, sleeping backoff, 2*backoff, ... in
+// between (capped at 10x), until f succeeds or ctx is done. Every
+// coordinator↔worker call goes through it.
+func retry(ctx context.Context, attempts int, backoff time.Duration, f func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	delay := backoff
+	for i := 0; i < attempts; i++ {
+		if err = ctx.Err(); err != nil {
+			return err
+		}
+		if err = f(); err == nil {
+			return nil
+		}
+		if i == attempts-1 {
+			break
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if delay < 10*backoff {
+			delay *= 2
+		}
+	}
+	return err
+}
+
+// Agent is the worker side: it joins a coordinator, heartbeats until its
+// context ends, and serves shard jobs over HTTP. Run is required;
+// everything else defaults.
+type Agent struct {
+	// ID names this worker in the coordinator's pool (required).
+	ID string
+	// Coordinator is the coordinator's base URL (required for Start).
+	Coordinator string
+	// Advertise is the base URL the coordinator uses to reach this
+	// worker's handler (required for Start).
+	Advertise string
+	// Run executes one shard job (required).
+	Run ShardRunFunc
+
+	// Interval is the heartbeat period (0 = TTL/3 as reported by the
+	// coordinator's join response, falling back to 2s).
+	Interval time.Duration
+	// Client is the HTTP client for join/heartbeat calls (nil = a client
+	// with a 5s timeout).
+	Client *http.Client
+	// Logf, when non-nil, receives agent lifecycle log lines.
+	Logf func(format string, args ...any)
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.Logf != nil {
+		a.Logf(format, args...)
+	}
+}
+
+func (a *Agent) client() *http.Client {
+	if a.Client != nil {
+		return a.Client
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// beat posts one join/heartbeat and returns the coordinator's TTL.
+func (a *Agent) beat(ctx context.Context, path string) (time.Duration, error) {
+	body, _ := json.Marshal(joinBody{ID: a.ID, Addr: a.Advertise})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		a.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("fleet: %s returned %d", path, resp.StatusCode)
+	}
+	var out struct {
+		TTLms int64 `json:"ttl_ms"`
+	}
+	json.NewDecoder(resp.Body).Decode(&out)
+	return time.Duration(out.TTLms) * time.Millisecond, nil
+}
+
+// Start joins the coordinator (retrying with backoff until it answers)
+// and heartbeats until ctx is cancelled. A coordinator restart is
+// absorbed transparently: heartbeats auto-register, so the next
+// successful beat re-joins the fresh pool.
+func (a *Agent) Start(ctx context.Context) error {
+	if a.ID == "" || a.Coordinator == "" || a.Advertise == "" {
+		return fmt.Errorf("fleet: Agent needs ID, Coordinator and Advertise")
+	}
+	var ttl time.Duration
+	err := retry(ctx, 30, 500*time.Millisecond, func() error {
+		var err error
+		ttl, err = a.beat(ctx, "/fleet/join")
+		if err != nil {
+			a.logf("fleet: join %s: %v (retrying)", a.Coordinator, err)
+		}
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("fleet: joining %s: %w", a.Coordinator, err)
+	}
+	interval := a.Interval
+	if interval <= 0 {
+		interval = 2 * time.Second
+		if ttl > 0 {
+			interval = ttl / 3
+		}
+	}
+	a.logf("fleet: worker %s joined %s (heartbeat every %v)", a.ID, a.Coordinator, interval)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			if _, err := a.beat(ctx, "/fleet/heartbeat"); err != nil && ctx.Err() == nil {
+				// Missed beats are survivable: the TTL tolerates a few, and
+				// the next success re-registers. Keep beating.
+				a.logf("fleet: heartbeat: %v", err)
+			}
+		}
+	}
+}
+
+// Handler serves the worker's shard endpoint:
+//
+//	POST /fleet/run  execute a shard job, streaming Outcome NDJSON with a
+//	                 final done marker
+//
+// The stream is flushed per outcome so the coordinator sees (and
+// checkpoints) progress while the shard runs; a worker crash mid-stream
+// is therefore visible as a broken stream with no done marker, and only
+// the unstreamed reps need requeueing.
+func (a *Agent) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /fleet/run", func(w http.ResponseWriter, r *http.Request) {
+		var job ShardJob
+		if err := json.NewDecoder(r.Body).Decode(&job); err != nil {
+			http.Error(w, `{"error":"bad shard job"}`, http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("Cache-Control", "no-store")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		var mu sync.Mutex // emit may be called from the shard's own workers
+		emit := func(o Outcome) {
+			mu.Lock()
+			defer mu.Unlock()
+			enc.Encode(o)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		a.logf("fleet: shard %s: %d reps", job.Campaign, len(job.Reps))
+		err := a.Run(r.Context(), job, emit)
+		done := Outcome{Done: true}
+		if err != nil {
+			done.Err = err.Error()
+		}
+		emit(done)
+	})
+	return mux
+}
+
+// Dispatcher spreads shard jobs over a pool's live workers and steals
+// back the work of workers that die mid-shard. Pool, Job, OnOutcome and
+// Local are required.
+type Dispatcher struct {
+	// Pool supplies live workers each round.
+	Pool *Pool
+	// Job builds the wire job for a rep set.
+	Job func(reps []int) ShardJob
+	// OnOutcome receives every classified representative, from any
+	// worker's stream (and from Local). It must tolerate duplicates: a
+	// rep that streamed just before its worker died may be re-injected
+	// elsewhere, and by determinism the duplicate carries the same
+	// outcome.
+	OnOutcome func(o Outcome)
+	// Local runs a rep set in-process: the degradation path when no
+	// workers are alive and the last resort for reps whose remote
+	// attempts are exhausted. Calls are serialized by the Dispatcher.
+	Local func(ctx context.Context, reps []int) error
+
+	// Attempts bounds per-shard remote attempts per round (0 = 2);
+	// Backoff is the initial retry backoff (0 = 200ms); Rounds bounds
+	// dispatch rounds before falling back to Local (0 = 3).
+	Attempts int
+	Backoff  time.Duration
+	Rounds   int
+	// Client executes shard streams. Nil means http.DefaultClient: shard
+	// streams are long-lived, so no overall timeout is set — liveness
+	// comes from the done marker and heartbeat TTL instead.
+	Client *http.Client
+	// Emit, when non-nil, receives dispatch lifecycle events for the
+	// campaign's event log ("shard", "requeue").
+	Emit func(typ, msg string)
+
+	localMu sync.Mutex
+}
+
+func (d *Dispatcher) emit(typ, msg string) {
+	if d.Emit != nil {
+		d.Emit(typ, msg)
+	}
+}
+
+func (d *Dispatcher) client() *http.Client {
+	if d.Client != nil {
+		return d.Client
+	}
+	return http.DefaultClient
+}
+
+// runRemote streams one shard job on one worker, feeding OnOutcome per
+// line. It returns the reps the stream did not classify — empty on a
+// clean done marker, the full remainder when the worker died mid-stream.
+func (d *Dispatcher) runRemote(ctx context.Context, w WorkerInfo, reps []int) []int {
+	seen := make(map[int]bool, len(reps))
+	attempt := func() error {
+		job := d.Job(reps)
+		body, err := json.Marshal(job)
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			w.Addr+"/fleet/run", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := d.client().Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("fleet: worker %s returned %d", w.ID, resp.StatusCode)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64*1024), 1<<20)
+		for sc.Scan() {
+			var o Outcome
+			if err := json.Unmarshal(sc.Bytes(), &o); err != nil {
+				return fmt.Errorf("fleet: bad outcome line from %s: %w", w.ID, err)
+			}
+			if o.Done {
+				if o.Err != "" {
+					return fmt.Errorf("fleet: worker %s shard failed: %s", w.ID, o.Err)
+				}
+				return nil
+			}
+			if !seen[o.Rep] {
+				seen[o.Rep] = true
+				d.OnOutcome(o)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("fleet: stream from %s broke: %w", w.ID, err)
+		}
+		return fmt.Errorf("fleet: stream from %s ended without done marker", w.ID)
+	}
+
+	attempts := d.Attempts
+	if attempts == 0 {
+		attempts = 2
+	}
+	backoff := d.Backoff
+	if backoff == 0 {
+		backoff = 200 * time.Millisecond
+	}
+	err := retry(ctx, attempts, backoff, attempt)
+	var missing []int
+	for _, rep := range reps {
+		if !seen[rep] {
+			missing = append(missing, rep)
+		}
+	}
+	if err != nil && len(missing) > 0 {
+		// The worker is suspect: drop it from the pool now instead of
+		// waiting out the TTL, so the requeue round routes around it.
+		d.Pool.Remove(w.ID)
+		d.emit("requeue", fmt.Sprintf("worker %s lost %d reps: %v; requeueing", w.ID, len(missing), err))
+	}
+	return missing
+}
+
+// runLocal executes reps in-process, serialized (the underlying campaign
+// Runner parallelizes internally; two concurrent Local calls would race
+// on its outcome hook).
+func (d *Dispatcher) runLocal(ctx context.Context, reps []int) error {
+	d.localMu.Lock()
+	defer d.localMu.Unlock()
+	return d.Local(ctx, reps)
+}
+
+// Run drives the shards to completion: each round assigns pending shards
+// round-robin over the live workers and streams them concurrently; reps
+// lost to a dead worker requeue into the next round, where the surviving
+// workers pick them up (work-stealing). With no live workers — nobody
+// ever joined, or everybody died — the pending shards run in-process, so
+// a coordinator alone degrades to exactly the single-node pipeline.
+func (d *Dispatcher) Run(ctx context.Context, shards [][]int) error {
+	rounds := d.Rounds
+	if rounds == 0 {
+		rounds = 3
+	}
+	pending := shards
+	for round := 0; len(pending) > 0; round++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		alive := d.Pool.Alive()
+		if len(alive) == 0 || round >= rounds {
+			for _, reps := range pending {
+				d.emit("shard", fmt.Sprintf("%d reps running locally", len(reps)))
+				if err := d.runLocal(ctx, reps); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		var mu sync.Mutex
+		var next [][]int
+		var wg sync.WaitGroup
+		for i, reps := range pending {
+			w := alive[i%len(alive)]
+			d.emit("shard", fmt.Sprintf("%d reps -> worker %s (round %d)", len(reps), w.ID, round+1))
+			wg.Add(1)
+			go func(w WorkerInfo, reps []int) {
+				defer wg.Done()
+				if missing := d.runRemote(ctx, w, reps); len(missing) > 0 {
+					mu.Lock()
+					next = append(next, missing)
+					mu.Unlock()
+				}
+			}(w, reps)
+		}
+		wg.Wait()
+		pending = next
+	}
+	return nil
+}

@@ -108,7 +108,13 @@ type Event struct {
 	Seq  int       `json:"seq"`
 	Time time.Time `json:"time"`
 	// Type is "queued", "started", "preprocess", "reduce", "fault",
-	// "inject", "batch", "done", "failed" or "cancelled".
+	// "inject", "batch", "done", "failed", "cancelled" — plus the
+	// durability and fleet lifecycle markers: "resumed" (re-enqueued from
+	// the registry after a restart), "restored" (terminal record reloaded
+	// from the registry), "interrupted" (shutdown left the record
+	// resumable), "truncated" (synthetic: the stream's ?from fell into the
+	// ring buffer's dropped range), and the coordinator's "shard" /
+	// "requeue" markers for distributed campaigns.
 	Type string `json:"type"`
 	// Structure tags the event with the structure it belongs to ("RF",
 	// "SQ", "L1D"). Batch campaigns interleave several structures in one
@@ -137,6 +143,31 @@ type Event struct {
 	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
 }
 
+// Job is one unit of work handed to the RunFunc: the submitted request
+// plus the durable-execution context a resumable pipeline needs.
+type Job struct {
+	// ID and Kind identify the record (KindCampaign or KindBatch).
+	ID   string
+	Kind string
+	// Request is the submission being executed.
+	Request Request
+
+	// Resume carries the outcomes already classified by a previous
+	// incarnation of this campaign (representative index → fault-effect
+	// class name), checkpointed through Checkpoint before a restart or
+	// worker loss. Empty on a fresh campaign. Pipelines that cannot skip
+	// finished work may ignore it — re-deriving the same outcomes is
+	// correct by determinism, just slower.
+	Resume map[int]string
+
+	// Checkpoint, never nil, merges newly classified outcomes into the
+	// record's durable state. The server persists them (throttled) through
+	// its registry when one is configured, so a crashed or restarted
+	// coordinator resumes from the last checkpoint instead of restarting.
+	// Safe for concurrent use.
+	Checkpoint func(outcomes map[int]string)
+}
+
 // RunFunc executes one campaign: it returns the JSON-marshalable report,
 // emitting progress events along the way. emit is safe for concurrent use
 // and may be called from any goroutine until RunFunc returns. ctx is the
@@ -147,7 +178,37 @@ type Event struct {
 // recorded with the "cancelled" terminal status; a non-nil report
 // returned together with that error is retained as the record's partial
 // report).
-type RunFunc func(ctx context.Context, req Request, emit func(Event)) (any, error)
+type RunFunc func(ctx context.Context, job Job, emit func(Event)) (any, error)
+
+// Record is the durable wire form of one campaign: everything a
+// restarted server needs to restore a finished record or resume an
+// interrupted one. Request and Report are the JSON encodings of the
+// in-memory forms; Outcomes is the per-representative checkpoint. The
+// field set is deliberately struct-identical to store.CampaignRecord so
+// the daemon's adapter is a plain Go struct conversion.
+type Record struct {
+	ID        string
+	Kind      string
+	Status    string
+	Request   []byte
+	Report    []byte
+	Error     string
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	Outcomes  map[int]string
+}
+
+// Registry persists campaign records across server restarts. Put
+// replaces the record of the same ID; List returns every readable record;
+// Delete is idempotent. Implementations must be safe for concurrent use.
+// The server treats the registry as best-effort: a persistence failure
+// never fails the campaign it records.
+type Registry interface {
+	Put(Record) error
+	List() ([]Record, error)
+	Delete(id string) error
+}
 
 // Config configures a Server. Run is required; everything else defaults.
 type Config struct {
@@ -163,6 +224,25 @@ type Config struct {
 	// SnapshotStats, when non-nil, is folded into GET /statsz (the daemon
 	// passes the in-memory snapshot cache's stats).
 	SnapshotStats func() any
+	// RegistryStats, when non-nil, is folded into GET /statsz (the daemon
+	// passes the durable registry's stats).
+	RegistryStats func() any
+
+	// Routes, when non-nil, is called with the service mux so the daemon
+	// can mount extra endpoint trees — the fleet coordinator's /fleet/*
+	// registration routes and the /artifacts/* content-address transfer —
+	// on the same listener. The server stays pipeline-agnostic: it only
+	// lends out the mux.
+	Routes func(mux *http.ServeMux)
+
+	// Registry, when non-nil, makes campaign state durable: every record
+	// transition (queued, running, checkpointed outcomes, terminal) is
+	// persisted, and New restores the registry's contents — finished
+	// records become queryable again, interrupted ones are re-enqueued
+	// with their checkpointed outcomes so they resume instead of
+	// restarting. Without it the server keeps today's in-memory-only
+	// behavior, including marking shutdown-interrupted campaigns failed.
+	Registry Registry
 
 	// Shards is the number of independent worker pools; campaigns are
 	// assigned by hash of their id. 0 means DefaultShards. Negative
@@ -186,6 +266,13 @@ type Config struct {
 	// events are unaffected. 0 means DefaultRetainFinished; negative
 	// values are rejected by New.
 	RetainFinished int
+	// MaxEventsPerCampaign caps one record's in-memory event log: beyond
+	// it the oldest quarter is dropped (a ring buffer, so a million-fault
+	// campaign does not pin a million events in RAM), streamers resuming
+	// into the dropped range receive an explicit "truncated" marker, and
+	// the status reports how many events were dropped. 0 means
+	// DefaultMaxEvents; negative values are rejected by New.
+	MaxEventsPerCampaign int
 }
 
 // Defaults for Config. Small shard counts keep per-shard FIFO fairness
@@ -195,7 +282,13 @@ const (
 	DefaultWorkersPerShard = 1
 	DefaultQueueDepth      = 64
 	DefaultRetainFinished  = 1024
+	DefaultMaxEvents       = 8192
 )
+
+// checkpointInterval throttles durable checkpoint writes: the first
+// checkpoint of a campaign persists immediately (so short campaigns are
+// resumable at all), later ones at most this often.
+const checkpointInterval = 500 * time.Millisecond
 
 // status values of a campaign.
 const (
@@ -235,9 +328,20 @@ type campaign struct {
 	status   string
 	started  time.Time
 	finished time.Time
-	events   []Event
-	report   any
-	errMsg   string
+	// events is the retained tail of the log: entry i carries sequence
+	// number firstSeq+i. Once the log exceeds maxEvents the oldest
+	// quarter is dropped (dropped counts them), so a million-fault
+	// campaign does not pin a million events in RAM.
+	events    []Event
+	firstSeq  int
+	dropped   int
+	maxEvents int
+	report    any
+	errMsg    string
+	// outcomes is the durable per-representative checkpoint (index in the
+	// reduced fault list → fault-effect class name), merged by the
+	// RunFunc's Job.Checkpoint and persisted through the registry.
+	outcomes map[int]string
 	notify   chan struct{} // closed and replaced on every event append
 	// cancel aborts the running campaign's context; set by the worker
 	// while the campaign runs. cancelRequested records that a DELETE
@@ -247,17 +351,39 @@ type campaign struct {
 	cancelRequested bool
 }
 
-// append stamps and stores one event and wakes all streamers.
-func (c *campaign) append(ev Event) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ev.Seq = len(c.events)
+// appendLocked stamps and stores one event, rotates the ring when the log
+// exceeds its cap, and wakes all streamers. The caller holds c.mu.
+func (c *campaign) appendLocked(ev Event) {
+	ev.Seq = c.firstSeq + len(c.events)
 	if ev.Time.IsZero() {
 		ev.Time = time.Now()
 	}
 	c.events = append(c.events, ev)
+	if c.maxEvents > 0 && len(c.events) > c.maxEvents {
+		// Drop the oldest quarter in one slide so the amortized cost per
+		// append stays O(1); zero the vacated tail so dropped events
+		// release whatever they reference.
+		drop := len(c.events) / 4
+		if drop < 1 {
+			drop = 1
+		}
+		n := copy(c.events, c.events[drop:])
+		for i := n; i < len(c.events); i++ {
+			c.events[i] = Event{}
+		}
+		c.events = c.events[:n]
+		c.firstSeq += drop
+		c.dropped += drop
+	}
 	close(c.notify)
 	c.notify = make(chan struct{})
+}
+
+// append is appendLocked behind the campaign's own lock.
+func (c *campaign) append(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.appendLocked(ev)
 }
 
 // finishLocked records the campaign's terminal state and its final event
@@ -268,11 +394,7 @@ func (c *campaign) finishLocked(status string, report any, errMsg string, ev Eve
 	c.status = status
 	c.report = report
 	c.errMsg = errMsg
-	ev.Seq = len(c.events)
-	ev.Time = time.Now()
-	c.events = append(c.events, ev)
-	close(c.notify)
-	c.notify = make(chan struct{})
+	c.appendLocked(ev)
 }
 
 // finish is finishLocked behind the campaign's own lock.
@@ -282,16 +404,33 @@ func (c *campaign) finish(status string, report any, errMsg string, ev Event) {
 	c.finishLocked(status, report, errMsg, ev)
 }
 
-// snapshot returns the events from seq on, the current status, and a
-// channel closed at the next append (for blocking streamers).
-func (c *campaign) snapshot(from int) ([]Event, string, <-chan struct{}) {
+// snapshot returns the events from sequence number `from` on, the cursor
+// to resume from next, the current status, and a channel closed at the
+// next append (for blocking streamers). A `from` that falls into the
+// ring's dropped range yields a synthetic "truncated" event naming the
+// gap, then the retained tail — a resuming client learns it missed
+// events instead of silently skipping them.
+func (c *campaign) snapshot(from int) ([]Event, int, string, <-chan struct{}) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var evs []Event
-	if from < len(c.events) {
-		evs = append(evs, c.events[from:]...)
+	if from < c.firstSeq {
+		evs = append(evs, Event{
+			Seq:  from,
+			Time: time.Now(),
+			Type: "truncated",
+			Msg:  fmt.Sprintf("events %d..%d dropped (log capped at %d)", from, c.firstSeq-1, c.maxEvents),
+		})
+		from = c.firstSeq
 	}
-	return evs, c.status, c.notify
+	if idx := from - c.firstSeq; idx < len(c.events) {
+		evs = append(evs, c.events[idx:]...)
+	}
+	next := c.firstSeq + len(c.events)
+	if next < from {
+		next = from // asked beyond the end: nothing to skip yet
+	}
+	return evs, next, c.status, c.notify
 }
 
 // Server is the campaign service. Create with New, expose via Handler,
@@ -325,6 +464,8 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: QueueDepth is %d; want >= 0 (0 = %d)", cfg.QueueDepth, DefaultQueueDepth)
 	case cfg.RetainFinished < 0:
 		return nil, fmt.Errorf("server: RetainFinished is %d; want >= 0 (0 = %d)", cfg.RetainFinished, DefaultRetainFinished)
+	case cfg.MaxEventsPerCampaign < 0:
+		return nil, fmt.Errorf("server: MaxEventsPerCampaign is %d; want >= 0 (0 = %d)", cfg.MaxEventsPerCampaign, DefaultMaxEvents)
 	}
 	if cfg.Shards == 0 {
 		cfg.Shards = DefaultShards
@@ -338,6 +479,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetainFinished == 0 {
 		cfg.RetainFinished = DefaultRetainFinished
 	}
+	if cfg.MaxEventsPerCampaign == 0 {
+		cfg.MaxEventsPerCampaign = DefaultMaxEvents
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -350,12 +494,139 @@ func New(cfg Config) (*Server, error) {
 	}
 	for i := range s.queues {
 		s.queues[i] = make(chan *campaign, cfg.QueueDepth)
+	}
+	// Restore before the workers start, so re-enqueued campaigns cannot
+	// race a worker observing a half-restored map.
+	if cfg.Registry != nil {
+		s.restore()
+	}
+	for i := range s.queues {
 		for w := 0; w < cfg.WorkersPerShard; w++ {
 			s.wg.Add(1)
 			go s.worker(s.queues[i])
 		}
 	}
 	return s, nil
+}
+
+// recSeq extracts the numeric suffix of a record id ("c000042" → 42) so
+// restore can continue the id sequence and rebuild submission order; 0
+// for ids the server did not mint.
+func recSeq(id string) uint64 {
+	if len(id) < 2 {
+		return 0
+	}
+	n, err := strconv.ParseUint(id[1:], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// restore reloads the durable registry into the in-memory map: terminal
+// records become queryable again (report and error intact, a synthetic
+// "restored" event standing in for the log), queued and running records
+// are re-enqueued as queued with their checkpointed outcomes — a
+// coordinator restart resumes in-flight campaigns instead of forgetting
+// them. Unreadable records were already skipped by the registry; a
+// record that no longer fits its shard queue fails visibly rather than
+// silently vanishing.
+func (s *Server) restore() {
+	recs, err := s.cfg.Registry.List()
+	if err != nil {
+		return
+	}
+	// Ids are minted from one shared counter, so numeric suffix order is
+	// submission order across kinds.
+	sort.Slice(recs, func(i, j int) bool { return recSeq(recs[i].ID) < recSeq(recs[j].ID) })
+	for _, rec := range recs {
+		if rec.ID == "" || (rec.Kind != KindCampaign && rec.Kind != KindBatch) {
+			continue
+		}
+		if n := recSeq(rec.ID); n > s.nextID {
+			s.nextID = n
+		}
+		var req Request
+		json.Unmarshal(rec.Request, &req) // a zero request still restores the record shell
+		c := &campaign{
+			id:        rec.ID,
+			kind:      rec.Kind,
+			shard:     s.shardOf(rec.ID),
+			req:       req,
+			submitted: rec.Submitted,
+			started:   rec.Started,
+			maxEvents: s.cfg.MaxEventsPerCampaign,
+			errMsg:    rec.Error,
+			notify:    make(chan struct{}),
+		}
+		if len(rec.Outcomes) > 0 {
+			c.outcomes = make(map[int]string, len(rec.Outcomes))
+			for k, v := range rec.Outcomes {
+				c.outcomes[k] = v
+			}
+		}
+		s.campaigns[rec.ID] = c
+		s.order = append(s.order, rec.ID)
+		if terminalStatus(rec.Status) {
+			c.status = rec.Status
+			c.finished = rec.Finished
+			if len(rec.Report) > 0 {
+				c.report = json.RawMessage(rec.Report)
+			}
+			c.appendLocked(Event{Type: "restored",
+				Msg: fmt.Sprintf("restored from registry (%s)", rec.Status)})
+			continue
+		}
+		// Queued or interrupted mid-run: back to the queue, carrying the
+		// checkpoint so the rerun resumes where the old process stopped.
+		c.status = StatusQueued
+		c.appendLocked(Event{Type: "resumed",
+			Msg: fmt.Sprintf("resumed after restart (%d outcomes checkpointed)", len(c.outcomes))})
+		select {
+		case s.queues[c.shard] <- c:
+		default:
+			c.finishLocked(StatusFailed, nil, "restore: shard queue full",
+				Event{Type: "failed", Msg: "restore: shard queue full"})
+			s.persist(c)
+		}
+	}
+}
+
+// persist writes the campaign's current state through the registry,
+// best-effort: a persistence failure must never fail the campaign it
+// records. No-op without a registry.
+func (s *Server) persist(c *campaign) {
+	if s.cfg.Registry == nil {
+		return
+	}
+	c.mu.Lock()
+	rec := Record{
+		ID:        c.id,
+		Kind:      c.kind,
+		Status:    c.status,
+		Error:     c.errMsg,
+		Submitted: c.submitted,
+		Started:   c.started,
+		Finished:  c.finished,
+	}
+	if b, err := json.Marshal(c.req); err == nil {
+		rec.Request = b
+	}
+	if c.report != nil {
+		if raw, ok := c.report.(json.RawMessage); ok {
+			rec.Report = raw
+		} else if b, err := json.Marshal(c.report); err == nil {
+			rec.Report = b
+		}
+	}
+	if len(c.outcomes) > 0 {
+		rec.Outcomes = make(map[int]string, len(c.outcomes))
+		for k, v := range c.outcomes {
+			rec.Outcomes[k] = v
+		}
+	}
+	c.mu.Unlock()
+	s.cfg.Registry.Put(rec)
 }
 
 // Close stops accepting campaigns, cancels the run context, and waits for
@@ -398,8 +669,54 @@ func (s *Server) run(c *campaign) {
 	c.status = StatusRunning
 	c.started = time.Now()
 	c.cancel = cancel
+	var resume map[int]string
+	if len(c.outcomes) > 0 {
+		resume = make(map[int]string, len(c.outcomes))
+		for k, v := range c.outcomes {
+			resume[k] = v
+		}
+	}
 	c.mu.Unlock()
 	c.append(Event{Type: "started", Msg: fmt.Sprintf("campaign %s running on shard %d", c.id, c.shard)})
+	s.persist(c)
+
+	// Checkpoint merges classified outcomes into the record and persists
+	// them, throttled so a fast campaign does not turn every fault into a
+	// disk write; the first checkpoint lands immediately so even short
+	// campaigns are resumable.
+	var ckptMu sync.Mutex
+	var lastPersist time.Time
+	job := Job{
+		ID:      c.id,
+		Kind:    c.kind,
+		Request: c.req,
+		Resume:  resume,
+		Checkpoint: func(outcomes map[int]string) {
+			if len(outcomes) == 0 {
+				return
+			}
+			c.mu.Lock()
+			if c.outcomes == nil {
+				c.outcomes = make(map[int]string, len(outcomes))
+			}
+			for k, v := range outcomes {
+				c.outcomes[k] = v
+			}
+			c.mu.Unlock()
+			if s.cfg.Registry == nil {
+				return
+			}
+			ckptMu.Lock()
+			now := time.Now()
+			if !lastPersist.IsZero() && now.Sub(lastPersist) < checkpointInterval {
+				ckptMu.Unlock()
+				return
+			}
+			lastPersist = now
+			ckptMu.Unlock()
+			s.persist(c)
+		},
+	}
 
 	report, err := func() (report any, err error) {
 		defer func() {
@@ -407,7 +724,7 @@ func (s *Server) run(c *campaign) {
 				err = fmt.Errorf("campaign panicked: %v", p)
 			}
 		}()
-		return s.cfg.Run(ctx, c.req, c.append)
+		return s.cfg.Run(ctx, job, c.append)
 	}()
 
 	c.mu.Lock()
@@ -428,12 +745,19 @@ func (s *Server) run(c *campaign) {
 		// structures' results survive the DELETE.
 		c.finish(StatusCancelled, report, err.Error(),
 			Event{Type: "cancelled", Msg: "campaign cancelled: " + err.Error()})
+	case !cancelled && ctxErr && s.ctx.Err() != nil && s.cfg.Registry != nil:
+		// Server shutdown with a durable registry: no terminal
+		// transition. The record stays "running" on disk with its latest
+		// checkpoint, so the next incarnation re-enqueues and resumes it.
+		c.append(Event{Type: "interrupted",
+			Msg: "server shutting down; campaign resumes on restart"})
 	case !cancelled && errors.Is(err, context.DeadlineExceeded) && c.req.DeadlineMS > 0:
 		msg := fmt.Sprintf("deadline of %dms exceeded", c.req.DeadlineMS)
 		c.finish(StatusFailed, nil, msg, Event{Type: "failed", Msg: msg})
 	default:
 		c.finish(StatusFailed, nil, err.Error(), Event{Type: "failed", Msg: err.Error()})
 	}
+	s.persist(c)
 }
 
 // shardOf maps a campaign id to its worker pool.
@@ -495,12 +819,14 @@ func (s *Server) submit(req Request, kind string) (string, error) {
 		req:       req,
 		submitted: time.Now(),
 		status:    StatusQueued,
+		maxEvents: s.cfg.MaxEventsPerCampaign,
 		notify:    make(chan struct{}),
 	}
 	s.campaigns[id] = c
 	s.order = append(s.order, id)
-	s.evictFinishedLocked()
+	evicted := s.evictFinishedLocked()
 	s.mu.Unlock()
+	s.unregister(evicted)
 
 	// The queued event precedes the enqueue so no worker can emit
 	// "started" ahead of it.
@@ -519,15 +845,30 @@ func (s *Server) submit(req Request, kind string) (string, error) {
 		s.mu.Unlock()
 		return "", ErrQueueFull
 	}
+	// Persisted only after the enqueue succeeded: a 429'd submission must
+	// not reappear on restart.
+	s.persist(c)
 	return id, nil
 }
 
+// unregister removes evicted records from the durable registry so disk
+// usage tracks the retention bound like memory does.
+func (s *Server) unregister(ids []string) {
+	if s.cfg.Registry == nil {
+		return
+	}
+	for _, id := range ids {
+		s.cfg.Registry.Delete(id)
+	}
+}
+
 // evictFinishedLocked drops the oldest finished campaigns beyond the
-// RetainFinished bound, keeping a long-running daemon's memory bounded.
-// Queued and running campaigns are never evicted; streamers holding an
-// evicted campaign's pointer keep reading it unaffected. Caller holds
-// s.mu.
-func (s *Server) evictFinishedLocked() {
+// RetainFinished bound, keeping a long-running daemon's memory bounded,
+// and returns the evicted ids so the caller can drop their registry
+// records too. Queued and running campaigns are never evicted; streamers
+// holding an evicted campaign's pointer keep reading it unaffected.
+// Caller holds s.mu.
+func (s *Server) evictFinishedLocked() []string {
 	terminal := func(c *campaign) bool {
 		c.mu.Lock()
 		defer c.mu.Unlock()
@@ -541,18 +882,21 @@ func (s *Server) evictFinishedLocked() {
 	}
 	excess := finished - s.cfg.RetainFinished
 	if excess <= 0 {
-		return
+		return nil
 	}
+	var evicted []string
 	kept := s.order[:0]
 	for _, id := range s.order {
 		if c := s.campaigns[id]; excess > 0 && c != nil && terminal(c) {
 			delete(s.campaigns, id)
+			evicted = append(evicted, id)
 			excess--
 			continue
 		}
 		kept = append(kept, id)
 	}
 	s.order = kept
+	return evicted
 }
 
 // ErrQueueFull is returned (and served as 429) when the target shard's
@@ -595,24 +939,32 @@ type statusJSON struct {
 	Started   time.Time `json:"started"`
 	Finished  time.Time `json:"finished"`
 	Events    int       `json:"events"`
-	Report    any       `json:"report,omitempty"`
-	Error     string    `json:"error,omitempty"`
+	// DroppedEvents counts log entries the ring buffer discarded; a
+	// streamer resuming into that range receives a "truncated" marker.
+	DroppedEvents int `json:"dropped_events,omitempty"`
+	// Checkpointed counts the per-representative outcomes persisted so
+	// far (nonzero only while a distributed or resumed campaign runs).
+	Checkpointed int    `json:"checkpointed,omitempty"`
+	Report       any    `json:"report,omitempty"`
+	Error        string `json:"error,omitempty"`
 }
 
 func (c *campaign) statusJSON(withReport bool) statusJSON {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := statusJSON{
-		ID:        c.id,
-		Kind:      c.kind,
-		Status:    c.status,
-		Shard:     c.shard,
-		Request:   c.req,
-		Submitted: c.submitted,
-		Started:   c.started,
-		Finished:  c.finished,
-		Events:    len(c.events),
-		Error:     c.errMsg,
+		ID:            c.id,
+		Kind:          c.kind,
+		Status:        c.status,
+		Shard:         c.shard,
+		Request:       c.req,
+		Submitted:     c.submitted,
+		Started:       c.started,
+		Finished:      c.finished,
+		Events:        c.firstSeq + len(c.events),
+		DroppedEvents: c.dropped,
+		Checkpointed:  len(c.outcomes),
+		Error:         c.errMsg,
 	}
 	if withReport {
 		st.Report = c.report
@@ -637,6 +989,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /batches/{id}", s.handleStatus(KindBatch))
 	mux.HandleFunc("DELETE /batches/{id}", s.handleCancel(KindBatch))
 	mux.HandleFunc("GET /batches/{id}/events", s.handleEvents(KindBatch))
+	if s.cfg.Routes != nil {
+		s.cfg.Routes(mux)
+	}
 	return mux
 }
 
@@ -693,6 +1048,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cfg.SnapshotStats != nil {
 		stats["snapshots"] = s.cfg.SnapshotStats()
+	}
+	if s.cfg.RegistryStats != nil {
+		stats["registry"] = s.cfg.RegistryStats()
 	}
 	writeJSON(w, http.StatusOK, stats)
 }
@@ -791,6 +1149,7 @@ func (s *Server) Cancel(id string) (status string, err error) {
 		c.finishLocked(StatusCancelled, nil, "cancelled while queued",
 			Event{Type: "cancelled", Msg: "campaign cancelled before start"})
 		c.mu.Unlock()
+		s.persist(c)
 		return StatusCancelled, nil
 	default: // running
 		c.cancelRequested = true
@@ -863,13 +1222,13 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, c *campaig
 	enc := json.NewEncoder(w)
 
 	for {
-		evs, status, more := c.snapshot(from)
+		evs, next, status, more := c.snapshot(from)
 		for _, ev := range evs {
 			if err := enc.Encode(ev); err != nil {
 				return // client went away
 			}
 		}
-		from += len(evs)
+		from = next
 		if flusher != nil && len(evs) > 0 {
 			flusher.Flush()
 		}

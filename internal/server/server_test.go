@@ -22,7 +22,8 @@ type fakePipeline struct {
 	gate map[string]chan struct{} // workload -> step gate (nil = free-running)
 }
 
-func (p *fakePipeline) run(ctx context.Context, req Request, emit func(Event)) (any, error) {
+func (p *fakePipeline) run(ctx context.Context, job Job, emit func(Event)) (any, error) {
+	req := job.Request
 	if req.Workload == "explode" {
 		return nil, fmt.Errorf("synthetic failure")
 	}
@@ -805,5 +806,330 @@ func TestBatchCancelCancelsWholeBatch(t *testing.T) {
 	evs := streamEventsAt(t, hs.URL, "/batches", id)
 	if last := evs[len(evs)-1]; last.Type != "cancelled" {
 		t.Fatalf("last event = %+v, want cancelled", last)
+	}
+}
+
+// TestEventLogRingBuffer: the per-campaign log is capped — old events are
+// dropped, sequence numbers stay dense and monotonic, the status reports
+// the drop count, and a streamer resuming into the dropped range gets an
+// explicit "truncated" marker instead of a silent skip.
+func TestEventLogRingBuffer(t *testing.T) {
+	p := &fakePipeline{}
+	_, hs := newTestServer(t, Config{Run: p.run, MaxEventsPerCampaign: 16})
+
+	// queued + started + preprocess + 100 faults + done ≫ 16.
+	id := submit(t, hs.URL, Request{Workload: "big", Structure: "RF", Faults: 100})
+	st := waitDone(t, hs.URL, id)
+	if st.Status != StatusDone {
+		t.Fatalf("status = %q err %q", st.Status, st.Error)
+	}
+	if st.Events != 104 {
+		t.Fatalf("events total = %d, want 104 (dense numbering across drops)", st.Events)
+	}
+	if st.DroppedEvents == 0 || st.DroppedEvents >= st.Events {
+		t.Fatalf("dropped_events = %d of %d, want 0 < dropped < total", st.DroppedEvents, st.Events)
+	}
+
+	// A full stream from 0 starts with the truncated marker naming the gap,
+	// then the retained tail with monotonic seqs ending in "done".
+	evs := streamEvents(t, hs.URL, id)
+	if evs[0].Type != "truncated" || evs[0].Seq != 0 {
+		t.Fatalf("first event = %+v, want truncated marker at seq 0", evs[0])
+	}
+	if !strings.Contains(evs[0].Msg, "dropped") {
+		t.Fatalf("truncated marker msg = %q", evs[0].Msg)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("seqs not monotonic at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	if last := evs[len(evs)-1]; last.Type != "done" || last.Seq != st.Events-1 {
+		t.Fatalf("last event = %+v, want done at seq %d", last, st.Events-1)
+	}
+
+	// Resuming from a seq inside the retained window gets no marker.
+	tail := evs[len(evs)-1].Seq
+	resp, err := http.Get(hs.URL + "/campaigns/" + id + "/events?from=" + fmt.Sprint(tail))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(raw), "truncated") {
+		t.Fatalf("in-window resume produced a truncated marker: %s", raw)
+	}
+	// Resuming from beyond the end of a finished log yields nothing.
+	resp2, err := http.Get(hs.URL + "/campaigns/" + id + "/events?from=" + fmt.Sprint(st.Events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	raw2, _ := io.ReadAll(resp2.Body)
+	if strings.TrimSpace(string(raw2)) != "" {
+		t.Fatalf("past-the-end resume produced events: %s", raw2)
+	}
+}
+
+// fakeRegistry is an in-memory Registry for exercising the durability
+// paths without the store package (the server must stay pipeline- and
+// storage-agnostic).
+type fakeRegistry struct {
+	mu   sync.Mutex
+	recs map[string]Record
+	puts int
+}
+
+func newFakeRegistry() *fakeRegistry {
+	return &fakeRegistry{recs: make(map[string]Record)}
+}
+
+func (r *fakeRegistry) Put(rec Record) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recs[rec.ID] = rec
+	r.puts++
+	return nil
+}
+
+func (r *fakeRegistry) List() ([]Record, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Record, 0, len(r.recs))
+	for _, rec := range r.recs {
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func (r *fakeRegistry) Delete(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.recs, id)
+	return nil
+}
+
+func (r *fakeRegistry) get(id string) (Record, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.recs[id]
+	return rec, ok
+}
+
+// TestRegistryPersistsLifecycle: with a registry configured, a campaign's
+// record is durable at every stage and ends terminal with the report
+// JSON; evicted campaigns leave the registry too.
+func TestRegistryPersistsLifecycle(t *testing.T) {
+	reg := newFakeRegistry()
+	p := &fakePipeline{}
+	_, hs := newTestServer(t, Config{Run: p.run, Shards: 1, Registry: reg, RetainFinished: 2})
+
+	id := submit(t, hs.URL, Request{Workload: "sha", Structure: "RF", Faults: 2})
+	waitDone(t, hs.URL, id)
+	rec, ok := reg.get(id)
+	if !ok {
+		t.Fatal("finished campaign missing from registry")
+	}
+	if rec.Status != StatusDone || rec.Kind != KindCampaign {
+		t.Fatalf("record = %+v, want done campaign", rec)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(rec.Report, &rep); err != nil || rep["workload"] != "sha" {
+		t.Fatalf("persisted report = %s (%v)", rec.Report, err)
+	}
+	var req Request
+	if err := json.Unmarshal(rec.Request, &req); err != nil || req.Workload != "sha" {
+		t.Fatalf("persisted request = %s (%v)", rec.Request, err)
+	}
+
+	// Eviction drops registry records alongside memory.
+	var last string
+	for i := 0; i < 4; i++ {
+		last = submit(t, hs.URL, Request{Workload: "ok", Structure: "RF", Faults: 1})
+		waitDone(t, hs.URL, last)
+	}
+	if _, ok := reg.get(id); ok {
+		t.Fatal("evicted campaign still in registry")
+	}
+	if _, ok := reg.get(last); !ok {
+		t.Fatal("retained campaign missing from registry")
+	}
+}
+
+// TestRegistryRestore: a new server over an existing registry restores
+// terminal records (report intact, queryable, with a "restored" event)
+// and re-enqueues interrupted ones as queued with their checkpointed
+// outcomes — the resumed run sees them in Job.Resume. Id minting
+// continues after the restored maximum.
+func TestRegistryRestore(t *testing.T) {
+	reg := newFakeRegistry()
+	doneReq, _ := json.Marshal(Request{Workload: "sha", Structure: "RF", Faults: 2})
+	reg.Put(Record{
+		ID: "c000003", Kind: KindCampaign, Status: StatusDone,
+		Request: doneReq, Report: []byte(`{"workload":"sha","injected":2}`),
+		Submitted: time.Now().Add(-time.Hour),
+	})
+	runReq, _ := json.Marshal(Request{Workload: "resume-me", Structure: "RF", Faults: 3})
+	reg.Put(Record{
+		ID: "c000007", Kind: KindCampaign, Status: StatusRunning,
+		Request: runReq, Submitted: time.Now().Add(-time.Minute),
+		Outcomes: map[int]string{0: "Masked", 1: "SDC"},
+	})
+
+	var gotResume map[int]string
+	var resumeMu sync.Mutex
+	p := &fakePipeline{}
+	run := func(ctx context.Context, job Job, emit func(Event)) (any, error) {
+		if job.Request.Workload == "resume-me" {
+			resumeMu.Lock()
+			gotResume = job.Resume
+			resumeMu.Unlock()
+		}
+		return p.run(ctx, job, emit)
+	}
+	_, hs := newTestServer(t, Config{Run: run, Shards: 1, Registry: reg})
+
+	// The terminal record is queryable with its report and restored marker.
+	st := getStatus(t, hs.URL, "c000003")
+	if st.Status != StatusDone {
+		t.Fatalf("restored campaign status = %q", st.Status)
+	}
+	rep, ok := st.Report.(map[string]any)
+	if !ok || rep["workload"] != "sha" {
+		t.Fatalf("restored report = %#v", st.Report)
+	}
+	evs := streamEvents(t, hs.URL, "c000003")
+	if len(evs) != 1 || evs[0].Type != "restored" {
+		t.Fatalf("restored events = %+v, want single restored marker", evs)
+	}
+
+	// The interrupted record re-runs and completes; its rerun saw the
+	// checkpoint.
+	st = waitDone(t, hs.URL, "c000007")
+	if st.Status != StatusDone {
+		t.Fatalf("resumed campaign: status %q err %q", st.Status, st.Error)
+	}
+	resumeMu.Lock()
+	resume := gotResume
+	resumeMu.Unlock()
+	if resume[0] != "Masked" || resume[1] != "SDC" {
+		t.Fatalf("Job.Resume = %v, want the checkpointed outcomes", resume)
+	}
+	evs = streamEvents(t, hs.URL, "c000007")
+	if evs[0].Type != "resumed" {
+		t.Fatalf("resumed campaign's first event = %+v", evs[0])
+	}
+
+	// Fresh ids continue past the restored maximum.
+	id := submit(t, hs.URL, Request{Workload: "ok", Structure: "RF", Faults: 1})
+	if id != "c000008" {
+		t.Fatalf("next id = %q, want c000008 (minting continues after restore)", id)
+	}
+}
+
+// TestCheckpointPersistsOutcomes: Job.Checkpoint merges outcomes into the
+// record and persists them promptly (first write immediate), so a crash
+// right after leaves a resumable record.
+func TestCheckpointPersistsOutcomes(t *testing.T) {
+	reg := newFakeRegistry()
+	gate := make(chan struct{})
+	ckpt := make(chan struct{}, 1)
+	run := func(ctx context.Context, job Job, emit func(Event)) (any, error) {
+		job.Checkpoint(map[int]string{0: "Masked"})
+		select {
+		case ckpt <- struct{}{}:
+		default:
+		}
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		job.Checkpoint(map[int]string{1: "SDC"})
+		return map[string]any{"ok": true}, nil
+	}
+	_, hs := newTestServer(t, Config{Run: run, Shards: 1, Registry: reg})
+
+	id := submit(t, hs.URL, Request{Workload: "sha", Structure: "RF", Faults: 2})
+	<-ckpt
+	rec, ok := reg.get(id)
+	if !ok || rec.Outcomes[0] != "Masked" {
+		t.Fatalf("mid-run record = %+v, want checkpointed outcome 0", rec)
+	}
+	if rec.Status != StatusRunning {
+		t.Fatalf("mid-run status = %q, want running", rec.Status)
+	}
+	if st := getStatus(t, hs.URL, id); st.Checkpointed != 1 {
+		t.Fatalf("status checkpointed = %d, want 1", st.Checkpointed)
+	}
+
+	close(gate)
+	waitDone(t, hs.URL, id)
+	rec, _ = reg.get(id)
+	if rec.Status != StatusDone || rec.Outcomes[1] != "SDC" {
+		t.Fatalf("final record = %+v, want done with both outcomes", rec)
+	}
+}
+
+// TestShutdownLeavesResumableRecord: Close during a run with a registry
+// configured must NOT mark the campaign failed — the durable record stays
+// "running" with its checkpoint so the next incarnation resumes it. The
+// same shutdown without a registry keeps the old failed behavior.
+func TestShutdownLeavesResumableRecord(t *testing.T) {
+	reg := newFakeRegistry()
+	started := make(chan struct{}, 1)
+	run := func(ctx context.Context, job Job, emit func(Event)) (any, error) {
+		job.Checkpoint(map[int]string{0: "Masked"})
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	s, err := New(Config{Run: run, Shards: 1, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Submit(Request{Workload: "sha", Structure: "RF", Faults: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	s.Close()
+
+	rec, ok := reg.get(id)
+	if !ok {
+		t.Fatal("record missing after shutdown")
+	}
+	if rec.Status != StatusRunning {
+		t.Fatalf("shutdown record status = %q, want running (resumable)", rec.Status)
+	}
+	if rec.Outcomes[0] != "Masked" {
+		t.Fatalf("shutdown record lost its checkpoint: %+v", rec.Outcomes)
+	}
+
+	// A second server over the same registry resumes and finishes it.
+	done := func(ctx context.Context, job Job, emit func(Event)) (any, error) {
+		if job.Resume[0] != "Masked" {
+			t.Errorf("resumed job lost checkpoint: %v", job.Resume)
+		}
+		return map[string]any{"resumed": true}, nil
+	}
+	s2, err := New(Config{Run: done, Shards: 1, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rec, _ = reg.get(id)
+		if rec.Status == StatusDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed campaign never finished: %+v", rec)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

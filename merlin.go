@@ -472,13 +472,25 @@ func (a *Artifacts) inject(ctx context.Context, onOutcome func(int, fault.Fault,
 	}
 	reduced := a.Red.Reduced()
 	res, err := a.Runner.RunAllWith(ctx, a.Config.Strategy, reduced, &a.Golden.Result, a.Config.Checkpoints)
+	return a.reportFrom(res, err == nil), err
+}
+
+// reportFrom assembles the campaign Report from a reduction and an
+// injection Result. It is the merge point shared by the local pipeline
+// (inject) and the distributed coordinator, whose Result recombines
+// per-shard outcome streams and resumed checkpoints via
+// campaign.NewResultFrom. extrapolate selects the complete-campaign view
+// (group extrapolation over the full initial list); false leaves Dist as
+// the raw distribution of the classified representatives, the partial
+// view of a cancelled or interrupted campaign.
+func (a *Artifacts) reportFrom(res *campaign.Result, extrapolate bool) *Report {
 	core := a.Runner.NewCore()
 	bits := core.StructureEntries(a.Config.Structure) * core.StructureEntryBits(a.Config.Structure)
 	dist := res.Dist
-	if err == nil {
+	if extrapolate {
 		dist = a.Red.Extrapolate(res.Outcomes)
 	}
-	rep := &Report{
+	return &Report{
 		Workload:      a.Config.Workload,
 		Structure:     a.Config.Structure,
 		GoldenCycles:  a.Golden.Result.Cycles,
@@ -506,7 +518,31 @@ func (a *Artifacts) inject(ctx context.Context, onOutcome func(int, fault.Fault,
 		SimCycles:     res.SimCycles,
 		CyclesPerSec:  res.CyclesPerSec(),
 	}
-	return rep, err
+}
+
+// injectSubset injects only the representatives at the given positions of
+// the reduced list (the coordinate system shard jobs and durable
+// checkpoints are keyed by), reporting each through onOutcome with its
+// global representative index. It is the execution primitive of the
+// distributed path: a worker runs its shard through it, and the
+// coordinator runs requeued remainders through it as the local fallback.
+// Reduce must have run. Calls must not overlap (they share the Runner's
+// outcome hook); the fleet dispatcher serializes its Local calls.
+func (a *Artifacts) injectSubset(ctx context.Context, reps []int, onOutcome func(rep int, f fault.Fault, o campaign.Outcome)) error {
+	reduced := a.Red.Reduced()
+	subset := make([]fault.Fault, len(reps))
+	for i, r := range reps {
+		if r < 0 || r >= len(reduced) {
+			return fmt.Errorf("merlin: representative index %d outside the reduced list (%d reps)", r, len(reduced))
+		}
+		subset[i] = reduced[r]
+	}
+	if onOutcome != nil {
+		a.Runner.OnOutcome = func(i int, f fault.Fault, o campaign.Outcome) { onOutcome(reps[i], f, o) }
+		defer func() { a.Runner.OnOutcome = nil }()
+	}
+	_, err := a.Runner.RunAllWith(ctx, a.Config.Strategy, subset, &a.Golden.Result, a.Config.Checkpoints)
+	return err
 }
 
 // baseline is the context-aware core of the comprehensive campaign,

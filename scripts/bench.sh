@@ -1,12 +1,13 @@
 #!/usr/bin/env sh
 # Runs the repository's key performance benchmarks with a fixed -benchtime
 # and refreshes the trajectory files (BENCH_PR4.json for clone/scheduler
-# cost, BENCH_PR5.json for the batch-vs-3x-sequential comparison),
+# cost, BENCH_PR5.json for the batch-vs-3x-sequential comparison,
+# BENCH_PR6.json for the two-worker-fleet-vs-local comparison),
 # preserving their recorded pre-optimization baselines. Pass flags through
 # to the Go tool, e.g.:
 #
 #   scripts/bench.sh                       # full run
-#   scripts/bench.sh -benchtime 1x -microtime 10x -out /tmp/b.json -batch-out /tmp/b5.json   # CI smoke
+#   scripts/bench.sh -benchtime 1x -microtime 10x -out /tmp/b.json -batch-out /tmp/b5.json -fleet-out /tmp/b6.json   # CI smoke
 set -eu
 cd "$(dirname "$0")/.."
 exec go run ./scripts/bench "$@"

@@ -1,14 +1,15 @@
 // Command bench runs the repository's key performance benchmarks with a
 // fixed -benchtime and records the results as machine-readable trajectory
 // files: the clone-cost / scheduler-throughput suite (BENCH_PR4.json by
-// default) and the batch-vs-3x-sequential wall-clock comparison
-// (BENCH_PR5.json by default), so regressions in either are visible
-// across PRs.
+// default), the batch-vs-3x-sequential wall-clock comparison
+// (BENCH_PR5.json by default) and the two-worker-fleet-vs-local
+// wall-clock comparison (BENCH_PR6.json by default), so regressions in
+// any of them are visible across PRs.
 //
 // Usage:
 //
-//	go run ./scripts/bench                     # full run, writes BENCH_PR4.json + BENCH_PR5.json
-//	go run ./scripts/bench -benchtime 1x -out /tmp/b.json -batch-out /tmp/b5.json   # CI smoke
+//	go run ./scripts/bench                     # full run, writes BENCH_PR4/PR5/PR6.json
+//	go run ./scripts/bench -benchtime 1x -out /tmp/b.json -batch-out /tmp/b5.json -fleet-out /tmp/b6.json   # CI smoke
 //
 // If an output file already exists, its "baseline" object is preserved
 // verbatim: record the pre-change numbers once, then re-run the tool after
@@ -47,6 +48,7 @@ type benchFile struct {
 func main() {
 	out := flag.String("out", "BENCH_PR4.json", "output JSON file")
 	batchOut := flag.String("batch-out", "BENCH_PR5.json", "batch-vs-sequential comparison output (empty disables)")
+	fleetOut := flag.String("fleet-out", "BENCH_PR6.json", "two-worker-fleet-vs-local comparison output (empty disables)")
 	benchtime := flag.String("benchtime", "3x", "benchtime for the campaign-scale strategy benchmarks")
 	microtime := flag.String("microtime", "200x", "benchtime for the clone/simulator microbenchmarks")
 	flag.Parse()
@@ -80,6 +82,13 @@ func main() {
 
 	if *batchOut != "" {
 		if err := writeBatchComparison(*batchOut, *benchtime); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *fleetOut != "" {
+		if err := writeFleetComparison(*fleetOut, *benchtime); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
@@ -140,6 +149,29 @@ func writeBatchComparison(out, benchtime string) error {
 			return nil
 		}
 		return map[string]float64{"batch_vs_sequential_x": seq["wall-ms"] / batch["wall-ms"]}
+	})
+}
+
+// writeFleetComparison runs the two-worker-fleet-vs-local benchmarks
+// (the same replay campaign on a plain daemon versus sharded across two
+// fleet workers, per-node parallelism pinned to one thread) and records
+// the wall-clock comparison as its own trajectory file. The headline
+// ratio says what sharding buys at fixed per-node compute; on a
+// single-core host the two in-process "nodes" share that core, so the
+// ratio degenerates to pure coordination overhead — read it on multicore
+// hardware for the scale-out signal.
+func writeFleetComparison(out, benchtime string) error {
+	results := make(map[string]metrics)
+	if err := runBench(".", "BenchmarkFleet_(Local|TwoWorkers)$", benchtime, results); err != nil {
+		return err
+	}
+	return writeTrajectory(out, 6, benchtime, results, func(map[string]metrics) map[string]float64 {
+		local, okL := results["Fleet_Local"]
+		two, okT := results["Fleet_TwoWorkers"]
+		if !okL || !okT || local["wall-ms"] <= 0 || two["wall-ms"] <= 0 {
+			return nil
+		}
+		return map[string]float64{"fleet_vs_local_x": local["wall-ms"] / two["wall-ms"]}
 	})
 }
 

@@ -12,7 +12,20 @@ import (
 	"time"
 
 	"merlin/internal/cpu"
+	"merlin/internal/fleet"
 	"merlin/internal/server"
+)
+
+// HTTP hardening knobs shared by the coordinator and worker listeners.
+// ReadHeaderTimeout bounds how long a connection may dribble its request
+// headers (the slowloris vector); IdleTimeout reclaims keep-alive
+// connections. There is deliberately no WriteTimeout: event and shard
+// streams are long-lived by design, and their liveness comes from
+// cancellation and heartbeats instead.
+const (
+	readHeaderTimeout = 5 * time.Second
+	idleTimeout       = 2 * time.Minute
+	drainTimeout      = 10 * time.Second
 )
 
 // Server is the long-running campaign service behind cmd/merlind: an
@@ -59,6 +72,27 @@ type ServeOptions struct {
 	// long-running daemon's memory tracks load, not lifetime. 0 takes
 	// the server default (1024).
 	RetainFinished int
+	// MaxEventsPerCampaign caps one campaign's in-memory event log: beyond
+	// it the oldest quarter is dropped and streamers resuming into the
+	// dropped range receive an explicit "truncated" marker. 0 takes the
+	// server default (8192).
+	MaxEventsPerCampaign int
+
+	// Registry, when non-nil, makes campaign state durable: submissions,
+	// checkpointed per-representative outcomes and terminal reports are
+	// persisted, finished campaigns survive a daemon restart, and
+	// interrupted ones resume from their last checkpoint instead of
+	// restarting. Open one with OpenRegistry. Nil keeps the in-memory-only
+	// behavior.
+	Registry *CampaignRegistry
+
+	// FleetTTL is the heartbeat liveness window for fleet workers joining
+	// this daemon as a coordinator: a worker silent for longer stops
+	// receiving shards. 0 means the default (10s); negative disables the
+	// fleet endpoints entirely (pure single-process daemon). With no
+	// workers joined the coordinator runs campaigns in-process exactly as
+	// a single-node daemon would.
+	FleetTTL time.Duration
 }
 
 // NewServer starts the campaign service's worker pools and returns the
@@ -69,13 +103,18 @@ func NewServer(opt ServeOptions) (*Server, error) {
 	if opt.SnapshotBudget >= 0 {
 		snapshots = NewSnapshotCache(opt.SnapshotBudget)
 	}
+	var pool *fleet.Pool
+	if opt.FleetTTL >= 0 {
+		pool = fleet.NewPool(opt.FleetTTL)
+	}
 	cfg := server.Config{
-		Run:             runCampaign(opt.Cache, snapshots),
-		Validate:        validateRequest(opt.Cache),
-		Shards:          opt.Shards,
-		WorkersPerShard: opt.WorkersPerShard,
-		QueueDepth:      opt.QueueDepth,
-		RetainFinished:  opt.RetainFinished,
+		Run:                  runCampaign(opt.Cache, snapshots, pool, opt.Registry != nil),
+		Validate:             validateRequest(opt.Cache),
+		Shards:               opt.Shards,
+		WorkersPerShard:      opt.WorkersPerShard,
+		QueueDepth:           opt.QueueDepth,
+		RetainFinished:       opt.RetainFinished,
+		MaxEventsPerCampaign: opt.MaxEventsPerCampaign,
 	}
 	if opt.Cache != nil {
 		cache := opt.Cache
@@ -84,29 +123,72 @@ func NewServer(opt ServeOptions) (*Server, error) {
 	if snapshots != nil {
 		cfg.SnapshotStats = func() any { return snapshots.Stats() }
 	}
+	if opt.Registry != nil {
+		reg := opt.Registry
+		cfg.Registry = registryAdapter{reg}
+		cfg.RegistryStats = func() any { return reg.Stats() }
+	}
+	if pool != nil || opt.Cache != nil {
+		cache := opt.Cache
+		cfg.Routes = func(mux *http.ServeMux) {
+			if pool != nil {
+				// Worker registration, heartbeats and the fleet listing.
+				mux.Handle("/fleet/", pool.Handler())
+			}
+			if cache != nil {
+				// Content-addressed golden-artifact transfer: workers
+				// prefetch by the same key the cache stores under, skipping
+				// their own golden runs.
+				mux.HandleFunc("GET /artifacts/{id}", func(w http.ResponseWriter, r *http.Request) {
+					raw, ok := cache.GetRaw(r.PathValue("id"))
+					if !ok {
+						http.Error(w, `{"error":"unknown artifact"}`, http.StatusNotFound)
+						return
+					}
+					w.Header().Set("Content-Type", "application/octet-stream")
+					w.Write(raw)
+				})
+			}
+		}
+	}
 	return server.New(cfg)
 }
 
 // Serve runs the campaign service on addr until ctx is cancelled, then
-// shuts the HTTP listener down gracefully and drains the worker pools.
+// shuts down gracefully: the campaign service stops first (with a durable
+// registry the in-flight campaigns checkpoint and stay resumable; without
+// one they fail, as before), which completes every live event stream, and
+// only then the HTTP listener drains under a deadline. The listener
+// carries header-read and idle timeouts so a slowloris peer cannot pin
+// connections open indefinitely.
 func Serve(ctx context.Context, addr string, opt ServeOptions) error {
 	srv, err := NewServer(opt)
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
 
-	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: readHeaderTimeout,
+		IdleTimeout:       idleTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	select {
 	case err := <-errc:
+		srv.Close()
 		return err
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		return hs.Shutdown(shutdownCtx)
 	}
+	// Order matters: closing the campaign service first terminates every
+	// campaign and therefore every NDJSON event stream; shutting the
+	// listener down first would leave Shutdown waiting out its whole drain
+	// deadline behind streams that only end when the campaigns do.
+	srv.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	return hs.Shutdown(shutdownCtx)
 }
 
 // requestOptions translates a wire request into Session (or Batch)
@@ -237,8 +319,23 @@ func progressEvent(p Progress) (CampaignEvent, bool) {
 // snapshot cache, so repeat and concurrent campaigns (and the structures
 // of one batch) reuse one frozen checkpoint ladder instead of each
 // rebuilding it.
-func runCampaign(cache *Cache, snapshots *SnapshotCache) server.RunFunc {
-	return func(ctx context.Context, req CampaignRequest, emit func(CampaignEvent)) (any, error) {
+//
+// Single-structure campaigns take the fleet merge path — sharded over
+// live workers, outcomes checkpointed, resumable — whenever there is
+// someone or something to merge for: live workers in the pool, a durable
+// registry, or checkpointed outcomes from a previous incarnation. With
+// none of those (today's plain single-process daemon) they run the local
+// Session pipeline unchanged. Batches always run locally: they already
+// amortize one golden run across structures in-process.
+func runCampaign(cache *Cache, snapshots *SnapshotCache, pool *fleet.Pool, durable bool) server.RunFunc {
+	return func(ctx context.Context, job server.Job, emit func(CampaignEvent)) (any, error) {
+		req := job.Request
+		if len(req.Structures) == 0 {
+			fleetAlive := pool != nil && len(pool.Alive()) > 0
+			if fleetAlive || durable || len(job.Resume) > 0 {
+				return runFleetCampaign(ctx, job, emit, cache, snapshots, pool)
+			}
+		}
 		opts, err := requestOptions(req, cache)
 		if err != nil {
 			return nil, err
