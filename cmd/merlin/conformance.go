@@ -1,0 +1,122 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"merlin/internal/conformance"
+	"merlin/internal/conformance/gen"
+	"merlin/internal/cpu"
+)
+
+// runConformance implements `merlin conformance`: certify a core
+// configuration by running seeded stress kernels through the lockstep
+// differential oracle, kernel classes × -kernels seeds each. Any
+// divergence prints a first-divergence report (retiring PC, disassembly
+// window, both register files) and fails the run.
+//
+//	merlin conformance -seed 1 -kernels 50
+//	merlin conformance -classes sq,l1d -regs 64 -sq 16 -l1d 16384
+//	merlin conformance -selftest
+func runConformance(args []string) int {
+	fs := flag.NewFlagSet("conformance", flag.ExitOnError)
+	var (
+		seed     = fs.Uint64("seed", 1, "base kernel seed; kernel k of a class uses seed+k")
+		kernels  = fs.Int("kernels", 50, "kernels per structure class")
+		classes  = fs.String("classes", "", "comma-separated kernel classes (default: all of "+strings.Join(gen.Classes(), ",")+")")
+		regs     = fs.Int("regs", 256, "physical integer registers")
+		sq       = fs.Int("sq", 64, "store-queue (and load-queue) entries")
+		l1d      = fs.Int("l1d", 32<<10, "L1 data cache bytes")
+		cycles   = fs.Uint64("max-cycles", 10_000_000, "per-kernel core cycle budget")
+		selftest = fs.Bool("selftest", false, "also sabotage the core (bit-flipped µop results) and require the oracle to catch it")
+		verbose  = fs.Bool("v", false, "print one line per kernel")
+	)
+	fs.Parse(args)
+
+	list := gen.Classes()
+	if *classes != "" {
+		list = strings.Split(*classes, ",")
+		known := make(map[string]bool)
+		for _, c := range gen.Classes() {
+			known[c] = true
+		}
+		for _, c := range list {
+			if !known[c] {
+				fmt.Fprintf(os.Stderr, "conformance: unknown class %q (have %s)\n", c, strings.Join(gen.Classes(), ","))
+				return 2
+			}
+		}
+	}
+	cfg := conformance.Config{
+		CPU:       cpu.DefaultConfig().WithRF(*regs).WithSQ(*sq).WithL1D(*l1d),
+		MaxCycles: *cycles,
+	}
+
+	start := time.Now()
+	var totalKernels, totalRetired, totalCycles uint64
+	for _, class := range list {
+		classStart := time.Now()
+		var retired, cyc uint64
+		for k := 0; k < *kernels; k++ {
+			prog := gen.Kernel(class, *seed+uint64(k))
+			rep := conformance.Run(prog, cfg)
+			if rep.Divergence != nil {
+				fmt.Fprintf(os.Stderr, "FAIL %s (class %s):\n%s", prog.Name, class, rep.Divergence)
+				return 1
+			}
+			if rep.Timeout {
+				fmt.Fprintf(os.Stderr, "FAIL %s (class %s): inconclusive, cycle budget %d exhausted\n", prog.Name, class, *cycles)
+				return 1
+			}
+			if *verbose {
+				fmt.Printf("  %-12s retired %6d insts in %8d cycles: ok\n", prog.Name, rep.Retired, rep.Cycles)
+			}
+			retired += rep.Retired
+			cyc += rep.Cycles
+		}
+		totalKernels += uint64(*kernels)
+		totalRetired += retired
+		totalCycles += cyc
+		fmt.Printf("%-6s %3d kernels, %8d insts retired, %9d cycles, 0 divergences (%.2fs)\n",
+			class, *kernels, retired, cyc, time.Since(classStart).Seconds())
+	}
+	fmt.Printf("conformance: %d kernels, %d instructions lockstep-verified in %.2fs: PASS\n",
+		totalKernels, totalRetired, time.Since(start).Seconds())
+
+	if *selftest {
+		return conformanceSelftest(cfg)
+	}
+	return 0
+}
+
+// conformanceSelftest proves the oracle can fail: it re-runs one kernel
+// per class on a core whose µop results are bit-flipped from mid-run
+// onward, and requires a first-divergence report naming a retiring PC.
+// A sabotaged core that passes means the oracle is blind — that is the
+// failure.
+func conformanceSelftest(cfg conformance.Config) int {
+	fmt.Println("selftest: injecting µop result corruption into the core...")
+	for _, class := range gen.Classes() {
+		prog := gen.Kernel(class, 1)
+		clean := conformance.Run(prog, cfg)
+		if !clean.Conformant() {
+			fmt.Fprintf(os.Stderr, "selftest FAIL: clean %s run not conformant\n", prog.Name)
+			return 1
+		}
+		bad := cfg
+		bad.SabotageSeq = clean.LastSeq / 2
+		bad.SabotageMask = 1 << 13
+		rep := conformance.Run(prog, bad)
+		if rep.Divergence == nil {
+			fmt.Fprintf(os.Stderr, "selftest FAIL: sabotaged core passed %s — the oracle is blind\n", prog.Name)
+			return 1
+		}
+		fmt.Printf("  %-12s caught: %s divergence at retiring pc %d (seq %d)\n",
+			prog.Name, rep.Divergence.Kind, rep.Divergence.RIP, rep.Divergence.Seq)
+	}
+	fmt.Println("selftest: all sabotaged runs caught: PASS")
+	return 0
+}

@@ -55,6 +55,11 @@ import (
 func main() { os.Exit(run()) }
 
 func run() int {
+	// Subcommands take over before campaign flag parsing; everything else
+	// is the original campaign interface.
+	if len(os.Args) > 1 && os.Args[1] == "conformance" {
+		return runConformance(os.Args[2:])
+	}
 	var (
 		workload   = flag.String("workload", "qsort", "workload name (see -list)")
 		structure  = flag.String("structure", "RF", "injection target: RF, SQ, or L1D")

@@ -1,0 +1,33 @@
+package conformance
+
+import (
+	"testing"
+
+	"merlin/internal/conformance/gen"
+	"merlin/internal/cpu"
+)
+
+// FuzzLockstep feeds arbitrary byte strings through the stream sanitiser
+// (gen.DecodeStream) into the lockstep oracle: every decoded program must
+// run divergence-free on the detailed core. The sanitiser guarantees
+// termination, so the only acceptable outcomes are a clean halt, an
+// architectural crash both machines agree on, or a cycle-budget timeout
+// (inconclusive, not a failure). Seed corpus: testdata/fuzz/FuzzLockstep.
+func FuzzLockstep(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("lockstep"))
+	var every []byte
+	for i := 0; i < 48; i++ { // one record per opcode selector
+		every = append(every, byte(i), byte(i*3), byte(i*5), byte(i*7), byte(i*13), byte(i>>4))
+	}
+	f.Add(every)
+
+	cfg := cpu.DefaultConfig()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog := gen.DecodeStream(data)
+		rep := Run(prog, Config{CPU: cfg, MaxCycles: 2_000_000})
+		if rep.Divergence != nil {
+			t.Fatalf("lockstep divergence on fuzzed stream:\n%s", rep.Divergence)
+		}
+	})
+}

@@ -1,0 +1,300 @@
+// Package gen emits seeded pseudo-random stress kernels for the lockstep
+// conformance engine. Each kernel class targets one microarchitectural
+// structure of the core — the structures MeRLiN injects faults into plus
+// the speculation machinery — so a pipeline bug in that structure has a
+// short path to an architectural divergence:
+//
+//	rf     register-file pressure: long dependency chains over every
+//	       allocatable register, forcing rename/free-list churn
+//	sq     store-queue storms: overlapping stores and loads of mixed
+//	       widths through one hot buffer, exercising store-to-load
+//	       forwarding, partial overlaps and the atomic read-modify ops
+//	l1d    L1D set-conflict walker: strided write/read-back sweeps that
+//	       thrash a handful of cache sets through fills and write-backs
+//	bp     branch-predictor pathology: data-dependent branches on an
+//	       in-register LCG, biased loops and two-target indirect jumps
+//	mixed  mixed-width memory: partial-register-width stores over wider
+//	       slots with sign/zero-extending read-back, including misaligned
+//	       accesses that must log identical recoverable exceptions
+//
+// Kernels are generated as assembler source and built with internal/asm,
+// so a divergence report's disassembly window reads like the hand-written
+// workloads. Every kernel terminates by construction: all loops are
+// counted with dedicated registers the random body never writes.
+package gen
+
+import (
+	"fmt"
+	"strings"
+
+	"merlin/internal/asm"
+	"merlin/internal/isa"
+)
+
+// Classes lists the kernel classes in stable order.
+func Classes() []string { return []string{"rf", "sq", "l1d", "bp", "mixed"} }
+
+// Kernel builds the seeded stress kernel for class. Distinct seeds give
+// distinct instruction sequences; the same (class, seed) pair always
+// yields the same program. Unknown classes panic — callers enumerate
+// Classes().
+func Kernel(class string, seed uint64) *isa.Program {
+	r := &rng{state: seed ^ 0xa076_1d64_78bd_642f}
+	var body string
+	switch class {
+	case "rf":
+		body = genRF(r)
+	case "sq":
+		body = genSQ(r)
+	case "l1d":
+		body = genL1D(r)
+	case "bp":
+		body = genBP(r)
+	case "mixed":
+		body = genMixed(r)
+	default:
+		panic(fmt.Sprintf("gen: unknown kernel class %q", class))
+	}
+	return asm.MustAssemble(fmt.Sprintf("%s-%d", class, seed), body)
+}
+
+// rng is splitmix64: deterministic across Go versions, so checked-in
+// expectations and fuzz corpora never rot when the toolchain moves.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e37_79b9_7f4a_7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58_476d_1ce4_e5b9
+	z = (z ^ (z >> 27)) * 0x94d0_49bb_1331_11eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) pick(s []string) string { return s[r.intn(len(s))] }
+
+// Register conventions shared by all kernels: r1..r9 are scratch the
+// random body may clobber, r10 accumulates the checksum, r11 is the
+// buffer base, r12 is a dedicated zero (µx64 has no hardwired zero
+// register) and r13/r3 hold loop counters the body never writes.
+
+// prologue seeds the scratch registers and the loop counter.
+func prologue(b *strings.Builder, r *rng, iters int) {
+	for reg := 1; reg <= 10; reg++ {
+		fmt.Fprintf(b, "\tli r%d, %d\n", reg, int64(r.next()))
+	}
+	fmt.Fprintf(b, "\tli r12, 0\n\tli r13, %d\n", iters)
+}
+
+// epilogue drains every live register into the output stream — the
+// architectural signature the oracle compares — and halts.
+func epilogue(b *strings.Builder) {
+	for reg := 1; reg <= 11; reg++ {
+		fmt.Fprintf(b, "\tout r%d\n", reg)
+	}
+	b.WriteString("\thalt\n")
+}
+
+// genRF emits register-file pressure chains: dense ALU traffic over all
+// scratch registers, mixing long serial dependency chains (rename, free
+// list and bypass pressure) with independent work that keeps the issue
+// queue full.
+func genRF(r *rng) string {
+	var b strings.Builder
+	prologue(&b, r, 6+r.intn(6))
+	b.WriteString("loop:\n")
+	regOps := []string{"add", "sub", "and", "or", "xor", "sll", "srl", "sra", "mul", "slt", "sltu"}
+	immOps := []string{"addi", "xori", "ori", "andi", "slli", "srli", "srai", "muli", "slti"}
+	n := 30 + r.intn(30)
+	for i := 0; i < n; i++ {
+		rd := 1 + r.intn(9)
+		switch r.intn(10) {
+		case 0, 1, 2: // immediate form
+			op := r.pick(immOps)
+			imm := int64(r.intn(255)) - 127
+			if strings.HasPrefix(op, "s") && op != "slti" { // shift amounts
+				imm = int64(r.intn(64))
+			}
+			fmt.Fprintf(&b, "\t%s r%d, r%d, %d\n", op, rd, 1+r.intn(9), imm)
+		case 3: // guarded divide: ori the divisor odd so it cannot be zero
+			div := 1 + r.intn(9)
+			fmt.Fprintf(&b, "\tori r%d, r%d, 1\n", div, div)
+			op := "div"
+			if r.intn(2) == 0 {
+				op = "rem"
+			}
+			fmt.Fprintf(&b, "\t%s r%d, r%d, r%d\n", op, rd, 1+r.intn(9), div)
+		case 4: // serial chain segment: rd feeds itself
+			fmt.Fprintf(&b, "\t%s r%d, r%d, r%d\n", r.pick(regOps), rd, rd, 1+r.intn(9))
+		default:
+			fmt.Fprintf(&b, "\t%s r%d, r%d, r%d\n", r.pick(regOps), rd, 1+r.intn(9), 1+r.intn(9))
+		}
+		if r.intn(8) == 0 {
+			fmt.Fprintf(&b, "\tadd r10, r10, r%d\n", rd)
+		}
+	}
+	b.WriteString("\taddi r13, r13, -1\n\tbne r13, r12, loop\n")
+	epilogue(&b)
+	return b.String()
+}
+
+// genSQ emits store-queue aliasing and forwarding storms: bursts of
+// mixed-width stores at overlapping offsets of one 256-byte buffer, each
+// chased by loads that must forward from the youngest covering store (or
+// merge store bytes with cache bytes on partial overlap), plus the
+// ldadd/ldxor/stadd read-modify ops whose cracked µop chains live in the
+// same queue.
+func genSQ(r *rng) string {
+	var b strings.Builder
+	b.WriteString("\tli r11, buf\n")
+	prologue(&b, r, 4+r.intn(4))
+	b.WriteString("loop:\n")
+	stores := []struct {
+		op    string
+		align int
+	}{{"sd", 8}, {"sw", 4}, {"sh", 2}, {"sb", 1}}
+	loads := []struct {
+		op    string
+		align int
+	}{{"ld", 8}, {"lw", 4}, {"lwu", 4}, {"lh", 2}, {"lhu", 2}, {"lb", 1}, {"lbu", 1}}
+	n := 24 + r.intn(24)
+	hot := r.intn(64) & ^7 // the aliasing hot spot all widths overlap
+	for i := 0; i < n; i++ {
+		switch r.intn(8) {
+		case 0, 1, 2: // store, usually into the hot spot
+			s := stores[r.intn(len(stores))]
+			off := hot + r.intn(16)&^(s.align-1)
+			if r.intn(4) == 0 {
+				off = r.intn(248) &^ (s.align - 1)
+			}
+			fmt.Fprintf(&b, "\t%s [r11+%d], r%d\n", s.op, off, 1+r.intn(9))
+		case 3, 4, 5: // load chasing the hot spot, checksum the value
+			l := loads[r.intn(len(loads))]
+			off := hot + r.intn(16)&^(l.align-1)
+			rd := 1 + r.intn(9)
+			fmt.Fprintf(&b, "\t%s r%d, [r11+%d]\n", l.op, rd, off)
+			fmt.Fprintf(&b, "\tadd r10, r10, r%d\n", rd)
+		case 6: // read-modify macro-ops on an aligned slot
+			off := hot + r.intn(2)*8
+			switch r.intn(3) {
+			case 0:
+				fmt.Fprintf(&b, "\tstadd [r11+%d], r%d\n", off, 1+r.intn(9))
+			case 1:
+				fmt.Fprintf(&b, "\tldadd r%d, r%d, [r11+%d]\n", 1+r.intn(9), 1+r.intn(9), off)
+			default:
+				fmt.Fprintf(&b, "\tldxor r%d, r%d, [r11+%d]\n", 1+r.intn(9), 1+r.intn(9), off)
+			}
+		default: // ALU filler so stores retire under pressure
+			fmt.Fprintf(&b, "\txor r%d, r%d, r%d\n", 1+r.intn(9), 1+r.intn(9), 1+r.intn(9))
+		}
+	}
+	b.WriteString("\taddi r13, r13, -1\n\tbne r13, r12, loop\n")
+	epilogue(&b)
+	b.WriteString(".data\nbuf:\t.space 256\n")
+	return b.String()
+}
+
+// genL1D emits a set-conflict walker: a nested sweep that writes and
+// reads back lines at a large power-of-two stride, so a handful of L1D
+// sets absorb every fill, eviction and write-back while the rest of the
+// cache stays cold.
+func genL1D(r *rng) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\tli r11, %d\n", isa.DataBase)
+	prologue(&b, r, 3+r.intn(3))
+	stride := 0x1000 << r.intn(3) // 4/8/16KB: same set in a 32KB 4-way L1D
+	lines := 8 + r.intn(24)       // stride*lines tops out well under MemTop
+	fmt.Fprintf(&b, "\tli r8, %d\n", stride)
+	b.WriteString("outer:\n\tmv r2, r11\n")
+	fmt.Fprintf(&b, "\tli r3, %d\n", lines)
+	b.WriteString("inner:\n")
+	for i, n := 0, 2+r.intn(3); i < n; i++ {
+		off := r.intn(8) * 8 // stay inside the line
+		if r.intn(2) == 0 {
+			fmt.Fprintf(&b, "\tsd [r2+%d], r%d\n", off, 1+r.intn(9))
+		} else {
+			rd := 4 + r.intn(4)
+			fmt.Fprintf(&b, "\tld r%d, [r2+%d]\n", rd, off)
+			fmt.Fprintf(&b, "\tadd r10, r10, r%d\n", rd)
+		}
+	}
+	b.WriteString("\tadd r2, r2, r8\n")
+	fmt.Fprintf(&b, "\txor r1, r1, r2\n")
+	b.WriteString("\taddi r3, r3, -1\n\tbne r3, r12, inner\n")
+	b.WriteString("\taddi r13, r13, -1\n\tbne r13, r12, outer\n")
+	epilogue(&b)
+	return b.String()
+}
+
+// genBP emits branch-predictor pathology: branches conditioned on the
+// bits of an in-register LCG (patternless for the tournament tables), a
+// short biased loop nested inside, and an indirect jump that alternates
+// between two targets so the BTB keeps mispredicting.
+func genBP(r *rng) string {
+	var b strings.Builder
+	prologue(&b, r, 24+r.intn(24))
+	// LCG constants: any odd multiplier works; the seed varies both.
+	fmt.Fprintf(&b, "\tli r8, %d\n", int64(r.next()|1))
+	fmt.Fprintf(&b, "\tli r9, %d\n", int64(r.next()))
+	b.WriteString("loop:\n")
+	b.WriteString("\tmul r1, r1, r8\n\tadd r1, r1, r9\n")
+	for i, n := 0, 3+r.intn(4); i < n; i++ {
+		shift := 5 + r.intn(40)
+		fmt.Fprintf(&b, "\tsrli r2, r1, %d\n\tandi r2, r2, 1\n", shift)
+		fmt.Fprintf(&b, "\tbeq r2, r12, skip%d\n", i)
+		fmt.Fprintf(&b, "\taddi r10, r10, %d\n\txor r10, r10, r1\n", 1+r.intn(100))
+		fmt.Fprintf(&b, "skip%d:\n", i)
+	}
+	// Data-dependent trip count 1..4: a loop the local predictor cannot
+	// settle on.
+	b.WriteString("\tandi r4, r1, 3\n\taddi r4, r4, 1\nbiased:\n")
+	b.WriteString("\tadd r10, r10, r4\n\taddi r4, r4, -1\n\tbne r4, r12, biased\n")
+	// Two-target indirect jump chosen by an LCG bit.
+	b.WriteString("\tli r5, patha\n\tandi r6, r1, 16\n\tbeq r6, r12, dojump\n\tli r5, pathb\ndojump:\n")
+	b.WriteString("\tjalr r7, r5, 0\n")
+	b.WriteString("patha:\n\taddi r10, r10, 3\n\tj join\n")
+	b.WriteString("pathb:\n\txori r10, r10, 5\n")
+	b.WriteString("join:\n\taddi r13, r13, -1\n\tbne r13, r12, loop\n")
+	epilogue(&b)
+	return b.String()
+}
+
+// genMixed emits mixed-width partial writes: narrow stores punched into
+// wider slots, re-read at every width with both extensions, plus
+// deliberately misaligned accesses whose recoverable-exception log
+// entries must match the reference instruction for instruction.
+func genMixed(r *rng) string {
+	var b strings.Builder
+	b.WriteString("\tli r11, buf\n")
+	prologue(&b, r, 4+r.intn(4))
+	b.WriteString("loop:\n")
+	n := 20 + r.intn(20)
+	for i := 0; i < n; i++ {
+		slot := r.intn(12) * 8
+		switch r.intn(10) {
+		case 0, 1: // lay down a full word
+			fmt.Fprintf(&b, "\tsd [r11+%d], r%d\n", slot, 1+r.intn(9))
+		case 2, 3: // punch a narrow store into it
+			sub := []string{"sb", "sh", "sw"}[r.intn(3)]
+			width := map[string]int{"sb": 1, "sh": 2, "sw": 4}[sub]
+			fmt.Fprintf(&b, "\t%s [r11+%d], r%d\n", sub, slot+r.intn(8)&^(width-1), 1+r.intn(9))
+		case 4: // misaligned store: logs ExcMisalign on both machines
+			fmt.Fprintf(&b, "\tsw [r11+%d], r%d\n", slot+1+r.intn(3), 1+r.intn(9))
+		case 5: // misaligned load
+			rd := 1 + r.intn(9)
+			fmt.Fprintf(&b, "\tlh r%d, [r11+%d]\n", rd, slot+1)
+			fmt.Fprintf(&b, "\tadd r10, r10, r%d\n", rd)
+		default: // read back at a random width and extension
+			l := []string{"ld", "lw", "lwu", "lh", "lhu", "lb", "lbu"}[r.intn(7)]
+			width := map[string]int{"ld": 8, "lw": 4, "lwu": 4, "lh": 2, "lhu": 2, "lb": 1, "lbu": 1}[l]
+			rd := 1 + r.intn(9)
+			fmt.Fprintf(&b, "\t%s r%d, [r11+%d]\n", l, rd, slot+r.intn(8)&^(width-1))
+			fmt.Fprintf(&b, "\txor r10, r10, r%d\n", rd)
+		}
+	}
+	b.WriteString("\taddi r13, r13, -1\n\tbne r13, r12, loop\n")
+	epilogue(&b)
+	b.WriteString(".data\nbuf:\t.space 128\n")
+	return b.String()
+}

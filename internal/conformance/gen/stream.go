@@ -1,0 +1,128 @@
+package gen
+
+import (
+	"fmt"
+
+	"merlin/internal/isa"
+)
+
+// Stream-decoding limits: each 6-byte record becomes one instruction, and
+// the body is re-run by a counted outer loop so single-pass coverage of
+// squash/replay paths multiplies without risking non-termination.
+const (
+	recSize    = 6   // op, rd, rs1, rs2, imm lo, imm hi
+	maxBody    = 512 // instruction cap, bounds fuzz execution time
+	streamRuns = 4   // outer-loop trip count
+)
+
+// streamOps is the opcode pool fuzz bytes index into. JALR is excluded
+// (an arbitrary indirect target is almost always a bad fetch, which ends
+// the run on the first record) and HALT/NOP add nothing the epilogue and
+// skipped records don't already cover.
+var streamOps = []isa.Op{
+	isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SLL, isa.SRL, isa.SRA,
+	isa.MUL, isa.DIV, isa.REM, isa.SLT, isa.SLTU,
+	isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLLI, isa.SRLI, isa.SRAI,
+	isa.SLTI, isa.MULI, isa.LI,
+	isa.LD, isa.LW, isa.LWU, isa.LH, isa.LHU, isa.LB, isa.LBU,
+	isa.SD, isa.SW, isa.SH, isa.SB,
+	isa.LDADD, isa.LDXOR, isa.STADD,
+	isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU,
+	isa.JAL, isa.OUT,
+}
+
+// DecodeStream sanitises an arbitrary byte string into a valid,
+// always-terminating µx64 program, so every fuzz input exercises the
+// pipeline instead of dying on decode. The grammar keeps the interesting
+// degrees of freedom — opcode mix, register pressure, memory aliasing,
+// misalignment, data-dependent control flow, even architectural crashes —
+// while forcing the properties termination needs:
+//
+//   - rd is drawn from r1..r9 only, so the buffer base (r11), the zero
+//     register (r12) and the loop counter (r13) survive the body;
+//   - branch and jump targets are strictly forward, making the body a
+//     DAG; iteration comes solely from the counted outer loop;
+//   - memory operands are r11-relative with mostly in-range offsets; a
+//     1-in-16 slice decodes to a far offset that may fault, which both
+//     machines must agree on.
+func DecodeStream(data []byte) *isa.Program {
+	n := len(data) / recSize
+	if n > maxBody {
+		n = maxBody
+	}
+	const base = 3 // prologue length; body occupies [base, base+n)
+	text := make([]isa.Inst, 0, base+n+14)
+	text = append(text,
+		isa.Inst{Op: isa.LI, Rd: 11, Rs1: isa.NoReg, Rs2: isa.NoReg, Imm: isa.DataBase},
+		isa.Inst{Op: isa.LI, Rd: 12, Rs1: isa.NoReg, Rs2: isa.NoReg},
+		isa.Inst{Op: isa.LI, Rd: 13, Rs1: isa.NoReg, Rs2: isa.NoReg, Imm: streamRuns},
+	)
+	for i := 0; i < n; i++ {
+		rec := data[i*recSize : i*recSize+recSize]
+		op := streamOps[int(rec[0])%len(streamOps)]
+		rd := int8(1 + rec[1]%9)
+		rs1 := int8(rec[2] % 14) // any of r0..r13 is readable
+		rs2 := int8(rec[3] % 14)
+		u16 := uint64(rec[4]) | uint64(rec[5])<<8
+		in := isa.Inst{Op: op, Rd: isa.NoReg, Rs1: isa.NoReg, Rs2: isa.NoReg}
+		switch {
+		case op == isa.LI:
+			in.Rd, in.Imm = rd, int64(int16(u16))<<(rec[2]%32)
+		case op == isa.OUT:
+			in.Rs1 = rs1
+		case op == isa.JAL:
+			in.Rd, in.Imm = rd, forward(base, n, i, u16)
+		case isa.IsCondBranch(op):
+			in.Rs1, in.Rs2, in.Imm = rs1, rs2, forward(base, n, i, u16)
+		case isa.IsStore(op) && op != isa.STADD:
+			in.Rs1, in.Rs2, in.Imm = 11, rs2, memOffset(u16, rec[3])
+		case op == isa.STADD:
+			in.Rs1, in.Rs2, in.Imm = 11, rs2, memOffset(u16, rec[3])
+		case op == isa.LDADD || op == isa.LDXOR:
+			in.Rd, in.Rs1, in.Rs2, in.Imm = rd, 11, rs2, memOffset(u16, rec[3])
+		case isa.IsLoad(op):
+			in.Rd, in.Rs1, in.Imm = rd, 11, memOffset(u16, rec[3])
+		case op == isa.ADDI || op == isa.ANDI || op == isa.ORI || op == isa.XORI ||
+			op == isa.SLLI || op == isa.SRLI || op == isa.SRAI || op == isa.SLTI ||
+			op == isa.MULI:
+			in.Rd, in.Rs1, in.Imm = rd, rs1, int64(int16(u16))
+		default: // three-register ALU, including DIV/REM (div-zero crashes
+			// architecturally and both machines must agree)
+			in.Rd, in.Rs1, in.Rs2 = rd, rs1, rs2
+		}
+		text = append(text, in)
+	}
+	// Tail: outer loop back-edge, then drain the registers and halt.
+	text = append(text,
+		isa.Inst{Op: isa.ADDI, Rd: 13, Rs1: 13, Rs2: isa.NoReg, Imm: -1},
+		isa.Inst{Op: isa.BNE, Rd: isa.NoReg, Rs1: 13, Rs2: 12, Imm: base},
+	)
+	for r := int8(1); r <= 11; r++ {
+		text = append(text, isa.Inst{Op: isa.OUT, Rd: isa.NoReg, Rs1: r, Rs2: isa.NoReg})
+	}
+	text = append(text, isa.Inst{Op: isa.HALT, Rd: isa.NoReg, Rs1: isa.NoReg, Rs2: isa.NoReg})
+	return &isa.Program{
+		Name:    fmt.Sprintf("stream-%d", n),
+		Text:    text,
+		Symbols: map[string]int64{},
+	}
+}
+
+// forward maps fuzz bytes to a strictly-forward branch target inside the
+// body (or its back-edge tail, which is still forward from any body PC).
+func forward(base, n, i int, u16 uint64) int64 {
+	pc := base + i
+	span := base + n - pc // ≥ 1: at least the tail is ahead
+	return int64(pc + 1 + int(u16)%span)
+}
+
+// memOffset decodes a mostly in-range r11-relative offset. Offsets are
+// deliberately unaligned sometimes (recoverable misalign exceptions);
+// one record in 16 decodes to a far offset that may leave mapped memory,
+// so architectural page faults are exercised too.
+func memOffset(u16 uint64, salt byte) int64 {
+	if salt%16 == 0 {
+		return int64(int16(u16)) * 257
+	}
+	return int64(u16 % 4032)
+}

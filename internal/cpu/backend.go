@@ -192,6 +192,9 @@ func (c *Core) execute(e *robEntry) {
 	default:
 		assertf(false, "executing µop kind %d", u.Kind)
 	}
+	if c.mutate != nil {
+		e.result = c.mutate(e.seq, u.Op, e.result)
+	}
 }
 
 // writebackStage publishes completed results to the physical register file

@@ -77,9 +77,13 @@ func (c *Core) cloneInto(n *Core) {
 	n.committedUops = c.committedUops
 	n.lastCommitAt = c.lastCommitAt
 
+	n.archRegs = c.archRegs
+
 	n.stats = c.stats
 	n.tracer = nil
 	n.traceW = nil
+	n.witness = nil
+	n.mutate = nil
 
 	if n.dmem == nil {
 		n.dmem = c.dmem.Clone()

@@ -54,6 +54,9 @@ func (c *Core) commitStage() {
 			c.pred.updateIndirect(e.rip, e.actTarget)
 		}
 
+		if e.archDest >= 0 {
+			c.archRegs[e.archDest] = c.regVal[e.physDest]
+		}
 		if e.oldPhys >= 0 {
 			c.freePhys(e.oldPhys)
 		}
@@ -70,6 +73,21 @@ func (c *Core) commitStage() {
 		c.flushReads(e)
 		c.committedUops++
 		c.lastCommitAt = c.cycle
+		if e.last && c.witness != nil {
+			ev := RetireEvent{
+				Seq: e.seq, RIP: e.rip, Inst: c.prog.Text[e.rip],
+				Regs:      c.archRegs,
+				OutputLen: len(c.output), ExcLogLen: len(c.excLog),
+			}
+			switch e.uop.Kind {
+			case isa.UopSTD:
+				s := &c.sq[e.sqSlot]
+				ev.HasStore, ev.StoreAddr, ev.StoreSize, ev.StoreData = true, s.addr, s.size, s.data
+			case isa.UopOut:
+				ev.HasOut, ev.Out = true, e.result
+			}
+			c.witness(ev)
+		}
 		c.robHead = (c.robHead + 1) % len(c.rob)
 		c.robLen--
 	}

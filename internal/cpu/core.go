@@ -224,6 +224,17 @@ type Core struct {
 	committedUops  uint64
 	lastCommitAt   uint64
 
+	// archRegs is the committed (retirement) architectural register file,
+	// updated as µops retire. It is derived state — always equal to
+	// regVal at the last committed mapping — kept so retire-boundary
+	// witnesses and ArchRegs cost one array copy instead of a RAT walk.
+	archRegs [isa.NumArchRegs]uint64
+
+	// witness and mutate are observation/test hooks (SetRetireWitness,
+	// SetResultMutator); they are not machine state and are not cloned.
+	witness func(RetireEvent)
+	mutate  func(seq uint64, op isa.Op, result uint64) uint64
+
 	tracer *lifetime.Tracer
 	traceW io.Writer
 	stats  Stats
@@ -273,6 +284,7 @@ func New(cfg Config, prog *isa.Program) *Core {
 		c.regReady[i] = true
 	}
 	c.regVal[isa.RegSP] = isa.StackTop
+	c.archRegs[isa.RegSP] = isa.StackTop
 	c.freeList = make([]int16, 0, cfg.PhysRegs)
 	for p := cfg.PhysRegs - 1; p >= isa.NumArchRegs; p-- {
 		c.freeList = append(c.freeList, int16(p))

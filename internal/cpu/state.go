@@ -102,7 +102,7 @@ func controlEqual(a, b *Core) bool {
 		a.drainBusyUntil != b.drainBusyUntil ||
 		a.fetchPC != b.fetchPC || a.fetchHalted != b.fetchHalted ||
 		a.fetchReadyAt != b.fetchReadyAt || a.chargedLine != b.chargedLine ||
-		a.dqHead != b.dqHead || a.rat != b.rat ||
+		a.dqHead != b.dqHead || a.rat != b.rat || a.archRegs != b.archRegs ||
 		a.curTemps != b.curTemps || a.tempAcc != b.tempAcc ||
 		a.curTempCount != b.curTempCount || a.lastSQ != b.lastSQ ||
 		a.committedInsts != b.committedInsts || a.committedUops != b.committedUops ||

@@ -1,7 +1,10 @@
 // Package interp is a functional (architectural) interpreter for µx64: it
-// executes programs in order with no microarchitecture at all. Its sole
-// purpose is differential testing — the out-of-order core must produce the
-// same committed outputs, exceptions and halt cause for every program.
+// executes programs in order with no microarchitecture at all. Its purpose
+// is differential testing — the out-of-order core must produce the same
+// committed outputs, exceptions and halt cause for every program — and it
+// is the per-instruction reference the lockstep conformance engine
+// (internal/conformance) diffs the detailed core against at every retire
+// boundary.
 package interp
 
 import (
@@ -20,6 +23,15 @@ const (
 	StepLimit
 )
 
+var haltNames = [...]string{"halt", "crash-pagefault", "crash-badfetch", "crash-divzero", "step-limit"}
+
+func (h HaltReason) String() string {
+	if int(h) < len(haltNames) {
+		return haltNames[h]
+	}
+	return "?"
+}
+
 // Result is the architectural outcome of a run.
 type Result struct {
 	Halt   HaltReason
@@ -28,18 +40,111 @@ type Result struct {
 	Steps  uint64
 }
 
-// machine is the architectural state.
-type machine struct {
-	regs [isa.NumArchRegs]uint64
-	mem  map[uint64]byte
-	out  []uint64
-	exc  []uint32
+// pageBits matches mem.PageSize (4KB) so conformance memory diffs can walk
+// both machines' resident pages with one stride.
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+// Machine is the architectural state, steppable one instruction at a time.
+// The zero value is not usable; use NewMachine.
+type Machine struct {
+	prog  *isa.Program
+	regs  [isa.NumArchRegs]uint64
+	pages map[uint64]*[pageSize]byte
+	out   []uint64
+	exc   []uint32
+	pc    int64
+	steps uint64
+	halt  HaltReason
+	done  bool
+
+	// Last-step store effect, for retire-boundary comparison.
+	lastStore bool
+	lastAddr  uint64
+	lastSize  uint8
+	lastData  uint64
 }
 
-func (m *machine) load(addr uint64, size int, signed bool) uint64 {
+// NewMachine loads prog: data segment at isa.DataBase, stack pointer at
+// isa.StackTop, PC at the entry point.
+func NewMachine(prog *isa.Program) *Machine {
+	m := &Machine{prog: prog, pages: make(map[uint64]*[pageSize]byte), pc: int64(prog.Entry)}
+	for i, b := range prog.Data {
+		m.storeByte(isa.DataBase+uint64(i), b)
+	}
+	m.regs[isa.RegSP] = isa.StackTop
+	return m
+}
+
+// PC returns the index of the next instruction to execute.
+func (m *Machine) PC() int64 { return m.pc }
+
+// Done reports whether the machine has halted or crashed.
+func (m *Machine) Done() bool { return m.done }
+
+// Halt returns the halt cause; meaningful only once Done.
+func (m *Machine) Halt() HaltReason { return m.halt }
+
+// Regs returns the architectural register file.
+func (m *Machine) Regs() [isa.NumArchRegs]uint64 { return m.regs }
+
+// Output returns the committed OUT stream so far (live slice, do not
+// mutate).
+func (m *Machine) Output() []uint64 { return m.out }
+
+// ExcLog returns the recoverable-exception log so far (live slice, do not
+// mutate).
+func (m *Machine) ExcLog() []uint32 { return m.exc }
+
+// Steps returns the number of instructions executed.
+func (m *Machine) Steps() uint64 { return m.steps }
+
+// LastStore returns the memory write performed by the most recent Step:
+// ok is false when that instruction did not store.
+func (m *Machine) LastStore() (addr uint64, size uint8, data uint64, ok bool) {
+	return m.lastAddr, m.lastSize, m.lastData, m.lastStore
+}
+
+// PageData returns the 4KB page at the page-aligned base addr read-only,
+// or nil when it was never written (reads as zeros).
+func (m *Machine) PageData(addr uint64) []byte {
+	p := m.pages[addr>>pageBits]
+	if p == nil {
+		return nil
+	}
+	return p[:]
+}
+
+// Result snapshots the architectural outcome so far. If the machine is
+// still running, the halt cause reads StepLimit.
+func (m *Machine) Result() Result {
+	h := m.halt
+	if !m.done {
+		h = StepLimit
+	}
+	return Result{Halt: h, Output: m.out, ExcLog: m.exc, Steps: m.steps}
+}
+
+func (m *Machine) page(addr uint64) *[pageSize]byte {
+	p := m.pages[addr>>pageBits]
+	if p == nil {
+		p = new([pageSize]byte)
+		m.pages[addr>>pageBits] = p
+	}
+	return p
+}
+
+func (m *Machine) storeByte(addr uint64, b byte) {
+	m.page(addr)[addr&(pageSize-1)] = b
+}
+
+func (m *Machine) load(addr uint64, size int, signed bool) uint64 {
 	var v uint64
 	for i := 0; i < size; i++ {
-		v |= uint64(m.mem[addr+uint64(i)]) << (8 * i)
+		a := addr + uint64(i)
+		if p := m.pages[a>>pageBits]; p != nil {
+			v |= uint64(p[a&(pageSize-1)]) << (8 * i)
+		}
 	}
 	if signed && v&(1<<(uint(size)*8-1)) != 0 {
 		v |= ^uint64(0) << (uint(size) * 8)
@@ -47,123 +152,142 @@ func (m *machine) load(addr uint64, size int, signed bool) uint64 {
 	return v
 }
 
-func (m *machine) store(addr uint64, size int, v uint64) {
+func (m *Machine) store(addr uint64, size int, v uint64) {
 	for i := 0; i < size; i++ {
-		m.mem[addr+uint64(i)] = byte(v >> (8 * i))
+		m.storeByte(addr+uint64(i), byte(v>>(8*i)))
 	}
+	m.lastStore, m.lastAddr, m.lastSize, m.lastData = true, addr, uint8(size), v
 }
 
 func inRange(addr uint64, size int) bool {
 	return addr >= isa.DataBase && addr+uint64(size) <= isa.MemTop && addr+uint64(size) >= addr
 }
 
-// Run executes prog architecturally for at most maxSteps instructions.
-func Run(prog *isa.Program, maxSteps uint64) Result {
-	m := &machine{mem: make(map[uint64]byte)}
-	for i, b := range prog.Data {
-		m.mem[isa.DataBase+uint64(i)] = b
-	}
-	m.regs[isa.RegSP] = isa.StackTop
-
-	pc := int64(prog.Entry)
-	var steps uint64
-	for ; steps < maxSteps; steps++ {
-		if pc < 0 || pc >= int64(len(prog.Text)) {
-			return Result{Halt: CrashBadFetch, Output: m.out, ExcLog: m.exc, Steps: steps}
-		}
-		in := prog.Text[pc]
-		next := pc + 1
-		switch {
-		case in.Op == isa.HALT:
-			return Result{Halt: HaltOK, Output: m.out, ExcLog: m.exc, Steps: steps}
-		case in.Op == isa.NOP:
-		case in.Op == isa.OUT:
-			m.out = append(m.out, m.regs[in.Rs1])
-		case in.Op == isa.LI:
-			m.regs[in.Rd] = uint64(in.Imm)
-		case in.Op == isa.DIV || in.Op == isa.REM:
-			s1, s2 := m.regs[in.Rs1], m.regs[in.Rs2]
-			if s2 == 0 {
-				return Result{Halt: CrashDivZero, Output: m.out, ExcLog: m.exc, Steps: steps}
-			}
-			if in.Op == isa.DIV {
-				m.regs[in.Rd] = uint64(int64(s1) / int64(s2))
-			} else {
-				m.regs[in.Rd] = uint64(int64(s1) % int64(s2))
-			}
-		case isa.IsCondBranch(in.Op):
-			if condTaken(in.Op, m.regs[in.Rs1], m.regs[in.Rs2]) {
-				next = in.Imm
-			}
-		case in.Op == isa.JAL:
-			if in.Rd >= 0 {
-				m.regs[in.Rd] = uint64(pc + 1)
-			}
-			next = in.Imm
-		case in.Op == isa.JALR:
-			target := int64(m.regs[in.Rs1]) + in.Imm
-			if in.Rd >= 0 {
-				m.regs[in.Rd] = uint64(pc + 1)
-			}
-			next = target
-		case isa.IsStore(in.Op) && in.Op != isa.STADD:
-			size := int(isa.MemSizeOf(in.Op))
-			addr := m.regs[in.Rs1] + uint64(in.Imm)
-			if !inRange(addr, size) {
-				return Result{Halt: CrashPageFault, Output: m.out, ExcLog: m.exc, Steps: steps}
-			}
-			if addr%uint64(size) != 0 {
-				m.exc = append(m.exc, uint32(pc)<<3|1) // ExcMisalign
-			}
-			m.store(addr, size, m.regs[in.Rs2])
-		case in.Op == isa.STADD:
-			addr := m.regs[in.Rs1] + uint64(in.Imm)
-			if !inRange(addr, 8) {
-				return Result{Halt: CrashPageFault, Output: m.out, ExcLog: m.exc, Steps: steps}
-			}
-			if addr%8 != 0 {
-				// load µop then STA µop both fault; two log entries.
-				m.exc = append(m.exc, uint32(pc)<<3|1, uint32(pc)<<3|1)
-			}
-			m.store(addr, 8, m.load(addr, 8, false)+m.regs[in.Rs2])
-		case in.Op == isa.LDADD || in.Op == isa.LDXOR:
-			addr := m.regs[in.Rs1] + uint64(in.Imm)
-			if !inRange(addr, 8) {
-				return Result{Halt: CrashPageFault, Output: m.out, ExcLog: m.exc, Steps: steps}
-			}
-			if addr%8 != 0 {
-				m.exc = append(m.exc, uint32(pc)<<3|1)
-			}
-			v := m.load(addr, 8, false)
-			if in.Op == isa.LDADD {
-				m.regs[in.Rd] = v + m.regs[in.Rs2]
-			} else {
-				m.regs[in.Rd] = v ^ m.regs[in.Rs2]
-			}
-		case isa.IsLoad(in.Op):
-			size := int(isa.MemSizeOf(in.Op))
-			addr := m.regs[in.Rs1] + uint64(in.Imm)
-			if !inRange(addr, size) {
-				return Result{Halt: CrashPageFault, Output: m.out, ExcLog: m.exc, Steps: steps}
-			}
-			if addr%uint64(size) != 0 {
-				m.exc = append(m.exc, uint32(pc)<<3|1)
-			}
-			signed := in.Op == isa.LW || in.Op == isa.LH || in.Op == isa.LB
-			m.regs[in.Rd] = m.load(addr, size, signed)
-		default:
-			m.regs[in.Rd] = alu(in.Op, m.regs[in.Rs1], reg2(m, in), in.Imm)
-		}
-		pc = next
-	}
-	return Result{Halt: StepLimit, Output: m.out, ExcLog: m.exc, Steps: steps}
-}
-
-func reg2(m *machine, in isa.Inst) uint64 {
-	if in.Rs2 < 0 {
+// reg reads architectural register r, treating isa.NoReg as zero so that
+// fuzz-generated instruction streams cannot index out of range.
+func (m *Machine) reg(r int8) uint64 {
+	if r < 0 {
 		return 0
 	}
-	return m.regs[in.Rs2]
+	return m.regs[r]
+}
+
+// setReg writes rd, ignoring isa.NoReg destinations (matching the core,
+// which allocates no physical register for them).
+func (m *Machine) setReg(rd int8, v uint64) {
+	if rd >= 0 {
+		m.regs[rd] = v
+	}
+}
+
+func (m *Machine) crash(h HaltReason) bool {
+	m.halt = h
+	m.done = true
+	return false
+}
+
+// Step executes one instruction. It returns false once the machine is done
+// (halted or crashed); the step that discovers the crash does not count as
+// an executed instruction, mirroring the core, where a crashing
+// instruction never retires.
+func (m *Machine) Step() bool {
+	if m.done {
+		return false
+	}
+	m.lastStore = false
+	if m.pc < 0 || m.pc >= int64(len(m.prog.Text)) {
+		return m.crash(CrashBadFetch)
+	}
+	in := m.prog.Text[m.pc]
+	next := m.pc + 1
+	switch {
+	case in.Op == isa.HALT:
+		return m.crash(HaltOK)
+	case in.Op == isa.NOP:
+	case in.Op == isa.OUT:
+		m.out = append(m.out, m.reg(in.Rs1))
+	case in.Op == isa.LI:
+		m.setReg(in.Rd, uint64(in.Imm))
+	case in.Op == isa.DIV || in.Op == isa.REM:
+		s1, s2 := m.reg(in.Rs1), m.reg(in.Rs2)
+		if s2 == 0 {
+			return m.crash(CrashDivZero)
+		}
+		if in.Op == isa.DIV {
+			m.setReg(in.Rd, uint64(int64(s1)/int64(s2)))
+		} else {
+			m.setReg(in.Rd, uint64(int64(s1)%int64(s2)))
+		}
+	case isa.IsCondBranch(in.Op):
+		if condTaken(in.Op, m.reg(in.Rs1), m.reg(in.Rs2)) {
+			next = in.Imm
+		}
+	case in.Op == isa.JAL:
+		m.setReg(in.Rd, uint64(m.pc+1))
+		next = in.Imm
+	case in.Op == isa.JALR:
+		target := int64(m.reg(in.Rs1)) + in.Imm
+		m.setReg(in.Rd, uint64(m.pc+1))
+		next = target
+	case isa.IsStore(in.Op) && in.Op != isa.STADD:
+		size := int(isa.MemSizeOf(in.Op))
+		addr := m.reg(in.Rs1) + uint64(in.Imm)
+		if !inRange(addr, size) {
+			return m.crash(CrashPageFault)
+		}
+		if addr%uint64(size) != 0 {
+			m.exc = append(m.exc, uint32(m.pc)<<3|1) // ExcMisalign
+		}
+		m.store(addr, size, m.reg(in.Rs2))
+	case in.Op == isa.STADD:
+		addr := m.reg(in.Rs1) + uint64(in.Imm)
+		if !inRange(addr, 8) {
+			return m.crash(CrashPageFault)
+		}
+		if addr%8 != 0 {
+			// load µop then STA µop both fault; two log entries.
+			m.exc = append(m.exc, uint32(m.pc)<<3|1, uint32(m.pc)<<3|1)
+		}
+		m.store(addr, 8, m.load(addr, 8, false)+m.reg(in.Rs2))
+	case in.Op == isa.LDADD || in.Op == isa.LDXOR:
+		addr := m.reg(in.Rs1) + uint64(in.Imm)
+		if !inRange(addr, 8) {
+			return m.crash(CrashPageFault)
+		}
+		if addr%8 != 0 {
+			m.exc = append(m.exc, uint32(m.pc)<<3|1)
+		}
+		v := m.load(addr, 8, false)
+		if in.Op == isa.LDADD {
+			m.setReg(in.Rd, v+m.reg(in.Rs2))
+		} else {
+			m.setReg(in.Rd, v^m.reg(in.Rs2))
+		}
+	case isa.IsLoad(in.Op):
+		size := int(isa.MemSizeOf(in.Op))
+		addr := m.reg(in.Rs1) + uint64(in.Imm)
+		if !inRange(addr, size) {
+			return m.crash(CrashPageFault)
+		}
+		if addr%uint64(size) != 0 {
+			m.exc = append(m.exc, uint32(m.pc)<<3|1)
+		}
+		signed := in.Op == isa.LW || in.Op == isa.LH || in.Op == isa.LB
+		m.setReg(in.Rd, m.load(addr, size, signed))
+	default:
+		m.setReg(in.Rd, alu(in.Op, m.reg(in.Rs1), m.reg(in.Rs2), in.Imm))
+	}
+	m.pc = next
+	m.steps++
+	return true
+}
+
+// Run executes prog architecturally for at most maxSteps instructions.
+func Run(prog *isa.Program, maxSteps uint64) Result {
+	m := NewMachine(prog)
+	for m.steps < maxSteps && m.Step() {
+	}
+	return m.Result()
 }
 
 func alu(op isa.Op, s1, s2 uint64, imm int64) uint64 {

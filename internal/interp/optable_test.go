@@ -1,0 +1,487 @@
+package interp_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"merlin/internal/interp"
+	"merlin/internal/isa"
+)
+
+// This file is the per-opcode conformance table for the architectural
+// reference itself: every µx64 opcode crossed with edge operands (zero,
+// one, all-ones, the signed min/max of every operand width, and sign
+// boundaries like 0x7f/0x80), checked against a golden model written
+// independently in the test — plain Go expressions per case, never the
+// interpreter's own helpers. The detailed core is then held to the
+// interpreter by the lockstep oracle, so these tables anchor the whole
+// conformance chain.
+
+// edges are the interesting 64-bit operand values: identities, all-ones,
+// and both sides of every width's sign boundary.
+var edges = []uint64{
+	0, 1, 2, 63, 64,
+	0x7f, 0x80, 0xff, 0x100,
+	0x7fff, 0x8000, 0xffff,
+	0x7fffffff, 0x80000000, 0xffffffff,
+	1<<63 - 1, 1 << 63, ^uint64(0),
+	0xdeadbeefcafebabe,
+}
+
+// immEdges are the interesting immediate values (immediates are int64s in
+// the text, not register-width-truncated).
+var immEdges = []int64{0, 1, -1, 127, -128, 255, 4095, -4096, 1<<31 - 1, -(1 << 31), 1<<63 - 1, -(1 << 63)}
+
+// runProg executes a hand-built instruction sequence and returns the
+// architectural result.
+func runProg(t *testing.T, text []isa.Inst) interp.Result {
+	t.Helper()
+	res := interp.Run(&isa.Program{Name: "optable", Text: text}, 100_000)
+	return res
+}
+
+// expectOut runs text and requires a clean halt with exactly want on the
+// output stream.
+func expectOut(t *testing.T, label string, text []isa.Inst, want uint64) {
+	t.Helper()
+	res := runProg(t, text)
+	if res.Halt != interp.HaltOK {
+		t.Fatalf("%s: halt = %v, want clean halt", label, res.Halt)
+	}
+	if len(res.Output) != 1 || res.Output[0] != want {
+		t.Fatalf("%s: output = %#x, want %#x", label, res.Output, want)
+	}
+}
+
+func li(rd int8, v uint64) isa.Inst {
+	return isa.Inst{Op: isa.LI, Rd: rd, Rs1: isa.NoReg, Rs2: isa.NoReg, Imm: int64(v)}
+}
+
+func out(rs int8) isa.Inst {
+	return isa.Inst{Op: isa.OUT, Rd: isa.NoReg, Rs1: rs, Rs2: isa.NoReg}
+}
+
+var halt = isa.Inst{Op: isa.HALT, Rd: isa.NoReg, Rs1: isa.NoReg, Rs2: isa.NoReg}
+
+// TestRegisterALUOps: every three-register ALU opcode × edge × edge.
+func TestRegisterALUOps(t *testing.T) {
+	bool64 := func(b bool) uint64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	ops := []struct {
+		op     isa.Op
+		golden func(a, b uint64) uint64
+	}{
+		{isa.ADD, func(a, b uint64) uint64 { return a + b }},
+		{isa.SUB, func(a, b uint64) uint64 { return a - b }},
+		{isa.AND, func(a, b uint64) uint64 { return a & b }},
+		{isa.OR, func(a, b uint64) uint64 { return a | b }},
+		{isa.XOR, func(a, b uint64) uint64 { return a ^ b }},
+		{isa.SLL, func(a, b uint64) uint64 { return a << (b & 63) }},
+		{isa.SRL, func(a, b uint64) uint64 { return a >> (b & 63) }},
+		{isa.SRA, func(a, b uint64) uint64 { return uint64(int64(a) >> (b & 63)) }},
+		{isa.MUL, func(a, b uint64) uint64 { return a * b }},
+		{isa.SLT, func(a, b uint64) uint64 { return bool64(int64(a) < int64(b)) }},
+		{isa.SLTU, func(a, b uint64) uint64 { return bool64(a < b) }},
+		// DIV/REM: Go's int64 division has the same semantics µx64
+		// specifies (truncation toward zero; MinInt64/-1 wraps), so the
+		// golden expressions below are still independent of interp's code
+		// path. The b == 0 crash case has its own test.
+		{isa.DIV, func(a, b uint64) uint64 { return uint64(int64(a) / int64(b)) }},
+		{isa.REM, func(a, b uint64) uint64 { return uint64(int64(a) % int64(b)) }},
+	}
+	for _, op := range ops {
+		t.Run(op.op.String(), func(t *testing.T) {
+			for _, a := range edges {
+				for _, b := range edges {
+					if (op.op == isa.DIV || op.op == isa.REM) && b == 0 {
+						continue
+					}
+					text := []isa.Inst{
+						li(1, a), li(2, b),
+						{Op: op.op, Rd: 3, Rs1: 1, Rs2: 2},
+						out(3), halt,
+					}
+					expectOut(t, fmt.Sprintf("%v %#x %#x", op.op, a, b), text, op.golden(a, b))
+				}
+			}
+		})
+	}
+}
+
+// TestImmediateALUOps: every immediate ALU opcode × register edge ×
+// immediate edge.
+func TestImmediateALUOps(t *testing.T) {
+	bool64 := func(b bool) uint64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	ops := []struct {
+		op     isa.Op
+		golden func(a uint64, imm int64) uint64
+	}{
+		{isa.ADDI, func(a uint64, imm int64) uint64 { return a + uint64(imm) }},
+		{isa.ANDI, func(a uint64, imm int64) uint64 { return a & uint64(imm) }},
+		{isa.ORI, func(a uint64, imm int64) uint64 { return a | uint64(imm) }},
+		{isa.XORI, func(a uint64, imm int64) uint64 { return a ^ uint64(imm) }},
+		{isa.SLLI, func(a uint64, imm int64) uint64 { return a << (uint64(imm) & 63) }},
+		{isa.SRLI, func(a uint64, imm int64) uint64 { return a >> (uint64(imm) & 63) }},
+		{isa.SRAI, func(a uint64, imm int64) uint64 { return uint64(int64(a) >> (uint64(imm) & 63)) }},
+		{isa.SLTI, func(a uint64, imm int64) uint64 { return bool64(int64(a) < imm) }},
+		{isa.MULI, func(a uint64, imm int64) uint64 { return a * uint64(imm) }},
+	}
+	for _, op := range ops {
+		t.Run(op.op.String(), func(t *testing.T) {
+			for _, a := range edges {
+				for _, imm := range immEdges {
+					text := []isa.Inst{
+						li(1, a),
+						{Op: op.op, Rd: 2, Rs1: 1, Rs2: isa.NoReg, Imm: imm},
+						out(2), halt,
+					}
+					expectOut(t, fmt.Sprintf("%v %#x %d", op.op, a, imm), text, op.golden(a, imm))
+				}
+			}
+		})
+	}
+}
+
+// TestLIAndNop: LI round-trips every immediate edge bit-exactly; NOP
+// changes nothing.
+func TestLIAndNop(t *testing.T) {
+	for _, imm := range immEdges {
+		text := []isa.Inst{
+			li(1, uint64(imm)),
+			{Op: isa.NOP, Rd: isa.NoReg, Rs1: isa.NoReg, Rs2: isa.NoReg},
+			out(1), halt,
+		}
+		expectOut(t, fmt.Sprintf("li %d", imm), text, uint64(imm))
+	}
+}
+
+// TestLoadExtension: every load width × offset inside a known 8-byte
+// pattern, including misaligned offsets; expected values are assembled
+// from the raw bytes in the test, with sign/zero extension per opcode.
+func TestLoadExtension(t *testing.T) {
+	pattern := []byte{0x81, 0x7f, 0x80, 0x01, 0xff, 0x00, 0xc3, 0x3c}
+	loads := []struct {
+		op     isa.Op
+		size   int
+		signed bool
+	}{
+		{isa.LD, 8, false},
+		{isa.LW, 4, true}, {isa.LWU, 4, false},
+		{isa.LH, 2, true}, {isa.LHU, 2, false},
+		{isa.LB, 1, true}, {isa.LBU, 1, false},
+	}
+	for _, l := range loads {
+		for off := 0; off+l.size <= len(pattern); off++ {
+			var want uint64
+			for i := 0; i < l.size; i++ {
+				want |= uint64(pattern[off+i]) << (8 * i)
+			}
+			if l.signed && pattern[off+l.size-1]&0x80 != 0 {
+				want |= ^uint64(0) << (8 * l.size)
+			}
+			text := []isa.Inst{
+				li(1, isa.DataBase),
+				{Op: l.op, Rd: 2, Rs1: 1, Rs2: isa.NoReg, Imm: int64(off)},
+				out(2), halt,
+			}
+			prog := &isa.Program{Name: "load", Text: text, Data: pattern}
+			res := interp.Run(prog, 1000)
+			if res.Halt != interp.HaltOK || len(res.Output) != 1 || res.Output[0] != want {
+				t.Fatalf("%v off %d: got %#x (halt %v), want %#x", l.op, off, res.Output, res.Halt, want)
+			}
+			wantExc := 0
+			if off%l.size != 0 {
+				wantExc = 1
+			}
+			if len(res.ExcLog) != wantExc {
+				t.Fatalf("%v off %d: %d misalign exceptions, want %d", l.op, off, len(res.ExcLog), wantExc)
+			}
+		}
+	}
+}
+
+// TestPartialWidthStores: narrow stores punched into a wider slot must
+// merge bytewise; the golden image is maintained as a Go byte slice.
+func TestPartialWidthStores(t *testing.T) {
+	stores := []struct {
+		op   isa.Op
+		size int
+	}{
+		{isa.SD, 8}, {isa.SW, 4}, {isa.SH, 2}, {isa.SB, 1},
+	}
+	base := uint64(0x0123456789abcdef)
+	for _, s := range stores {
+		for off := 0; off+s.size <= 8; off += s.size {
+			for _, v := range edges {
+				var golden [8]byte
+				binary.LittleEndian.PutUint64(golden[:], base)
+				for i := 0; i < s.size; i++ {
+					golden[off+i] = byte(v >> (8 * i))
+				}
+				text := []isa.Inst{
+					li(1, isa.DataBase), li(2, base), li(3, v),
+					{Op: isa.SD, Rd: isa.NoReg, Rs1: 1, Rs2: 2},
+					{Op: s.op, Rd: isa.NoReg, Rs1: 1, Rs2: 3, Imm: int64(off)},
+					{Op: isa.LD, Rd: 4, Rs1: 1, Rs2: isa.NoReg},
+					out(4), halt,
+				}
+				expectOut(t, fmt.Sprintf("%v off %d v %#x", s.op, off, v), text,
+					binary.LittleEndian.Uint64(golden[:]))
+			}
+		}
+	}
+}
+
+// TestReadModifyOps: ldadd/ldxor/stadd against golden arithmetic over the
+// memory value, including each one's misalign exception count.
+func TestReadModifyOps(t *testing.T) {
+	memVal := uint64(0x1122334455667788)
+	var data [16]byte
+	binary.LittleEndian.PutUint64(data[:], memVal)
+	for _, v := range edges {
+		// ldadd: rd = mem + v, memory unchanged.
+		text := []isa.Inst{
+			li(1, isa.DataBase), li(2, v),
+			{Op: isa.LDADD, Rd: 3, Rs1: 1, Rs2: 2},
+			{Op: isa.LD, Rd: 4, Rs1: 1, Rs2: isa.NoReg},
+			out(3), out(4), halt,
+		}
+		res := interp.Run(&isa.Program{Name: "ldadd", Text: text, Data: data[:]}, 1000)
+		if res.Halt != interp.HaltOK || res.Output[0] != memVal+v || res.Output[1] != memVal {
+			t.Fatalf("ldadd %#x: %+v", v, res)
+		}
+		// ldxor: rd = mem ^ v.
+		text[2] = isa.Inst{Op: isa.LDXOR, Rd: 3, Rs1: 1, Rs2: 2}
+		res = interp.Run(&isa.Program{Name: "ldxor", Text: text, Data: data[:]}, 1000)
+		if res.Halt != interp.HaltOK || res.Output[0] != memVal^v || res.Output[1] != memVal {
+			t.Fatalf("ldxor %#x: %+v", v, res)
+		}
+		// stadd: mem += v.
+		text = []isa.Inst{
+			li(1, isa.DataBase), li(2, v),
+			{Op: isa.STADD, Rd: isa.NoReg, Rs1: 1, Rs2: 2},
+			{Op: isa.LD, Rd: 4, Rs1: 1, Rs2: isa.NoReg},
+			out(4), halt,
+		}
+		res = interp.Run(&isa.Program{Name: "stadd", Text: text, Data: data[:]}, 1000)
+		if res.Halt != interp.HaltOK || res.Output[0] != memVal+v {
+			t.Fatalf("stadd %#x: %+v", v, res)
+		}
+	}
+	// Misaligned read-modify: ldadd logs one exception (its load µop),
+	// stadd logs two (load and store-address µops).
+	for _, c := range []struct {
+		op      isa.Op
+		rd      int8
+		wantExc int
+	}{{isa.LDADD, 3, 1}, {isa.STADD, isa.NoReg, 2}} {
+		text := []isa.Inst{
+			li(1, isa.DataBase), li(2, 1),
+			{Op: c.op, Rd: c.rd, Rs1: 1, Rs2: 2, Imm: 1},
+			halt,
+		}
+		res := interp.Run(&isa.Program{Name: "rm-misalign", Text: text, Data: data[:]}, 1000)
+		if res.Halt != interp.HaltOK || len(res.ExcLog) != c.wantExc {
+			t.Fatalf("%v misaligned: halt %v, %d exceptions, want %d", c.op, res.Halt, len(res.ExcLog), c.wantExc)
+		}
+	}
+}
+
+// TestConditionalBranches: every branch opcode × edge × edge against
+// golden comparisons.
+func TestConditionalBranches(t *testing.T) {
+	ops := []struct {
+		op     isa.Op
+		golden func(a, b uint64) bool
+	}{
+		{isa.BEQ, func(a, b uint64) bool { return a == b }},
+		{isa.BNE, func(a, b uint64) bool { return a != b }},
+		{isa.BLT, func(a, b uint64) bool { return int64(a) < int64(b) }},
+		{isa.BGE, func(a, b uint64) bool { return int64(a) >= int64(b) }},
+		{isa.BLTU, func(a, b uint64) bool { return a < b }},
+		{isa.BGEU, func(a, b uint64) bool { return a >= b }},
+	}
+	for _, op := range ops {
+		t.Run(op.op.String(), func(t *testing.T) {
+			for _, a := range edges {
+				for _, b := range edges {
+					text := []isa.Inst{
+						li(1, a), li(2, b),
+						{Op: op.op, Rd: isa.NoReg, Rs1: 1, Rs2: 2, Imm: 5}, // → taken
+						li(3, 0),
+						{Op: isa.JAL, Rd: isa.NoReg, Rs1: isa.NoReg, Rs2: isa.NoReg, Imm: 6},
+						li(3, 1), // taken target
+						out(3), halt,
+					}
+					want := uint64(0)
+					if op.golden(a, b) {
+						want = 1
+					}
+					expectOut(t, fmt.Sprintf("%v %#x %#x", op.op, a, b), text, want)
+				}
+			}
+		})
+	}
+}
+
+// TestJumpLinks: JAL and JALR write the return address and transfer
+// control; JALR to every invalid target class crashes.
+func TestJumpLinks(t *testing.T) {
+	// JAL: link = RIP+1.
+	text := []isa.Inst{
+		{Op: isa.JAL, Rd: 1, Rs1: isa.NoReg, Rs2: isa.NoReg, Imm: 1},
+		out(1), halt,
+	}
+	expectOut(t, "jal link", text, 1)
+
+	// JALR: target rs1+imm, link = RIP+1.
+	text = []isa.Inst{
+		li(1, 4),
+		{Op: isa.JALR, Rd: 2, Rs1: 1, Rs2: isa.NoReg, Imm: -1}, // → 3
+		halt, // skipped
+		out(2), halt,
+	}
+	expectOut(t, "jalr link", text, 2)
+
+	for _, target := range []uint64{100, ^uint64(0), 1 << 62} {
+		text = []isa.Inst{
+			li(1, target),
+			{Op: isa.JALR, Rd: 2, Rs1: 1, Rs2: isa.NoReg},
+			halt,
+		}
+		res := runProg(t, text)
+		if res.Halt != interp.CrashBadFetch {
+			t.Fatalf("jalr to %#x: halt = %v, want bad fetch", target, res.Halt)
+		}
+	}
+}
+
+// TestPageFaultBoundaries: accesses straddling both ends of mapped memory
+// fault; the last fully-mapped access of each width does not.
+func TestPageFaultBoundaries(t *testing.T) {
+	sizes := []struct {
+		ld, st isa.Op
+		n      uint64
+	}{
+		{isa.LD, isa.SD, 8}, {isa.LW, isa.SW, 4}, {isa.LH, isa.SH, 2}, {isa.LB, isa.SB, 1},
+	}
+	for _, s := range sizes {
+		// Last mapped address for this width: clean (possibly misaligned).
+		ok := []isa.Inst{
+			li(1, isa.MemTop-s.n),
+			{Op: s.ld, Rd: 2, Rs1: 1, Rs2: isa.NoReg},
+			{Op: s.st, Rd: isa.NoReg, Rs1: 1, Rs2: 2},
+			out(2), halt,
+		}
+		if res := runProg(t, ok); res.Halt != interp.HaltOK {
+			t.Fatalf("%v at MemTop-%d: halt = %v", s.ld, s.n, res.Halt)
+		}
+		// One byte further straddles the top: page fault.
+		bad := []isa.Inst{
+			li(1, isa.MemTop-s.n+1),
+			{Op: s.ld, Rd: 2, Rs1: 1, Rs2: isa.NoReg},
+			halt,
+		}
+		if res := runProg(t, bad); res.Halt != interp.CrashPageFault {
+			t.Fatalf("%v straddling MemTop: halt = %v, want page fault", s.ld, res.Halt)
+		}
+		// Just below DataBase: page fault.
+		low := []isa.Inst{
+			li(1, isa.DataBase-1),
+			{Op: s.ld, Rd: 2, Rs1: 1, Rs2: isa.NoReg},
+			halt,
+		}
+		if res := runProg(t, low); res.Halt != interp.CrashPageFault {
+			t.Fatalf("%v below DataBase: halt = %v, want page fault", s.ld, res.Halt)
+		}
+		// Address-wrap: base + imm overflowing 64 bits must fault, not
+		// alias low memory.
+		wrap := []isa.Inst{
+			li(1, ^uint64(0)),
+			{Op: s.ld, Rd: 2, Rs1: 1, Rs2: isa.NoReg, Imm: 16},
+			halt,
+		}
+		if res := runProg(t, wrap); res.Halt != interp.CrashPageFault {
+			t.Fatalf("%v wrapping address: halt = %v, want page fault", s.ld, res.Halt)
+		}
+	}
+}
+
+// TestDivRemEdges pins the division corner cases architecturally:
+// MinInt64/-1 wraps (no trap), division by zero crashes for both DIV and
+// REM.
+func TestDivRemEdges(t *testing.T) {
+	text := []isa.Inst{
+		li(1, 1<<63), li(2, ^uint64(0)),
+		{Op: isa.DIV, Rd: 3, Rs1: 1, Rs2: 2},
+		{Op: isa.REM, Rd: 4, Rs1: 1, Rs2: 2},
+		out(3), out(4), halt,
+	}
+	res := runProg(t, text)
+	if res.Halt != interp.HaltOK || res.Output[0] != 1<<63 || res.Output[1] != 0 {
+		t.Fatalf("MinInt64/-1: %+v", res)
+	}
+	for _, op := range []isa.Op{isa.DIV, isa.REM} {
+		text := []isa.Inst{
+			li(1, 7), li(2, 0),
+			{Op: op, Rd: 3, Rs1: 1, Rs2: 2},
+			halt,
+		}
+		if res := runProg(t, text); res.Halt != interp.CrashDivZero {
+			t.Fatalf("%v by zero: halt = %v, want div-zero crash", op, res.Halt)
+		}
+	}
+}
+
+// TestSteppableAccessors covers the Machine surface the lockstep engine
+// depends on: per-step PC/Regs/LastStore evolution and page visibility.
+func TestSteppableAccessors(t *testing.T) {
+	text := []isa.Inst{
+		li(1, isa.DataBase), li(2, 0xabcd),
+		{Op: isa.SH, Rd: isa.NoReg, Rs1: 1, Rs2: 2, Imm: 4},
+		out(2), halt,
+	}
+	m := interp.NewMachine(&isa.Program{Name: "step", Text: text})
+	if m.PC() != 0 || m.Done() {
+		t.Fatalf("fresh machine: pc %d done %v", m.PC(), m.Done())
+	}
+	if !m.Step() || m.Regs()[1] != isa.DataBase {
+		t.Fatalf("after step 1: regs %v", m.Regs())
+	}
+	m.Step()
+	if _, _, _, ok := m.LastStore(); ok {
+		t.Fatal("LI reported a store effect")
+	}
+	m.Step() // the SH
+	addr, size, data, ok := m.LastStore()
+	if !ok || addr != isa.DataBase+4 || size != 2 || data != 0xabcd {
+		t.Fatalf("store effect = %#x/%d/%#x/%v", addr, size, data, ok)
+	}
+	m.Step() // OUT
+	if len(m.Output()) != 1 || m.Output()[0] != 0xabcd {
+		t.Fatalf("output = %#x", m.Output())
+	}
+	if m.Step() { // HALT: returns false, does not count
+		t.Fatal("HALT step returned true")
+	}
+	if !m.Done() || m.Halt() != interp.HaltOK || m.Steps() != 4 {
+		t.Fatalf("end state: done %v halt %v steps %d", m.Done(), m.Halt(), m.Steps())
+	}
+	page := m.PageData(isa.DataBase)
+	if page == nil || page[4] != 0xcd || page[5] != 0xab {
+		t.Fatalf("page data = %v", page[:8])
+	}
+	if m.PageData(isa.DataBase+4096) != nil {
+		t.Fatal("untouched page is resident")
+	}
+}

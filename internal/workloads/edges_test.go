@@ -1,0 +1,148 @@
+package workloads
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"merlin/internal/asm"
+)
+
+// Degenerate-input audit: the reference models and the shared input/data
+// helpers must be total over the edges nobody exercises in the shipped
+// kernels — zero-length buffers, single elements, all-equal keys — so a
+// future kernel reusing them at a different size cannot hit a panic the
+// suite never saw.
+
+func TestGenHelpersDegenerate(t *testing.T) {
+	cases := []struct {
+		name  string
+		check func(t *testing.T)
+	}{
+		{"genBytes zero length", func(t *testing.T) {
+			if got := genBytes(1, 0); len(got) != 0 {
+				t.Fatalf("genBytes(1,0) = %v", got)
+			}
+		}},
+		{"genBytes single", func(t *testing.T) {
+			if got := genBytes(1, 1); len(got) != 1 {
+				t.Fatalf("genBytes(1,1) = %v", got)
+			}
+		}},
+		{"genWords zero length", func(t *testing.T) {
+			if got := genWords(1, 0, 0); len(got) != 0 {
+				t.Fatalf("genWords(1,0,0) = %v", got)
+			}
+		}},
+		{"genWords limit one", func(t *testing.T) {
+			for _, v := range genWords(7, 32, 1) {
+				if v != 0 {
+					t.Fatalf("limit 1 produced %d", v)
+				}
+			}
+		}},
+		{"genWords deterministic", func(t *testing.T) {
+			if !reflect.DeepEqual(genWords(42, 8, 0), genWords(42, 8, 0)) {
+				t.Fatal("genWords not deterministic")
+			}
+		}},
+		{"mix identity chain", func(t *testing.T) {
+			if mix(1, 0) != 31 || mix(0, 5) != 5 {
+				t.Fatalf("mix = %d, %d", mix(1, 0), mix(0, 5))
+			}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { c.check(t) })
+	}
+}
+
+// TestDataRenderersDegenerate: empty and single-element .byte/.word
+// blocks must still assemble (a bare label is legal), and the rendered
+// data must land byte-exact at the label.
+func TestDataRenderersDegenerate(t *testing.T) {
+	cases := []struct {
+		name     string
+		block    string
+		wantData []byte
+	}{
+		{"empty byteData", byteData("d", nil), nil},
+		{"empty wordData", wordData("d", nil), nil},
+		{"single byteData", byteData("d", []byte{0xab}), []byte{0xab}},
+		{"single wordData", wordData("d", []uint64{0x0102}), []byte{2, 1, 0, 0, 0, 0, 0, 0}},
+		{"sign-boundary wordData", wordData("d", []uint64{^uint64(0)}),
+			[]byte{255, 255, 255, 255, 255, 255, 255, 255}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			src := ".data\n" + c.block + ".text\n\thalt\n"
+			prog, err := asm.Assemble("edge", src)
+			if err != nil {
+				t.Fatalf("assemble: %v\n%s", err, src)
+			}
+			if !reflect.DeepEqual(prog.Data, c.wantData) && len(prog.Data)+len(c.wantData) > 0 {
+				t.Fatalf("data = %v, want %v", prog.Data, c.wantData)
+			}
+			if prog.Symbol("d") != int64(0x1000) {
+				t.Fatalf("label at %#x", prog.Symbol("d"))
+			}
+		})
+	}
+}
+
+// TestSortedSignatureDegenerate: the sorting-kernel signature helper over
+// the edges a fixed-size kernel never sees.
+func TestSortedSignatureDegenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []uint64
+		want []uint64
+	}{
+		{"empty", nil, []uint64{1, 0, 0}},
+		{"single", []uint64{9}, []uint64{mix(1, 9), 9, 9}},
+		{"two unsorted", []uint64{5, 3}, []uint64{mix(mix(1, 3), 5), 3, 5}},
+		{"all equal", []uint64{7, 7, 7}, []uint64{mix(mix(mix(1, 7), 7), 7), 7, 7}},
+		{"unsigned order", []uint64{^uint64(0), 0}, []uint64{mix(mix(1, 0), ^uint64(0)), 0, ^uint64(0)}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			in := append([]uint64(nil), c.in...)
+			got := sortedSignature(in)
+			if !reflect.DeepEqual(got, c.want) {
+				t.Fatalf("sortedSignature(%v) = %v, want %v", c.in, got, c.want)
+			}
+			if !reflect.DeepEqual(in, c.in) && len(c.in) > 0 {
+				t.Fatalf("input mutated: %v", in)
+			}
+		})
+	}
+}
+
+// TestReferencesTotalAndDeterministic sweeps the whole registry: every
+// reference model must return without panicking, produce a non-empty
+// signature, and produce it bit-identically on a second call (reference
+// models must not mutate shared state).
+func TestReferencesTotalAndDeterministic(t *testing.T) {
+	for _, name := range Names("") {
+		t.Run(name, func(t *testing.T) {
+			w := MustGet(name)
+			first := func() (out []uint64) {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("reference model panicked: %v", r)
+					}
+				}()
+				return w.Reference()
+			}()
+			if len(first) == 0 {
+				t.Fatal("reference model returned an empty signature")
+			}
+			if again := w.Reference(); !reflect.DeepEqual(first, again) {
+				t.Fatalf("reference model not idempotent:\n first %v\nsecond %v", first, again)
+			}
+			if !strings.Contains(w.Suite, "mibench") && !strings.Contains(w.Suite, "spec") {
+				t.Fatalf("unknown suite %q", w.Suite)
+			}
+		})
+	}
+}

@@ -1,7 +1,5 @@
 package workloads
 
-import "sort"
-
 // qsort: MiBench automotive/qsort analogue — iterative quicksort with an
 // explicit stack over 256 64-bit keys, followed by an order-sensitive
 // checksum of the sorted array.
@@ -99,15 +97,7 @@ qchk:
 	return s
 }
 
-func qsortRef() []uint64 {
-	a := qsortInput()
-	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
-	h := uint64(1)
-	for _, v := range a {
-		h = mix(h, v)
-	}
-	return []uint64{h, a[0], a[qsortN-1]}
-}
+func qsortRef() []uint64 { return sortedSignature(qsortInput()) }
 
 var _ = register(&Workload{
 	Name:        "qsort",

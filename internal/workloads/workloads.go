@@ -185,5 +185,24 @@ func wordData(label string, vals []uint64) string {
 // h = h*31 + x. The assembly computes it with muli.
 func mix(h, x uint64) uint64 { return h*31 + x }
 
+// sortedSignature sorts a copy of vals ascending and returns the output
+// signature sorting kernels emit: the mix-checksum over the sorted order,
+// then the minimum and maximum element. Degenerate inputs are defined,
+// not panics: an empty slice yields zero min/max, a single element is its
+// own min and max.
+func sortedSignature(vals []uint64) []uint64 {
+	a := append([]uint64(nil), vals...)
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	h := uint64(1)
+	for _, v := range a {
+		h = mix(h, v)
+	}
+	var lo, hi uint64
+	if len(a) > 0 {
+		lo, hi = a[0], a[len(a)-1]
+	}
+	return []uint64{h, lo, hi}
+}
+
 // itoa renders a constant for splicing into assembly sources.
 func itoa(v int) string { return fmt.Sprintf("%d", v) }

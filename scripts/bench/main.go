@@ -2,14 +2,15 @@
 // fixed -benchtime and records the results as machine-readable trajectory
 // files: the clone-cost / scheduler-throughput suite (BENCH_PR4.json by
 // default), the batch-vs-3x-sequential wall-clock comparison
-// (BENCH_PR5.json by default) and the two-worker-fleet-vs-local
-// wall-clock comparison (BENCH_PR6.json by default), so regressions in
-// any of them are visible across PRs.
+// (BENCH_PR5.json by default), the two-worker-fleet-vs-local wall-clock
+// comparison (BENCH_PR6.json by default) and the lockstep conformance
+// suite wall-clock (BENCH_PR7.json by default), so regressions in any of
+// them are visible across PRs.
 //
 // Usage:
 //
-//	go run ./scripts/bench                     # full run, writes BENCH_PR4/PR5/PR6.json
-//	go run ./scripts/bench -benchtime 1x -out /tmp/b.json -batch-out /tmp/b5.json -fleet-out /tmp/b6.json   # CI smoke
+//	go run ./scripts/bench                     # full run, writes BENCH_PR4/PR5/PR6/PR7.json
+//	go run ./scripts/bench -benchtime 1x -out /tmp/b.json -batch-out /tmp/b5.json -fleet-out /tmp/b6.json -conformance-out /tmp/b7.json   # CI smoke
 //
 // If an output file already exists, its "baseline" object is preserved
 // verbatim: record the pre-change numbers once, then re-run the tool after
@@ -49,6 +50,7 @@ func main() {
 	out := flag.String("out", "BENCH_PR4.json", "output JSON file")
 	batchOut := flag.String("batch-out", "BENCH_PR5.json", "batch-vs-sequential comparison output (empty disables)")
 	fleetOut := flag.String("fleet-out", "BENCH_PR6.json", "two-worker-fleet-vs-local comparison output (empty disables)")
+	confOut := flag.String("conformance-out", "BENCH_PR7.json", "lockstep conformance-suite wall-clock output (empty disables)")
 	benchtime := flag.String("benchtime", "3x", "benchtime for the campaign-scale strategy benchmarks")
 	microtime := flag.String("microtime", "200x", "benchtime for the clone/simulator microbenchmarks")
 	flag.Parse()
@@ -93,6 +95,33 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	if *confOut != "" {
+		if err := writeConformance(*confOut, *microtime); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeConformance runs the lockstep conformance-suite benchmark (every
+// generated-kernel class through the differential oracle on the default
+// core) and records its wall-clock as its own trajectory file, tracking
+// what a CI-sized certification pass costs as the core and the kernel
+// generator grow.
+func writeConformance(out, benchtime string) error {
+	results := make(map[string]metrics)
+	if err := runBench("./internal/conformance/", "BenchmarkConformanceSuite$", benchtime, results); err != nil {
+		return err
+	}
+	return writeTrajectory(out, 7, benchtime, results, func(baseline map[string]metrics) map[string]float64 {
+		b, okB := baseline["ConformanceSuite"]
+		c, okC := results["ConformanceSuite"]
+		if !okB || !okC || b["wall-ms"] <= 0 || c["wall-ms"] <= 0 {
+			return nil
+		}
+		return map[string]float64{"conformance_wall_x": b["wall-ms"] / c["wall-ms"]}
+	})
 }
 
 // writeTrajectory assembles and writes one trajectory file: host info,
