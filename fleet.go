@@ -456,6 +456,7 @@ func ServeWorker(ctx context.Context, addr string, opt WorkerOptions) error {
 		}
 	case <-ctx.Done():
 	}
+	//lint:allow ctxflow002 shutdown drain: the caller's ctx is already done, this bounds the drain
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	return hs.Shutdown(shutdownCtx)

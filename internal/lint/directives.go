@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A Directive is one parsed //lint:allow comment: a diagnostic code and
+// a mandatory free-text reason. A directive written as a trailing
+// comment applies to findings on its own line; a directive standing on
+// a line of its own applies to findings on the next line.
+type Directive struct {
+	Pos    token.Position
+	Code   string
+	Reason string
+	// line is the source line the directive suppresses.
+	line int
+}
+
+// SuppressedFinding pairs a finding with the directive that silenced it.
+type SuppressedFinding struct {
+	Diagnostic Diagnostic
+	Reason     string
+	Directive  token.Position
+}
+
+const allowPrefix = "//lint:allow"
+
+// directiveSyntax is the code under which malformed //lint:allow
+// comments (missing code, missing reason, unknown code) are reported:
+// an unexplained suppression is itself an invariant violation.
+const directiveSyntax = "lintdir001"
+
+// collectDirectives parses every //lint:allow comment in the package's
+// files. Malformed directives come back as diagnostics. knownCodes maps
+// valid diagnostic codes (nil disables the unknown-code check).
+func collectDirectives(fset *token.FileSet, files []*ast.File, knownCodes map[string]bool) ([]Directive, []Diagnostic) {
+	var dirs []Directive
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowance — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad = append(bad, Diagnostic{Pos: pos, Code: directiveSyntax,
+						Message: "//lint:allow needs a diagnostic code and a reason"})
+					continue
+				}
+				code := fields[0]
+				if knownCodes != nil && !knownCodes[code] {
+					bad = append(bad, Diagnostic{Pos: pos, Code: directiveSyntax,
+						Message: "//lint:allow " + code + ": unknown diagnostic code"})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{Pos: pos, Code: directiveSyntax,
+						Message: "//lint:allow " + code + " needs a reason — unexplained suppressions are findings"})
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), code))
+				line := pos.Line
+				if isOwnLineComment(fset, f, c) {
+					line++ // standalone directive covers the next line
+				}
+				dirs = append(dirs, Directive{Pos: pos, Code: code, Reason: reason, line: line})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// isOwnLineComment reports whether c is the first thing on its source
+// line (as opposed to trailing code).
+func isOwnLineComment(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	cpos := fset.Position(c.Pos())
+	first := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !first {
+			return false
+		}
+		if n.Pos().IsValid() && n != ast.Node(f) {
+			p := fset.Position(n.Pos())
+			if p.Filename == cpos.Filename && p.Line == cpos.Line && p.Column < cpos.Column {
+				first = false
+				return false
+			}
+		}
+		return true
+	})
+	return first
+}
+
+// applySuppressions splits diags into surviving findings and suppressed
+// ones, and returns directives that matched nothing (unused directives
+// are reported by the driver — stale exemptions must not linger).
+func applySuppressions(dirs []Directive, diags []Diagnostic) (kept []Diagnostic, suppressed []SuppressedFinding, unused []Directive) {
+	used := make([]bool, len(dirs))
+	for _, d := range diags {
+		matched := -1
+		for i, dir := range dirs {
+			if dir.Code == d.Code && dir.Pos.Filename == d.Pos.Filename && dir.line == d.Pos.Line {
+				matched = i
+				break
+			}
+		}
+		if matched >= 0 {
+			used[matched] = true
+			suppressed = append(suppressed, SuppressedFinding{
+				Diagnostic: d, Reason: dirs[matched].Reason, Directive: dirs[matched].Pos,
+			})
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	for i, dir := range dirs {
+		if !used[i] {
+			unused = append(unused, dir)
+		}
+	}
+	sort.Slice(suppressed, func(i, j int) bool {
+		a, b := suppressed[i].Diagnostic, suppressed[j].Diagnostic
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return kept, suppressed, unused
+}

@@ -1,0 +1,55 @@
+// Package ctxflow is the fixture for the ctxflow analyzer: exported
+// fault-loop/network entry points must take a context first, and
+// request-path code must not conjure context.Background().
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+
+	"merlin/internal/fault"
+)
+
+// InjectAll loops over the fault list with no way to cancel.
+func InjectAll(faults []fault.Fault) int { // want "ctxflow001"
+	n := 0
+	for range faults {
+		n++
+	}
+	return n
+}
+
+// InjectAllCtx is the sanctioned shape: context first, loop cancellable.
+func InjectAllCtx(ctx context.Context, faults []fault.Fault) int {
+	n := 0
+	for range faults {
+		if ctx.Err() != nil {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Fetch does HTTP I/O with no deadline plumbing.
+func Fetch(url string) error { // want "ctxflow001"
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// MisplacedCtx buries the context mid-signature.
+func MisplacedCtx(n int, ctx context.Context) {} // want "ctxflow003"
+
+// Detach synthesizes a root context on a request path.
+func Detach() context.Context {
+	return context.Background() // want "ctxflow002"
+}
+
+// SanctionedDetach is the deliberate, explained exemption.
+func SanctionedDetach() context.Context {
+	//lint:allow ctxflow002 fixture: daemon-owned root context
+	return context.Background() // allowed "ctxflow002"
+}

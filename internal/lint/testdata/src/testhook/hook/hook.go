@@ -1,0 +1,17 @@
+// Package hook hosts a doc-marked sabotage hook for the testhook
+// fixture, standing in for cpu.(*Core).SetResultMutator.
+package hook
+
+var mutator func(uint64) uint64
+
+// SetFixtureMutator installs a test-only corruption hook applied to
+// every fixture result; production code must never reach it.
+func SetFixtureMutator(fn func(uint64) uint64) { mutator = fn }
+
+// Apply runs a value through the installed hook (identity when unset).
+func Apply(v uint64) uint64 {
+	if mutator == nil {
+		return v
+	}
+	return mutator(v)
+}

@@ -1,0 +1,20 @@
+// Package use references the doc-marked hook from a non-test file —
+// the production-path leak the testhook analyzer exists to catch.
+package use
+
+import "merlinvet.test/testhook/hook"
+
+// Sabotage reaches the test-only hook from production code.
+func Sabotage() {
+	hook.SetFixtureMutator(func(v uint64) uint64 { return ^v }) // want "testhook001"
+}
+
+// Sanctioned is the explicitly-allowed path, the way the conformance
+// -selftest sabotage block is allowed on the real tree.
+func Sanctioned() {
+	//lint:allow testhook001 fixture: sanctioned selftest path
+	hook.SetFixtureMutator(nil) // allowed "testhook001"
+}
+
+// Observe uses a non-hook function from the same package: fine.
+func Observe(v uint64) uint64 { return hook.Apply(v) }

@@ -1,0 +1,33 @@
+// Package walltime is the fixture for the walltime analyzer: wall-clock
+// reads are flagged unless the site is allowlisted or carries a
+// //lint:allow with a reason.
+package walltime
+
+import "time"
+
+// Stamp reads the wall clock twice with no exemption.
+func Stamp() time.Duration {
+	start := time.Now()      // want "walltime001"
+	return time.Since(start) // want "walltime001"
+}
+
+// Metric is the deliberate, explained exemption.
+func Metric() time.Duration {
+	//lint:allow walltime001 fixture: deliberate wall-clock metric stamp
+	start := time.Now() // allowed "walltime001"
+	//lint:allow walltime001 fixture: deliberate wall-clock metric stamp
+	return time.Since(start) // allowed "walltime001"
+}
+
+// AllowlistedMetric is exempted through the analyzer's built-in
+// allowlist (the lint tests inject an entry for this fixture), the way
+// Result.Wall stamping and the fleet TTL clock are on the real tree.
+func AllowlistedMetric() time.Time {
+	return time.Now()
+}
+
+// Deadline uses monotonic arithmetic on a caller-supplied anchor — no
+// wall-clock read, not flagged.
+func Deadline(anchor time.Time, d time.Duration) time.Time {
+	return anchor.Add(d)
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TestHook keeps sabotage instrumentation out of production paths. The
+// simulator exposes deliberate corruption hooks for oracle selftests —
+// cpu.(*Core).SetResultMutator flips execution results so `merlin
+// conformance -selftest` can prove the lockstep oracle catches a broken
+// core. A hook like that reachable from a campaign path would silently
+// corrupt reports, so any function whose doc comment carries the
+// "test-only" marker may only be referenced from _test.go files (which
+// merlinvet never loads) or from a line carrying an explicit
+// //lint:allow testhook001 with the reason (the conformance selftest
+// path is the one sanctioned caller today).
+//
+//	testhook001  test-only hook referenced outside its defining package
+var TestHook = &Analyzer{
+	Name:      "testhook",
+	Doc:       "doc-marked test-only hooks stay out of production code",
+	Codes:     []string{"testhook001"},
+	AppliesTo: func(pkgPath string) bool { return true },
+	Run:       runTestHook,
+}
+
+// testOnlyMarker is the doc-comment phrase that declares a function a
+// sabotage/test hook. Marking is part of the hook's contract: document
+// it as test-only and merlinvet enforces the claim module-wide.
+const testOnlyMarker = "test-only"
+
+func runTestHook(pass *Pass) {
+	// Discover every doc-marked hook in the whole loaded set, then flag
+	// references from this package when it is not the defining one.
+	hooks := make(map[types.Object]string)
+	for _, pkg := range pass.All {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				if !strings.Contains(strings.ToLower(fd.Doc.Text()), testOnlyMarker) {
+					continue
+				}
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					hooks[obj] = pkg.Path
+				}
+			}
+		}
+	}
+	if len(hooks) == 0 {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			defPkg, isHook := hooks[obj]
+			if !isHook || defPkg == pass.Pkg.Path {
+				return true
+			}
+			pass.Reportf(id.Pos(), "testhook001",
+				"%s is a test-only hook (doc-marked in %s): production code must not reach sabotage instrumentation — call it from _test.go, or //lint:allow with the sanctioned reason", id.Name, defPkg)
+			return true
+		})
+	}
+}

@@ -584,6 +584,7 @@ func (a *Artifacts) baseline(ctx context.Context, onOutcome func(int, fault.Faul
 // Deprecated: use Session.Inject, which is cancellable and streams
 // per-fault progress. Inject runs under context.Background().
 func (a *Artifacts) Inject() *Report {
+	//lint:allow ctxflow002 deprecated v1 wrapper, documented to run uncancellable
 	rep, _ := a.inject(context.Background(), nil)
 	return rep
 }
@@ -599,6 +600,7 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	a.Reduce()
+	//lint:allow ctxflow002 deprecated v1 wrapper, documented to run uncancellable
 	rep, _ := a.inject(context.Background(), nil)
 	return rep, nil
 }
@@ -613,6 +615,7 @@ func RunBaseline(cfg Config) (*BaselineReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:allow ctxflow002 deprecated v1 wrapper, documented to run uncancellable
 	return a.baseline(context.Background(), nil)
 }
 

@@ -2,9 +2,11 @@
 # Runs the repository's key performance benchmarks with a fixed -benchtime
 # and refreshes the trajectory files (BENCH_PR4.json for clone/scheduler
 # cost, BENCH_PR5.json for the batch-vs-3x-sequential comparison,
-# BENCH_PR6.json for the two-worker-fleet-vs-local comparison),
-# preserving their recorded pre-optimization baselines. Pass flags through
-# to the Go tool, e.g.:
+# BENCH_PR6.json for the two-worker-fleet-vs-local comparison,
+# BENCH_PR7.json for the conformance-suite wall-clock, BENCH_PR8.json for
+# the merlinvet full-module analysis wall-clock), preserving their
+# recorded pre-optimization baselines. Pass flags through to the Go
+# tool, e.g.:
 #
 #   scripts/bench.sh                       # full run
 #   scripts/bench.sh -benchtime 1x -microtime 10x -out /tmp/b.json -batch-out /tmp/b5.json -fleet-out /tmp/b6.json   # CI smoke

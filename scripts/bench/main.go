@@ -3,13 +3,14 @@
 // files: the clone-cost / scheduler-throughput suite (BENCH_PR4.json by
 // default), the batch-vs-3x-sequential wall-clock comparison
 // (BENCH_PR5.json by default), the two-worker-fleet-vs-local wall-clock
-// comparison (BENCH_PR6.json by default) and the lockstep conformance
-// suite wall-clock (BENCH_PR7.json by default), so regressions in any of
-// them are visible across PRs.
+// comparison (BENCH_PR6.json by default), the lockstep conformance
+// suite wall-clock (BENCH_PR7.json by default) and the merlinvet
+// static-analysis wall-clock over the full module (BENCH_PR8.json by
+// default), so regressions in any of them are visible across PRs.
 //
 // Usage:
 //
-//	go run ./scripts/bench                     # full run, writes BENCH_PR4/PR5/PR6/PR7.json
+//	go run ./scripts/bench                     # full run, writes BENCH_PR4/.../PR8.json
 //	go run ./scripts/bench -benchtime 1x -out /tmp/b.json -batch-out /tmp/b5.json -fleet-out /tmp/b6.json -conformance-out /tmp/b7.json   # CI smoke
 //
 // If an output file already exists, its "baseline" object is preserved
@@ -51,6 +52,7 @@ func main() {
 	batchOut := flag.String("batch-out", "BENCH_PR5.json", "batch-vs-sequential comparison output (empty disables)")
 	fleetOut := flag.String("fleet-out", "BENCH_PR6.json", "two-worker-fleet-vs-local comparison output (empty disables)")
 	confOut := flag.String("conformance-out", "BENCH_PR7.json", "lockstep conformance-suite wall-clock output (empty disables)")
+	vetOut := flag.String("merlinvet-out", "BENCH_PR8.json", "merlinvet full-module analysis wall-clock output (empty disables)")
 	benchtime := flag.String("benchtime", "3x", "benchtime for the campaign-scale strategy benchmarks")
 	microtime := flag.String("microtime", "200x", "benchtime for the clone/simulator microbenchmarks")
 	flag.Parse()
@@ -102,6 +104,62 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	if *vetOut != "" {
+		if err := writeMerlinvet(*vetOut); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMerlinvet times the static-analysis pass over the full module
+// (build excluded, analysis only) and records it as its own trajectory
+// file: merlinvet gates CI, so its cost is tracked like every other
+// tool's. The run must come back clean — a finding fails the bench the
+// same way it fails the build.
+func writeMerlinvet(out string) error {
+	tmp, err := os.MkdirTemp("", "merlinvet-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	bin := tmp + "/merlinvet"
+	build := exec.Command("go", "build", "-o", bin, "./cmd/merlinvet")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build merlinvet: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "bench: merlinvet ./...")
+	cmd := exec.Command(bin, "./...")
+	var stderr bytes.Buffer
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = &stderr
+	start := time.Now()
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("merlinvet not clean: %w\n%s", err, stderr.String())
+	}
+	wall := time.Since(start)
+	m := metrics{"wall-ms": float64(wall.Nanoseconds()) / 1e6}
+	// The summary line carries the analysis surface; keep it with the
+	// timing so cost scales are readable ("N packages in X ms").
+	var pkgs, findings, suppressed, allowlisted int
+	if _, err := fmt.Sscanf(strings.TrimSpace(stderr.String()),
+		"merlinvet: %d packages, %d findings, %d suppressed by //lint:allow, %d allowlisted sites",
+		&pkgs, &findings, &suppressed, &allowlisted); err == nil {
+		m["packages"] = float64(pkgs)
+		m["suppressed"] = float64(suppressed)
+		m["allowlisted"] = float64(allowlisted)
+	}
+	results := map[string]metrics{"Merlinvet": m}
+	return writeTrajectory(out, 8, "1x", results, func(baseline map[string]metrics) map[string]float64 {
+		b, okB := baseline["Merlinvet"]
+		c, okC := results["Merlinvet"]
+		if !okB || !okC || b["wall-ms"] <= 0 || c["wall-ms"] <= 0 {
+			return nil
+		}
+		return map[string]float64{"merlinvet_wall_x": b["wall-ms"] / c["wall-ms"]}
+	})
 }
 
 // writeConformance runs the lockstep conformance-suite benchmark (every

@@ -186,6 +186,7 @@ func Serve(ctx context.Context, addr string, opt ServeOptions) error {
 	// listener down first would leave Shutdown waiting out its whole drain
 	// deadline behind streams that only end when the campaigns do.
 	srv.Close()
+	//lint:allow ctxflow002 shutdown drain: the caller's ctx is already done, this bounds the drain
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	return hs.Shutdown(shutdownCtx)
@@ -274,8 +275,10 @@ func validateRequest(cache *Cache) func(CampaignRequest) error {
 			return err
 		}
 		if len(req.Structures) > 0 {
+			//lint:allow ctxflow002 synchronous option validation only; Start simulates nothing at Start time
 			_, err = StartBatch(context.Background(), req.Workload, opts...)
 		} else {
+			//lint:allow ctxflow002 synchronous option validation only; Start simulates nothing at Start time
 			_, err = Start(context.Background(), req.Workload, opts...)
 		}
 		return err
