@@ -1,0 +1,89 @@
+package merlin
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"merlin/internal/chaos"
+	"merlin/internal/fleet"
+)
+
+// TestRunChaosSmoke runs a short chaos certification — one stalling and
+// one crashing schedule — end to end through the public entry point, the
+// same path `merlin chaos` takes.
+func TestRunChaosSmoke(t *testing.T) {
+	res, err := RunChaos(context.Background(), ChaosOptions{
+		Seed:      1,
+		Scenarios: 2, // worker-stall, mid-stream-crash
+		Workers:   2,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenarios != 2 || res.CleanWall <= 0 || res.ChaosMean <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+	if res.Requeues == 0 {
+		t.Fatal("stall and crash schedules produced no requeues: the chaos never landed")
+	}
+}
+
+// TestChaosLethalMismatchFailsLoudly: a Byzantine worker contradicting
+// its own classifications is a lethal schedule — the campaign must fail
+// with the determinism violation named in its error, never silently pick
+// one of the answers.
+func TestChaosLethalMismatchFailsLoudly(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := daemon(t, ServeOptions{Cache: cache})
+
+	wcache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byz := &chaos.Behavior{R: chaos.NewRand(1), MismatchDuplicate: 1}
+	agent := &fleet.Agent{ID: "byz", Run: byz.Wrap(workerShardRun(wcache, nil, coord.URL, nil))}
+	hs := httptest.NewServer(agent.Handler())
+	defer hs.Close()
+	joinFleet(t, coord.URL, "byz", hs.URL)
+
+	id := postCampaign(t, coord.URL,
+		`{"workload":"sha","structure":"RF","faults":300,"seed":9,"strategy":"forked"}`)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(coord.URL + "/campaigns/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch st.Status {
+		case "failed":
+			if !strings.Contains(st.Error, "determinism violation") {
+				t.Fatalf("lethal schedule failed without naming the violation: %q", st.Error)
+			}
+			return
+		case "done":
+			t.Fatal("campaign with a Byzantine worker reported success")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign still %q: the lethal schedule neither failed nor finished", st.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

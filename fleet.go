@@ -13,7 +13,10 @@ package merlin
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -65,17 +68,27 @@ func (a registryAdapter) List() ([]server.Record, error) {
 
 func (a registryAdapter) Delete(id string) error { return a.reg.Delete(id) }
 
+// ErrDeterminismViolation is the merge point's loudest failure: two
+// sources classified the same representative differently. MeRLiN's whole
+// fleet protocol rests on a rep's outcome being a pure function of the
+// campaign request, so a contradiction means a worker (or the local
+// pipeline) is broken or Byzantine — the campaign must fail rather than
+// silently prefer either answer.
+var ErrDeterminismViolation = errors.New("merlin: determinism violation")
+
 // outcomeLedger is the coordinator's merge point: per-shard outcome
 // streams, resumed checkpoints and local fallback runs all land here,
 // deduplicated by representative index (a rep that streamed just before
 // its worker died may be re-injected elsewhere; by determinism the
-// duplicate carries the same outcome, and the first write wins). Every
-// fresh outcome is forwarded to the campaign's event log and the durable
-// checkpoint.
+// duplicate carries the same outcome, and the first write wins). A
+// duplicate carrying a *different* outcome trips the determinism
+// violation, which fails the campaign. Every fresh outcome is forwarded
+// to the campaign's event log and the durable checkpoint.
 type outcomeLedger struct {
-	mu       sync.Mutex
-	outcomes []campaign.Outcome // indexed by rep; Cancelled = unclassified
-	done     []bool
+	mu        sync.Mutex
+	outcomes  []campaign.Outcome // indexed by rep; Cancelled = unclassified
+	done      []bool
+	violation error
 
 	structure  string
 	emit       func(CampaignEvent)
@@ -114,10 +127,25 @@ func (l *outcomeLedger) resume(resume map[int]string) int {
 	return n
 }
 
-// record merges one classified representative; duplicates are no-ops.
+// record merges one classified representative. Verbatim duplicates are
+// no-ops; a duplicate with a different outcome records a determinism
+// violation (surfaced by err) and is not merged.
 func (l *outcomeLedger) record(rep int, faultStr string, o campaign.Outcome) {
 	l.mu.Lock()
-	if rep < 0 || rep >= len(l.outcomes) || l.done[rep] {
+	if rep < 0 || rep >= len(l.outcomes) {
+		l.mu.Unlock()
+		return
+	}
+	if l.done[rep] {
+		prev := l.outcomes[rep]
+		if o != prev && l.violation == nil {
+			l.violation = fmt.Errorf("%w: representative %d classified %q, then %q",
+				ErrDeterminismViolation, rep, prev.String(), o.String())
+			v := l.violation
+			l.mu.Unlock()
+			l.emit(CampaignEvent{Type: "error", Structure: l.structure, Msg: v.Error()})
+			return
+		}
 		l.mu.Unlock()
 		return
 	}
@@ -127,6 +155,14 @@ func (l *outcomeLedger) record(rep int, faultStr string, o campaign.Outcome) {
 	l.emit(CampaignEvent{Type: "fault", Structure: l.structure, Index: rep,
 		Fault: faultStr, Outcome: o.String()})
 	l.checkpoint(map[int]string{rep: o.String()})
+}
+
+// err reports the first determinism violation the merge observed, nil if
+// none.
+func (l *outcomeLedger) err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.violation
 }
 
 func (l *outcomeLedger) pendingCount() int {
@@ -180,7 +216,7 @@ func (l *outcomeLedger) result() *campaign.Result {
 // checkpointed through the job so a coordinator restart resumes instead
 // of restarting. The merged report is bit-identical to a single-node
 // run's in everything but the timing counters, because the outcomes are.
-func runFleetCampaign(ctx context.Context, job server.Job, emit func(CampaignEvent), cache *Cache, snapshots *SnapshotCache, pool *fleet.Pool) (any, error) {
+func runFleetCampaign(ctx context.Context, job server.Job, emit func(CampaignEvent), cache *Cache, snapshots *SnapshotCache, pool *fleet.Pool, client *http.Client, stall time.Duration) (any, error) {
 	req := job.Request
 	opts, err := requestOptions(req, cache)
 	if err != nil {
@@ -249,7 +285,9 @@ func runFleetCampaign(ctx context.Context, job server.Job, emit func(CampaignEve
 			}
 		} else {
 			disp := &fleet.Dispatcher{
-				Pool: pool,
+				Pool:         pool,
+				Client:       client,
+				StallTimeout: stall,
 				Job: func(reps []int) fleet.ShardJob {
 					sj := fleet.ShardJob{Campaign: job.ID, Request: reqJSON, Reps: reps}
 					if artifactID != "" {
@@ -272,6 +310,12 @@ func runFleetCampaign(ctx context.Context, job server.Job, emit func(CampaignEve
 			}
 			runErr = disp.Run(ctx, shards)
 		}
+	}
+
+	// A determinism violation observed at the merge point outranks any
+	// dispatch error: the report cannot be trusted either way.
+	if verr := led.err(); verr != nil {
+		runErr = verr
 	}
 
 	res := led.result()
@@ -319,6 +363,9 @@ type WorkerOptions struct {
 	SnapshotBudget int64
 	// Logf, when non-nil, receives worker lifecycle log lines.
 	Logf func(format string, args ...any)
+	// Client, when non-nil, replaces the worker's artifact-prefetch HTTP
+	// client — the chaos harness's injection point for transfer faults.
+	Client *http.Client
 }
 
 // maxArtifactBytes bounds one artifact transfer; the raw payload is
@@ -326,9 +373,17 @@ type WorkerOptions struct {
 // rejected, not served.
 const maxArtifactBytes = 256 << 20
 
+// artifactDigestHeader carries the sha256 of an artifact's raw bytes on
+// the transfer, giving the receiving worker an end-to-end integrity
+// check that is independent of the artifact's own embedded checksum.
+const artifactDigestHeader = "X-Merlin-Artifact-Digest"
+
 // prefetchArtifact pulls the campaign's golden artifact by content
 // address into the worker's cache, best-effort: any failure just means
-// the worker recomputes its golden run.
+// the worker recomputes its golden run. Received bytes are verified
+// against the coordinator's advertised sha256 before they may enter the
+// cache — an in-transit bit flip is dropped here, not discovered later
+// as a mysterious decode failure.
 func prefetchArtifact(ctx context.Context, client *http.Client, cache *Cache, coordinator string, job fleet.ShardJob) {
 	if cache == nil || job.ArtifactID == "" || cache.HasRaw(job.ArtifactID) {
 		return
@@ -356,6 +411,12 @@ func prefetchArtifact(ctx context.Context, client *http.Client, cache *Cache, co
 	if err != nil {
 		return
 	}
+	if want := resp.Header.Get(artifactDigestHeader); want != "" {
+		sum := sha256.Sum256(raw)
+		if got := hex.EncodeToString(sum[:]); got != want {
+			return // corrupted in transit; recompute rather than cache damage
+		}
+	}
 	cache.PutRaw(job.ArtifactID, raw)
 }
 
@@ -363,8 +424,12 @@ func prefetchArtifact(ctx context.Context, client *http.Client, cache *Cache, co
 // worker re-derives Preprocess (served from its artifact cache when the
 // prefetch landed) and Reduce deterministically from the request, then
 // injects exactly the job's representatives, streaming each outcome back.
-func workerShardRun(cache *Cache, snapshots *SnapshotCache, coordinator string) fleet.ShardRunFunc {
-	client := &http.Client{Timeout: 60 * time.Second}
+// client is the artifact-prefetch HTTP client; nil takes a 60s-bounded
+// default (the chaos harness injects a fault-wrapped one).
+func workerShardRun(cache *Cache, snapshots *SnapshotCache, coordinator string, client *http.Client) fleet.ShardRunFunc {
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
 	return func(ctx context.Context, job fleet.ShardJob, emit func(fleet.Outcome)) error {
 		var req CampaignRequest
 		if err := json.Unmarshal(job.Request, &req); err != nil {
@@ -430,7 +495,7 @@ func ServeWorker(ctx context.Context, addr string, opt WorkerOptions) error {
 		Advertise:   advertise,
 		Interval:    opt.Interval,
 		Logf:        opt.Logf,
-		Run:         workerShardRun(opt.Cache, snapshots, coordinator),
+		Run:         workerShardRun(opt.Cache, snapshots, coordinator, opt.Client),
 	}
 
 	mux := http.NewServeMux()

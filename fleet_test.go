@@ -3,16 +3,21 @@ package merlin
 import (
 	"bufio"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"merlin/internal/campaign"
 	"merlin/internal/fleet"
 )
 
@@ -82,7 +87,7 @@ func joinFleet(t *testing.T, coordURL, id, addr string) {
 // worker process is killed mid-shard.
 func fleetWorker(t *testing.T, coordURL string, cache *Cache, dieAfter int) *httptest.Server {
 	t.Helper()
-	run := workerShardRun(cache, nil, coordURL)
+	run := workerShardRun(cache, nil, coordURL, nil)
 	if dieAfter >= 0 {
 		inner := run
 		run = func(ctx context.Context, job fleet.ShardJob, emit func(fleet.Outcome)) error {
@@ -360,7 +365,7 @@ func benchFleetWall(b *testing.B, nWorkers int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		agent := &fleet.Agent{ID: fmt.Sprintf("bench-w%d", i), Run: workerShardRun(wc, nil, hs.URL)}
+		agent := &fleet.Agent{ID: fmt.Sprintf("bench-w%d", i), Run: workerShardRun(wc, nil, hs.URL, nil)}
 		ws := httptest.NewServer(agent.Handler())
 		defer ws.Close()
 		resp, err := http.Post(hs.URL+"/fleet/join", "application/json",
@@ -388,3 +393,103 @@ func BenchmarkFleet_Local(b *testing.B) { benchFleetWall(b, 0) }
 // BenchmarkFleet_TwoWorkers times the same campaign sharded across two
 // fleet workers.
 func BenchmarkFleet_TwoWorkers(b *testing.B) { benchFleetWall(b, 2) }
+
+// TestLedgerMismatchedDuplicate: the merge point tolerates verbatim
+// duplicates but turns a contradicting one into ErrDeterminismViolation —
+// recorded once, surfaced as an error event, never merged.
+func TestLedgerMismatchedDuplicate(t *testing.T) {
+	var evs []CampaignEvent
+	led := newOutcomeLedger(4, "RF",
+		func(ev CampaignEvent) { evs = append(evs, ev) },
+		func(map[int]string) {})
+
+	led.record(0, "f0", campaign.Masked)
+	led.record(0, "f0", campaign.Masked) // verbatim duplicate: benign
+	if err := led.err(); err != nil {
+		t.Fatalf("verbatim duplicate tripped the violation: %v", err)
+	}
+
+	led.record(0, "f0", campaign.SDC) // contradiction
+	err := led.err()
+	if !errors.Is(err, ErrDeterminismViolation) {
+		t.Fatalf("err = %v, want ErrDeterminismViolation", err)
+	}
+	for _, frag := range []string{"representative 0", `"Masked"`, `"SDC"`} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("violation diagnostic %q lacks %q", err, frag)
+		}
+	}
+	if led.outcomes[0] != campaign.Masked {
+		t.Fatalf("contradiction overwrote the merged outcome: %v", led.outcomes[0])
+	}
+
+	led.record(0, "f0", campaign.Crash) // repeat offender: no event spam
+	nerr := 0
+	for _, ev := range evs {
+		if ev.Type == "error" {
+			nerr++
+		}
+	}
+	if nerr != 1 {
+		t.Fatalf("%d error events for one violation, want exactly 1", nerr)
+	}
+}
+
+// TestPrefetchArtifactDigestMismatch: a worker rejects artifact bytes
+// whose sha256 disagrees with the coordinator's advertised digest — the
+// in-transit bit flip never enters the cache — while intact bytes under
+// the same protocol land normally.
+func TestPrefetchArtifactDigestMismatch(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate the coordinator cache with one real golden artifact.
+	ref := daemon(t, ServeOptions{Cache: cache})
+	campaignWait(t, ref.URL, postCampaign(t, ref.URL,
+		`{"workload":"sha","structure":"RF","faults":300,"seed":9,"strategy":"forked"}`))
+	files, err := filepath.Glob(filepath.Join(dir, "*.artifact"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no artifact landed in the cache: %v (%v)", files, err)
+	}
+	id := strings.TrimSuffix(filepath.Base(files[0]), ".artifact")
+	raw, ok := cache.GetRaw(id)
+	if !ok {
+		t.Fatalf("artifact %s unreadable", id)
+	}
+	sum := sha256.Sum256(raw)
+	digest := hex.EncodeToString(sum[:])
+
+	// A chaos coordinator: advertises the true digest, serves the bytes
+	// with one bit flipped when corrupt is set.
+	var corrupt atomic.Bool
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body := raw
+		if corrupt.Load() {
+			body = append([]byte(nil), raw...)
+			body[len(body)/2] ^= 0x40
+		}
+		w.Header().Set(artifactDigestHeader, digest)
+		w.Write(body)
+	}))
+	defer hs.Close()
+
+	wcache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := fleet.ShardJob{ArtifactID: id, ArtifactURL: "/artifacts/" + id}
+
+	corrupt.Store(true)
+	prefetchArtifact(context.Background(), hs.Client(), wcache, hs.URL, job)
+	if wcache.HasRaw(id) {
+		t.Fatal("corrupted artifact bytes entered the worker cache past the digest check")
+	}
+
+	corrupt.Store(false)
+	prefetchArtifact(context.Background(), hs.Client(), wcache, hs.URL, job)
+	if !wcache.HasRaw(id) {
+		t.Fatal("intact artifact bytes rejected despite a matching digest")
+	}
+}

@@ -26,10 +26,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -73,12 +76,25 @@ type WorkerInfo struct {
 	Addr     string    `json:"addr"`
 	LastSeen time.Time `json:"last_seen"`
 	Alive    bool      `json:"alive"`
+	// Quarantined marks a worker inside its circuit-breaker cooldown:
+	// heartbeating, but excluded from shard assignment until the
+	// cooldown expires or a successful shard closes the breaker.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // DefaultTTL is the heartbeat liveness window: a worker silent for
 // longer is considered dead and stops receiving shards (its in-flight
 // shards requeue when their streams break).
 const DefaultTTL = 10 * time.Second
+
+// BreakerThreshold is the circuit breaker's trip point: a worker whose
+// shard dispatches fail this many times in a row is quarantined — it
+// stops receiving shards even while its heartbeats keep it registered.
+// A heartbeat proves the process is up, not that it can run shards; a
+// worker that stalls or crashes every shard while heartbeating would
+// otherwise be re-admitted every round and tax each one with a watchdog
+// window.
+const BreakerThreshold = 3
 
 // Pool tracks registered workers and their liveness on the coordinator.
 // Heartbeats auto-register, so a restarted coordinator re-learns its
@@ -89,6 +105,12 @@ type Pool struct {
 
 	mu      sync.Mutex
 	workers map[string]*WorkerInfo
+	// fails and cooledUntil implement the consecutive-failure circuit
+	// breaker. Both are keyed by worker id and deliberately survive
+	// Remove: a failing worker that re-registers on its next heartbeat
+	// must not start with a clean slate.
+	fails       map[string]int
+	cooledUntil map[string]time.Time
 }
 
 // NewPool creates a worker pool with the given liveness TTL (0 means
@@ -97,7 +119,42 @@ func NewPool(ttl time.Duration) *Pool {
 	if ttl <= 0 {
 		ttl = DefaultTTL
 	}
-	return &Pool{ttl: ttl, now: time.Now, workers: make(map[string]*WorkerInfo)}
+	return &Pool{ttl: ttl, now: time.Now,
+		workers:     make(map[string]*WorkerInfo),
+		fails:       make(map[string]int),
+		cooledUntil: make(map[string]time.Time),
+	}
+}
+
+// NoteShardFailure feeds the circuit breaker: one failed shard dispatch
+// against id. At BreakerThreshold consecutive failures the worker is
+// quarantined for a cooldown of several TTLs, after which it is
+// half-open — assignable again, but one more failure re-trips the
+// breaker instantly (the counter only resets on success).
+func (p *Pool) NoteShardFailure(id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fails[id]++
+	if p.fails[id] >= BreakerThreshold {
+		p.cooledUntil[id] = p.now().Add(4 * p.ttl)
+	}
+}
+
+// NoteShardSuccess closes the breaker for id: a cleanly completed shard
+// proves the worker healthy, clearing its failure streak and any
+// quarantine.
+func (p *Pool) NoteShardSuccess(id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.fails, id)
+	delete(p.cooledUntil, id)
+}
+
+// quarantinedLocked reports whether id is inside its breaker cooldown.
+// Callers hold p.mu.
+func (p *Pool) quarantinedLocked(id string, now time.Time) bool {
+	until, ok := p.cooledUntil[id]
+	return ok && now.Before(until)
 }
 
 // Heartbeat registers or refreshes a worker. Address changes (a worker
@@ -126,15 +183,16 @@ func (p *Pool) Remove(id string) {
 	delete(p.workers, id)
 }
 
-// Alive returns the workers seen within the TTL, sorted by id for
-// deterministic shard assignment.
+// Alive returns the workers seen within the TTL and not quarantined by
+// the circuit breaker, sorted by id for deterministic shard assignment.
 func (p *Pool) Alive() []WorkerInfo {
-	cutoff := p.now().Add(-p.ttl)
+	now := p.now()
+	cutoff := now.Add(-p.ttl)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var out []WorkerInfo
 	for _, w := range p.workers {
-		if w.LastSeen.After(cutoff) {
+		if w.LastSeen.After(cutoff) && !p.quarantinedLocked(w.ID, now) {
 			wi := *w
 			wi.Alive = true
 			out = append(out, wi)
@@ -144,16 +202,18 @@ func (p *Pool) Alive() []WorkerInfo {
 	return out
 }
 
-// All returns every registered worker with its liveness flag, sorted by
-// id (the /fleet/workers listing).
+// All returns every registered worker with its liveness and quarantine
+// flags, sorted by id (the /fleet/workers listing).
 func (p *Pool) All() []WorkerInfo {
-	cutoff := p.now().Add(-p.ttl)
+	now := p.now()
+	cutoff := now.Add(-p.ttl)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	out := make([]WorkerInfo, 0, len(p.workers))
 	for _, w := range p.workers {
 		wi := *w
 		wi.Alive = w.LastSeen.After(cutoff)
+		wi.Quarantined = p.quarantinedLocked(w.ID, now)
 		out = append(out, wi)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -397,15 +457,78 @@ type Dispatcher struct {
 	Attempts int
 	Backoff  time.Duration
 	Rounds   int
-	// Client executes shard streams. Nil means http.DefaultClient: shard
-	// streams are long-lived, so no overall timeout is set — liveness
-	// comes from the done marker and heartbeat TTL instead.
+	// Client executes shard streams. Nil means a hardened default with
+	// dial/TLS/response-header timeouts but no overall timeout: shard
+	// streams are long-lived, so in-stream liveness comes from the
+	// progress watchdog (StallTimeout), not a deadline.
 	Client *http.Client
+	// StallTimeout is the per-shard progress watchdog: a stream that
+	// produces no line for this long is abandoned (its body closed), the
+	// worker removed and failure-noted, and the unclassified reps
+	// requeued — a stalled-but-heartbeating worker can no longer hold
+	// dispatch hostage. 0 = DefaultStallTimeout; negative disables.
+	StallTimeout time.Duration
+	// PoisonBudget is the per-shard distinct-worker failure budget: a
+	// shard that has failed on this many different workers is poison-
+	// suspect (the shard kills workers, not the reverse). It runs Local
+	// once; a Local failure fails the campaign with ErrPoisonShard
+	// instead of looping rounds. 0 = DefaultPoisonBudget.
+	PoisonBudget int
+	// MaxLine bounds one NDJSON outcome line in bytes (0 = 1 MiB). An
+	// oversized line fails the shard with ErrOversizedOutcome — a named
+	// diagnostic and a requeue, not a generic scanner break.
+	MaxLine int
 	// Emit, when non-nil, receives dispatch lifecycle events for the
 	// campaign's event log ("shard", "requeue").
 	Emit func(typ, msg string)
 
 	localMu sync.Mutex
+}
+
+// Defaults for the Dispatcher's hardening knobs.
+const (
+	// DefaultStallTimeout is deliberately generous: representative
+	// injections take milliseconds to seconds, so minutes of total
+	// silence on an open stream means a wedged worker, not a slow one.
+	DefaultStallTimeout = 2 * time.Minute
+	DefaultPoisonBudget = 3
+)
+
+// Named dispatch diagnostics. Wrapped (never returned bare) so callers
+// can errors.Is against the failure class.
+var (
+	// ErrShardStall marks a stream abandoned by the progress watchdog.
+	ErrShardStall = errors.New("fleet: shard stream stalled")
+	// ErrOversizedOutcome marks a single outcome line exceeding MaxLine.
+	ErrOversizedOutcome = errors.New("fleet: oversized outcome line")
+	// ErrMismatchedOutcome marks a worker contradicting its own
+	// classification of a rep within one stream: a determinism violation
+	// that fails the dispatch loudly — silently preferring either answer
+	// would bias the estimate.
+	ErrMismatchedOutcome = errors.New("fleet: mismatched duplicate outcome (determinism violation)")
+	// ErrPoisonShard marks a shard that failed on PoisonBudget distinct
+	// workers and then in the Local fallback.
+	ErrPoisonShard = errors.New("fleet: poison shard")
+)
+
+// defaultShardClient hardens the dispatch path that used to inherit
+// http.DefaultClient: every pre-stream phase that can hang — dial, TLS,
+// waiting for response headers — carries its own timeout. There is still
+// deliberately no overall request timeout (streams are long-lived); the
+// in-stream analogue is the Dispatcher's progress watchdog.
+var defaultShardClient = &http.Client{
+	Transport: &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ResponseHeaderTimeout: 30 * time.Second,
+		ExpectContinueTimeout: time.Second,
+		IdleConnTimeout:       90 * time.Second,
+		MaxIdleConnsPerHost:   16,
+	},
 }
 
 func (d *Dispatcher) emit(typ, msg string) {
@@ -418,14 +541,22 @@ func (d *Dispatcher) client() *http.Client {
 	if d.Client != nil {
 		return d.Client
 	}
-	return http.DefaultClient
+	return defaultShardClient
 }
 
 // runRemote streams one shard job on one worker, feeding OnOutcome per
 // line. It returns the reps the stream did not classify — empty on a
-// clean done marker, the full remainder when the worker died mid-stream.
-func (d *Dispatcher) runRemote(ctx context.Context, w WorkerInfo, reps []int) []int {
-	seen := make(map[int]bool, len(reps))
+// clean done marker, the full remainder when the worker died mid-stream
+// — plus the last attempt's error. An ErrMismatchedOutcome is terminal:
+// it means the worker contradicted itself, and the caller must fail the
+// dispatch rather than requeue.
+func (d *Dispatcher) runRemote(ctx context.Context, w WorkerInfo, reps []int) ([]int, error) {
+	// seen dedups and cross-checks outcomes across lines and retry
+	// attempts: a rep re-streamed by a retried shard must carry the same
+	// class (determinism), so a contradiction is detected right here at
+	// the stream edge, before first-write-wins could bury it.
+	seen := make(map[int]string, len(reps))
+	var fatal error
 	attempt := func() error {
 		job := d.Job(reps)
 		body, err := json.Marshal(job)
@@ -446,9 +577,42 @@ func (d *Dispatcher) runRemote(ctx context.Context, w WorkerInfo, reps []int) []
 		if resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("fleet: worker %s returned %d", w.ID, resp.StatusCode)
 		}
+
+		// The progress watchdog: armed per line, not per stream, so a
+		// slow-but-moving shard never trips it while a stalled-open
+		// stream (worker wedged, connection healthy, heartbeats flowing)
+		// is abandoned after one quiet window. Closing the body is the
+		// only safe cross-goroutine abort: it makes the scanner return.
+		// Built on a timer rather than wall-clock reads — there is no
+		// time.Now here for merlinvet to object to.
+		stall := d.StallTimeout
+		if stall == 0 {
+			stall = DefaultStallTimeout
+		}
+		var stalled atomic.Bool
+		var dog *time.Timer
+		if stall > 0 {
+			dog = time.AfterFunc(stall, func() {
+				stalled.Store(true)
+				resp.Body.Close()
+			})
+			defer dog.Stop()
+		}
+
+		maxLine := d.MaxLine
+		if maxLine <= 0 {
+			maxLine = 1 << 20
+		}
+		startBuf := 64 * 1024
+		if startBuf > maxLine {
+			startBuf = maxLine
+		}
 		sc := bufio.NewScanner(resp.Body)
-		sc.Buffer(make([]byte, 64*1024), 1<<20)
+		sc.Buffer(make([]byte, startBuf), maxLine)
 		for sc.Scan() {
+			if dog != nil {
+				dog.Reset(stall)
+			}
 			var o Outcome
 			if err := json.Unmarshal(sc.Bytes(), &o); err != nil {
 				return fmt.Errorf("fleet: bad outcome line from %s: %w", w.ID, err)
@@ -459,12 +623,24 @@ func (d *Dispatcher) runRemote(ctx context.Context, w WorkerInfo, reps []int) []
 				}
 				return nil
 			}
-			if !seen[o.Rep] {
-				seen[o.Rep] = true
-				d.OnOutcome(o)
+			if prev, ok := seen[o.Rep]; ok {
+				if prev != o.Outcome {
+					fatal = fmt.Errorf("%w: worker %s classified rep %d as %q, then %q",
+						ErrMismatchedOutcome, w.ID, o.Rep, prev, o.Outcome)
+					return fatal
+				}
+				continue // benign duplicate: same rep, same class
 			}
+			seen[o.Rep] = o.Outcome
+			d.OnOutcome(o)
+		}
+		if stalled.Load() {
+			return fmt.Errorf("%w: worker %s produced no outcome line for %v", ErrShardStall, w.ID, stall)
 		}
 		if err := sc.Err(); err != nil {
+			if errors.Is(err, bufio.ErrTooLong) {
+				return fmt.Errorf("%w: worker %s exceeded the %d-byte line limit", ErrOversizedOutcome, w.ID, maxLine)
+			}
 			return fmt.Errorf("fleet: stream from %s broke: %w", w.ID, err)
 		}
 		return fmt.Errorf("fleet: stream from %s ended without done marker", w.ID)
@@ -478,20 +654,19 @@ func (d *Dispatcher) runRemote(ctx context.Context, w WorkerInfo, reps []int) []
 	if backoff == 0 {
 		backoff = 200 * time.Millisecond
 	}
-	err := retry(ctx, attempts, backoff, attempt)
+	err := retry(ctx, attempts, backoff, func() error {
+		if fatal != nil {
+			return fatal // a determinism violation must not be retried away
+		}
+		return attempt()
+	})
 	var missing []int
 	for _, rep := range reps {
-		if !seen[rep] {
+		if _, ok := seen[rep]; !ok {
 			missing = append(missing, rep)
 		}
 	}
-	if err != nil && len(missing) > 0 {
-		// The worker is suspect: drop it from the pool now instead of
-		// waiting out the TTL, so the requeue round routes around it.
-		d.Pool.Remove(w.ID)
-		d.emit("requeue", fmt.Sprintf("worker %s lost %d reps: %v; requeueing", w.ID, len(missing), err))
-	}
-	return missing
+	return missing, err
 }
 
 // runLocal executes reps in-process, serialized (the underlying campaign
@@ -503,49 +678,133 @@ func (d *Dispatcher) runLocal(ctx context.Context, reps []int) error {
 	return d.Local(ctx, reps)
 }
 
+// shardState tracks one shard across dispatch rounds: the reps still
+// unclassified and the distinct workers the shard has already failed on
+// (the poison-budget evidence).
+type shardState struct {
+	reps     []int
+	failedOn map[string]bool
+}
+
+// pickWorker assigns shard i round-robin over alive, skipping workers
+// the shard already failed on: a shard that killed worker A must gather
+// evidence on B and C, not hammer A until the rounds run out.
+func pickWorker(alive []WorkerInfo, failedOn map[string]bool, i int) WorkerInfo {
+	for k := 0; k < len(alive); k++ {
+		w := alive[(i+k)%len(alive)]
+		if !failedOn[w.ID] {
+			return w
+		}
+	}
+	return alive[i%len(alive)]
+}
+
 // Run drives the shards to completion: each round assigns pending shards
 // round-robin over the live workers and streams them concurrently; reps
 // lost to a dead worker requeue into the next round, where the surviving
 // workers pick them up (work-stealing). With no live workers — nobody
-// ever joined, or everybody died — the pending shards run in-process, so
-// a coordinator alone degrades to exactly the single-node pipeline.
+// ever joined, or everybody died or tripped the circuit breaker — the
+// pending shards run in-process, so a coordinator alone degrades to
+// exactly the single-node pipeline.
+//
+// Two failure classes cut the loop short, loudly. A shard that fails on
+// PoisonBudget distinct workers is poison-suspect: it gets exactly one
+// Local run, and a Local failure returns ErrPoisonShard instead of
+// burning the remaining rounds. And a worker contradicting its own
+// classification of a rep (ErrMismatchedOutcome) is a determinism
+// violation: no requeue could be trusted afterwards, so the dispatch
+// fails immediately.
 func (d *Dispatcher) Run(ctx context.Context, shards [][]int) error {
 	rounds := d.Rounds
 	if rounds == 0 {
 		rounds = 3
 	}
-	pending := shards
+	poison := d.PoisonBudget
+	if poison <= 0 {
+		poison = DefaultPoisonBudget
+	}
+	pending := make([]*shardState, 0, len(shards))
+	for _, reps := range shards {
+		if len(reps) > 0 {
+			pending = append(pending, &shardState{reps: reps, failedOn: make(map[string]bool)})
+		}
+	}
 	for round := 0; len(pending) > 0; round++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		alive := d.Pool.Alive()
 		if len(alive) == 0 || round >= rounds {
-			for _, reps := range pending {
-				d.emit("shard", fmt.Sprintf("%d reps running locally", len(reps)))
-				if err := d.runLocal(ctx, reps); err != nil {
+			for _, sh := range pending {
+				d.emit("shard", fmt.Sprintf("%d reps running locally", len(sh.reps)))
+				if err := d.runLocal(ctx, sh.reps); err != nil {
 					return err
 				}
 			}
 			return nil
 		}
 		var mu sync.Mutex
-		var next [][]int
+		var next []*shardState
+		var fatal error
+		setFatal := func(err error) {
+			mu.Lock()
+			if fatal == nil {
+				fatal = err
+			}
+			mu.Unlock()
+		}
 		var wg sync.WaitGroup
-		for i, reps := range pending {
-			w := alive[i%len(alive)]
-			d.emit("shard", fmt.Sprintf("%d reps -> worker %s (round %d)", len(reps), w.ID, round+1))
+		for i, sh := range pending {
+			w := pickWorker(alive, sh.failedOn, i)
+			d.emit("shard", fmt.Sprintf("%d reps -> worker %s (round %d)", len(sh.reps), w.ID, round+1))
 			wg.Add(1)
-			go func(w WorkerInfo, reps []int) {
+			go func(w WorkerInfo, sh *shardState) {
 				defer wg.Done()
-				if missing := d.runRemote(ctx, w, reps); len(missing) > 0 {
-					mu.Lock()
-					next = append(next, missing)
-					mu.Unlock()
+				missing, err := d.runRemote(ctx, w, sh.reps)
+				if err == nil && len(missing) == 0 {
+					d.Pool.NoteShardSuccess(w.ID)
+					return
 				}
-			}(w, reps)
+				if errors.Is(err, ErrMismatchedOutcome) {
+					setFatal(err)
+					return
+				}
+				if err == nil {
+					err = fmt.Errorf("fleet: worker %s sent a done marker with %d reps unclassified", w.ID, len(missing))
+				}
+				// The worker is suspect: drop it from the pool now instead
+				// of waiting out the TTL, and feed the circuit breaker so
+				// one that keeps heartbeating through repeated failures is
+				// quarantined instead of re-admitted every round.
+				d.Pool.NoteShardFailure(w.ID)
+				d.Pool.Remove(w.ID)
+				if len(missing) == 0 {
+					return // everything classified before the stream broke
+				}
+				d.emit("requeue", fmt.Sprintf("worker %s lost %d reps: %v; requeueing", w.ID, len(missing), err))
+				sh.reps = missing
+				sh.failedOn[w.ID] = true
+				if len(sh.failedOn) >= poison {
+					d.emit("shard", fmt.Sprintf("%d reps failed on %d distinct workers; poison-suspect, falling back to local", len(missing), len(sh.failedOn)))
+					if lerr := d.runLocal(ctx, missing); lerr != nil {
+						if ctx.Err() != nil {
+							setFatal(lerr)
+						} else {
+							setFatal(fmt.Errorf("%w: %d reps failed on %d distinct workers and in the local fallback: %v",
+								ErrPoisonShard, len(missing), len(sh.failedOn), lerr))
+						}
+					}
+					return
+				}
+				mu.Lock()
+				next = append(next, sh)
+				mu.Unlock()
+			}(w, sh)
 		}
 		wg.Wait()
+		if fatal != nil {
+			return fatal
+		}
 		pending = next
 	}
 	return nil

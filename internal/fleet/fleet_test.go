@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -413,5 +414,283 @@ func TestAgentHandlerStreamsDoneMarker(t *testing.T) {
 	bad.Body.Close()
 	if bad.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad job = %d, want 400", bad.StatusCode)
+	}
+}
+
+// stallingWorker streams the first outcome of every shard, then goes
+// silent with the connection open — the handler only returns when the
+// coordinator abandons the stream (body close → request context cancel).
+// Paired with re-heartbeats it models the stalled-but-heartbeating
+// worker: alive by every liveness signal the fleet had before the
+// watchdog, dead by the only one that matters, progress.
+func stallingWorker(t *testing.T, name string) *httptest.Server {
+	t.Helper()
+	agent := &Agent{
+		ID: name,
+		Run: func(ctx context.Context, job ShardJob, emit func(Outcome)) error {
+			emit(Outcome{Rep: job.Reps[0], Outcome: "Masked"})
+			<-ctx.Done()
+			return ctx.Err()
+		},
+	}
+	hs := httptest.NewServer(agent.Handler())
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+// TestDispatcherWatchdogStallRequeue is the dedicated stalled-worker
+// test: before the progress watchdog, this dispatch hung forever — the
+// stream never broke, the worker never stopped heartbeating, and no
+// liveness mechanism fired. Now the quiet window trips the watchdog, the
+// stream is abandoned with ErrShardStall, the worker is removed, and the
+// unclassified reps finish on the healthy worker.
+func TestDispatcherWatchdogStallRequeue(t *testing.T) {
+	wStall := stallingWorker(t, "a-stall")
+	wGood := fakeWorker(t, "b-good", nil, nil)
+	p := NewPool(time.Minute)
+	p.Heartbeat("a-stall", wStall.URL) // sorts first → gets shard 0
+	p.Heartbeat("b-good", wGood.URL)
+
+	var got sync.Map
+	var localReps [][]int
+	var localMu sync.Mutex
+	d := dispatcherFor(p, &got, &localReps, &localMu)
+	d.Attempts = 1
+	d.StallTimeout = 100 * time.Millisecond
+
+	var stallRequeues atomic.Int64
+	d.Emit = func(typ, msg string) {
+		if typ == "requeue" && strings.Contains(msg, "stalled") {
+			stallRequeues.Add(1)
+			// The stalled worker keeps heartbeating: TTL liveness alone
+			// must not be what saves this dispatch.
+			p.Heartbeat("a-stall", wStall.URL)
+		}
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- d.Run(context.Background(), [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("dispatch still hung on a stalled worker: watchdog never fired")
+	}
+	if n := countSyncMap(&got); n != 8 {
+		t.Fatalf("classified %d of 8 reps after the stall", n)
+	}
+	if stallRequeues.Load() == 0 {
+		t.Fatal("no requeue event named the stall")
+	}
+}
+
+// TestDispatcherOversizedOutcomeLine: a worker emitting one absurd line
+// fails its shard with the named ErrOversizedOutcome (not a generic
+// scanner break) and the reps requeue onto the healthy worker.
+func TestDispatcherOversizedOutcomeLine(t *testing.T) {
+	huge := &Agent{
+		ID: "a-huge",
+		Run: func(ctx context.Context, job ShardJob, emit func(Outcome)) error {
+			emit(Outcome{Rep: job.Reps[0], Fault: strings.Repeat("x", 4096), Outcome: "Masked"})
+			return nil
+		},
+	}
+	hsHuge := httptest.NewServer(huge.Handler())
+	defer hsHuge.Close()
+	wGood := fakeWorker(t, "b-good", nil, nil)
+	p := NewPool(time.Minute)
+	p.Heartbeat("a-huge", hsHuge.URL)
+	p.Heartbeat("b-good", wGood.URL)
+
+	var got sync.Map
+	var localReps [][]int
+	var localMu sync.Mutex
+	d := dispatcherFor(p, &got, &localReps, &localMu)
+	d.Attempts = 1
+	d.MaxLine = 1024
+
+	var oversized atomic.Int64
+	d.Emit = func(typ, msg string) {
+		if typ == "requeue" && strings.Contains(msg, "oversized outcome line") {
+			oversized.Add(1)
+		}
+	}
+	if err := d.Run(context.Background(), [][]int{{0, 1, 2}, {3, 4, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := countSyncMap(&got); n != 6 {
+		t.Fatalf("classified %d of 6 reps", n)
+	}
+	if oversized.Load() == 0 {
+		t.Fatal("no requeue event named the oversized line")
+	}
+}
+
+// TestDispatcherPoisonShardFailsLoudly: a shard that fails on
+// PoisonBudget distinct workers gets one local run; when that fails too,
+// the campaign fails with ErrPoisonShard instead of looping rounds.
+func TestDispatcherPoisonShardFailsLoudly(t *testing.T) {
+	var dieNow atomic.Int64 // every worker dies immediately, every time
+	workers := map[string]*httptest.Server{
+		"w1": fakeWorker(t, "w1", &dieNow, nil),
+		"w2": fakeWorker(t, "w2", &dieNow, nil),
+		"w3": fakeWorker(t, "w3", &dieNow, nil),
+	}
+	p := NewPool(time.Minute)
+	for id, hs := range workers {
+		p.Heartbeat(id, hs.URL)
+	}
+
+	var got sync.Map
+	d := &Dispatcher{
+		Pool:      p,
+		Job:       func(reps []int) ShardJob { return ShardJob{Campaign: "c1", Reps: reps} },
+		OnOutcome: func(o Outcome) { got.Store(o.Rep, o.Outcome) },
+		Local: func(ctx context.Context, reps []int) error {
+			return fmt.Errorf("injector rejects these reps")
+		},
+		Attempts:     1,
+		Backoff:      time.Millisecond,
+		Rounds:       10,
+		PoisonBudget: 3,
+		Emit: func(typ, _ string) {
+			if typ == "requeue" { // failed workers keep heartbeating back in
+				for id, hs := range workers {
+					p.Heartbeat(id, hs.URL)
+				}
+			}
+		},
+	}
+	err := d.Run(context.Background(), [][]int{{0, 1, 2}})
+	if !errors.Is(err, ErrPoisonShard) {
+		t.Fatalf("err = %v, want ErrPoisonShard", err)
+	}
+	for _, frag := range []string{"3 distinct workers", "local fallback"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("poison diagnostic %q lacks %q", err, frag)
+		}
+	}
+}
+
+// TestDispatcherMismatchedDuplicateFatal: a worker contradicting its own
+// classification of a rep fails the dispatch immediately with
+// ErrMismatchedOutcome — a determinism violation is never requeued away.
+func TestDispatcherMismatchedDuplicateFatal(t *testing.T) {
+	byz := &Agent{
+		ID: "byz",
+		Run: func(ctx context.Context, job ShardJob, emit func(Outcome)) error {
+			emit(Outcome{Rep: job.Reps[0], Outcome: "Masked"})
+			emit(Outcome{Rep: job.Reps[0], Outcome: "SDC"})
+			return nil
+		},
+	}
+	hs := httptest.NewServer(byz.Handler())
+	defer hs.Close()
+	p := NewPool(time.Minute)
+	p.Heartbeat("byz", hs.URL)
+
+	var got sync.Map
+	var localReps [][]int
+	var localMu sync.Mutex
+	d := dispatcherFor(p, &got, &localReps, &localMu)
+	d.Attempts = 1
+
+	err := d.Run(context.Background(), [][]int{{0, 1}})
+	if !errors.Is(err, ErrMismatchedOutcome) {
+		t.Fatalf("err = %v, want ErrMismatchedOutcome", err)
+	}
+	if len(localReps) != 0 {
+		t.Fatal("determinism violation fell back to local instead of failing")
+	}
+}
+
+// TestDispatcherBenignDuplicateTolerated: re-emitting the same line
+// verbatim is dedup'd, not fatal.
+func TestDispatcherBenignDuplicateTolerated(t *testing.T) {
+	dup := &Agent{
+		ID: "dup",
+		Run: func(ctx context.Context, job ShardJob, emit func(Outcome)) error {
+			for _, rep := range job.Reps {
+				o := Outcome{Rep: rep, Outcome: "Masked"}
+				emit(o)
+				emit(o)
+			}
+			return nil
+		},
+	}
+	hs := httptest.NewServer(dup.Handler())
+	defer hs.Close()
+	p := NewPool(time.Minute)
+	p.Heartbeat("dup", hs.URL)
+
+	var outcomes atomic.Int64
+	d := &Dispatcher{
+		Pool:      p,
+		Job:       func(reps []int) ShardJob { return ShardJob{Campaign: "c1", Reps: reps} },
+		OnOutcome: func(o Outcome) { outcomes.Add(1) },
+		Local:     func(ctx context.Context, reps []int) error { return nil },
+		Backoff:   time.Millisecond,
+	}
+	if err := d.Run(context.Background(), [][]int{{0, 1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if outcomes.Load() != 3 {
+		t.Fatalf("OnOutcome fired %d times for 3 reps with duplicates", outcomes.Load())
+	}
+}
+
+// TestPoolCircuitBreaker: BreakerThreshold consecutive failures
+// quarantine a worker even while it heartbeats; the cooldown half-opens
+// it; one more failure re-trips instantly; a success clears everything.
+func TestPoolCircuitBreaker(t *testing.T) {
+	now := time.Now()
+	p := NewPool(time.Second)
+	p.now = func() time.Time { return now }
+	p.Heartbeat("w1", "http://a")
+
+	for i := 0; i < BreakerThreshold-1; i++ {
+		p.NoteShardFailure("w1")
+		if len(p.Alive()) != 1 {
+			t.Fatalf("worker quarantined after only %d failures", i+1)
+		}
+	}
+	p.NoteShardFailure("w1")
+	if len(p.Alive()) != 0 {
+		t.Fatal("worker still assignable after tripping the breaker")
+	}
+	all := p.All()
+	if len(all) != 1 || !all[0].Quarantined || !all[0].Alive {
+		t.Fatalf("All = %+v, want one alive quarantined worker", all)
+	}
+
+	// Quarantine survives Remove + re-heartbeat: a crash-looping worker
+	// does not launder its record by rejoining.
+	p.Remove("w1")
+	p.Heartbeat("w1", "http://a")
+	if len(p.Alive()) != 0 {
+		t.Fatal("re-heartbeat after Remove cleared the quarantine")
+	}
+
+	// Cooldown expiry half-opens: assignable again, but the very next
+	// failure re-trips without needing a fresh streak.
+	now = now.Add(5 * time.Second) // past the 4×TTL cooldown
+	p.Heartbeat("w1", "http://a")
+	if len(p.Alive()) != 1 {
+		t.Fatal("cooldown expiry did not half-open the breaker")
+	}
+	p.NoteShardFailure("w1")
+	if len(p.Alive()) != 0 {
+		t.Fatal("half-open failure did not re-trip the breaker")
+	}
+
+	// Success closes the breaker for good.
+	now = now.Add(5 * time.Second)
+	p.Heartbeat("w1", "http://a")
+	p.NoteShardSuccess("w1")
+	p.NoteShardFailure("w1")
+	if len(p.Alive()) != 1 {
+		t.Fatal("one failure after a success re-quarantined: streak was not cleared")
 	}
 }

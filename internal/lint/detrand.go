@@ -39,6 +39,9 @@ var DetRand = &Analyzer{
 		"merlin/internal/workloads",
 		"merlin/internal/asm",
 		"merlin/internal/conformance",
+		// The chaos engine's whole contract is seeded determinism: its
+		// splitmix64 streams must never silently mix in global randomness.
+		"merlin/internal/chaos",
 	),
 	Run: runDetRand,
 }

@@ -42,6 +42,7 @@ var WallTime = &Analyzer{
 		"merlin/internal/conformance/gen",
 		"merlin/internal/fleet",
 		"merlin/internal/store",
+		"merlin/internal/chaos",
 		// internal/server is deliberately out of scope: event
 		// timestamps, uptime and queue ages are wall-clock by design
 		// and never feed Report bytes. cmd/*, examples/ and scripts/
@@ -69,6 +70,13 @@ var wallClockAllow = map[string]map[string]string{
 	"merlin": {
 		"runFleetCampaign": "fleet Report.Wall metric stamping",
 		"Batch.Run":        "BatchReport.Wall metric stamping",
+		// The chaos harness is operator tooling over the service's HTTP
+		// surface: its wall-clock reads are suite timing metrics and poll
+		// deadlines, never simulated or merged state.
+		"RunChaos":          "chaos suite wall-clock metrics (ChaosResult timing fields)",
+		"runChaosScenario":  "chaos scenario wall-clock metrics",
+		"chaosAwait":        "chaos campaign poll deadline",
+		"chaosAwaitWorkers": "chaos fleet join poll deadline",
 	},
 	"merlin/internal/fleet": {
 		"NewPool": "heartbeat/TTL liveness clock (injected so tests fake it)",

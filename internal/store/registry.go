@@ -58,11 +58,13 @@ type CampaignRecord struct {
 // RegistryStats is a point-in-time snapshot of registry effectiveness,
 // folded into the daemon's /statsz.
 type RegistryStats struct {
-	Puts    uint64 `json:"puts"`    // records written
-	Deletes uint64 `json:"deletes"` // records removed
-	Errors  uint64 `json:"errors"`  // corrupt/unreadable files skipped
+	Puts        uint64 `json:"puts"`        // records written
+	Deletes     uint64 `json:"deletes"`     // records removed
+	Errors      uint64 `json:"errors"`      // corrupt/unreadable files skipped
+	Quarantined uint64 `json:"quarantined"` // corrupt records moved aside to .corrupt
 
 	Records int   `json:"records"` // record files on disk
+	Corrupt int   `json:"corrupt"` // quarantined .corrupt files on disk
 	Bytes   int64 `json:"bytes"`   // total record bytes on disk
 }
 
@@ -72,20 +74,28 @@ type RegistryStats struct {
 // benign because only one daemon process owns a record at a time.
 type Registry struct {
 	dir string
+	fs  FS
 
-	puts, deletes, errs atomic.Uint64
+	puts, deletes, errs, quarantined atomic.Uint64
 }
 
 // OpenRegistry creates (if needed) and opens a campaign registry rooted
-// at dir.
+// at dir on the real filesystem.
 func OpenRegistry(dir string) (*Registry, error) {
+	return OpenRegistryOn(OSFS{}, dir)
+}
+
+// OpenRegistryOn creates (if needed) and opens a campaign registry
+// rooted at dir on the given filesystem. Fault-injection harnesses pass
+// a chaos FS here; everything else uses OpenRegistry.
+func OpenRegistryOn(fsys FS, dir string) (*Registry, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty registry directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Registry{dir: dir}, nil
+	return &Registry{dir: dir, fs: fsys}, nil
 }
 
 // Dir returns the registry root.
@@ -113,8 +123,10 @@ func validID(id string) bool {
 	return true
 }
 
-// Put persists one campaign record atomically, replacing any previous
-// version of the same id.
+// Put persists one campaign record atomically and durably — the temp
+// file is fsynced before the rename, so a checkpoint that reported
+// success survives power loss, not just process death — replacing any
+// previous version of the same id.
 func (r *Registry) Put(rec CampaignRecord) error {
 	if !validID(rec.ID) {
 		return fmt.Errorf("store: invalid campaign id %q", rec.ID)
@@ -129,39 +141,42 @@ func (r *Registry) Put(rec CampaignRecord) error {
 	out = append(out, sum[:]...)
 	out = append(out, body.Bytes()...)
 
-	tmp, err := os.CreateTemp(r.dir, ".rec-*")
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(out); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), r.recordPath(rec.ID)); err != nil {
-		return fmt.Errorf("store: %w", err)
+	if err := r.fs.WriteFileAtomic(r.recordPath(rec.ID), out); err != nil {
+		return err
 	}
 	r.puts.Add(1)
 	return nil
 }
 
+// quarantine moves a record file the registry cannot vouch for aside to
+// <name>.corrupt: out of every future scan, but preserved on disk for
+// forensics (a torn write after a power cut is evidence, not garbage).
+// The move-aside also keeps a persistently bad file from inflating the
+// error counter on every List.
+func (r *Registry) quarantine(name string) {
+	src := filepath.Join(r.dir, name)
+	if err := r.fs.Rename(src, src+".corrupt"); err == nil {
+		r.quarantined.Add(1)
+	}
+}
+
 // Get loads one record by id. A missing, corrupt or truncated file reads
 // as absent (ok=false), never as an error: a record the registry cannot
-// vouch for is a record it does not have.
+// vouch for is a record it does not have. Corrupt files are quarantined
+// to .corrupt so the damage is visible in Stats instead of silently
+// re-read forever.
 func (r *Registry) Get(id string) (CampaignRecord, bool) {
 	if !validID(id) {
 		return CampaignRecord{}, false
 	}
-	raw, err := os.ReadFile(r.recordPath(id))
+	raw, err := r.fs.ReadFile(r.recordPath(id))
 	if err != nil {
 		return CampaignRecord{}, false
 	}
 	rec, err := decodeRecord(raw)
 	if err != nil {
 		r.errs.Add(1)
+		r.quarantine(id + ".campaign")
 		return CampaignRecord{}, false
 	}
 	return rec, true
@@ -169,10 +184,11 @@ func (r *Registry) Get(id string) (CampaignRecord, bool) {
 
 // List returns every readable record, sorted by id (the daemon's ids are
 // zero-padded, so id order is submission order per kind). Corrupt files
-// are skipped and counted, not returned: a restart must never be wedged
-// by one bad record.
+// are quarantined, counted, and skipped, not returned: a restart must
+// never be wedged by one bad record, and a torn checkpoint reads exactly
+// like a crash before the checkpoint — absent.
 func (r *Registry) List() ([]CampaignRecord, error) {
-	entries, err := os.ReadDir(r.dir)
+	entries, err := r.fs.ReadDir(r.dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -182,7 +198,7 @@ func (r *Registry) List() ([]CampaignRecord, error) {
 		if !strings.HasSuffix(name, ".campaign") {
 			continue
 		}
-		raw, err := os.ReadFile(filepath.Join(r.dir, name))
+		raw, err := r.fs.ReadFile(filepath.Join(r.dir, name))
 		if err != nil {
 			r.errs.Add(1)
 			continue
@@ -190,6 +206,7 @@ func (r *Registry) List() ([]CampaignRecord, error) {
 		rec, err := decodeRecord(raw)
 		if err != nil || rec.ID+".campaign" != name {
 			r.errs.Add(1)
+			r.quarantine(name)
 			continue
 		}
 		recs = append(recs, rec)
@@ -203,7 +220,7 @@ func (r *Registry) Delete(id string) error {
 	if !validID(id) {
 		return fmt.Errorf("store: invalid campaign id %q", id)
 	}
-	err := os.Remove(r.recordPath(id))
+	err := r.fs.Remove(r.recordPath(id))
 	if err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -217,13 +234,18 @@ func (r *Registry) Delete(id string) error {
 // on-disk totals.
 func (r *Registry) Stats() RegistryStats {
 	st := RegistryStats{
-		Puts:    r.puts.Load(),
-		Deletes: r.deletes.Load(),
-		Errors:  r.errs.Load(),
+		Puts:        r.puts.Load(),
+		Deletes:     r.deletes.Load(),
+		Errors:      r.errs.Load(),
+		Quarantined: r.quarantined.Load(),
 	}
-	entries, _ := os.ReadDir(r.dir)
+	entries, _ := r.fs.ReadDir(r.dir)
 	for _, e := range entries {
-		if !strings.HasSuffix(e.Name(), ".campaign") {
+		switch {
+		case strings.HasSuffix(e.Name(), ".corrupt"):
+			st.Corrupt++
+			continue
+		case !strings.HasSuffix(e.Name(), ".campaign"):
 			continue
 		}
 		st.Records++

@@ -223,3 +223,111 @@ func TestRawArtifactTransfer(t *testing.T) {
 		t.Fatal("GetRaw accepted a hostile id")
 	}
 }
+
+// TestRegistryQuarantine: a corrupt record is not merely skipped — it is
+// moved aside to .corrupt so the damage shows up once in Stats (and on
+// disk, for forensics) instead of re-counting as an error on every scan.
+func TestRegistryQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	r, _ := OpenRegistry(dir)
+	rec := sampleRecord("c000001")
+	if err := r.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, rec.ID+".campaign")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := raw[:len(raw)/2] // a torn write: valid prefix, missing tail
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := r.Get(rec.ID); ok {
+		t.Fatal("torn record served by Get")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("torn record still at %s after quarantine", path)
+	}
+	moved, err := os.ReadFile(path + ".corrupt")
+	if err != nil {
+		t.Fatalf("quarantined bytes not preserved: %v", err)
+	}
+	if !reflect.DeepEqual(moved, torn) {
+		t.Error("quarantine altered the corrupt bytes")
+	}
+
+	st := r.Stats()
+	if st.Quarantined != 1 {
+		t.Errorf("Stats.Quarantined = %d, want 1", st.Quarantined)
+	}
+	if st.Corrupt != 1 {
+		t.Errorf("Stats.Corrupt = %d, want 1", st.Corrupt)
+	}
+	if st.Records != 0 {
+		t.Errorf("Stats.Records = %d, want 0 (quarantined files must not count)", st.Records)
+	}
+
+	// Subsequent scans see a clean directory: the error counter does not
+	// keep climbing for the same already-quarantined file.
+	errsAfter := st.Errors
+	if recs, err := r.List(); err != nil || len(recs) != 0 {
+		t.Fatalf("List after quarantine = %d recs, err %v", len(recs), err)
+	}
+	if st := r.Stats(); st.Errors != errsAfter {
+		t.Errorf("Errors climbed from %d to %d on a re-scan of a quarantined dir", errsAfter, st.Errors)
+	}
+
+	// The slot is reusable: a fresh Put repairs it.
+	if err := r.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get(rec.ID); !ok {
+		t.Fatal("Get after repair Put missed")
+	}
+}
+
+// failRenameFS delegates everything to OSFS except WriteFileAtomic,
+// which fails at the rename step — the seam the chaos harness drives;
+// this pins the contract it relies on: a failed write surfaces an error
+// AND leaves any previous version of the record intact.
+type failRenameFS struct {
+	OSFS
+	fail bool
+}
+
+func (f *failRenameFS) WriteFileAtomic(path string, data []byte) error {
+	if f.fail {
+		return os.ErrPermission
+	}
+	return f.OSFS.WriteFileAtomic(path, data)
+}
+
+// TestRegistryPutFailureLeavesOldRecord: atomicity under write failure —
+// a Put whose rename fails reports the error and the reader still sees
+// the previous committed version, never a partial file.
+func TestRegistryPutFailureLeavesOldRecord(t *testing.T) {
+	fsys := &failRenameFS{}
+	r, err := OpenRegistryOn(fsys, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sampleRecord("c000001")
+	if err := r.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	fsys.fail = true
+	rec.Status = "done"
+	if err := r.Put(rec); err == nil {
+		t.Fatal("Put with a failing rename reported success")
+	}
+	got, ok := r.Get(rec.ID)
+	if !ok {
+		t.Fatal("previous record lost after a failed Put")
+	}
+	if got.Status != "running" {
+		t.Errorf("reader sees status %q after failed Put, want the old %q", got.Status, "running")
+	}
+}

@@ -206,19 +206,28 @@ type Stats struct {
 // Store is the on-disk cache. The zero value is not usable; call Open.
 type Store struct {
 	dir string
+	fs  FS
 
 	hits, misses, puts, errs atomic.Uint64
 }
 
-// Open creates (if needed) and opens a cache rooted at dir.
+// Open creates (if needed) and opens a cache rooted at dir on the real
+// filesystem.
 func Open(dir string) (*Store, error) {
+	return OpenOn(OSFS{}, dir)
+}
+
+// OpenOn creates (if needed) and opens a cache rooted at dir on the
+// given filesystem. Fault-injection harnesses pass a chaos FS here;
+// everything else uses Open.
+func OpenOn(fsys FS, dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty cache directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, fs: fsys}, nil
 }
 
 // Dir returns the cache root.
@@ -236,7 +245,7 @@ var fileMagic = []byte(fmt.Sprintf("merlin-artifact/%d\n", formatVersion))
 // key-mismatched file is a miss (ok=false), never an error: the caller's
 // recovery — recompute and Put — is identical in every case.
 func (s *Store) Get(k Key) (*Artifact, bool) {
-	raw, err := os.ReadFile(s.path(k))
+	raw, err := s.fs.ReadFile(s.path(k))
 	if err != nil {
 		s.misses.Add(1)
 		return nil, false
@@ -273,28 +282,17 @@ func artifactMatches(a *Artifact, k Key) bool {
 	return true
 }
 
-// Put writes the artifact for k atomically: concurrent writers of the
-// same key race benignly (both payloads are bit-identical by determinism)
-// and readers never observe a partial file.
+// Put writes the artifact for k atomically and durably (temp file,
+// fsync, rename): concurrent writers of the same key race benignly (both
+// payloads are bit-identical by determinism) and readers never observe a
+// partial file.
 func (s *Store) Put(k Key, a *Artifact) error {
 	payload, err := encode(a)
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(s.dir, ".put-*")
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(payload); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), s.path(k)); err != nil {
-		return fmt.Errorf("store: %w", err)
+	if err := s.fs.WriteFileAtomic(s.path(k), payload); err != nil {
+		return err
 	}
 	s.puts.Add(1)
 	return nil
@@ -323,7 +321,7 @@ func (s *Store) GetRaw(id string) ([]byte, bool) {
 	if !validArtifactID(id) {
 		return nil, false
 	}
-	raw, err := os.ReadFile(filepath.Join(s.dir, id+".artifact"))
+	raw, err := s.fs.ReadFile(filepath.Join(s.dir, id+".artifact"))
 	if err != nil {
 		s.misses.Add(1)
 		return nil, false
@@ -343,7 +341,7 @@ func (s *Store) HasRaw(id string) bool {
 	if !validArtifactID(id) {
 		return false
 	}
-	_, err := os.Stat(filepath.Join(s.dir, id+".artifact"))
+	_, err := s.fs.Stat(filepath.Join(s.dir, id+".artifact"))
 	return err == nil
 }
 
@@ -358,20 +356,8 @@ func (s *Store) PutRaw(id string, raw []byte) error {
 	if _, err := decode(raw); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(s.dir, ".put-*")
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(raw); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, id+".artifact")); err != nil {
-		return fmt.Errorf("store: %w", err)
+	if err := s.fs.WriteFileAtomic(filepath.Join(s.dir, id+".artifact"), raw); err != nil {
+		return err
 	}
 	s.puts.Add(1)
 	return nil
@@ -386,7 +372,7 @@ func (s *Store) Stats() Stats {
 		Puts:   s.puts.Load(),
 		Errors: s.errs.Load(),
 	}
-	entries, _ := os.ReadDir(s.dir)
+	entries, _ := s.fs.ReadDir(s.dir)
 	for _, e := range entries {
 		if !strings.HasSuffix(e.Name(), ".artifact") {
 			continue

@@ -4,7 +4,8 @@
 # cost, BENCH_PR5.json for the batch-vs-3x-sequential comparison,
 # BENCH_PR6.json for the two-worker-fleet-vs-local comparison,
 # BENCH_PR7.json for the conformance-suite wall-clock, BENCH_PR8.json for
-# the merlinvet full-module analysis wall-clock), preserving their
+# the merlinvet full-module analysis wall-clock, BENCH_PR9.json for the
+# fleet chaos certification suite), preserving their
 # recorded pre-optimization baselines. Pass flags through to the Go
 # tool, e.g.:
 #

@@ -4,8 +4,9 @@
 // default), the batch-vs-3x-sequential wall-clock comparison
 // (BENCH_PR5.json by default), the two-worker-fleet-vs-local wall-clock
 // comparison (BENCH_PR6.json by default), the lockstep conformance
-// suite wall-clock (BENCH_PR7.json by default) and the merlinvet
+// suite wall-clock (BENCH_PR7.json by default), the merlinvet
 // static-analysis wall-clock over the full module (BENCH_PR8.json by
+// default) and the fleet chaos certification suite (BENCH_PR9.json by
 // default), so regressions in any of them are visible across PRs.
 //
 // Usage:
@@ -53,6 +54,8 @@ func main() {
 	fleetOut := flag.String("fleet-out", "BENCH_PR6.json", "two-worker-fleet-vs-local comparison output (empty disables)")
 	confOut := flag.String("conformance-out", "BENCH_PR7.json", "lockstep conformance-suite wall-clock output (empty disables)")
 	vetOut := flag.String("merlinvet-out", "BENCH_PR8.json", "merlinvet full-module analysis wall-clock output (empty disables)")
+	chaosOut := flag.String("chaos-out", "BENCH_PR9.json", "chaos certification suite wall-clock output (empty disables)")
+	chaosScenarios := flag.Int("chaos-scenarios", 25, "scenario count for the chaos suite run")
 	benchtime := flag.String("benchtime", "3x", "benchtime for the campaign-scale strategy benchmarks")
 	microtime := flag.String("microtime", "200x", "benchtime for the clone/simulator microbenchmarks")
 	flag.Parse()
@@ -111,6 +114,65 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	if *chaosOut != "" {
+		if err := writeChaos(*chaosOut, *chaosScenarios); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeChaos runs the fleet chaos certification suite (`merlin chaos`)
+// and records its parsed chaos-summary line — scenario count, requeues,
+// injected faults, clean-vs-chaos wall overhead — as its own trajectory
+// file. The suite must pass: a chaos failure fails the bench exactly as
+// it fails CI, because the number being tracked is the cost of recovery
+// machinery that is required to work.
+func writeChaos(out string, scenarios int) error {
+	args := []string{"run", "./cmd/merlin", "chaos", "-seed", "1", "-scenarios", strconv.Itoa(scenarios)}
+	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("chaos suite failed: %w\n%s", err, buf.String())
+	}
+	m := metrics{}
+	var nScen, requeues, faults, cleanMS, meanMS, suiteMS int
+	var overhead float64
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "chaos-summary:") {
+			continue
+		}
+		if _, err := fmt.Sscanf(line,
+			"chaos-summary: scenarios=%d requeues=%d faults=%d clean_ms=%d chaos_mean_ms=%d overhead_x=%f suite_ms=%d result=PASS",
+			&nScen, &requeues, &faults, &cleanMS, &meanMS, &overhead, &suiteMS); err != nil {
+			return fmt.Errorf("unparseable chaos-summary line %q: %w", line, err)
+		}
+		m["scenarios"] = float64(nScen)
+		m["requeues"] = float64(requeues)
+		m["faults"] = float64(faults)
+		m["clean-ms"] = float64(cleanMS)
+		m["chaos-mean-ms"] = float64(meanMS)
+		m["overhead-x"] = overhead
+		m["suite-ms"] = float64(suiteMS)
+	}
+	if len(m) == 0 {
+		return fmt.Errorf("chaos run printed no chaos-summary line:\n%s", buf.String())
+	}
+	results := map[string]metrics{"ChaosSuite": m}
+	return writeTrajectory(out, 9, "1x", results, func(baseline map[string]metrics) map[string]float64 {
+		b, okB := baseline["ChaosSuite"]
+		c, okC := results["ChaosSuite"]
+		if !okB || !okC || b["suite-ms"] <= 0 || c["suite-ms"] <= 0 {
+			return nil
+		}
+		return map[string]float64{"chaos_suite_wall_x": b["suite-ms"] / c["suite-ms"]}
+	})
 }
 
 // writeMerlinvet times the static-analysis pass over the full module

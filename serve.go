@@ -7,6 +7,8 @@ package merlin
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"net/http"
 	"time"
@@ -93,6 +95,16 @@ type ServeOptions struct {
 	// workers joined the coordinator runs campaigns in-process exactly as
 	// a single-node daemon would.
 	FleetTTL time.Duration
+
+	// FleetClient, when non-nil, replaces the dispatcher's hardened shard-
+	// stream HTTP client — the chaos harness's injection point for
+	// coordinator-side transfer faults.
+	FleetClient *http.Client
+	// FleetStallTimeout is the dispatcher's per-shard progress watchdog: a
+	// worker stream producing no outcome line for this long is abandoned
+	// and its remaining reps requeued, even while the worker heartbeats.
+	// 0 means the default (2 minutes); negative disables the watchdog.
+	FleetStallTimeout time.Duration
 }
 
 // NewServer starts the campaign service's worker pools and returns the
@@ -108,7 +120,7 @@ func NewServer(opt ServeOptions) (*Server, error) {
 		pool = fleet.NewPool(opt.FleetTTL)
 	}
 	cfg := server.Config{
-		Run:                  runCampaign(opt.Cache, snapshots, pool, opt.Registry != nil),
+		Run:                  runCampaign(opt.Cache, snapshots, pool, opt.Registry != nil, opt.FleetClient, opt.FleetStallTimeout),
 		Validate:             validateRequest(opt.Cache),
 		Shards:               opt.Shards,
 		WorkersPerShard:      opt.WorkersPerShard,
@@ -145,6 +157,10 @@ func NewServer(opt ServeOptions) (*Server, error) {
 						http.Error(w, `{"error":"unknown artifact"}`, http.StatusNotFound)
 						return
 					}
+					// Advertise the payload digest so the worker can verify
+					// the bytes end to end before caching them.
+					sum := sha256.Sum256(raw)
+					w.Header().Set(artifactDigestHeader, hex.EncodeToString(sum[:]))
 					w.Header().Set("Content-Type", "application/octet-stream")
 					w.Write(raw)
 				})
@@ -330,13 +346,13 @@ func progressEvent(p Progress) (CampaignEvent, bool) {
 // none of those (today's plain single-process daemon) they run the local
 // Session pipeline unchanged. Batches always run locally: they already
 // amortize one golden run across structures in-process.
-func runCampaign(cache *Cache, snapshots *SnapshotCache, pool *fleet.Pool, durable bool) server.RunFunc {
+func runCampaign(cache *Cache, snapshots *SnapshotCache, pool *fleet.Pool, durable bool, client *http.Client, stall time.Duration) server.RunFunc {
 	return func(ctx context.Context, job server.Job, emit func(CampaignEvent)) (any, error) {
 		req := job.Request
 		if len(req.Structures) == 0 {
 			fleetAlive := pool != nil && len(pool.Alive()) > 0
 			if fleetAlive || durable || len(job.Resume) > 0 {
-				return runFleetCampaign(ctx, job, emit, cache, snapshots, pool)
+				return runFleetCampaign(ctx, job, emit, cache, snapshots, pool, client, stall)
 			}
 		}
 		opts, err := requestOptions(req, cache)
