@@ -63,6 +63,9 @@ func run() int {
 	if len(os.Args) > 1 && os.Args[1] == "chaos" {
 		return runChaos(os.Args[2:])
 	}
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		return runAnalyze(os.Args[2:])
+	}
 	var (
 		workload   = flag.String("workload", "qsort", "workload name (see -list)")
 		structure  = flag.String("structure", "RF", "injection target: RF, SQ, or L1D")

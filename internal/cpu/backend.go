@@ -211,7 +211,7 @@ func (c *Core) writebackStage() {
 		if e.physDest >= 0 {
 			c.regVal[e.physDest] = e.result
 			c.regReady[e.physDest] = true
-			c.emitWrite(lifetime.StructRF, int32(e.physDest), 0xff)
+			c.emitWrite(lifetime.StructRF, int32(e.physDest), 0xff, int32(e.rip), e.uop.UPC)
 		}
 		switch e.uop.Kind {
 		case isa.UopSTA:
@@ -224,7 +224,7 @@ func (c *Core) writebackStage() {
 			assertf(s.valid, "STD writeback to invalid SQ slot")
 			s.data = e.result
 			s.dataOK = true
-			c.emitWrite(lifetime.StructSQ, int32(e.sqSlot), maskRange(0, int(s.size)))
+			c.emitWrite(lifetime.StructSQ, int32(e.sqSlot), maskRange(0, int(s.size)), int32(e.rip), e.uop.UPC)
 		case isa.UopBr, isa.UopJmp:
 			if e.actTarget != e.predTarget {
 				c.stats.Mispredicts++
@@ -319,9 +319,10 @@ func (c *Core) dcacheRead(e *robEntry, addr uint64, size uint8) (uint64, int) {
 }
 
 // dcacheWrite stores the low size bytes of data at addr through the L1D,
-// splitting at line boundaries and emitting byte-precise write events. It
-// returns the total access latency (the drain-port occupancy).
-func (c *Core) dcacheWrite(addr uint64, size uint8, data uint64) int {
+// splitting at line boundaries and emitting byte-precise write events
+// stamped with the draining store's static location. It returns the total
+// access latency (the drain-port occupancy).
+func (c *Core) dcacheWrite(addr uint64, size uint8, data uint64, rip int32, upc uint8) int {
 	remaining := int(size)
 	lat := 0
 	for remaining > 0 {
@@ -334,7 +335,7 @@ func (c *Core) dcacheWrite(addr uint64, size uint8, data uint64) int {
 			arr[off+i] = byte(data)
 			data >>= 8
 		}
-		c.emitWrite(lifetime.StructL1D, int32(entry), maskRange(off, n))
+		c.emitWrite(lifetime.StructL1D, int32(entry), maskRange(off, n), rip, upc)
 		addr += uint64(n)
 		remaining -= n
 	}

@@ -121,7 +121,7 @@ func (c *Core) drainStage() {
 		return
 	}
 	c.stats.Stores++
-	lat := c.dcacheWrite(s.addr, s.size, s.data)
+	lat := c.dcacheWrite(s.addr, s.size, s.data, int32(s.drainRIP), s.drainUPC)
 	c.drainBusyUntil = c.cycle + uint64(lat)
 	if c.tracer != nil {
 		if l := c.tracer.Log(lifetime.StructSQ); l != nil {

@@ -307,7 +307,7 @@ func (c *Core) AttachTracer(t *lifetime.Tracer) {
 	c.tracer = t
 	if l := t.Log(lifetime.StructRF); l != nil {
 		for p := 0; p < isa.NumArchRegs; p++ {
-			l.Append(lifetime.Event{Seq: t.NextSeq(), Cycle: 0, Entry: int32(p), Mask: 0xff, Kind: lifetime.EvWrite})
+			l.Append(lifetime.Event{Seq: t.NextSeq(), Cycle: 0, Entry: int32(p), Mask: 0xff, Kind: lifetime.EvWrite, RIP: lifetime.InitRip})
 		}
 	}
 }
@@ -499,7 +499,10 @@ func (c *Core) StateHash() uint64 {
 
 // --- lifetime event plumbing ---
 
-func (c *Core) emitWrite(s lifetime.StructureID, entry int32, mask uint64) {
+// emitWrite records a write event stamped with the producing µop's static
+// location (rip, upc), so the guestflow cross-check and static pre-pruner
+// can reason about which architectural value a physical entry holds.
+func (c *Core) emitWrite(s lifetime.StructureID, entry int32, mask uint64, rip int32, upc uint8) {
 	if c.tracer == nil {
 		return
 	}
@@ -507,7 +510,7 @@ func (c *Core) emitWrite(s lifetime.StructureID, entry int32, mask uint64) {
 	if l == nil {
 		return
 	}
-	l.Append(lifetime.Event{Seq: c.tracer.NextSeq(), Cycle: c.cycle, Entry: entry, Mask: mask, Kind: lifetime.EvWrite})
+	l.Append(lifetime.Event{Seq: c.tracer.NextSeq(), Cycle: c.cycle, Entry: entry, Mask: mask, Kind: lifetime.EvWrite, RIP: rip, UPC: upc})
 }
 
 func (c *Core) emitL1D(kind lifetime.EventKind, set, way int, mask uint64) {

@@ -79,7 +79,7 @@ func (c *Core) DrainPendingStores() {
 		if !s.committed {
 			break
 		}
-		c.dcacheWrite(s.addr, s.size, s.data)
+		c.dcacheWrite(s.addr, s.size, s.data, int32(s.drainRIP), s.drainUPC)
 		s.valid, s.addrOK, s.dataOK, s.committed = false, false, false, false
 		c.sqHead = (c.sqHead + 1) % len(c.sq)
 		c.sqLen--

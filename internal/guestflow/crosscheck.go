@@ -1,0 +1,272 @@
+package guestflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"merlin/internal/isa"
+	"merlin/internal/lifetime"
+)
+
+// Violation is one static/dynamic disagreement found by CrossCheck: a
+// dynamically observed interval the static analysis says cannot exist.
+// Every violation means a bug — in the lifetime tracer, in the core's
+// event plumbing, or in the static analysis itself — and must fail the
+// run loudly.
+type Violation struct {
+	// Code names the broken invariant:
+	//
+	//	reader-rip-out-of-range   reader RIP outside the text segment
+	//	reader-rip-negative       reader RIP a pseudo-RIP not legal here
+	//	wbread-wrong-structure    WBRip reader outside L1D
+	//	unreachable-reader        reader statically unreachable from entry
+	//	reader-upc-out-of-range   reader UPC >= NumUops(op)
+	//	reader-shape              reader µop cannot read this structure
+	//	read-without-write        interval with no governing write event
+	//	writer-upc-out-of-range   governing write UPC >= NumUops(op)
+	//	init-write-bad-entry      reset-time write outside the arch registers
+	//	dead-def-read             governing write's register is statically
+	//	                          dead at the writer, yet it was read
+	Code       string
+	Structure  lifetime.StructureID
+	IntervalID int
+	Interval   lifetime.Interval
+	// Writer locates the governing write for writer-side codes (RIP,
+	// UPC); Reg is the architectural register whose liveness the
+	// dead-def-read argument is about.
+	WriterRIP int32
+	WriterUPC uint8
+	Reg       int8
+	Detail    string
+	window    string
+}
+
+// Error renders the violation with an instruction-addressed diagnostic
+// window, conformance-report style.
+func (v *Violation) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "guestflow cross-check: %s: %s interval #%d entry=%d mask=%#x (%d,%d] reader rip=%d upc=%d: %s",
+		v.Code, v.Structure, v.IntervalID, v.Interval.Entry, v.Interval.Mask,
+		v.Interval.Start, v.Interval.End, v.Interval.RIP, v.Interval.UPC, v.Detail)
+	if v.window != "" {
+		b.WriteByte('\n')
+		b.WriteString(v.window)
+	}
+	return b.String()
+}
+
+// instWindow renders the instructions around rip (±3) with the focal line
+// marked, so a violation pinpoints the guest code it is about.
+func instWindow(p *isa.Program, rip int32) string {
+	if rip < 0 || int(rip) >= len(p.Text) {
+		return ""
+	}
+	lo := int(rip) - 3
+	if lo < 0 {
+		lo = 0
+	}
+	hi := int(rip) + 3
+	if hi >= len(p.Text) {
+		hi = len(p.Text) - 1
+	}
+	var b strings.Builder
+	for i := lo; i <= hi; i++ {
+		marker := "  "
+		if i == int(rip) {
+			marker = "->"
+		}
+		fmt.Fprintf(&b, "  %s %4d  %s\n", marker, i, p.Text[i].String())
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// writeRec is one write event of the governing-write index: who wrote an
+// entry, and when.
+type writeRec struct {
+	cycle uint64
+	seq   uint64
+	rip   int32
+	upc   uint8
+}
+
+// writeIndex maps structure entries to their write events in (cycle, seq)
+// order, built once per cross-check / prune pass from the golden event log.
+type writeIndex struct {
+	byEntry map[int32][]writeRec
+}
+
+func buildWriteIndex(log *lifetime.Log) *writeIndex {
+	ix := &writeIndex{byEntry: make(map[int32][]writeRec)}
+	if log == nil {
+		return ix
+	}
+	for _, ev := range log.Events {
+		if ev.Kind != lifetime.EvWrite {
+			continue
+		}
+		ix.byEntry[ev.Entry] = append(ix.byEntry[ev.Entry], writeRec{cycle: ev.Cycle, seq: ev.Seq, rip: ev.RIP, upc: ev.UPC})
+	}
+	for _, ws := range ix.byEntry {
+		sort.Slice(ws, func(a, b int) bool {
+			if ws[a].cycle != ws[b].cycle {
+				return ws[a].cycle < ws[b].cycle
+			}
+			return ws[a].seq < ws[b].seq
+		})
+	}
+	return ix
+}
+
+// governing returns the last write to entry with cycle <= bound (ties by
+// highest seq), which is the write that produced the value a segment
+// starting at cycle bound holds.
+func (ix *writeIndex) governing(entry int32, bound uint64) (writeRec, bool) {
+	ws := ix.byEntry[entry]
+	// First index with cycle > bound; the record before it governs.
+	i := sort.Search(len(ws), func(k int) bool { return ws[k].cycle > bound })
+	if i == 0 {
+		return writeRec{}, false
+	}
+	return ws[i-1], true
+}
+
+// CrossCheck differentially validates the dynamic ACE-like analysis
+// against the static dataflow bounds: every vulnerable interval must be
+// attributed to a µop that statically exists, is reachable, and can read
+// the structure — and for the register file, the architectural value it
+// consumed must be may-live out of its producing write. log is the
+// structure's golden event log (used for the RF governing-write argument;
+// nil skips the writer-side checks). The returned slice is empty when the
+// two analyses agree; every element is an independent tracer bug.
+func CrossCheck(g *Analysis, dyn *lifetime.Analysis, log *lifetime.Log) []Violation {
+	var vs []Violation
+	n := int32(len(g.Prog.Text))
+	report := func(v Violation) {
+		v.Structure = dyn.Structure
+		if v.window == "" {
+			v.window = instWindow(g.Prog, v.Interval.RIP)
+		}
+		vs = append(vs, v)
+	}
+
+	var ix *writeIndex
+	if dyn.Structure == lifetime.StructRF && log != nil {
+		ix = buildWriteIndex(log)
+	}
+
+	for id := range dyn.Intervals {
+		iv := &dyn.Intervals[id]
+		switch {
+		case iv.RIP == lifetime.EOFRip:
+			// Truncated-run cut: no reader to validate.
+			continue
+		case iv.RIP == lifetime.WBRip:
+			if dyn.Structure != lifetime.StructL1D {
+				report(Violation{Code: "wbread-wrong-structure", IntervalID: id, Interval: *iv,
+					Detail: "dirty-writeback reads exist only in the L1D"})
+			}
+			continue
+		case iv.RIP < 0:
+			report(Violation{Code: "reader-rip-negative", IntervalID: id, Interval: *iv,
+				Detail: fmt.Sprintf("pseudo-RIP %d is not a legal reader attribution", iv.RIP)})
+			continue
+		case iv.RIP >= n:
+			report(Violation{Code: "reader-rip-out-of-range", IntervalID: id, Interval: *iv,
+				Detail: fmt.Sprintf("reader RIP %d outside text [0,%d)", iv.RIP, n)})
+			continue
+		}
+		in := g.Prog.Text[iv.RIP]
+		if !g.Reachable(int(iv.RIP)) {
+			report(Violation{Code: "unreachable-reader", IntervalID: id, Interval: *iv,
+				Detail: fmt.Sprintf("instruction %d (%s) is statically unreachable from entry %d", iv.RIP, in, g.Prog.Entry)})
+			continue
+		}
+		if int(iv.UPC) >= isa.NumUops(in.Op) {
+			report(Violation{Code: "reader-upc-out-of-range", IntervalID: id, Interval: *iv,
+				Detail: fmt.Sprintf("µPC %d but %s cracks into %d µop(s)", iv.UPC, in.Op, isa.NumUops(in.Op))})
+			continue
+		}
+		u := isa.Crack(in)[iv.UPC]
+		if !readerShapeOK(dyn.Structure, u) {
+			report(Violation{Code: "reader-shape", IntervalID: id, Interval: *iv,
+				Detail: fmt.Sprintf("µop %d of %s cannot read the %s", iv.UPC, in, dyn.Structure)})
+			continue
+		}
+		if ix != nil {
+			if v, bad := checkRFWriter(g, ix, id, iv); bad {
+				report(v)
+			}
+		}
+	}
+	return vs
+}
+
+// readerShapeOK reports whether µop u can end a vulnerable interval of
+// structure s: RF reads need a register or temp source, SQ reads are
+// store-data drains or load forwarding, L1D reads are loads (WBRip is
+// handled before cracking).
+func readerShapeOK(s lifetime.StructureID, u isa.Uop) bool {
+	switch s {
+	case lifetime.StructRF:
+		return u.Rs1 >= 0 || u.Rs2 >= 0 || u.TempSrc >= 0
+	case lifetime.StructSQ:
+		return u.Kind == isa.UopLoad || u.Kind == isa.UopSTD
+	case lifetime.StructL1D:
+		return u.Kind == isa.UopLoad
+	}
+	return false
+}
+
+// checkRFWriter validates the register-file inclusion property: the
+// governing write of the interval (the write that produced the value the
+// committed reader consumed) must have an architectural destination that
+// is may-live out of the writing instruction — a committed read of a
+// statically must-dead definition is impossible on a correct machine.
+func checkRFWriter(g *Analysis, ix *writeIndex, id int, iv *lifetime.Interval) (Violation, bool) {
+	w, ok := ix.governing(iv.Entry, iv.Start)
+	if !ok {
+		return Violation{Code: "read-without-write", IntervalID: id, Interval: *iv,
+			Detail: fmt.Sprintf("no write event precedes the interval on entry %d", iv.Entry)}, true
+	}
+	n := int32(len(g.Prog.Text))
+	switch {
+	case w.rip == lifetime.InitRip:
+		// Reset seeds map architectural register r to physical entry r.
+		if iv.Entry >= isa.NumArchRegs {
+			return Violation{Code: "init-write-bad-entry", IntervalID: id, Interval: *iv,
+				WriterRIP: w.rip, Detail: fmt.Sprintf("reset-time write to physical entry %d (arch file is 0..%d)", iv.Entry, isa.NumArchRegs-1)}, true
+		}
+		r := int8(iv.Entry)
+		if !g.MayLiveIn(g.Prog.Entry).Has(r) {
+			return Violation{Code: "dead-def-read", IntervalID: id, Interval: *iv,
+				WriterRIP: w.rip, Reg: r,
+				Detail: fmt.Sprintf("initial value of r%d is statically dead at entry (may-live-in %s), yet a committed read consumed it", r, g.MayLiveIn(g.Prog.Entry)),
+				window: instWindow(g.Prog, int32(g.Prog.Entry))}, true
+		}
+	case w.rip >= 0 && w.rip < n:
+		in := g.Prog.Text[w.rip]
+		if int(w.upc) >= isa.NumUops(in.Op) {
+			return Violation{Code: "writer-upc-out-of-range", IntervalID: id, Interval: *iv,
+				WriterRIP: w.rip, WriterUPC: w.upc,
+				Detail: fmt.Sprintf("governing write µPC %d but %s cracks into %d µop(s)", w.upc, in.Op, isa.NumUops(in.Op)),
+				window: instWindow(g.Prog, w.rip)}, true
+		}
+		u := isa.Crack(in)[w.upc]
+		if u.Rd < 0 {
+			// Intra-instruction temp: consumed by a sibling µop of the same
+			// macro-instruction, invisible to architectural liveness.
+			return Violation{}, false
+		}
+		if !g.MayLiveOut(int(w.rip)).Has(u.Rd) {
+			return Violation{Code: "dead-def-read", IntervalID: id, Interval: *iv,
+				WriterRIP: w.rip, WriterUPC: w.upc, Reg: u.Rd,
+				Detail: fmt.Sprintf("write of r%d at instruction %d (%s) is statically must-dead (may-live-out %s), yet a committed read consumed it", u.Rd, w.rip, in, g.MayLiveOut(int(w.rip))),
+				window: instWindow(g.Prog, w.rip)}, true
+		}
+	}
+	// Out-of-range writer RIPs cannot occur (bad fetches never allocate a
+	// destination); if one slips through, the reader-side checks above
+	// already cover the interval, so stay silent rather than guess.
+	return Violation{}, false
+}

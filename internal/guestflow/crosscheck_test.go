@@ -1,0 +1,237 @@
+package guestflow
+
+import (
+	"strings"
+	"testing"
+
+	"merlin/internal/conformance/gen"
+	"merlin/internal/cpu"
+	"merlin/internal/fault"
+	"merlin/internal/isa"
+	"merlin/internal/lifetime"
+	"merlin/internal/sampling"
+	"merlin/internal/workloads"
+)
+
+// goldenRF runs p fault-free with the RF tracer attached and returns the
+// static analysis, the dynamic interval analysis and the raw event log.
+// Programs that do not halt cleanly fail the test: the differential
+// oracle is only meaningful over a committed golden run.
+func goldenRF(t testing.TB, p *isa.Program, cfg cpu.Config) (*Analysis, *lifetime.Analysis, *lifetime.Log) {
+	t.Helper()
+	c := cpu.New(cfg, p)
+	tr := lifetime.NewTracer(lifetime.StructRF)
+	c.AttachTracer(tr)
+	res := c.Run(100_000_000)
+	if res.Halt != cpu.HaltOK {
+		t.Fatalf("%s: golden run ended with %v after %d cycles", p.Name, res.Halt, res.Cycles)
+	}
+	log := tr.Log(lifetime.StructRF)
+	dyn := lifetime.Build(log, lifetime.StructRF, cfg.PhysRegs, 8, res.Cycles)
+	return Analyze(p), dyn, log
+}
+
+// TestCrossCheckBuiltins: the static may-live bounds must contain every
+// dynamic vulnerable interval of every registered workload — zero
+// disagreements is the contract that lets the pre-pruner skip dynamic
+// lookups.
+func TestCrossCheckBuiltins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload sweep in short mode")
+	}
+	cfg := cpu.DefaultConfig()
+	for _, name := range workloads.Names("") {
+		w := workloads.MustGet(name)
+		g, dyn, log := goldenRF(t, w.Program(), cfg)
+		if vs := CrossCheck(g, dyn, log); len(vs) > 0 {
+			t.Errorf("%s: %d cross-check violations; first: %v", name, len(vs), &vs[0])
+		}
+	}
+}
+
+// TestCrossCheckGeneratedKernels runs the oracle over seeded stress
+// kernels from every generator class.
+func TestCrossCheckGeneratedKernels(t *testing.T) {
+	cfg := cpu.DefaultConfig().WithRF(64).WithSQ(16).WithL1D(16 << 10)
+	for _, class := range gen.Classes() {
+		for seed := uint64(1); seed <= 4; seed++ {
+			p := gen.Kernel(class, seed)
+			g, dyn, log := goldenRF(t, p, cfg)
+			if vs := CrossCheck(g, dyn, log); len(vs) > 0 {
+				t.Errorf("%s: %d violations; first: %v", p.Name, len(vs), &vs[0])
+			}
+		}
+	}
+}
+
+// TestCrossCheckSabotage corrupts dynamic intervals one failure mode at a
+// time and requires the oracle to catch each with the right violation
+// code and an instruction-addressed diagnostic. An oracle that stays
+// silent on corrupted tracer output is worse than none.
+func TestCrossCheckSabotage(t *testing.T) {
+	cfg := cpu.DefaultConfig()
+	w := workloads.MustGet("qsort")
+	g, dyn, log := goldenRF(t, w.Program(), cfg)
+	if vs := CrossCheck(g, dyn, log); len(vs) > 0 {
+		t.Fatalf("clean run not clean: %v", &vs[0])
+	}
+
+	// Pick a victim interval attributed to a real text RIP.
+	victim := -1
+	for id, iv := range dyn.Intervals {
+		if iv.RIP >= 0 {
+			victim = id
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no text-attributed interval to sabotage")
+	}
+
+	sabotage := []struct {
+		name, code string
+		mutate     func(iv *lifetime.Interval)
+	}{
+		{"rip past text", "reader-rip-out-of-range", func(iv *lifetime.Interval) {
+			iv.RIP = int32(len(w.Program().Text)) + 7
+		}},
+		{"negative pseudo-rip", "reader-rip-negative", func(iv *lifetime.Interval) {
+			iv.RIP = -9
+		}},
+		{"wbread on RF", "wbread-wrong-structure", func(iv *lifetime.Interval) {
+			iv.RIP = lifetime.WBRip
+		}},
+		{"upc past crack", "reader-upc-out-of-range", func(iv *lifetime.Interval) {
+			iv.UPC = 250
+		}},
+	}
+	for _, s := range sabotage {
+		t.Run(s.name, func(t *testing.T) {
+			saved := dyn.Intervals[victim]
+			defer func() { dyn.Intervals[victim] = saved }()
+			s.mutate(&dyn.Intervals[victim])
+
+			vs := CrossCheck(g, dyn, log)
+			if len(vs) == 0 {
+				t.Fatalf("sabotage %q not caught", s.name)
+			}
+			v := vs[0]
+			if v.Code != s.code {
+				t.Errorf("caught as %q, want %q", v.Code, s.code)
+			}
+			if v.IntervalID != victim {
+				t.Errorf("blamed interval #%d, want #%d", v.IntervalID, victim)
+			}
+			msg := v.Error()
+			if !strings.Contains(msg, s.code) || !strings.Contains(msg, "rip=") {
+				t.Errorf("diagnostic lacks code or instruction address:\n%s", msg)
+			}
+		})
+	}
+
+	// Reader-shape sabotage needs a reader retargeted onto an instruction
+	// whose µop reads no register at all (an LI): find one in the text.
+	li := int32(-1)
+	for i, in := range w.Program().Text {
+		if in.Op == isa.LI && g.Reachable(i) {
+			li = int32(i)
+			break
+		}
+	}
+	if li < 0 {
+		t.Fatal("qsort has no reachable LI to retarget onto")
+	}
+	t.Run("reader shape", func(t *testing.T) {
+		saved := dyn.Intervals[victim]
+		defer func() { dyn.Intervals[victim] = saved }()
+		dyn.Intervals[victim].RIP = li
+		dyn.Intervals[victim].UPC = 0
+
+		vs := CrossCheck(g, dyn, log)
+		if len(vs) == 0 {
+			t.Fatal("shape sabotage not caught")
+		}
+		if vs[0].Code != "reader-shape" {
+			t.Errorf("caught as %q, want reader-shape", vs[0].Code)
+		}
+		if !strings.Contains(vs[0].Error(), "->") {
+			t.Errorf("diagnostic lacks the marked disassembly window:\n%s", vs[0].Error())
+		}
+	})
+
+	// Writer-side sabotage: rewrite one governing write event to claim an
+	// impossible µPC, so the writer checks must fire.
+	t.Run("writer upc", func(t *testing.T) {
+		iv := dyn.Intervals[victim]
+		var savedIdx int
+		var saved lifetime.Event
+		found := false
+		for i, ev := range log.Events {
+			if ev.Kind == lifetime.EvWrite && ev.Entry == iv.Entry && ev.Cycle <= iv.Start && ev.RIP >= 0 {
+				savedIdx, saved, found = i, ev, true
+			}
+		}
+		if !found {
+			t.Skip("victim interval fed by a reset-time write")
+		}
+		defer func() { log.Events[savedIdx] = saved }()
+		log.Events[savedIdx].UPC = 200
+
+		vs := CrossCheck(g, dyn, log)
+		if len(vs) == 0 {
+			t.Fatal("writer µPC sabotage not caught")
+		}
+		if vs[0].Code != "writer-upc-out-of-range" {
+			t.Errorf("caught as %q, want writer-upc-out-of-range", vs[0].Code)
+		}
+	})
+}
+
+// TestPruneRFSoundness: every fault site the static pre-pruner classifies
+// masked must also be dynamically masked (no vulnerable interval covers
+// it) — the exact invariant the session re-verifies before trusting a
+// pruned campaign.
+func TestPruneRFSoundness(t *testing.T) {
+	cfg := cpu.DefaultConfig().WithRF(64).WithSQ(16).WithL1D(16 << 10)
+	progs := []*isa.Program{
+		workloads.MustGet("qsort").Program(),
+		workloads.MustGet("sha").Program(),
+		gen.Kernel("mixed", 3),
+		gen.Kernel("rf", 9),
+	}
+	for _, p := range progs {
+		g, dyn, log := goldenRF(t, p, cfg)
+		sites := sampling.Generate(lifetime.StructRF, cfg.PhysRegs, 64, dyn.Cycles, 2000, 5)
+		premasked, ps := PruneRF(g, log, sites)
+		if ps.Pruned() == 0 {
+			t.Errorf("%s: pruner found nothing over %d sites — suspicious for a %d-entry RF",
+				p.Name, len(sites), cfg.PhysRegs)
+		}
+		for i, pm := range premasked {
+			if !pm {
+				continue
+			}
+			f := sites[i]
+			if id, ok := dyn.Find(f.Entry, f.Byte(), f.Cycle); ok {
+				t.Fatalf("%s: fault %v statically pruned but dynamically vulnerable (interval #%d)",
+					p.Name, f, id)
+			}
+		}
+		if ps.NeverWritten+ps.MustDead != ps.Pruned() || ps.Faults != len(sites) {
+			t.Errorf("%s: inconsistent PruneStats %+v", p.Name, ps)
+		}
+	}
+}
+
+// TestPruneRFEmptyLog: with no write events every fault is trivially
+// masked (nothing was ever read), and the pruner must say so rather than
+// crash.
+func TestPruneRFEmptyLog(t *testing.T) {
+	p := prog("empty", halt())
+	g := Analyze(p)
+	faults := []fault.Fault{{Structure: lifetime.StructRF, Entry: 3, Bit: 7, Cycle: 10}}
+	premasked, ps := PruneRF(g, &lifetime.Log{}, faults)
+	if !premasked[0] || ps.NeverWritten != 1 {
+		t.Errorf("never-written entry not pruned: %v %+v", premasked, ps)
+	}
+}

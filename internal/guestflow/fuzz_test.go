@@ -1,0 +1,58 @@
+package guestflow
+
+import (
+	"testing"
+
+	"merlin/internal/conformance/gen"
+	"merlin/internal/cpu"
+	"merlin/internal/lifetime"
+	"merlin/internal/sampling"
+)
+
+// FuzzCrossCheck feeds arbitrary byte strings through the conformance
+// generator's stream grammar — every input becomes a valid, terminating
+// µx64 program — and asserts the static/dynamic differential oracle never
+// fires on a healthy machine. Any counterexample is a real bug in either
+// the static analysis (bounds too tight) or the lifetime tracer
+// (attribution wrong), minimised to a reproducible program.
+func FuzzCrossCheck(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Add([]byte{40, 1, 2, 3, 9, 0, 41, 9, 9, 9, 2, 0})
+	f.Add([]byte{35, 1, 11, 2, 8, 0, 36, 2, 11, 3, 16, 0, 37, 3, 11, 1, 24, 0})
+	f.Add([]byte{255, 254, 253, 252, 251, 250, 100, 90, 80, 70, 60, 50})
+
+	cfg := cpu.DefaultConfig().WithRF(64).WithSQ(16).WithL1D(16 << 10)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := gen.DecodeStream(data)
+		c := cpu.New(cfg, p)
+		tr := lifetime.NewTracer(lifetime.StructRF)
+		c.AttachTracer(tr)
+		res := c.Run(20_000_000)
+		if res.Halt != cpu.HaltOK {
+			// Architectural crashes (bad memory offsets) are a legal
+			// stream outcome; the oracle only covers committed runs.
+			t.Skip()
+		}
+		log := tr.Log(lifetime.StructRF)
+		dyn := lifetime.Build(log, lifetime.StructRF, cfg.PhysRegs, 8, res.Cycles)
+		g := Analyze(p)
+		if vs := CrossCheck(g, dyn, log); len(vs) > 0 {
+			t.Fatalf("%s: static/dynamic disagreement on a healthy machine: %v", p.Name, &vs[0])
+		}
+
+		// The pre-pruner must stay inside the dynamic masked set on every
+		// generated program, not just the curated corpus.
+		sites := sampling.Generate(lifetime.StructRF, cfg.PhysRegs, 64, res.Cycles, 200, 1)
+		premasked, _ := PruneRF(g, log, sites)
+		for i, pm := range premasked {
+			if !pm {
+				continue
+			}
+			if id, ok := dyn.Find(sites[i].Entry, sites[i].Byte(), sites[i].Cycle); ok {
+				t.Fatalf("%s: fault %v statically pruned but dynamically vulnerable (interval #%d)",
+					p.Name, sites[i], id)
+			}
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package guestflow
+
+import (
+	"merlin/internal/fault"
+	"merlin/internal/isa"
+	"merlin/internal/lifetime"
+)
+
+// PruneStats breaks down what the static pre-pruner classified masked.
+type PruneStats struct {
+	// Faults is the input fault-site count.
+	Faults int
+	// NeverWritten counts fault sites on entries with no write event at
+	// or before the fault cycle (free-list registers never yet allocated):
+	// trivially masked, no liveness argument needed.
+	NeverWritten int
+	// MustDead counts fault sites whose governing write's architectural
+	// destination is statically must-dead at the writer — overwritten
+	// before any read on every static path.
+	MustDead int
+}
+
+// Pruned returns the total number of statically masked fault sites.
+func (s PruneStats) Pruned() int { return s.NeverWritten + s.MustDead }
+
+// PruneRF classifies register-file fault sites that are provably masked
+// by the static must-dead analysis, before any faulty simulation runs.
+// For each fault (entry, byte, cycle C) it finds the governing write — the
+// last write event on the entry strictly before C — and prunes the fault
+// when the architectural value that write produced can never be read:
+//
+//   - no governing write exists: the physical register was never
+//     allocated, so nothing can consume the flipped bits;
+//   - the governing write is the reset-time seed of architectural
+//     register r and r is not may-live-in at the program entry point;
+//   - the governing write is µop (RIP, UPC) with architectural
+//     destination r, and r is not may-live-out of RIP.
+//
+// The bound is strict (cycle < C, not <=) because a flip in the same
+// cycle as a write may still land in the previous value when the entry's
+// committed read of that value shares the cycle. Writes of
+// intra-instruction temps (Rd < 0) are never pruned — temp lifetimes are
+// invisible to architectural liveness. log must be the golden RF event
+// log the dynamic analysis was built from; premasked[i] is true when
+// faults[i] is statically masked.
+func PruneRF(g *Analysis, log *lifetime.Log, faults []fault.Fault) ([]bool, PruneStats) {
+	premasked := make([]bool, len(faults))
+	st := PruneStats{Faults: len(faults)}
+	ix := buildWriteIndex(log)
+	n := int32(len(g.Prog.Text))
+	entryLiveIn := g.MayLiveIn(g.Prog.Entry)
+	for i, f := range faults {
+		var bound uint64
+		if f.Cycle > 0 {
+			bound = f.Cycle - 1
+		}
+		w, ok := ix.governing(f.Entry, bound)
+		if !ok {
+			premasked[i] = true
+			st.NeverWritten++
+			continue
+		}
+		switch {
+		case w.rip == lifetime.InitRip:
+			if f.Entry < isa.NumArchRegs && !entryLiveIn.Has(int8(f.Entry)) {
+				premasked[i] = true
+				st.MustDead++
+			}
+		case w.rip >= 0 && w.rip < n:
+			in := g.Prog.Text[w.rip]
+			if int(w.upc) >= isa.NumUops(in.Op) {
+				continue // malformed stamp: leave it to the dynamic analysis
+			}
+			u := isa.Crack(in)[w.upc]
+			if u.Rd >= 0 && !g.MayLiveOut(int(w.rip)).Has(u.Rd) {
+				premasked[i] = true
+				st.MustDead++
+			}
+		}
+	}
+	return premasked, st
+}

@@ -87,16 +87,29 @@ const (
 // associated program instruction.
 const WBRip int32 = -1
 
+// InitRip is the pseudo-RIP attributed to the cycle-0 writes that seed the
+// architectural register file at reset (AttachTracer): the value was never
+// produced by a program instruction.
+const InitRip int32 = -3
+
 // Event is one lifetime event of an entry. Seq is the global occurrence
 // order (assigned when the bits were physically touched), which breaks ties
 // within a cycle deterministically.
+//
+// RIP/UPC attribute the event to a static program location. For reads they
+// name the committed consumer (or WBRip for dirty writebacks); for writes
+// they name the producing µop — the register-writeback or store-drain that
+// deposited the bytes (InitRip for the reset-time architectural seeds,
+// 0/unattributed for L1D fills, which have no single producing µop). The
+// static dataflow cross-check (internal/guestflow) keys its governing-write
+// liveness argument off these write stamps.
 type Event struct {
 	Seq       uint64
 	Cycle     uint64
 	CommitSeq uint64 // program-order seq of the committing reader (EvRead)
 	Entry     int32
 	Mask      uint64 // byte mask within the entry (bit i = byte i)
-	RIP       int32  // reading instruction (EvRead) or WBRip (EvWBRead)
+	RIP       int32  // reading (EvRead/EvWBRead) or writing (EvWrite) instruction
 	Kind      EventKind
 	UPC       uint8
 }

@@ -35,6 +35,7 @@ var DetRand = &Analyzer{
 		"merlin/internal/isa",
 		"merlin/internal/lifetime",
 		"merlin/internal/merlin",
+		"merlin/internal/guestflow",
 		"merlin/internal/relyzer",
 		"merlin/internal/workloads",
 		"merlin/internal/asm",

@@ -9,13 +9,14 @@
 //
 // The package is stdlib-only (go/parser, go/ast, go/types + the source
 // importer); the module has zero dependencies and must stay that way.
-// Five analyzers run over every package in the module:
+// Six analyzers run over every package in the module:
 //
 //	detrand   no global math/rand, crypto/rand, or wall-clock-seeded
 //	          sources in report-affecting packages
 //	walltime  no time.Now/Since/Until outside the allowlisted
 //	          wall-clock-metric sites (Result.Wall stamping, fleet
-//	          heartbeat/TTL clocks)
+//	          heartbeat/TTL clocks); built-in allowlist entries that no
+//	          longer match a real site are findings themselves
 //	maporder  no map iteration feeding slices, writers, encoders,
 //	          hashers or event emits without an intervening sort
 //	testhook  test-only hooks (doc-marked "test-only") referenced only
@@ -23,6 +24,8 @@
 //	ctxflow   exported campaign/server/fleet entry points that loop
 //	          over faults or do network I/O take a context.Context
 //	          first and do not synthesize context.Background()
+//	globmut   no mutable package-level state in report-affecting
+//	          packages (mutated or exported package-level vars)
 //
 // Findings carry short codes (detrand001, ...) and can be suppressed at
 // a specific line with an explanation:
@@ -115,7 +118,7 @@ type Analyzer struct {
 
 // Analyzers returns every merlinvet analyzer in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetRand, WallTime, MapOrder, TestHook, CtxFlow}
+	return []*Analyzer{DetRand, WallTime, MapOrder, TestHook, CtxFlow, GlobMut}
 }
 
 // AnalyzerByName returns the named analyzer, or nil.

@@ -1,0 +1,68 @@
+// Package globmut is the fixture for the globmut analyzer: mutations of
+// package-level vars and exported package-level vars are flagged;
+// read-only tables, error sentinels, locals and shadowing declarations
+// are not.
+package globmut
+
+import "errors"
+
+// counter is mutable package-level state: every write to it below is a
+// finding.
+var counter int
+
+// Exported is a mutable API surface any importer can write to.
+var Exported = 42 // want "globmut002"
+
+// ErrSentinel is exempt from globmut002: errors.Is comparisons require
+// an exported var and convention treats sentinels as immutable.
+var ErrSentinel = errors.New("fixture sentinel")
+
+// table is a read-only lookup table: the declaration initializer is not
+// a mutation, so it is never flagged.
+var table = [...]string{"a", "b", "c"}
+
+// registry models the init-time registration map idiom.
+var registry = map[string]int{}
+
+type box struct{ n int }
+
+// cell exercises field writes and pointer-receiver calls.
+var cell box
+
+func (b *box) bump() { b.n++ }
+
+func (b box) read() int { return b.n }
+
+// Mutate covers the direct mutation shapes.
+func Mutate() {
+	counter = 1       // want "globmut001"
+	counter++         // want "globmut001"
+	registry["k"] = 1 // want "globmut001"
+	cell.n = 9        // want "globmut001"
+	p := &counter     // want "globmut001"
+	*p = 2
+}
+
+// Call covers the pointer-receiver shape: bump may mutate cell, read
+// cannot (value receiver).
+func Call() int {
+	cell.bump() // want "globmut001"
+	return cell.read()
+}
+
+// Register is the deliberate, explained exemption.
+func Register(k string, v int) {
+	//lint:allow globmut001 fixture: init-time registration, read-only afterwards
+	registry[k] = v // allowed "globmut001"
+}
+
+// Clean mutates only locals: a := declaration shadows the package var
+// and every write below lands on the local.
+func Clean() int {
+	counter := 0
+	counter = len(table)
+	cell := box{}
+	cell.n = counter
+	cell.bump()
+	return cell.n
+}

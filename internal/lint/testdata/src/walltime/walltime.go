@@ -1,7 +1,7 @@
 // Package walltime is the fixture for the walltime analyzer: wall-clock
 // reads are flagged unless the site is allowlisted or carries a
 // //lint:allow with a reason.
-package walltime
+package walltime // want "walltime002"
 
 import "time"
 

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"sort"
 )
 
 // WallTime forbids wall-clock reads in simulation and campaign
@@ -18,11 +19,17 @@ import (
 // visible. New sites need either an allowlist entry here or a
 // //lint:allow walltime001 line with a reason.
 //
+// The allowlist itself is checked for rot: an entry naming a function
+// with no wall-clock read left in it is a finding, because a stale
+// exemption silently pre-approves the next wall-clock read someone adds
+// under that name.
+//
 //	walltime001  time.Now/Since/Until outside the allowlist
+//	walltime002  built-in allowlist entry matching no wall-clock site
 var WallTime = &Analyzer{
 	Name:  "walltime",
 	Doc:   "no wall-clock reads outside allowlisted metric sites",
-	Codes: []string{"walltime001"},
+	Codes: []string{"walltime001", "walltime002"},
 	AppliesTo: inPaths(
 		"merlin",
 		"merlin/internal/cpu",
@@ -35,6 +42,7 @@ var WallTime = &Analyzer{
 		"merlin/internal/fault",
 		"merlin/internal/isa",
 		"merlin/internal/merlin",
+		"merlin/internal/guestflow",
 		"merlin/internal/relyzer",
 		"merlin/internal/workloads",
 		"merlin/internal/asm",
@@ -65,7 +73,9 @@ var wallClockAllow = map[string]map[string]string{
 		"Runner.RunAll":             "Result.Wall/Serial wall-clock metric stamping",
 		"Runner.RunAllCheckpointed": "Result.Wall/Serial wall-clock metric stamping",
 		"Runner.RunAllForked":       "Result.Wall/Serial wall-clock metric stamping",
-		"Runner.RunAllTruncated":    "Result.Wall/Serial wall-clock metric stamping",
+		// Runner.RunAllTruncated was listed here until the walltime002 rot
+		// check landed: it delegates its wall stamping to RunAll and never
+		// read the clock itself.
 	},
 	"merlin": {
 		"runFleetCampaign": "fleet Report.Wall metric stamping",
@@ -74,23 +84,28 @@ var wallClockAllow = map[string]map[string]string{
 		// surface: its wall-clock reads are suite timing metrics and poll
 		// deadlines, never simulated or merged state.
 		"RunChaos":          "chaos suite wall-clock metrics (ChaosResult timing fields)",
-		"runChaosScenario":  "chaos scenario wall-clock metrics",
 		"chaosAwait":        "chaos campaign poll deadline",
 		"chaosAwaitWorkers": "chaos fleet join poll deadline",
+		// runChaosScenario was listed here until the walltime002 rot check
+		// landed: its timing uses duration constants, not clock reads.
 	},
 	"merlin/internal/fleet": {
 		"NewPool": "heartbeat/TTL liveness clock (injected so tests fake it)",
 	},
 	// The walltime fixture exercises the built-in allowlist path; the
-	// merlinvet.test prefix can never collide with a module package.
+	// merlinvet.test prefix can never collide with a module package. The
+	// second entry is deliberately stale so the fixture also exercises
+	// the walltime002 rot check.
 	"merlinvet.test/walltime": {
-		"AllowlistedMetric": "fixture: built-in allowlist entry exercised by the lint tests",
+		"AllowlistedMetric":      "fixture: built-in allowlist entry exercised by the lint tests",
+		"StaleEntryNeverMatches": "fixture: stale allowlist entry the rot check must flag",
 	},
 }
 
 func runWallTime(pass *Pass) {
 	info := pass.Pkg.Info
 	allow := wallClockAllow[pass.Pkg.Path]
+	matched := make(map[string]bool, len(allow))
 	for _, file := range pass.Pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
@@ -103,6 +118,7 @@ func runWallTime(pass *Pass) {
 			}
 			where := enclosingFuncName(file, sel.Pos())
 			if reason, ok := allow[where]; ok {
+				matched[where] = true
 				pass.Allowlisted(sel.Pos(), "walltime001", where, reason)
 				return true
 			}
@@ -110,5 +126,23 @@ func runWallTime(pass *Pass) {
 				"time.%s in %s (%s): simulation and campaign state must be wall-clock free — metric sites belong on the walltime allowlist with a reason", fn.Name(), where, pass.Pkg.Path)
 			return true
 		})
+	}
+	// Allowlist rot: an entry that matched nothing pre-approves whatever
+	// wall-clock read is added under that function name next. Flag it at
+	// the package clause so the entry gets deleted with the code it
+	// described.
+	if len(pass.Pkg.Files) == 0 {
+		return
+	}
+	stale := make([]string, 0, len(allow))
+	for where := range allow {
+		if !matched[where] {
+			stale = append(stale, where)
+		}
+	}
+	sort.Strings(stale)
+	for _, where := range stale {
+		pass.Reportf(pass.Pkg.Files[0].Name.Pos(), "walltime002",
+			"stale walltime allowlist entry %q: no wall-clock read in %s matches it — delete the entry, allowlist rot hides future regressions", where, pass.Pkg.Path)
 	}
 }

@@ -82,6 +82,12 @@ type Request struct {
 	RepsPerGroup        int  `json:"reps_per_group,omitempty"`
 	DisableByteGrouping bool `json:"disable_byte_grouping,omitempty"`
 
+	// StaticPrune enables the guestflow static pre-pruner: provably
+	// masked register-file fault sites are classified before reduction,
+	// cross-verified against the dynamic analysis so reports stay
+	// bit-identical to unpruned runs.
+	StaticPrune bool `json:"static_prune,omitempty"`
+
 	// Workers bounds the campaign's injection parallelism.
 	Workers int `json:"workers,omitempty"`
 	// Strategy is "replay", "checkpointed" or "forked"; Checkpoints sets
@@ -141,6 +147,11 @@ type Event struct {
 	// effective simulation throughput in cycles per wall-clock second.
 	SnapshotHit  *bool   `json:"snapshot_hit,omitempty"`
 	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+
+	// Reduce events: how many fault sites the guestflow static pre-pruner
+	// classified masked without a dynamic interval lookup (0 unless the
+	// request asked for static_prune).
+	StaticPruned int `json:"static_pruned,omitempty"`
 }
 
 // Job is one unit of work handed to the RunFunc: the submitted request
@@ -227,6 +238,9 @@ type Config struct {
 	// RegistryStats, when non-nil, is folded into GET /statsz (the daemon
 	// passes the durable registry's stats).
 	RegistryStats func() any
+	// PruneStats, when non-nil, is folded into GET /statsz (the daemon
+	// passes the static pre-pruner's running counters).
+	PruneStats func() any
 
 	// Routes, when non-nil, is called with the service mux so the daemon
 	// can mount extra endpoint trees — the fleet coordinator's /fleet/*
@@ -1052,6 +1066,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cfg.RegistryStats != nil {
 		stats["registry"] = s.cfg.RegistryStats()
+	}
+	if s.cfg.PruneStats != nil {
+		stats["static_prune"] = s.cfg.PruneStats()
 	}
 	writeJSON(w, http.StatusOK, stats)
 }

@@ -41,9 +41,11 @@ import (
 // layout (or anything that feeds it: trace semantics, interval
 // derivation, simulator timing) changes incompatibly. Version 2
 // introduced multi-structure artifacts (one golden run carrying the
-// lifetime traces of every structure a batch campaign targets); version-1
-// single-structure files read as a clean miss and are recomputed.
-const formatVersion = 2
+// lifetime traces of every structure a batch campaign targets); version 3
+// stamps write events with the producing µop's (RIP, UPC) for the
+// guestflow static cross-check and pre-pruner. Older files read as a
+// clean miss and are recomputed.
+const formatVersion = 3
 
 // Key identifies one golden-run artifact: everything the fault-free run
 // depends on. Fault list size, sampling seed, injection strategy and

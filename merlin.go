@@ -32,6 +32,7 @@ import (
 	"merlin/internal/campaign"
 	"merlin/internal/cpu"
 	"merlin/internal/fault"
+	"merlin/internal/guestflow"
 	"merlin/internal/lifetime"
 	reduction "merlin/internal/merlin"
 	"merlin/internal/sampling"
@@ -190,6 +191,16 @@ type Config struct {
 	// fault identically; they differ only in how much of the pre-fault
 	// prefix is re-simulated.
 	Strategy Strategy
+
+	// StaticPrune enables the guestflow static pre-pruner: register-file
+	// fault sites landing in statically must-dead windows (the governing
+	// write's value is overwritten before any read on every path) are
+	// classified masked before Reduce, skipping their dynamic interval
+	// lookups. Every statically pruned fault is cross-verified against the
+	// dynamic analysis — a disagreement aborts the campaign loudly — so
+	// reports stay bit-identical to unpruned runs. Structures other than
+	// RF ignore the option (their entries hold no architectural registers).
+	StaticPrune bool
 	// Checkpoints > 0 sets the snapshot count of StrategyCheckpointed
 	// (and, for backward compatibility, selects that strategy when
 	// Strategy is left at the default).
@@ -281,6 +292,12 @@ type Artifacts struct {
 	Faults []fault.Fault
 	// Red is the fault-list reduction; nil until Reduce runs.
 	Red *reduction.Reduction
+
+	// Premasked marks the faults the guestflow static pre-pruner proved
+	// masked (nil unless Config.StaticPrune ran); StaticPruned is its
+	// true-count, surfaced through Progress and the Report.
+	Premasked    []bool
+	StaticPruned int
 
 	// CacheHit reports that Golden and Analysis were loaded from
 	// Config.Cache instead of simulated: Preprocess skipped the golden
@@ -451,9 +468,51 @@ func (a *Artifacts) Reduce() *reduction.Reduction {
 	opts := reduction.Options{
 		RepsPerGroup: a.Config.RepsPerGroup,
 		ByteGrouping: !a.Config.DisableByteGrouping,
+		Premasked:    a.Premasked,
 	}
 	a.Red = reduction.Reduce(a.Analysis, a.Faults, opts)
 	return a.Red
+}
+
+// staticPrune runs the guestflow static pre-pruner over the campaign's
+// fault list, populating Premasked/StaticPruned. Only register-file
+// campaigns carry architectural values, so other structures are a no-op.
+// Before any verdict is used, every statically pruned fault is
+// cross-verified against the dynamic ACE-like analysis: a fault the
+// static analysis calls must-dead but the dynamic analysis finds inside a
+// vulnerable interval means one of the two engines is wrong, and the
+// campaign fails loudly instead of risking a silently different report.
+func (a *Artifacts) staticPrune() error {
+	if a.Config.Structure != RF {
+		return nil
+	}
+	log := a.Golden.Tracer.Log(lifetime.StructRF)
+	if log == nil {
+		return fmt.Errorf("merlin: static prune requested but the golden run carries no RF event log")
+	}
+	g := guestflow.Analyze(a.Runner.Prog)
+	premasked, _ := guestflow.PruneRF(g, log, a.Faults)
+	for i, pm := range premasked {
+		if !pm {
+			continue
+		}
+		f := a.Faults[i]
+		if id, ok := a.Analysis.Find(f.Entry, f.Byte(), f.Cycle); ok {
+			iv := a.Analysis.Intervals[id]
+			return fmt.Errorf("merlin: static/dynamic liveness disagreement on %s fault %d (entry=%d bit=%d cycle=%d): "+
+				"statically must-dead, but dynamically vulnerable in (%d,%d] read by rip=%d upc=%d — "+
+				"one of internal/guestflow or internal/lifetime is wrong; run `merlin analyze -crosscheck -workload %s`",
+				a.Config.Structure, i, f.Entry, f.Bit, f.Cycle, iv.Start, iv.End, iv.RIP, iv.UPC, a.Config.Workload)
+		}
+	}
+	a.Premasked = premasked
+	a.StaticPruned = 0
+	for _, pm := range premasked {
+		if pm {
+			a.StaticPruned++
+		}
+	}
+	return nil
 }
 
 // inject is the context-aware core of phase 3, shared by Session.Inject
@@ -496,6 +555,7 @@ func (a *Artifacts) reportFrom(res *campaign.Result, extrapolate bool) *Report {
 		GoldenCycles:  a.Golden.Result.Cycles,
 		InitialFaults: len(a.Faults),
 		ACEMasked:     a.Red.ACEMasked,
+		StaticPruned:  a.StaticPruned,
 		PostACE:       len(a.Red.HitFaults),
 		Injected:      res.Injected,
 		Cancelled:     res.Cancelled,
@@ -631,6 +691,10 @@ type Report struct {
 	// ACEMasked counts faults pruned as provably masked by the ACE-like
 	// analysis (phase 1).
 	ACEMasked int
+	// StaticPruned counts the ACEMasked faults classified by the guestflow
+	// static pre-pruner without a dynamic interval lookup (0 unless the
+	// campaign ran with WithStaticPrune; always a subset of ACEMasked).
+	StaticPruned int
 	// PostACE counts faults surviving the ACE-like pruning.
 	PostACE int
 	// Injected counts the group representatives actually injected.

@@ -62,6 +62,11 @@ type Progress struct {
 	SnapshotHit  bool
 	CyclesPerSec float64
 
+	// StaticPruned is set on the reduce ProgressPhaseDone event: how many
+	// fault sites the guestflow static pre-pruner classified masked
+	// without a dynamic interval lookup (0 unless WithStaticPrune).
+	StaticPruned int
+
 	// ProgressFault events: the fault's index in the injected list, the
 	// fault itself, and its classification.
 	Index   int

@@ -5,7 +5,8 @@
 # BENCH_PR6.json for the two-worker-fleet-vs-local comparison,
 # BENCH_PR7.json for the conformance-suite wall-clock, BENCH_PR8.json for
 # the merlinvet full-module analysis wall-clock, BENCH_PR9.json for the
-# fleet chaos certification suite), preserving their
+# fleet chaos certification suite, BENCH_PR10.json for the guest
+# static-dataflow analyze/prune pass), preserving their
 # recorded pre-optimization baselines. Pass flags through to the Go
 # tool, e.g.:
 #

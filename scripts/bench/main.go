@@ -6,8 +6,10 @@
 // comparison (BENCH_PR6.json by default), the lockstep conformance
 // suite wall-clock (BENCH_PR7.json by default), the merlinvet
 // static-analysis wall-clock over the full module (BENCH_PR8.json by
-// default) and the fleet chaos certification suite (BENCH_PR9.json by
-// default), so regressions in any of them are visible across PRs.
+// default), the fleet chaos certification suite (BENCH_PR9.json by
+// default) and the guest static-dataflow analyze/prune pass
+// (BENCH_PR10.json by default), so regressions in any of them are
+// visible across PRs.
 //
 // Usage:
 //
@@ -56,6 +58,7 @@ func main() {
 	vetOut := flag.String("merlinvet-out", "BENCH_PR8.json", "merlinvet full-module analysis wall-clock output (empty disables)")
 	chaosOut := flag.String("chaos-out", "BENCH_PR9.json", "chaos certification suite wall-clock output (empty disables)")
 	chaosScenarios := flag.Int("chaos-scenarios", 25, "scenario count for the chaos suite run")
+	staticpruneOut := flag.String("staticprune-out", "BENCH_PR10.json", "guest static analyze/prune pass output (empty disables)")
 	benchtime := flag.String("benchtime", "3x", "benchtime for the campaign-scale strategy benchmarks")
 	microtime := flag.String("microtime", "200x", "benchtime for the clone/simulator microbenchmarks")
 	flag.Parse()
@@ -121,6 +124,66 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	if *staticpruneOut != "" {
+		if err := writeStaticPrune(*staticpruneOut); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeStaticPrune runs the guest static-dataflow pass (`merlin
+// analyze`) over every built-in kernel plus 20 generated ones and
+// records its parsed staticprune-summary line — programs analyzed,
+// dynamic intervals cross-checked, statically prunable fraction,
+// analysis wall-clock — as its own trajectory file. The cross-check
+// must report zero violations: a disagreement fails the bench exactly
+// as it fails CI, because the number being tracked is the cost of an
+// oracle that is required to hold.
+func writeStaticPrune(out string) error {
+	args := []string{"run", "./cmd/merlin", "analyze", "-crosscheck", "-gen", "20", "-seed", "1"}
+	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("analyze pass failed: %w\n%s", err, buf.String())
+	}
+	m := metrics{}
+	var programs, intervals, violations, faults, pruned int
+	var pct, analysisMS float64
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "staticprune-summary:") {
+			continue
+		}
+		if _, err := fmt.Sscanf(line,
+			"staticprune-summary: programs=%d intervals=%d violations=%d faults=%d pruned=%d pct=%f analysis_ms=%f result=PASS",
+			&programs, &intervals, &violations, &faults, &pruned, &pct, &analysisMS); err != nil {
+			return fmt.Errorf("unparseable staticprune-summary line %q: %w", line, err)
+		}
+		m["programs"] = float64(programs)
+		m["intervals"] = float64(intervals)
+		m["faults"] = float64(faults)
+		m["pruned"] = float64(pruned)
+		m["pruned-pct"] = pct
+		m["analysis-ms"] = analysisMS
+	}
+	if len(m) == 0 {
+		return fmt.Errorf("analyze run printed no staticprune-summary line:\n%s", buf.String())
+	}
+	results := map[string]metrics{"StaticPrune": m}
+	return writeTrajectory(out, 10, "1x", results, func(baseline map[string]metrics) map[string]float64 {
+		b, okB := baseline["StaticPrune"]
+		c, okC := results["StaticPrune"]
+		if !okB || !okC || b["analysis-ms"] <= 0 || c["analysis-ms"] <= 0 {
+			return nil
+		}
+		return map[string]float64{"analysis_wall_x": b["analysis-ms"] / c["analysis-ms"]}
+	})
 }
 
 // writeChaos runs the fleet chaos certification suite (`merlin chaos`)

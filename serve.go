@@ -11,6 +11,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"merlin/internal/cpu"
@@ -119,14 +120,31 @@ func NewServer(opt ServeOptions) (*Server, error) {
 	if opt.FleetTTL >= 0 {
 		pool = fleet.NewPool(opt.FleetTTL)
 	}
+	// Running total of statically pre-pruned fault sites across every
+	// campaign this daemon ran, surfaced on /statsz. Local to the server
+	// instance (not package state), fed by observing reduce events on
+	// their way to the record log — which covers the local, batch and
+	// fleet-coordinated paths alike.
+	var staticPruned atomic.Int64
+	run := runCampaign(opt.Cache, snapshots, pool, opt.Registry != nil, opt.FleetClient, opt.FleetStallTimeout)
 	cfg := server.Config{
-		Run:                  runCampaign(opt.Cache, snapshots, pool, opt.Registry != nil, opt.FleetClient, opt.FleetStallTimeout),
+		Run: func(ctx context.Context, job server.Job, emit func(CampaignEvent)) (any, error) {
+			return run(ctx, job, func(ev CampaignEvent) {
+				if ev.Type == "reduce" && ev.StaticPruned > 0 {
+					staticPruned.Add(int64(ev.StaticPruned))
+				}
+				emit(ev)
+			})
+		},
 		Validate:             validateRequest(opt.Cache),
 		Shards:               opt.Shards,
 		WorkersPerShard:      opt.WorkersPerShard,
 		QueueDepth:           opt.QueueDepth,
 		RetainFinished:       opt.RetainFinished,
 		MaxEventsPerCampaign: opt.MaxEventsPerCampaign,
+		PruneStats: func() any {
+			return map[string]int64{"static_pruned_faults": staticPruned.Load()}
+		},
 	}
 	if opt.Cache != nil {
 		cache := opt.Cache
@@ -261,6 +279,9 @@ func requestOptions(req CampaignRequest, cache *Cache) ([]Option, error) {
 	if req.DisableByteGrouping {
 		opts = append(opts, WithoutByteGrouping())
 	}
+	if req.StaticPrune {
+		opts = append(opts, WithStaticPrune())
+	}
 	if req.Workers != 0 {
 		opts = append(opts, WithWorkers(req.Workers))
 	}
@@ -313,7 +334,8 @@ func progressEvent(p Progress) (CampaignEvent, bool) {
 			hit := p.CacheHit
 			return CampaignEvent{Type: "preprocess", Structure: p.Structure, CacheHit: &hit, Msg: p.Msg}, true
 		case PhaseReduce:
-			return CampaignEvent{Type: "reduce", Structure: p.Structure, Msg: p.Msg}, true
+			return CampaignEvent{Type: "reduce", Structure: p.Structure, Msg: p.Msg,
+				StaticPruned: p.StaticPruned}, true
 		case PhaseBatch:
 			return CampaignEvent{Type: "batch", Msg: p.Msg}, true
 		default:

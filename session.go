@@ -194,6 +194,19 @@ func WithSnapshotCache(c *SnapshotCache) Option {
 	}
 }
 
+// WithStaticPrune enables the guestflow static pre-pruner: register-file
+// fault sites in statically must-dead windows are classified masked
+// before Reduce, skipping their dynamic interval lookups. Every pruned
+// fault is cross-verified against the dynamic analysis — a disagreement
+// fails Reduce loudly — so reports are bit-identical to unpruned runs.
+// Non-RF structures ignore the option.
+func WithStaticPrune() Option {
+	return func(o *sessionConfig) error {
+		o.cfg.StaticPrune = true
+		return nil
+	}
+}
+
 // WithProgress subscribes fn to the Session's typed progress stream. See
 // Progress for the concurrency contract.
 func WithProgress(fn func(Progress)) Option {
@@ -349,11 +362,21 @@ func (s *Session) Reduce() (*Reduction, error) {
 		return s.art.Red, nil
 	}
 	s.emitEvent(Progress{Kind: ProgressPhaseStart, Phase: PhaseReduce})
+	if s.cfg.StaticPrune {
+		if err := s.art.staticPrune(); err != nil {
+			return nil, err
+		}
+	}
 	red := s.art.Reduce()
+	msg := fmt.Sprintf("%d faults -> %d ACE-masked -> %d groups -> %d representatives",
+		len(s.art.Faults), red.ACEMasked, len(red.Groups), red.ReducedCount())
+	if s.art.StaticPruned > 0 {
+		msg += fmt.Sprintf(" (%d statically pre-pruned)", s.art.StaticPruned)
+	}
 	s.emitEvent(Progress{
 		Kind: ProgressPhaseDone, Phase: PhaseReduce,
-		Msg: fmt.Sprintf("%d faults -> %d ACE-masked -> %d groups -> %d representatives",
-			len(s.art.Faults), red.ACEMasked, len(red.Groups), red.ReducedCount()),
+		StaticPruned: s.art.StaticPruned,
+		Msg:          msg,
 	})
 	return red, nil
 }
